@@ -1,0 +1,101 @@
+"""Ablations of CuSha design choices (DESIGN.md section 5).
+
+1. **Conditional write-back** (Figure 5's ``values_updated`` flag): skip
+   stage 4 for shards that did not update vs always writing back.
+2. **Shard schedule** (``sync_mode``): hardware-faithful waves vs fully
+   sequential-asynchronous vs bulk-synchronous snapshots.
+3. **SoA vs AoS entry layout**: the paper stores 4-tuples (AoS); CUDA-era
+   wisdom and this reproduction use SoA field arrays.  The memory model
+   prices both, quantifying the strided-access penalty AoS would add.
+"""
+
+import numpy as np
+
+from repro.algorithms import make_program
+from repro.frameworks.cusha import CuShaEngine
+from repro.gpu.memory import contiguous_transactions, strided_transactions
+from repro.harness.tables import format_table
+
+from conftest import once
+
+
+def bench_ablation_conditional_writeback(benchmark, runner, emit):
+    def run():
+        g = runner.graph("roadnetca")
+        p = make_program("sssp", g)
+        rows = []
+        for flag in (False, True):
+            eng = CuShaEngine("cw", spec=runner.spec, always_writeback=flag)
+            r = eng.run(g, p, max_iterations=400, allow_partial=True)
+            rows.append(
+                ("conditional" if not flag else "always",
+                 f"{r.kernel_time_ms:.3f}", r.iterations,
+                 r.stats.store_transactions)
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    text = format_table(
+        ["Write-back", "Kernel ms", "Iterations", "Store txs"],
+        rows,
+        title="Ablation: conditional vs unconditional write-back (SSSP, RoadNetCA)",
+    )
+    emit("ablation_writeback", text)
+    cond_ms = float(rows[0][1])
+    always_ms = float(rows[1][1])
+    assert cond_ms <= always_ms, "skipping stage 4 must never cost time"
+
+
+def bench_ablation_sync_mode(benchmark, runner, emit):
+    def run():
+        g = runner.graph("webgoogle")
+        p = make_program("pr", g)
+        rows = []
+        for mode in ("wave", "async", "bsp"):
+            eng = CuShaEngine("cw", spec=runner.spec, sync_mode=mode)
+            r = eng.run(g, p, max_iterations=600, allow_partial=True)
+            rows.append((mode, r.iterations, f"{r.kernel_time_ms:.3f}",
+                         f"{float(np.mean(r.values['rank'])):.4f}"))
+        return rows
+
+    rows = once(benchmark, run)
+    text = format_table(
+        ["sync_mode", "Iterations", "Kernel ms", "Mean rank"],
+        rows,
+        title="Ablation: shard visibility schedule (PR, WebGoogle)",
+    )
+    emit("ablation_sync_mode", text)
+    iters = {r[0]: r[1] for r in rows}
+    # Finer-grained visibility converges in no more iterations.
+    assert iters["async"] <= iters["wave"] <= iters["bsp"]
+
+
+def bench_ablation_soa_vs_aos_layout(benchmark, emit):
+    def run():
+        m = 1 << 20
+        rows = []
+        for vbytes, ebytes, label in ((4, 4, "BFS-like"), (8, 4, "HS-like")):
+            entry = 4 + vbytes + ebytes + 4  # SrcIndex,SrcValue,EdgeValue,DestIndex
+            soa = sum(
+                contiguous_transactions(m, b, transaction_bytes=32).transactions
+                for b in (4, vbytes, ebytes, 4)
+            )
+            aos = sum(
+                strided_transactions(
+                    m, entry, b, start_byte=off, transaction_bytes=32
+                ).transactions
+                for off, b in ((0, 4), (4, vbytes), (4 + vbytes, ebytes),
+                               (4 + vbytes + ebytes, 4))
+            )
+            rows.append((label, soa, aos, f"{aos / soa:.2f}x"))
+        return rows
+
+    rows = once(benchmark, run)
+    text = format_table(
+        ["Entry", "SoA load txs", "AoS load txs", "AoS penalty"],
+        rows,
+        title="Ablation: shard-entry layout (1M-entry stage-2 sweep)",
+    )
+    emit("ablation_layout", text)
+    for _, soa, aos, _ in rows:
+        assert aos >= soa

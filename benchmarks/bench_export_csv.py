@@ -1,0 +1,23 @@
+"""Exports every experiment's data series as CSV (plot-ready artifacts).
+
+Runs last in the suite by name ordering irrelevance — it reuses the
+session runner's memoized grid, so with the other regenerators already run
+this is nearly free.
+"""
+
+import csv
+
+from repro.harness import export
+
+from conftest import once
+
+
+def bench_export_all_csv(benchmark, runner, results_dir, emit):
+    out_dir = results_dir / "csv"
+    paths = once(benchmark, lambda: export.export_all(out_dir, runner))
+    listing = "\n".join(f"  {p.name}" for p in paths)
+    emit("csv_exports", f"CSV series written to {out_dir}:\n{listing}")
+    assert len(paths) == 11
+    for p in paths:
+        rows = list(csv.reader(open(p)))
+        assert len(rows) >= 2, p.name  # header + data

@@ -1,0 +1,27 @@
+"""Regenerates Figure 10: host-to-device copy, GPU compute, and
+device-to-host copy time per benchmark on the LiveJournal analog.
+
+Paper shape: CuSha pays more H2D than VWC-CSR (bigger representations,
+Figure 9), D2H is negligible for everyone, and CuSha's compute advantage
+dominates the total on multi-iteration benchmarks.
+"""
+
+from repro.harness import experiments as E
+
+from conftest import once
+
+
+def bench_fig10(benchmark, runner, emit):
+    text = once(benchmark, lambda: E.render_fig10(runner))
+    emit("fig10_time_breakdown", text)
+    data = E.fig10_breakdown(runner)
+    for prog, engines in data.items():
+        cw_h2d, _, cw_d2h = engines["cusha-cw"]
+        gs_h2d, _, _ = engines["cusha-gs"]
+        vwc_h2d, _, _ = engines["best-vwc"]
+        assert cw_h2d > gs_h2d > vwc_h2d, prog  # Figure 9's size ordering
+        assert cw_d2h < 0.2 * cw_h2d, prog  # D2H is only the vertex values
+    # Compute advantage on the heavy benchmark.
+    _, cw_kernel, _ = data["pr"]["cusha-cw"]
+    _, vwc_kernel, _ = data["pr"]["best-vwc"]
+    assert cw_kernel < vwc_kernel

@@ -1,0 +1,42 @@
+"""Regenerates Figure 11: frequency of window sizes on R-MAT graphs —
+(a) growing graph size, (b) growing sparsity, (c) growing |N|.
+
+Paper shape: bigger and sparser graphs shift mass toward tiny windows;
+larger |N| shifts it away.  (|N| values are scaled by sqrt(scale); see
+repro.harness.experiments.scaled_shard_size.)
+"""
+
+import numpy as np
+
+from repro.graph.shards import GShards
+from repro.harness import experiments as E
+
+from conftest import BENCH_SCALE, once
+
+
+def _frac_small(counts: np.ndarray, below: int = 32) -> float:
+    total = counts.sum()
+    return counts[:below].sum() / max(total, 1)
+
+
+def bench_fig11(benchmark, emit):
+    text = once(benchmark, lambda: E.render_fig11(BENCH_SCALE))
+    emit("fig11_window_sizes", text)
+    data = E.fig11_histograms(BENCH_SCALE)
+    # (a) size: more vertices (at fixed N) => smaller windows.
+    assert _frac_small(data["size"]["134_16"]) >= _frac_small(data["size"]["34_4"])
+    # (b) sparsity: fewer edges per vertex => smaller windows.
+    assert _frac_small(data["sparsity"]["67_16"]) >= _frac_small(
+        data["sparsity"]["67_4"]
+    )
+    # (c) |N|: bigger shards => bigger windows.
+    assert _frac_small(data["shard"]["N=6k"]) <= _frac_small(data["shard"]["N=1k"])
+
+
+def bench_window_histogram_kernel(benchmark):
+    g = E.rmat_graph(67, 8, BENCH_SCALE)
+    n = E.scaled_shard_size(3000, BENCH_SCALE)
+    sh = GShards(g, n)
+    from repro.graph.properties import window_size_histogram
+
+    benchmark(lambda: window_size_histogram(sh))

@@ -1,0 +1,28 @@
+"""Regenerates Figure 12: normalized SSSP running time of CuSha configured
+with G-Shards vs Concatenated Windows across nine R-MAT graphs and three
+|N| values.
+
+Paper shape: G-Shards degrades as graphs grow and sparsify (small windows);
+CW degrades far less; at small |N| on sparse graphs GS/CW > 1, and the gap
+closes (or inverts slightly, CW paying its mapper overhead) at large |N|.
+"""
+
+from repro.harness import experiments as E
+
+from conftest import BENCH_SCALE, once
+
+
+def bench_fig12(benchmark, emit):
+    text = once(benchmark, lambda: E.render_fig12(BENCH_SCALE))
+    emit("fig12_gs_cw_sensitivity", text)
+    data = E.fig12_sensitivity(BENCH_SCALE)
+    # Sparse extreme at small N: GS loses to CW.
+    worst = data["134_16/N=1k"]
+    assert worst["gs"] > worst["cw"]
+    # Dense extreme at large N: GS is at least competitive.
+    best = data["134_4/N=6k"]
+    assert best["gs"] <= best["cw"] * 1.2
+    # GS's GS/CW ratio grows with sparsity at fixed |E| and N.
+    r4 = data["67_4/N=1k"]["gs"] / data["67_4/N=1k"]["cw"]
+    r16 = data["67_16/N=1k"]["gs"] / data["67_16/N=1k"]["cw"]
+    assert r16 >= r4 * 0.95

@@ -1,0 +1,25 @@
+"""Regenerates Figure 1: degree distributions of the evaluation graphs."""
+
+import numpy as np
+
+from repro.graph import suite
+from repro.graph.properties import degree_distribution
+from repro.harness import experiments as E
+
+from conftest import BENCH_SCALE, once
+
+
+def bench_fig1(benchmark, emit):
+    text = once(benchmark, lambda: E.render_fig1(BENCH_SCALE))
+    emit("fig1_degree_distribution", text)
+    series = E.fig1_series(BENCH_SCALE)
+    # Paper claim: social/web graphs are heavy-tailed, the road network is
+    # uniform low-degree.
+    lj_deg, _ = series["livejournal"]
+    road_deg, _ = series["roadnetca"]
+    assert lj_deg.max() > 20 * road_deg.max()
+
+
+def bench_degree_distribution_kernel(benchmark):
+    g = suite.load("livejournal", BENCH_SCALE)
+    benchmark(lambda: degree_distribution(g))

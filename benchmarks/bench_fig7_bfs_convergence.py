@@ -1,0 +1,27 @@
+"""Regenerates Figure 7: BFS vertices-updated per iteration over time for
+CuSha-CW, CuSha-GS, and the best VWC-CSR configuration.
+
+Paper shape: CuSha needs at least as many iterations as the single-version
+CSR baseline, but each iteration is cheaper, so its curve terminates
+earlier on the time axis for the multi-iteration graphs.
+"""
+
+from repro.harness import experiments as E
+
+from conftest import once
+
+
+def bench_fig7(benchmark, runner, emit):
+    text = once(benchmark, lambda: E.render_fig7(runner))
+    emit("fig7_bfs_convergence", text)
+    data = E.fig7_traces(runner)
+    for gname, engines in data.items():
+        vwc_key = next(k for k in engines if k.startswith("vwc"))
+        cw_iters = len(engines["cusha-cw"])
+        vwc_iters = len(engines[vwc_key])
+        # Multi-version shard copies never converge in fewer iterations than
+        # the single-version CSR storage (paper's Figure 7 discussion).
+        assert cw_iters >= vwc_iters, gname
+        # Every trace ends with a zero-update (convergence-detection) pass.
+        for pts in engines.values():
+            assert pts[-1][1] == 0

@@ -1,0 +1,28 @@
+"""Regenerates Figure 8: average global-store, global-load, and
+warp-execution efficiency on the LiveJournal analog for best-VWC, CuSha-GS,
+and CuSha-CW.
+
+Paper values: VWC 1.93% / 28.18% / 34.48%; GS 27.64% / 80.15% / 88.90%;
+CW 25.06% / 77.59% / 91.57%.  Assertions pin the reproduced ordering and
+bands.
+"""
+
+from repro.harness import experiments as E
+
+from conftest import once
+
+
+def bench_fig8(benchmark, runner, emit):
+    text = once(benchmark, lambda: E.render_fig8(runner))
+    emit("fig8_profiled_efficiency", text)
+    d = E.fig8_efficiencies(runner)
+    vwc, gs, cw = d["best-vwc"], d["cusha-gs"], d["cusha-cw"]
+    # Load efficiency: CuSha coalesced (paper ~0.8), VWC scattered (~0.28).
+    assert gs["gld"] > 0.6 and cw["gld"] > 0.6
+    assert vwc["gld"] < 0.4
+    # Store efficiency: CuSha an order of magnitude above VWC.
+    assert gs["gst"] > 3 * vwc["gst"]
+    assert cw["gst"] > 3 * vwc["gst"]
+    # Warp execution: CW highest (full write-back lanes), VWC lowest.
+    assert cw["warp"] > gs["warp"] > vwc["warp"]
+    assert cw["warp"] > 0.85

@@ -1,0 +1,76 @@
+"""Micro-benchmarks of the simulator's hot kernels (pytest-benchmark with
+full statistics — these are the pieces whose wall-clock cost bounds how
+large a graph the reproduction can price)."""
+
+import numpy as np
+
+from repro.algorithms import make_program
+from repro.frameworks.csrloop import CSRProblem, iterate_chunks
+from repro.frameworks.vwc import VWCEngine
+from repro.graph.csr import CSR
+from repro.graph.cw import ConcatenatedWindows
+from repro.graph.shards import GShards
+from repro.gpu.memory import gather_transactions
+from repro.vertexcentric.program import apply_reductions
+
+from conftest import BENCH_SCALE
+
+
+def _graph():
+    from repro.graph import suite
+
+    return suite.load("webgoogle", BENCH_SCALE)
+
+
+def bench_csr_construction(benchmark):
+    g = _graph()
+    benchmark(lambda: CSR.from_graph(g))
+
+
+def bench_gshards_construction(benchmark):
+    g = _graph()
+    benchmark(lambda: GShards(g, 256))
+
+
+def bench_cw_construction(benchmark):
+    g = _graph()
+    sh = GShards(g, 256)
+    benchmark(lambda: ConcatenatedWindows(sh))
+
+
+def bench_coalescing_model_random_gather(benchmark):
+    rng = np.random.default_rng(0)
+    idx = rng.integers(0, 1 << 20, size=1 << 18)
+    benchmark(lambda: gather_transactions(idx, 4, transaction_bytes=32))
+
+
+def bench_value_iteration_csr(benchmark):
+    g = _graph()
+    p = make_program("pr", g)
+    problem = CSRProblem.build(g, p)
+    benchmark(lambda: iterate_chunks(problem, 8192))
+
+
+def bench_vwc_schedule_pricing(benchmark):
+    g = _graph()
+    p = make_program("pr", g)
+    problem = CSRProblem.build(g, p)
+    eng = VWCEngine(8)
+    benchmark.pedantic(
+        lambda: eng._static_stats(problem), rounds=3, iterations=1
+    )
+
+
+def bench_reduction_application(benchmark):
+    g = _graph()
+    p = make_program("pr", g)
+    values = p.initial_values(g)
+    static = p.static_values(g)
+    dest = g.dst.astype(np.int64)
+
+    def run():
+        local = p.init_local(values)
+        msgs, mask = p.messages(values[g.src], static[g.src], None, values[g.dst])
+        return apply_reductions(p, local, dest, msgs, mask)
+
+    benchmark(run)

@@ -1,0 +1,43 @@
+"""Supplementary analysis: robustness of the headline speedup to the cost
+model's calibration constants.
+
+docs/modeling.md claims the cross-engine ratios depend on *counted*
+quantities (transactions, lane slots), not on the rate constants.  This
+bench halves/doubles each rate constant and reports how the PR speedup of
+CuSha-CW over VWC-8 moves.
+"""
+
+from repro.gpu.calibration import sensitivity_report
+from repro.harness.tables import format_table
+
+from conftest import once
+
+
+def bench_model_sensitivity(benchmark, runner, emit):
+    def run():
+        g = runner.graph("webgoogle")
+        return sensitivity_report(
+            g, "pr", base_spec=runner.spec, max_iterations=400
+        )
+
+    baseline, results = once(benchmark, run)
+    rows = [("(baseline)", "1.0x", f"{baseline:.2f}x", "-")]
+    for r in results:
+        rows.append(
+            (
+                r.field,
+                f"{r.multiplier:.1f}x",
+                f"{r.speedup:.2f}x",
+                f"{r.deviation_from(baseline):.1%}",
+            )
+        )
+    text = format_table(
+        ["Perturbed constant", "Factor", "CW speedup over VWC-8", "Deviation"],
+        rows,
+        title="Cost-model sensitivity (PR, WebGoogle analog, kernel time)",
+    )
+    emit("model_sensitivity", text)
+    assert baseline > 1.0
+    for r in results:
+        # No single 2x perturbation flips the winner.
+        assert r.speedup > 0.8, r

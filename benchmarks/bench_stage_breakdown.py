@@ -1,0 +1,58 @@
+"""Supplementary analysis: where CuSha's time goes, stage by stage.
+
+Not a paper figure, but the quantitative backing for its section-3 prose:
+stage 2 (the coalesced entry sweep) should dominate traffic, and the
+write-back stage should be the GS-vs-CW differentiator.
+"""
+
+from repro.algorithms import make_program
+from repro.frameworks.cusha import CuShaEngine
+from repro.gpu.stats import LOAD_GRANULARITY_BYTES, STORE_GRANULARITY_BYTES
+from repro.harness.tables import format_table
+
+from conftest import once
+
+
+def bench_stage_breakdown(benchmark, runner, emit):
+    def run():
+        g = runner.graph("livejournal")
+        rows = []
+        results = {}
+        for mode in ("gs", "cw"):
+            p = make_program("pr", g)
+            res = CuShaEngine(mode, spec=runner.spec).run(
+                g, p, max_iterations=400, allow_partial=True
+            )
+            results[mode] = res
+            moved_total = (
+                res.stats.load_bytes_moved + res.stats.store_bytes_moved
+            )
+            for stage, s in res.stage_stats.items():
+                moved = s.load_bytes_moved + s.store_bytes_moved
+                rows.append(
+                    (
+                        f"cusha-{mode}",
+                        stage,
+                        f"{moved / 1e6:.2f}",
+                        f"{moved / moved_total:.1%}",
+                        f"{s.warp_instructions / 1e6:.2f}",
+                    )
+                )
+        return rows, results
+
+    rows, results = once(benchmark, run)
+    text = format_table(
+        ["Engine", "Stage", "Bytes moved (MB)", "Share", "Warp instr (M)"],
+        rows,
+        title="Per-stage breakdown (PR, LiveJournal analog)",
+    )
+    emit("stage_breakdown", text)
+    for mode in ("gs", "cw"):
+        stages = results[mode].stage_stats
+        loads = {k: s.load_bytes_moved for k, s in stages.items()}
+        # Stage 2 reads the most bytes: it streams every shard entry.
+        assert loads["stage2-compute"] == max(loads.values())
+    # The write-back stage is where the representations differ.
+    gs4 = results["gs"].stage_stats["stage4-writeback"]
+    cw4 = results["cw"].stage_stats["stage4-writeback"]
+    assert gs4.total_transactions != cw4.total_transactions

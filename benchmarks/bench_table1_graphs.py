@@ -1,0 +1,26 @@
+"""Regenerates Table 1: the evaluation graphs (scaled synthetic analogs).
+
+Also micro-benchmarks suite-graph construction, since representation build
+time is part of CuSha's end-to-end story.
+"""
+
+from repro.graph import suite
+from repro.harness import experiments as E
+
+from conftest import BENCH_SCALE, once
+
+
+def bench_table1(benchmark, emit):
+    text = once(benchmark, lambda: E.render_table1(BENCH_SCALE))
+    emit("table1_graphs", text)
+    rows = E.table1(BENCH_SCALE)
+    assert len(rows) == 6
+    # The paper's size ordering must survive scaling.
+    assert rows[0][1] == max(r[1] for r in rows)  # LiveJournal has most edges
+
+
+def bench_build_livejournal_analog(benchmark):
+    suite.load.cache_clear()
+    benchmark.pedantic(
+        lambda: suite.load("livejournal", BENCH_SCALE), rounds=3, iterations=1
+    )

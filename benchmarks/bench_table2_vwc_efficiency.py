@@ -1,0 +1,22 @@
+"""Regenerates Table 2: VWC-CSR global-memory and warp-execution efficiency
+ranges across all eight applications, six graphs, five virtual warp sizes.
+
+Paper bands: global memory accesses 10.4%-20.6%, warp execution
+25.3%-39.4%.  The assertions pin the reproduced ranges to the same regime
+(low efficiency, far below CuSha's).
+"""
+
+from repro.harness import experiments as E
+
+from conftest import once
+
+
+def bench_table2(benchmark, runner, emit):
+    text = once(benchmark, lambda: E.render_table2(runner))
+    emit("table2_vwc_efficiency", text)
+    data = E.table2(runner)
+    for prog, d in data.items():
+        lo, hi = d["global_memory"]
+        assert hi < 0.45, f"{prog}: VWC load efficiency should stay low, got {hi}"
+        wl, wh = d["warp_execution"]
+        assert wh < 0.75, f"{prog}: VWC warp efficiency should stay low, got {wh}"

@@ -1,0 +1,22 @@
+"""Regenerates Table 3: the benchmark programming interfaces, read off the
+live implementations (structs, reducers) — verifying the code matches the
+paper's declarations."""
+
+from repro.harness import experiments as E
+
+from conftest import once
+
+
+def bench_table3(benchmark, emit):
+    text = once(benchmark, lambda: E.render_table3())
+    emit("table3_programs", text)
+    rows = {r["name"]: r for r in E.table3()}
+    # Spot-check the paper's struct declarations.
+    assert rows["BFS"]["vertex"] == "level:uint32"
+    assert rows["PR"]["static"] == "nbrs_num:uint32"
+    assert rows["HS"]["vertex_bytes"] == 8
+    assert rows["CS"]["reducers"] == "v<-add, gsum_or_a<-add"
+    assert rows["SSWP"]["reducers"] == "bwidth<-max"
+    # Exactly the three unweighted programs carry no Edge struct.
+    no_edge = {name for name, r in rows.items() if r["edge"] == "-"}
+    assert no_edge == {"BFS", "PR", "CC"}

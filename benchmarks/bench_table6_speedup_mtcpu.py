@@ -1,0 +1,24 @@
+"""Regenerates Table 6: CuSha speedup ranges over the multithreaded CPU
+baseline across 1..128 threads.
+
+Paper shape: CuSha beats even the best thread count on average (minima
+above 1x for most benchmarks), and the single-thread maxima are several
+times larger.
+"""
+
+from repro.harness import experiments as E
+
+from conftest import once
+
+
+def bench_table6(benchmark, runner, emit):
+    text = once(benchmark, lambda: E.render_table6(runner))
+    emit("table6_speedup_mtcpu", text)
+    data = E.table6(runner)
+    for prog in ("pr", "nn", "cs"):
+        lo, hi = data[f"prog:{prog}"]["cw"]
+        assert hi > 1.0, f"{prog}: CuSha should beat single-threaded CPU"
+        assert hi > 2 * lo, (
+            f"{prog}: the single-thread CPU bound should be several times "
+            f"the best-thread-count bound"
+        )

@@ -1,0 +1,58 @@
+"""Shared fixtures for the benchmark regenerators.
+
+Every paper table/figure has one ``bench_*.py`` file (see the
+per-experiment index in DESIGN.md).  Each file contains:
+
+- the *regenerator*: a ``benchmark.pedantic``-wrapped call into
+  :mod:`repro.harness.experiments` that produces the paper-style table,
+  prints it, and archives it under ``benchmarks/results/``;
+- where meaningful, *micro-benchmarks* of the underlying kernels with full
+  pytest-benchmark statistics.
+
+Set ``REPRO_SCALE`` to trade fidelity for speed (default 100 = 1/100 of the
+paper's graph sizes; the grid run takes ~10 minutes at that scale).
+A session-scoped :class:`~repro.harness.runner.GridRunner` memoizes all
+engine runs, so tables sharing cells (4, 5, 7, figures 7/8/10) price each
+cell once.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.harness.runner import GridRunner
+
+BENCH_SCALE = int(os.environ.get("REPRO_SCALE", "100"))
+BENCH_MAX_ITERATIONS = int(os.environ.get("REPRO_MAX_ITERATIONS", "400"))
+
+
+@pytest.fixture(scope="session")
+def runner() -> GridRunner:
+    return GridRunner(scale=BENCH_SCALE, max_iterations=BENCH_MAX_ITERATIONS)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    d = pathlib.Path(__file__).parent / "results"
+    d.mkdir(exist_ok=True)
+    return d
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Print a regenerated table and archive it under benchmarks/results/."""
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _emit
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer (regenerators are
+    full experiments; statistical rounds would multiply their cost)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Writing a custom vertex program — the paper's extensibility claim.
+
+CuSha's pitch is that a non-expert writes only the ``Vertex``/``Edge``
+structs and three device functions.  This example implements an algorithm
+NOT in the paper's Table 3 — *reachability counting via bitmask union*
+(each vertex learns which of 32 labeled "seed" vertices can reach it) — by
+subclassing :class:`repro.vertexcentric.VertexProgram` exactly the way the
+built-in eight do.
+
+Run:  python examples/custom_algorithm.py
+"""
+
+import numpy as np
+
+from repro import CuShaEngine, ScalarReferenceEngine, VertexProgram
+from repro.graph import generators
+from repro.vertexcentric.datatypes import vertex_dtype
+
+
+class SeedReachability(VertexProgram):
+    """Simultaneous BFS from four labeled seed vertices.
+
+    The vertex value carries one hop-distance field per seed
+    (``d0..d3``), each min-reduced independently — a multi-field vertex
+    value, the same mechanism the built-in Heat and Circuit Simulation
+    programs use.  After convergence, ``d_k != INF`` tells whether seed
+    ``k`` can reach the vertex, and the fields together answer multi-source
+    reachability/nearest-seed queries in a single CuSha run.
+    """
+
+    name = "seed-reach"
+    vertex_dtype = vertex_dtype(
+        d0=np.uint32, d1=np.uint32, d2=np.uint32, d3=np.uint32
+    )
+    reduce_ops = {"d0": "min", "d1": "min", "d2": "min", "d3": "min"}
+    INF = np.uint32(0xFFFFFFFF)
+
+    def __init__(self, seeds: tuple[int, int, int, int]) -> None:
+        self.seeds = seeds
+
+    def initial_values(self, graph):
+        values = np.full(graph.num_vertices, self.INF, dtype=self.vertex_dtype)
+        for k, seed in enumerate(self.seeds):
+            values[f"d{k}"][seed] = 0
+        return values
+
+    # --- scalar device functions (the paper's interface) -----------------
+    def init_compute(self, local_v, v):
+        for k in range(4):
+            local_v[f"d{k}"] = v[f"d{k}"]
+
+    def compute(self, src_v, src_static, edge, local_v):
+        for k in range(4):
+            if src_v[f"d{k}"] != self.INF:
+                local_v[f"d{k}"] = min(local_v[f"d{k}"], src_v[f"d{k}"] + 1)
+
+    def update_condition(self, local_v, v):
+        return any(local_v[f"d{k}"] < v[f"d{k}"] for k in range(4))
+
+    # --- vectorized kernels ----------------------------------------------
+    def messages(self, src_vals, src_static, edge_vals, dest_old):
+        # One shared edge mask cannot express "field k is unreached", so
+        # unreached sources propose INF itself (a no-op under min).
+        msgs = {}
+        for k in range(4):
+            d = src_vals[f"d{k}"]
+            msgs[f"d{k}"] = np.where(
+                d == self.INF, self.INF, d + np.uint32(1)
+            ).astype(np.uint32)
+        return msgs, None
+
+    def apply(self, local, old):
+        updated = np.zeros(len(local), dtype=bool)
+        for k in range(4):
+            updated |= local[f"d{k}"] < old[f"d{k}"]
+        return local, updated
+
+
+def main() -> None:
+    graph = generators.rmat(4000, 30_000, seed=21)
+    seeds = (1, 17, 256, 3999)
+    program = SeedReachability(seeds)
+
+    result = CuShaEngine("cw").run(graph, program)
+    print(f"graph: {graph}; seeds: {seeds}")
+    print(f"converged in {result.iterations} iterations, "
+          f"{result.total_ms:.2f} ms simulated")
+    for k, seed in enumerate(seeds):
+        reached = int((result.values[f"d{k}"] != SeedReachability.INF).sum())
+        print(f"  seed v{seed}: reaches {reached}/{graph.num_vertices} vertices")
+
+    # The scalar reference engine executes the paper-style device functions
+    # directly — a free cross-check for any custom program.
+    small = generators.rmat(120, 700, seed=22)
+    ref = ScalarReferenceEngine(vertices_per_shard=16).run(
+        small, SeedReachability((0, 1, 2, 3))
+    )
+    fast = CuShaEngine("gs", vertices_per_shard=16).run(
+        small, SeedReachability((0, 1, 2, 3))
+    )
+    for k in range(4):
+        assert np.array_equal(ref.values[f"d{k}"], fast.values[f"d{k}"])
+    print("scalar-reference cross-check passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Heat diffusion on a mesh — an iterative numeric workload (paper's HS).
+
+Diffuses a hot spot across a 2-D grid until the temperature field settles,
+plotting the field as ASCII shades per checkpoint.  Demonstrates per-edge
+values derived from graph structure (the stability-bounded diffusion
+coefficients) and the iteration traces engines record.
+
+Run:  python examples/heat_simulation.py
+"""
+
+import numpy as np
+
+from repro import CuShaEngine
+from repro.algorithms.hs import HeatSimulation
+from repro.graph import generators
+
+
+class HotCornerHS(HeatSimulation):
+    """Heat simulation with a custom initial field: one hot corner."""
+
+    def __init__(self, rows: int, cols: int, tolerance: float = 5e-3) -> None:
+        super().__init__(tolerance=tolerance)
+        self.rows, self.cols = rows, cols
+
+    def initial_values(self, graph):
+        values = np.zeros(graph.num_vertices, dtype=self.vertex_dtype)
+        field = np.zeros((self.rows, self.cols), dtype=np.float32)
+        field[: self.rows // 4, : self.cols // 4] = 100.0  # the hot corner
+        values["q"] = field.ravel()
+        values["q_new"] = field.ravel()
+        return values
+
+
+def render(field: np.ndarray, step: int = 4) -> str:
+    shades = " .:-=+*#%@"
+    sub = field[::step, ::step]
+    peak = max(float(sub.max()), 1e-6)
+    idx = np.clip((sub / peak * (len(shades) - 1)).astype(int), 0,
+                  len(shades) - 1)
+    return "\n".join("".join(shades[i] for i in row) for row in idx)
+
+
+def main() -> None:
+    rows = cols = 48
+    graph = generators.grid2d(rows, cols)
+    program = HotCornerHS(rows, cols)
+
+    result = CuShaEngine("cw").run(graph, program, max_iterations=20_000)
+    q = result.field_values("q").reshape(rows, cols)
+
+    print(f"mesh: {rows}x{cols}; converged in {result.iterations} iterations "
+          f"({result.kernel_time_ms:.2f} ms simulated kernel time)")
+    print("\nfinal temperature field:")
+    print(render(q))
+
+    print(f"\ntemperature range: {q.min():.2f}..{q.max():.2f} "
+          f"(mean {q.mean():.2f}); the hot corner has diffused across the "
+          f"mesh toward the steady state")
+
+    # Show the convergence tail from the iteration traces.
+    updates = [t.updated_vertices for t in result.traces]
+    print(f"vertices updated per iteration (first 10): {updates[:10]}")
+    print(f"last updates before convergence: {updates[-4:]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Out-of-core processing with overlapped streams — the paper's §5.1
+future-work extension.
+
+Builds a graph whose CW representation exceeds a deliberately small device
+memory budget, runs `StreamedCuShaEngine` across budgets, and shows the
+chunk count, the transfer/compute overlap saving, and that values stay
+identical to the fully-resident engine.
+
+Run:  python examples/outofcore_streaming.py
+"""
+
+import numpy as np
+
+from repro import CuShaEngine, make_program
+from repro.frameworks import StreamedCuShaEngine
+from repro.graph import generators
+
+
+def main() -> None:
+    graph = generators.random_weights(
+        generators.rmat(50_000, 500_000, seed=31), seed=32
+    )
+    program = make_program("pr", graph)
+    resident = CuShaEngine("cw").run(graph, program, max_iterations=2000)
+    print(f"graph: {graph}")
+    print(
+        f"fully resident: rep {resident.representation_bytes / 1e6:.1f} MB, "
+        f"{resident.iterations} iterations, "
+        f"kernel {resident.kernel_time_ms:.2f} ms"
+    )
+
+    print(f"\n{'budget':>10} {'chunks':>7} {'pipelined':>10} "
+          f"{'serial':>8} {'saving':>7}")
+    for budget_mb in (16, 4, 1, 0.25):
+        engine = StreamedCuShaEngine(
+            device_memory_bytes=int(budget_mb * 1024 * 1024)
+        )
+        prog = make_program("pr", graph)
+        res = engine.run(graph, prog, max_iterations=2000)
+        # Different visibility schedules stop within the program tolerance
+        # of the same fixpoint.
+        assert np.allclose(
+            res.values["rank"], resident.values["rank"], rtol=2e-3, atol=5e-3
+        ), "streamed values diverged!"
+        saving = 1 - res.kernel_time_ms / res.unoverlapped_ms
+        print(
+            f"{budget_mb:>8}MB {res.num_chunks:>7} "
+            f"{res.kernel_time_ms:>8.2f}ms {res.unoverlapped_ms:>6.2f}ms "
+            f"{saving:>6.1%}"
+        )
+    print(
+        "\nstreaming pays per-iteration chunk transfers (the price of not "
+        "fitting in device memory); double-buffering hides the smaller of "
+        "transfer and compute per chunk, and the values match the resident "
+        "engine within the program tolerance."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Shortest paths on a road network — the sparse-graph regime where
+Concatenated Windows earns its keep.
+
+Road networks are extremely sparse (average degree < 3), which makes shard
+windows tiny; the G-Shards write-back then wastes most warp lanes while CW
+keeps them busy.  This example sweeps the shard size |N| and prints the
+GS-vs-CW kernel times plus warp-execution efficiencies, the effect behind
+the paper's Figure 12 and its RoadNetCA rows of Table 4.
+
+Run:  python examples/roadnetwork_sssp.py
+"""
+
+from repro import CuShaEngine, make_program
+from repro.graph import generators
+from repro.graph.shards import GShards
+from repro.graph.properties import window_size_stats
+
+
+def main() -> None:
+    # A 150x150 street grid with shortcut highways, shuffled vertex labels
+    # (real road datasets have no spatial id ordering).
+    import numpy as np
+
+    from repro.graph.digraph import DiGraph
+
+    g = generators.road_network(150, 150, shortcut_fraction=0.01, seed=1)
+    rng = np.random.default_rng(2)
+    perm = rng.permutation(g.num_vertices).astype(np.int64)
+    g = DiGraph(perm[g.src], perm[g.dst], g.num_vertices, validate=False)
+    g = generators.random_weights(g, seed=3)
+    print(f"road network: {g} (avg degree {g.average_degree():.2f})")
+
+    program = make_program("sssp", g)
+    print(f"{'N':>6} {'avg win':>8} {'GS ms':>9} {'CW ms':>9} "
+          f"{'GS wee':>7} {'CW wee':>7}")
+    for n in (32, 64, 128, 256, 512):
+        stats = window_size_stats(GShards(g, n))
+        row = [f"{n:>6}", f"{stats['mean']:8.1f}"]
+        wees = []
+        for mode in ("gs", "cw"):
+            res = CuShaEngine(mode, vertices_per_shard=n).run(
+                g, program, max_iterations=2000
+            )
+            row.append(f"{res.kernel_time_ms:9.3f}")
+            wees.append(f"{res.stats.warp_execution_efficiency:7.1%}")
+        print(" ".join(row + wees))
+    print(
+        "\nsmall |N| -> tiny windows -> G-Shards write-back underutilizes "
+        "warps; CW stays near 100% lane occupancy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""CuSha reproduction: vertex-centric graph processing on a simulated GPU.
+
+This package reproduces *CuSha: Vertex-Centric Graph Processing on GPUs*
+(Khorasani, Vora, Gupta, Bhuyan — HPDC 2014) as a pure-Python system:
+
+- the **G-Shards** and **Concatenated Windows** graph representations plus
+  the CSR baseline (:mod:`repro.graph`);
+- a transaction-level **SIMT hardware model** standing in for the paper's
+  GTX 780 (:mod:`repro.gpu`);
+- the **vertex-centric programming model** and the paper's eight benchmark
+  algorithms (:mod:`repro.vertexcentric`, :mod:`repro.algorithms`);
+- four **processing engines** — CuSha-GS, CuSha-CW, VWC-CSR, MTCPU-CSR —
+  that compute real vertex values while accounting simulated hardware
+  activity (:mod:`repro.frameworks`);
+- an **experiment harness** regenerating every table and figure of the
+  paper's evaluation (:mod:`repro.harness`).
+
+Quickstart
+----------
+>>> from repro import CuShaEngine, make_program
+>>> from repro.graph import generators
+>>> g = generators.random_weights(generators.rmat(1000, 8000, seed=1), seed=2)
+>>> result = CuShaEngine("cw").run(g, make_program("sssp", g))
+>>> result.converged
+True
+"""
+
+from repro.algorithms import PROGRAM_NAMES, default_source, make_program
+from repro.frameworks import (
+    CuShaEngine,
+    MTCPUEngine,
+    RunResult,
+    ScalarReferenceEngine,
+    VWCEngine,
+)
+from repro.graph import CSR, ConcatenatedWindows, DiGraph, GShards, select_shard_size
+from repro.gpu import GTX780, I7_3930K, KernelStats
+from repro.vertexcentric import VertexProgram
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DiGraph",
+    "CSR",
+    "GShards",
+    "ConcatenatedWindows",
+    "select_shard_size",
+    "VertexProgram",
+    "PROGRAM_NAMES",
+    "make_program",
+    "default_source",
+    "CuShaEngine",
+    "VWCEngine",
+    "MTCPUEngine",
+    "ScalarReferenceEngine",
+    "RunResult",
+    "KernelStats",
+    "GTX780",
+    "I7_3930K",
+    "__version__",
+]

@@ -1,0 +1,107 @@
+"""The paper's eight benchmark programs (Table 3).
+
+Every module implements one algorithm as a
+:class:`~repro.vertexcentric.program.VertexProgram`:
+
+========  ====================================  =========================
+Key       Algorithm                             Vertex value
+========  ====================================  =========================
+``bfs``   Breadth-First Search                  ``level: uint32``
+``sssp``  Single-Source Shortest Path           ``dist: uint32``
+``pr``    PageRank (asynchronous, unnormalized) ``rank: float32``
+``cc``    Connected Components (label min)      ``cmpnent: uint32``
+``sswp``  Single-Source Widest Path             ``bwidth: uint32``
+``nn``    Neural Network relaxation             ``x: float32``
+``hs``    Heat Simulation                       ``q, q_new: float32``
+``cs``    Circuit Simulation (resistive)        ``v, gsum_or_a: float32``
+========  ====================================  =========================
+
+:func:`make_program` builds a configured instance for a given graph;
+:func:`default_source` picks the traversal root the way the harness does
+(highest out-degree, so scale-free analogs traverse a large fraction of the
+graph).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.vertexcentric.program import VertexProgram
+
+from repro.algorithms.bfs import BFS
+from repro.algorithms.sssp import SSSP
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.cc import ConnectedComponents
+from repro.algorithms.sswp import SSWP
+from repro.algorithms.nn import NeuralNetwork
+from repro.algorithms.hs import HeatSimulation
+from repro.algorithms.cs import CircuitSimulation
+
+__all__ = [
+    "BFS",
+    "SSSP",
+    "PageRank",
+    "ConnectedComponents",
+    "SSWP",
+    "NeuralNetwork",
+    "HeatSimulation",
+    "CircuitSimulation",
+    "PROGRAM_NAMES",
+    "make_program",
+    "default_source",
+]
+
+PROGRAM_NAMES: tuple[str, ...] = (
+    "bfs",
+    "sssp",
+    "pr",
+    "cc",
+    "sswp",
+    "nn",
+    "hs",
+    "cs",
+)
+
+
+def default_source(graph: DiGraph) -> int:
+    """Traversal root used by the harness: the highest out-degree vertex."""
+    if graph.num_vertices == 0:
+        raise ValueError("empty graph has no source vertex")
+    return int(np.argmax(graph.out_degrees()))
+
+
+def make_program(name: str, graph: DiGraph, **kwargs) -> VertexProgram:
+    """Instantiate program ``name`` configured for ``graph``.
+
+    Source-based programs (BFS, SSSP, SSWP) default to
+    :func:`default_source`; Circuit Simulation defaults to pinning the
+    highest out-degree vertex at 1 V and vertex ``n - 1`` at 0 V.
+    """
+    key = name.lower()
+    if key in ("bfs", "sssp", "sswp"):
+        kwargs.setdefault("source", default_source(graph))
+    if key == "bfs":
+        return BFS(**kwargs)
+    if key == "sssp":
+        return SSSP(**kwargs)
+    if key == "pr":
+        return PageRank(**kwargs)
+    if key == "cc":
+        return ConnectedComponents(**kwargs)
+    if key == "sswp":
+        return SSWP(**kwargs)
+    if key == "nn":
+        return NeuralNetwork(**kwargs)
+    if key == "hs":
+        return HeatSimulation(**kwargs)
+    if key == "cs":
+        kwargs.setdefault(
+            "sources",
+            (
+                (default_source(graph), 1.0),
+                (graph.num_vertices - 1, 0.0),
+            ),
+        )
+        return CircuitSimulation(**kwargs)
+    raise KeyError(f"unknown program {name!r}; known: {', '.join(PROGRAM_NAMES)}")

@@ -1,0 +1,53 @@
+"""Breadth-First Search (paper Table 3, row BFS).
+
+Vertex value is the hop distance (``level``) from the source; an incoming
+edge proposes ``src.level + 1`` and the destination keeps the minimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.vertexcentric.datatypes import UINT_INF, vertex_dtype as struct_dtype
+from repro.vertexcentric.program import VertexProgram
+
+__all__ = ["BFS"]
+
+
+class BFS(VertexProgram):
+    """Hop-distance labeling from ``source``."""
+
+    name = "bfs"
+    vertex_dtype = struct_dtype(level=np.uint32)
+    reduce_ops = {"level": "min"}
+
+    def __init__(self, source: int = 0) -> None:
+        self.source = int(source)
+
+    # -- setup ----------------------------------------------------------
+    def initial_values(self, graph: DiGraph) -> np.ndarray:
+        values = np.full(graph.num_vertices, UINT_INF, dtype=self.vertex_dtype)
+        values["level"][self.source] = 0
+        return values
+
+    # -- scalar device functions (paper Figure 6 style) ------------------
+    def init_compute(self, local_v: dict, v: dict) -> None:
+        local_v["level"] = v["level"]
+
+    def compute(self, src_v, src_static, edge, local_v) -> None:
+        if src_v["level"] != UINT_INF:
+            local_v["level"] = min(local_v["level"], src_v["level"] + 1)
+
+    def update_condition(self, local_v, v) -> bool:
+        return local_v["level"] < v["level"]
+
+    # -- vectorized kernels ----------------------------------------------
+    def messages(self, src_vals, src_static, edge_vals, dest_old):
+        mask = src_vals["level"] != UINT_INF
+        # uint32 wraparound on masked-out INF entries is harmless: the mask
+        # removes them before reduction.
+        return {"level": src_vals["level"] + np.uint32(1)}, mask
+
+    def apply(self, local, old):
+        return local, local["level"] < old["level"]

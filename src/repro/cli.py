@@ -1,0 +1,245 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    Execute one benchmark algorithm on a graph (an edge-list/NPZ file, a
+    named suite analog, or a generated R-MAT) with a chosen engine, print
+    the convergence and hardware report, optionally save the vertex values.
+``info``
+    Print representation statistics for a graph: CSR/G-Shards/CW sizes, the
+    auto-selected |N|, window-size distribution summary.
+``experiments``
+    Regenerate one (or all) of the paper's tables/figures.
+
+Examples
+--------
+::
+
+    python -m repro run sssp --graph livejournal --engine cusha-cw
+    python -m repro run pr --edges my_graph.txt --engine vwc-8
+    python -m repro info --rmat 100000x800000
+    python -m repro experiments table4 --scale 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.algorithms import PROGRAM_NAMES, make_program
+from repro.graph import generators, suite
+from repro.graph.csr import CSR
+from repro.graph.cw import ConcatenatedWindows
+from repro.graph.digraph import DiGraph
+from repro.graph.io import load_edge_list, load_npz
+from repro.graph.partition import select_shard_size
+from repro.graph.properties import window_size_stats
+from repro.graph.shards import GShards
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = (
+    "table1", "fig1", "table2", "table4", "table5", "table6", "table7",
+    "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CuSha reproduction: vertex-centric graph processing "
+        "on a simulated GPU",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one algorithm on a graph")
+    run.add_argument("program", choices=PROGRAM_NAMES)
+    _add_graph_args(run)
+    run.add_argument(
+        "--engine",
+        default="cusha-cw",
+        help="cusha-cw | cusha-gs | cusha-streamed | vwc-<2|4|8|16|32> | "
+        "mtcpu-<threads> | scalar",
+    )
+    run.add_argument("--source", type=int, default=None,
+                     help="source vertex for BFS/SSSP/SSWP")
+    run.add_argument("--max-iterations", type=int, default=10_000)
+    run.add_argument("--shard-size", type=int, default=None,
+                     help="override the auto-selected |N|")
+    run.add_argument("--output", default=None,
+                     help="save final vertex values to this .npy file")
+
+    info = sub.add_parser("info", help="representation statistics")
+    _add_graph_args(info)
+    info.add_argument("--shard-size", type=int, default=None)
+
+    exp = sub.add_parser("experiments", help="regenerate paper experiments")
+    exp.add_argument("which", choices=_EXPERIMENTS + ("all",))
+    exp.add_argument("--scale", type=int, default=None,
+                     help="graph scale divisor (default: REPRO_SCALE or 100)")
+    exp.add_argument("--max-iterations", type=int, default=400)
+    return parser
+
+
+def _add_graph_args(p: argparse.ArgumentParser) -> None:
+    g = p.add_mutually_exclusive_group(required=True)
+    g.add_argument("--graph", choices=suite.graph_names(),
+                   help="a synthetic Table-1 analog")
+    g.add_argument("--edges", help="edge-list text file (src dst [weight])")
+    g.add_argument("--npz", help="graph saved with repro.graph.io.save_npz")
+    g.add_argument("--rmat", metavar="VxE",
+                   help="generate an R-MAT graph, e.g. 100000x800000")
+    p.add_argument("--scale", type=int, default=None,
+                   help="scale divisor for --graph (default REPRO_SCALE)")
+    p.add_argument("--seed", type=int, default=1, help="seed for --rmat")
+
+
+def _load_graph(args) -> DiGraph:
+    if args.graph:
+        return suite.load(args.graph, args.scale)
+    if args.edges:
+        return load_edge_list(args.edges)
+    if args.npz:
+        return load_npz(args.npz)
+    v, e = (int(x) for x in args.rmat.lower().split("x"))
+    return generators.random_weights(
+        generators.rmat(v, e, seed=args.seed), seed=args.seed + 1
+    )
+
+
+def _make_engine(key: str, shard_size: int | None):
+    from repro.frameworks import (
+        CuShaEngine,
+        MTCPUEngine,
+        ScalarReferenceEngine,
+        StreamedCuShaEngine,
+        VWCEngine,
+    )
+
+    if key in ("cusha-cw", "cusha-gs"):
+        return CuShaEngine(key.split("-")[1], vertices_per_shard=shard_size)
+    if key == "cusha-streamed":
+        return StreamedCuShaEngine(vertices_per_shard=shard_size)
+    if key.startswith("vwc-"):
+        return VWCEngine(int(key.split("-")[1]))
+    if key.startswith("mtcpu-"):
+        return MTCPUEngine(int(key.split("-")[1]))
+    if key == "scalar":
+        return ScalarReferenceEngine(vertices_per_shard=shard_size or 4)
+    raise SystemExit(f"unknown engine {key!r}")
+
+
+def _cmd_run(args) -> int:
+    graph = _load_graph(args)
+    kwargs = {}
+    if args.source is not None and args.program in ("bfs", "sssp", "sswp"):
+        kwargs["source"] = args.source
+    program = make_program(args.program, graph, **kwargs)
+    engine = _make_engine(args.engine, args.shard_size)
+    result = engine.run(
+        graph, program, max_iterations=args.max_iterations, allow_partial=True
+    )
+    print(f"graph   : {graph}")
+    print(f"engine  : {result.engine}")
+    print(f"program : {result.program}")
+    status = "converged" if result.converged else "NOT converged (capped)"
+    print(f"status  : {status} after {result.iterations} iterations")
+    print(
+        f"time    : {result.total_ms:.3f} ms simulated "
+        f"(kernel {result.kernel_time_ms:.3f}, h2d {result.h2d_ms:.3f}, "
+        f"d2h {result.d2h_ms:.3f})"
+    )
+    s = result.stats
+    if s.total_transactions:
+        print(
+            f"hardware: gld {s.gld_efficiency:.1%}  gst {s.gst_efficiency:.1%}  "
+            f"warp-exec {s.warp_execution_efficiency:.1%}"
+        )
+    field = result.values.dtype.names[0]
+    vals = result.values[field]
+    print(f"values  : {field} -> min {vals.min()} max {vals.max()}")
+    if args.output:
+        np.save(args.output, result.values)
+        print(f"saved   : {args.output}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    graph = _load_graph(args)
+    print(f"graph        : {graph}")
+    print(f"avg degree   : {graph.average_degree():.3f}")
+    plan = select_shard_size(graph)
+    n = args.shard_size or plan.vertices_per_shard
+    print(
+        f"auto |N|     : {plan.vertices_per_shard} "
+        f"({plan.num_shards} shards, expected window "
+        f"{plan.expected_window_size:.1f}"
+        f"{', shared-memory limited' if plan.shared_mem_limited else ''})"
+    )
+    sh = GShards(graph, n)
+    cw = ConcatenatedWindows(sh)
+    csr = CSR.from_graph(graph)
+    stats = window_size_stats(sh)
+    print(
+        f"windows @N={n}: mean {stats['mean']:.1f}, median "
+        f"{stats['median']:.0f}, max {stats['max']:.0f}, "
+        f"{stats['frac_below_warp']:.1%} below warp size"
+    )
+    csr_b = csr.memory_bytes(4, 4)
+    print(f"memory (4B vertex/edge values):")
+    print(f"  CSR      {csr_b / 1e6:10.2f} MB")
+    print(f"  G-Shards {sh.memory_bytes(4, 4) / 1e6:10.2f} MB "
+          f"({sh.memory_bytes(4, 4) / csr_b:.2f}x)")
+    print(f"  CW       {cw.memory_bytes(4, 4) / 1e6:10.2f} MB "
+          f"({cw.memory_bytes(4, 4) / csr_b:.2f}x)")
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.harness import experiments as E
+    from repro.harness.runner import GridRunner
+
+    scale = args.scale or suite.default_scale()
+    runner = GridRunner(scale=scale, max_iterations=args.max_iterations)
+    renderers = {
+        "table1": lambda: E.render_table1(scale),
+        "fig1": lambda: E.render_fig1(scale),
+        "table2": lambda: E.render_table2(runner),
+        "table4": lambda: E.render_table4(runner),
+        "table5": lambda: E.render_table5(runner),
+        "table6": lambda: E.render_table6(runner),
+        "table7": lambda: E.render_table7(runner),
+        "fig7": lambda: E.render_fig7(runner),
+        "fig8": lambda: E.render_fig8(runner),
+        "fig9": lambda: E.render_fig9(scale),
+        "fig10": lambda: E.render_fig10(runner),
+        "fig11": lambda: E.render_fig11(scale),
+        "fig12": lambda: E.render_fig12(scale),
+        "fig13": lambda: E.render_fig13(scale),
+    }
+    which = _EXPERIMENTS if args.which == "all" else (args.which,)
+    for key in which:
+        print(renderers[key]())
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "info":
+            return _cmd_info(args)
+        if args.command == "experiments":
+            return _cmd_experiments(args)
+    except BrokenPipeError:  # e.g. `python -m repro ... | head`
+        return 0
+    raise SystemExit(2)  # pragma: no cover - argparse guards this
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Engine interface and result records.
+
+Engines compute **real vertex values** — every iteration executes the
+program's vectorized kernels on actual data, and convergence is the
+program's own fixpoint condition — while simultaneously accounting the
+hardware activity the access patterns would generate on the modeled device.
+The returned :class:`RunResult` therefore carries both the answer (validated
+against golden references in the test-suite) and the paper's performance
+quantities (times, efficiencies, TEPS).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.gpu.stats import KernelStats
+from repro.vertexcentric.program import VertexProgram
+
+__all__ = ["IterationTrace", "RunResult", "Engine", "ConvergenceError"]
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when an engine exhausts ``max_iterations`` without converging."""
+
+
+@dataclass(frozen=True)
+class IterationTrace:
+    """One iteration's footprint (drives the paper's Figure 7)."""
+
+    iteration: int
+    updated_vertices: int
+    time_ms: float
+    cumulative_time_ms: float
+
+
+@dataclass
+class RunResult:
+    """Everything one engine run produced."""
+
+    engine: str
+    program: str
+    values: np.ndarray
+    iterations: int
+    converged: bool
+    kernel_time_ms: float
+    h2d_ms: float
+    d2h_ms: float
+    representation_bytes: int
+    stats: KernelStats
+    traces: list[IterationTrace] = field(default_factory=list)
+    num_edges: int = 0
+    stage_stats: dict[str, KernelStats] | None = None
+    """Per-pipeline-stage breakdown of :attr:`stats` (engines that track
+    stages populate it; keys are engine-specific stage names)."""
+
+    @property
+    def total_ms(self) -> float:
+        """End-to-end time including host-device transfers (the quantity the
+        paper reports in Table 4)."""
+        return self.kernel_time_ms + self.h2d_ms + self.d2h_ms
+
+    @property
+    def teps(self) -> float:
+        """Traversed edges per second, ``|E| / total_time`` (Table 7)."""
+        if self.total_ms <= 0:
+            return 0.0
+        return self.num_edges / (self.total_ms / 1e3)
+
+    def field_values(self, name: str | None = None) -> np.ndarray:
+        """Convenience accessor: one plain array of the (first) value field."""
+        if name is None:
+            name = self.values.dtype.names[0]
+        return self.values[name]
+
+
+class Engine(ABC):
+    """Common driver contract.
+
+    ``run`` must execute ``program`` on ``graph`` until the program reports
+    no updates (or ``max_iterations`` is hit, raising
+    :class:`ConvergenceError` unless ``allow_partial``).
+    """
+
+    name: str = "engine"
+
+    @abstractmethod
+    def run(
+        self,
+        graph: DiGraph,
+        program: VertexProgram,
+        *,
+        max_iterations: int = 10_000,
+        allow_partial: bool = False,
+        collect_traces: bool = True,
+    ) -> RunResult:
+        """Execute ``program`` to convergence and return the result."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,38 @@
+"""Per-stage instruction-cost constants.
+
+The cost model charges each warp-row (one lockstep step of 32 lanes) a
+number of issued instructions that depends on what the loop body does.
+These constants are the model's calibration knobs; they approximate the
+instruction counts of the corresponding CUDA loop bodies (address
+arithmetic + loads + the user function + loop control).  The reproduced
+*ratios* between representations come from transaction and lane counts, not
+from these constants — perturbing them shifts all engines together.
+"""
+
+INSTR_INIT = 4
+"""CuSha stage 1: shared-store of one fetched vertex value."""
+
+INSTR_COMPUTE = 12
+"""CuSha stage 2: load entry fields, run ``compute``, shared atomic."""
+
+INSTR_UPDATE = 6
+"""CuSha stage 3: ``update_condition`` + conditional global store."""
+
+INSTR_WRITEBACK = 6
+"""CuSha stage 4: window read + shared read + global store."""
+
+INSTR_ATOMIC_REPLAY = 1
+"""Issue cost of one shared-memory atomic replay round (bank conflict)."""
+
+INSTR_GS_WINDOW_SCAN = 4
+"""CuSha stage 4 under G-Shards: per-window bounds check a warp performs
+for every window (empty or not) — the scan Concatenated Windows removes."""
+
+INSTR_VWC_EDGE = 12
+"""VWC neighbor loop: index load, value gather, ``Compute`` into shared."""
+
+INSTR_VWC_SISD = 10
+"""VWC single-lane prologue/epilogue (lines 10-15, 22-25 of Fig. 14)."""
+
+INSTR_VWC_REDUCE = 4
+"""One step of the intra-virtual-warp parallel reduction."""

@@ -1,0 +1,403 @@
+"""The CuSha engine (paper sections 3-4, Figure 5).
+
+One simulated GPU block processes one shard per iteration, in the paper's
+four stages:
+
+1. fetch the shard's vertex range from ``VertexValues`` into shared memory
+   (coalesced loads);
+2. run ``compute`` over the shard entries in parallel, reducing into the
+   shared local values with shared-memory atomics (coalesced entry loads);
+3. run ``update_condition`` and conditionally store back to ``VertexValues``
+   (coalesced loads, conditional coalesced stores);
+4. if anything updated, propagate the shard's new vertex values into the
+   ``SrcValue`` slots of every computation window that sources from this
+   shard — warp-per-window walks under G-Shards (``mode="gs"``), one thread
+   per Concatenated-Window entry under CW (``mode="cw"``).
+
+Both modes propagate *identical values* (CW merely reorders the write-back
+work list), so they converge identically; they differ in the lane- and
+transaction-level activity the stats record — exactly the paper's story.
+
+``sync_mode`` selects the shard schedule: ``"wave"`` (default) executes
+shards in waves of concurrently-resident blocks with write-backs visible at
+wave boundaries — the visibility a real grid of blocks provides, and the
+reason CuSha needs a few more iterations than single-version CSR (paper
+Figure 7); ``"async"`` makes every write-back immediately visible (fully
+sequential schedule), ``"bsp"`` defers all visibility to the iteration
+boundary.  All three converge to the same fixpoint; hardware accounting is
+identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frameworks import costs
+from repro.frameworks.base import ConvergenceError, Engine, IterationTrace, RunResult
+from repro.graph.cw import ConcatenatedWindows
+from repro.graph.digraph import DiGraph
+from repro.graph.partition import select_shard_size
+from repro.gpu.engine import KernelCostModel
+from repro.gpu.memory import contiguous_transactions, gather_transactions, TransactionCount
+from repro.gpu.occupancy import blocks_per_sm, occupancy, shared_mem_per_block
+from repro.gpu.pcie import transfer_ms
+from repro.gpu.spec import GTX780, GPUSpec, PCIeSpec
+from repro.gpu.stats import (KernelStats, LOAD_GRANULARITY_BYTES,
+                             STORE_GRANULARITY_BYTES)
+from repro.gpu.sharedmem import conflict_replays
+from repro.gpu.warp import slots_for_contiguous, slots_for_segments
+from repro.vertexcentric.program import VertexProgram, apply_reductions
+
+__all__ = ["CuShaEngine"]
+
+
+def _scaled(stats: KernelStats, factor: int) -> KernelStats:
+    """A static per-iteration stat repeated over ``factor`` iterations."""
+    out = KernelStats()
+    out.load_transactions = stats.load_transactions * factor
+    out.load_bytes_requested = stats.load_bytes_requested * factor
+    out.store_transactions = stats.store_transactions * factor
+    out.store_bytes_requested = stats.store_bytes_requested * factor
+    out.active_lane_slots = stats.active_lane_slots * factor
+    out.total_lane_slots = stats.total_lane_slots * factor
+    out.warp_instructions = stats.warp_instructions * factor
+    out.shared_atomics = stats.shared_atomics * factor
+    out.global_atomics = stats.global_atomics * factor
+    return out
+
+
+def _window_rows_transactions(
+    starts: np.ndarray, stops: np.ndarray, item_bytes: int,
+    *, warp_size: int = 32, transaction_bytes: int = 128,
+) -> TransactionCount:
+    """Transactions of warp-per-window walks over contiguous windows.
+
+    Each window ``[starts[k], stops[k])`` (element offsets) is processed in
+    rows of ``warp_size`` consecutive elements; every row's byte span is
+    priced separately, exactly as the hardware would.
+    """
+    sizes = stops - starts
+    nz = sizes > 0
+    if not nz.any():
+        return TransactionCount(0, 0)
+    st = starts[nz].astype(np.int64)
+    sz = sizes[nz].astype(np.int64)
+    rows_per = -(-sz // warp_size)
+    total_rows = int(rows_per.sum())
+    w_idx = np.repeat(np.arange(st.size, dtype=np.int64), rows_per)
+    row_starts = np.concatenate([[0], np.cumsum(rows_per)[:-1]])
+    row_in_window = np.arange(total_rows, dtype=np.int64) - np.repeat(
+        row_starts, rows_per
+    )
+    row_lo = st[w_idx] + row_in_window * warp_size
+    row_hi = np.minimum(row_lo + warp_size, st[w_idx] + sz[w_idx])
+    lo_b = row_lo * item_bytes
+    hi_b = row_hi * item_bytes
+    txs = (hi_b - 1) // transaction_bytes - lo_b // transaction_bytes + 1
+    return TransactionCount(int(txs.sum()), int(sz.sum()) * item_bytes)
+
+
+class CuShaEngine(Engine):
+    """CuSha over G-Shards (``mode="gs"``) or Concatenated Windows
+    (``mode="cw"``).
+
+    Parameters
+    ----------
+    mode:
+        Representation used for the write-back stage.
+    vertices_per_shard:
+        The paper's ``|N|``; ``None`` auto-selects via
+        :func:`repro.graph.partition.select_shard_size`.
+    spec, pcie:
+        Hardware models; defaults are the paper's GTX 780 system.
+    resident_blocks:
+        Blocks CuSha aims to co-locate per SM when auto-selecting ``|N|``
+        (the paper's example uses 2).
+    sync_mode:
+        ``"async"`` (paper) or ``"bsp"`` (ablation); see module docstring.
+    """
+
+    def __init__(
+        self,
+        mode: str = "cw",
+        *,
+        vertices_per_shard: int | None = None,
+        spec: GPUSpec = GTX780,
+        pcie: PCIeSpec | None = None,
+        resident_blocks: int = 2,
+        threads_per_block: int = 512,
+        sync_mode: str = "wave",
+        always_writeback: bool = False,
+    ) -> None:
+        if mode not in ("gs", "cw"):
+            raise ValueError("mode must be 'gs' or 'cw'")
+        if sync_mode not in ("wave", "async", "bsp"):
+            raise ValueError("sync_mode must be 'wave', 'async', or 'bsp'")
+        self.mode = mode
+        self.vertices_per_shard = vertices_per_shard
+        self.spec = spec
+        self.pcie = pcie or PCIeSpec()
+        self.resident_blocks = resident_blocks
+        self.threads_per_block = threads_per_block
+        self.sync_mode = sync_mode
+        # Ablation of Figure 5's ``values_updated`` flag: when set, stage 4
+        # runs for every shard every iteration instead of only updated ones.
+        self.always_writeback = always_writeback
+        self.cost_model = KernelCostModel(spec)
+        self.name = f"cusha-{mode}"
+
+    # ------------------------------------------------------------------
+    def _choose_shard_size(self, graph: DiGraph, program: VertexProgram) -> int:
+        if self.vertices_per_shard is not None:
+            return self.vertices_per_shard
+        plan = select_shard_size(
+            graph,
+            target_window_size=self.spec.warp_size,
+            shared_mem_per_block_bytes=self.spec.shared_mem_per_sm_bytes
+            // self.resident_blocks,
+            vertex_value_bytes=program.vertex_value_bytes,
+            warp_size=self.spec.warp_size,
+        )
+        return plan.vertices_per_shard
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        graph: DiGraph,
+        program: VertexProgram,
+        *,
+        max_iterations: int = 10_000,
+        allow_partial: bool = False,
+        collect_traces: bool = True,
+    ) -> RunResult:
+        N = self._choose_shard_size(graph, program)
+        cw = ConcatenatedWindows.from_graph(graph, N)
+        sh = cw.shards
+        S = sh.num_shards
+        vbytes = program.vertex_value_bytes
+        sbytes = program.static_value_bytes
+        ebytes = program.edge_value_bytes
+        warp = self.spec.warp_size
+
+        # ----- device arrays -------------------------------------------------
+        vertex_values = program.initial_values(graph)
+        static_all = program.static_values(graph)
+        src_value = vertex_values[sh.src_index].copy()
+        src_static = None if static_all is None else static_all[sh.src_index]
+        ev = program.edge_values(graph)
+        edge_vals = None if ev is None else ev[sh.edge_positions]
+
+        # ----- static per-iteration hardware stats (split per stage) ---------
+        base1 = KernelStats()
+        base2 = KernelStats()
+        base3 = KernelStats()
+        stage4 = [KernelStats() for _ in range(S)]
+        shard_ranges = []
+        for i in range(S):
+            lo, hi = sh.vertex_range(i)
+            n_i = hi - lo
+            m_i = sh.shard_size(i)
+            o = int(sh.shard_offsets[i])
+            shard_ranges.append((lo, hi, o))
+            # Stage 1: coalesced VertexValues fetch.
+            base1.add_load(
+                contiguous_transactions(n_i, vbytes, start_byte=lo * vbytes,
+                                        warp_size=warp,
+                                        transaction_bytes=LOAD_GRANULARITY_BYTES)
+            )
+            base1.add_lanes(*slots_for_contiguous(n_i, warp),
+                            instructions_per_row=costs.INSTR_INIT)
+            # Stage 2: coalesced shard-entry loads (SoA field arrays).
+            for b in (vbytes, 4):  # SrcValue, DestIndex
+                base2.add_load(contiguous_transactions(
+                    m_i, b, start_byte=o * b, warp_size=warp,
+                    transaction_bytes=LOAD_GRANULARITY_BYTES))
+            if sbytes:
+                base2.add_load(contiguous_transactions(
+                    m_i, sbytes, start_byte=o * sbytes, warp_size=warp,
+                    transaction_bytes=LOAD_GRANULARITY_BYTES))
+            if ebytes:
+                base2.add_load(contiguous_transactions(
+                    m_i, ebytes, start_byte=o * ebytes, warp_size=warp,
+                    transaction_bytes=LOAD_GRANULARITY_BYTES))
+            base2.add_lanes(*slots_for_contiguous(m_i, warp),
+                            instructions_per_row=costs.INSTR_COMPUTE)
+            # Shared-memory atomic bank conflicts: destination indices that
+            # collide modulo the bank count serialize within a warp round.
+            sl_i = slice(o, o + m_i)
+            replays = conflict_replays(
+                sh.dest_index[sl_i].astype(np.int64) - lo, warp_size=warp
+            )
+            base2.add_instructions(replays * costs.INSTR_ATOMIC_REPLAY)
+            # Stage 3: coalesced VertexValues read (stores are dynamic).
+            base3.add_load(
+                contiguous_transactions(n_i, vbytes, start_byte=lo * vbytes,
+                                        warp_size=warp,
+                                        transaction_bytes=LOAD_GRANULARITY_BYTES)
+            )
+            base3.add_lanes(*slots_for_contiguous(n_i, warp),
+                            instructions_per_row=costs.INSTR_UPDATE)
+            # Stage 4 (charged only on iterations where the shard updates).
+            st4 = stage4[i]
+            if self.mode == "gs":
+                starts = sh.window_offsets[:, i].copy()
+                stops = sh.window_offsets[:, i + 1].copy()
+                st4.add_load(_window_rows_transactions(
+                    starts, stops, 4, warp_size=warp,
+                    transaction_bytes=LOAD_GRANULARITY_BYTES))
+                st4.add_store(_window_rows_transactions(
+                    starts, stops, vbytes, warp_size=warp,
+                    transaction_bytes=STORE_GRANULARITY_BYTES))
+                active, total = slots_for_segments(stops - starts, warp)
+                st4.add_lanes(active, total,
+                              instructions_per_row=costs.INSTR_WRITEBACK)
+                # The warps must visit every window W_ij — including empty
+                # ones — to read its bounds and decide whether to copy: a
+                # per-shard cost linear in S (quadratic per iteration) that
+                # CW eliminates.  Bounds live in a transposed, contiguous
+                # offsets row.
+                st4.add_load(contiguous_transactions(
+                    S + 1, 8, warp_size=warp,
+                    transaction_bytes=LOAD_GRANULARITY_BYTES))
+                st4.add_instructions(S * costs.INSTR_GS_WINDOW_SCAN)
+            else:
+                sl = cw.cw_slice(i)
+                L = cw.cw_size(i)
+                cwo = int(cw.cw_offsets[i])
+                # SrcIndex and Mapper reads are contiguous (4-byte device
+                # indices); the SrcValue stores scatter through the mapper.
+                st4.add_load(contiguous_transactions(
+                    L, 4, start_byte=cwo * 4, warp_size=warp,
+                    transaction_bytes=LOAD_GRANULARITY_BYTES))
+                st4.add_load(contiguous_transactions(
+                    L, 4, start_byte=cwo * 4, warp_size=warp,
+                    transaction_bytes=LOAD_GRANULARITY_BYTES))
+                st4.add_store(gather_transactions(
+                    cw.mapper[sl], vbytes, warp_size=warp,
+                    transaction_bytes=STORE_GRANULARITY_BYTES))
+                st4.add_lanes(*slots_for_contiguous(L, warp),
+                              instructions_per_row=costs.INSTR_WRITEBACK)
+        base = base1 + base2 + base3
+
+        shared_bytes = shared_mem_per_block(N, vbytes)
+        occ = occupancy(self.spec, shared_bytes, self.threads_per_block)
+
+        # ----- transfers (Figure 10) -----------------------------------------
+        rep_bytes = (
+            cw.memory_bytes(vbytes, ebytes, sbytes)
+            if self.mode == "cw"
+            else sh.memory_bytes(vbytes, ebytes, sbytes)
+        )
+        h2d_ms = transfer_ms(rep_bytes, self.pcie)
+        d2h_ms = transfer_ms(graph.num_vertices * vbytes, self.pcie)
+
+        # ----- iterate --------------------------------------------------------
+        total_stats = KernelStats()
+        stage3_dynamic = KernelStats()
+        stage2_dynamic = KernelStats()
+        stage4_total = KernelStats()
+        traces: list[IterationTrace] = []
+        kernel_ms = 0.0
+        converged = False
+        iterations = 0
+
+        # Shards execute in waves of concurrently resident blocks; a shard's
+        # write-back becomes visible to other shards only at its wave
+        # boundary — the visibility a real grid of blocks on num_sms SMs
+        # provides (and the reason CuSha needs a few more iterations than
+        # the single-version CSR baselines, paper Figure 7).
+        if self.sync_mode == "async":
+            wave_size = 1
+        elif self.sync_mode == "bsp":
+            wave_size = S
+        else:  # "wave"
+            resident = max(
+                1, blocks_per_sm(self.spec, shared_bytes, self.threads_per_block)
+            )
+            wave_size = max(1, self.spec.num_sms * resident)
+
+        for iteration in range(1, max_iterations + 1):
+            iter_stats = base.copy()
+            iter_stats.kernel_launches = 1
+            updated_total = 0
+            updated_shards: list[int] = []
+            pending_writeback: list[int] = []
+            for i in range(S):
+                lo, hi, o = shard_ranges[i]
+                sl = slice(o, o + sh.shard_size(i))
+                old = vertex_values[lo:hi]
+                local = program.init_local(old)
+                dest_local = sh.dest_index[sl].astype(np.int64) - lo
+                msgs, mask = program.messages(
+                    src_value[sl],
+                    None if src_static is None else src_static[sl],
+                    None if edge_vals is None else edge_vals[sl],
+                    old[dest_local],
+                )
+                ops = apply_reductions(program, local, dest_local, msgs, mask)
+                iter_stats.add_atomics(shared=ops)
+                stage2_dynamic.add_atomics(shared=ops)
+                final, upd = program.apply(local, old)
+                n_upd = int(upd.sum())
+                if n_upd:
+                    idx = lo + np.flatnonzero(upd)
+                    vertex_values[idx] = final[upd]
+                    store_tc = gather_transactions(
+                        idx, vbytes, warp_size=warp,
+                        transaction_bytes=STORE_GRANULARITY_BYTES)
+                    iter_stats.add_store(store_tc)
+                    stage3_dynamic.add_store(store_tc)
+                    updated_total += n_upd
+                    updated_shards.append(i)
+                    pending_writeback.append(i)
+                elif self.always_writeback:
+                    updated_shards.append(i)
+                    pending_writeback.append(i)
+                if (i + 1) % wave_size == 0 or i == S - 1:
+                    for j in pending_writeback:
+                        csl = cw.cw_slice(j)
+                        src_value[cw.mapper[csl]] = vertex_values[
+                            cw.cw_src_index[csl]
+                        ]
+                    pending_writeback.clear()
+            for i in updated_shards:
+                iter_stats += stage4[i]
+                stage4_total += stage4[i]
+            t_ms = self.cost_model.time_ms(iter_stats, occupancy=occ)
+            kernel_ms += t_ms
+            total_stats += iter_stats
+            iterations = iteration
+            if collect_traces:
+                traces.append(
+                    IterationTrace(iteration, updated_total, t_ms, kernel_ms)
+                )
+            if updated_total == 0:
+                converged = True
+                break
+
+        if not converged and not allow_partial:
+            raise ConvergenceError(
+                f"{self.name}/{program.name} did not converge in "
+                f"{max_iterations} iterations"
+            )
+        stage_stats = {
+            "stage1-fetch": _scaled(base1, iterations),
+            "stage2-compute": _scaled(base2, iterations) + stage2_dynamic,
+            "stage3-update": _scaled(base3, iterations) + stage3_dynamic,
+            "stage4-writeback": stage4_total,
+        }
+        return RunResult(
+            engine=self.name,
+            program=program.name,
+            values=vertex_values,
+            iterations=iterations,
+            converged=converged,
+            kernel_time_ms=kernel_ms,
+            h2d_ms=h2d_ms,
+            d2h_ms=d2h_ms,
+            representation_bytes=rep_bytes,
+            stats=total_stats,
+            traces=traces,
+            num_edges=graph.num_edges,
+            stage_stats=stage_stats,
+        )

@@ -1,0 +1,333 @@
+"""Virtual Warp-Centric CSR baseline (paper section 2 and Appendix A).
+
+A physical warp of 32 lanes is split into ``32 / virtual_warp_size`` virtual
+warps, each owning one vertex per outer step.  The virtual warp's lanes
+process the vertex's incoming edges ``virtual_warp_size`` at a time, reduce
+the partials with an intra-virtual-warp parallel reduction, and lane 0
+conditionally stores the new value.
+
+The hardware accounting materializes the *exact lockstep schedule*: for
+every physical-warp step it derives the 32 lanes' edge slots, masks inactive
+lanes (tail edges, exhausted sibling virtual warps — the intra-warp
+divergence the paper describes), and prices the four access streams
+(``SrcIndxs`` reads, ``VertexValues`` gathers — the non-coalesced killer —
+``EdgeValues`` reads, static-value gathers).  The schedule is static across
+iterations because VWC processes every vertex every iteration, so it is
+priced once per ``(graph, program, virtual-warp-size)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frameworks import costs
+from repro.frameworks.base import ConvergenceError, Engine, IterationTrace, RunResult
+from repro.frameworks.csrloop import CSRProblem, iterate_chunks
+from repro.graph.digraph import DiGraph
+from repro.gpu.engine import KernelCostModel
+from repro.gpu.memory import contiguous_transactions, gather_transactions, segments_rowwise
+from repro.gpu.pcie import transfer_ms
+from repro.gpu.spec import GTX780, GPUSpec, PCIeSpec
+from repro.gpu.stats import KernelStats, LOAD_GRANULARITY_BYTES
+from repro.gpu.warp import reduction_slots
+from repro.vertexcentric.program import VertexProgram
+
+__all__ = ["VWCEngine", "VIRTUAL_WARP_SIZES"]
+
+VIRTUAL_WARP_SIZES: tuple[int, ...] = (2, 4, 8, 16, 32)
+"""The configurations the paper sweeps for VWC-CSR."""
+
+_ROW_CHUNK = 1 << 15
+
+
+class VWCEngine(Engine):
+    """VWC-CSR with a given virtual warp size."""
+
+    def __init__(
+        self,
+        virtual_warp_size: int = 32,
+        *,
+        spec: GPUSpec = GTX780,
+        pcie: PCIeSpec | None = None,
+        chunk_vertices: int | None = None,
+        address_dilation: int = 1,
+        defer_outliers: bool = False,
+        outlier_factor: int = 4,
+    ) -> None:
+        if virtual_warp_size not in (1, 2, 4, 8, 16, 32):
+            raise ValueError("virtual_warp_size must divide the physical warp")
+        if address_dilation < 1:
+            raise ValueError("address_dilation must be >= 1")
+        self.virtual_warp_size = virtual_warp_size
+        # When pricing a 1/k-scale graph, multiplying data-dependent gather
+        # indices by k restores the full-size graph's address-space density:
+        # a scaled-down vertex array would otherwise fit neighboring sources
+        # into the same 32-byte sector far more often than the real dataset
+        # does, flattering VWC's non-coalesced gathers.  Structural streams
+        # (SrcIndxs, EdgeValues) are contiguous at every scale and are not
+        # dilated.
+        self.address_dilation = address_dilation
+        # The [12] "deferring outliers" variant: vertices whose degree
+        # exceeds outlier_factor * virtual_warp_size are pulled out of the
+        # virtual-warp pass and processed by full physical warps in a second
+        # phase — less intra-warp divergence at the cost of the queueing
+        # machinery (priced as extra SISD work per deferred vertex).
+        self.defer_outliers = defer_outliers
+        self.outlier_factor = outlier_factor
+        self.spec = spec
+        self.pcie = pcie or PCIeSpec()
+        self.cost_model = KernelCostModel(spec)
+        # Vertices concurrently in flight: the resident virtual warps.  This
+        # is the chunk at which in-place updates become visible (chunked
+        # Gauss-Seidel), mirroring the true kernel's single-version storage.
+        if chunk_vertices is None:
+            resident = (
+                spec.num_sms * spec.max_threads_per_sm // virtual_warp_size
+            )
+            chunk_vertices = max(8192, resident)
+        self.chunk_vertices = chunk_vertices
+        self.name = f"vwc-{virtual_warp_size}"
+        if defer_outliers:
+            self.name += "-deferred"
+
+    # ------------------------------------------------------------------
+    # Static schedule pricing
+    # ------------------------------------------------------------------
+    def _static_stats(self, problem: CSRProblem) -> KernelStats:
+        """Aggregate of :meth:`_static_stat_phases` (kept for tests)."""
+        total = KernelStats()
+        for s in self._static_stat_phases(problem).values():
+            total += s
+        return total
+
+    def _static_stat_phases(self, problem: CSRProblem) -> dict[str, KernelStats]:
+        spec = self.spec
+        warp = spec.warp_size
+        vw = self.virtual_warp_size
+        vpw = warp // vw
+        prog = problem.program
+        vbytes = prog.vertex_value_bytes
+        sbytes = prog.static_value_bytes
+        ebytes = prog.edge_value_bytes
+        csr = problem.csr
+        n = csr.num_vertices
+        deg = np.diff(csr.in_edge_idxs)
+        offs = csr.in_edge_idxs[:-1]
+
+        sisd = KernelStats()
+        edges = KernelStats()
+        reduction = KernelStats()
+
+        # --- SISD prologue/epilogue (Fig. 14 lines 10-15): lane 0 of each
+        # virtual warp reads InEdgeIdxs[v], InEdgeIdxs[v+1], VertexValues[v].
+        # The vpw active lanes of a physical warp touch consecutive vertices,
+        # so grouping rows by vpw consecutive elements prices it exactly.
+        sector = LOAD_GRANULARITY_BYTES
+        sisd.add_load(contiguous_transactions(n, 4, warp_size=vpw,
+                                              transaction_bytes=sector))
+        sisd.add_load(contiguous_transactions(n, 4, warp_size=vpw,
+                                              transaction_bytes=sector))
+        sisd.add_load(contiguous_transactions(n, vbytes, warp_size=vpw,
+                                              transaction_bytes=sector))
+        num_warps = -(-n // vpw)
+        sisd.add_lanes(n, num_warps * warp,
+                       instructions_per_row=costs.INSTR_VWC_SISD)
+
+        # --- Edge loop(s).
+        if self.defer_outliers:
+            threshold = self.outlier_factor * vw
+            outlier = deg > threshold
+            deg_regular = np.where(outlier, 0, deg)
+            self._edge_loop_stats(edges, deg_regular, offs, csr, vw,
+                                  vbytes, sbytes, ebytes)
+            # Deferred phase: outliers get one full physical warp each
+            # (vw = warp), plus queueing overhead per deferred vertex.
+            deg_outlier = np.where(outlier, deg, 0)
+            if outlier.any():
+                self._edge_loop_stats(edges, deg_outlier, offs, csr, warp,
+                                      vbytes, sbytes, ebytes)
+                n_out = int(outlier.sum())
+                sisd.add_instructions(n_out * costs.INSTR_VWC_SISD)
+                reduction.add_lanes(
+                    *reduction_slots(deg_outlier, warp, warp),
+                    instructions_per_row=costs.INSTR_VWC_REDUCE)
+            active_r, total_r = reduction_slots(deg_regular, vw, warp)
+        else:
+            self._edge_loop_stats(edges, deg, offs, csr, vw,
+                                  vbytes, sbytes, ebytes)
+            active_r, total_r = reduction_slots(deg, vw, warp)
+
+        # --- Intra-virtual-warp parallel reduction (shared memory only).
+        reduction.add_lanes(active_r, total_r,
+                            instructions_per_row=costs.INSTR_VWC_REDUCE)
+        return {"sisd": sisd, "edge-loop": edges, "reduction": reduction}
+
+    def _edge_loop_stats(
+        self,
+        stats: KernelStats,
+        deg: np.ndarray,
+        offs: np.ndarray,
+        csr,
+        vw: int,
+        vbytes: int,
+        sbytes: int,
+        ebytes: int,
+    ) -> None:
+        """Price the lockstep neighbor loop for a (possibly masked) degree
+        vector at virtual warp size ``vw`` (chunked over physical warps)."""
+        warp = self.spec.warp_size
+        vpw = warp // vw
+        n = deg.size
+        num_warps = -(-n // vpw)
+        degp = np.zeros(num_warps * vpw, dtype=np.int64)
+        degp[:n] = deg
+        offp = np.zeros(num_warps * vpw, dtype=np.int64)
+        offp[:n] = offs
+        deg_mat = degp.reshape(num_warps, vpw)
+        off_mat = offp.reshape(num_warps, vpw)
+        steps = (-(-deg_mat // vw)).max(axis=1)  # physical-warp steps
+
+        lane = np.arange(warp, dtype=np.int64)
+        lane_vwarp = lane // vw
+        lane_rank = lane % vw
+        src = csr.src_indxs
+        tx = LOAD_GRANULARITY_BYTES
+
+        pos_in = np.cumsum(steps) - steps  # row offset of each warp
+        total_rows = int(steps.sum())
+        row_warp = np.repeat(np.arange(num_warps), steps)
+        row_k = np.arange(total_rows, dtype=np.int64) - np.repeat(pos_in, steps)
+
+        for start in range(0, total_rows, _ROW_CHUNK):
+            stop = min(start + _ROW_CHUNK, total_rows)
+            w = row_warp[start:stop, None]
+            k = row_k[start:stop, None]
+            d = deg_mat[w[:, 0]][:, lane_vwarp]
+            o = off_mat[w[:, 0]][:, lane_vwarp]
+            r = k * vw + lane_rank[None, :]
+            active = r < d
+            pos = np.where(active, o + r, 0)
+            rows = pos.shape[0]
+            n_active = int(active.sum())
+            # SrcIndxs reads (4-byte indices, mostly-contiguous per vertex).
+            stats.add_load_raw(
+                segments_rowwise(pos * 4 // tx, active), n_active * 4
+            )
+            # VertexValues gathers through SrcIndxs — the non-coalesced cost.
+            gsrc = src[pos].astype(np.int64) * self.address_dilation
+            stats.add_load_raw(
+                segments_rowwise(gsrc * vbytes // tx, active),
+                n_active * vbytes,
+            )
+            if sbytes:
+                stats.add_load_raw(
+                    segments_rowwise(gsrc * sbytes // tx, active),
+                    n_active * sbytes,
+                )
+            if ebytes:
+                stats.add_load_raw(
+                    segments_rowwise(pos * ebytes // tx, active),
+                    n_active * ebytes,
+                )
+            stats.add_lanes(n_active, rows * warp,
+                            instructions_per_row=costs.INSTR_VWC_EDGE)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        graph: DiGraph,
+        program: VertexProgram,
+        *,
+        max_iterations: int = 10_000,
+        allow_partial: bool = False,
+        collect_traces: bool = True,
+    ) -> RunResult:
+        problem = CSRProblem.build(graph, program)
+        phases = self._static_stat_phases(problem)
+        static_stats = KernelStats()
+        for s in phases.values():
+            static_stats += s
+        vbytes = program.vertex_value_bytes
+        ebytes = program.edge_value_bytes
+        sbytes = program.static_value_bytes
+        vpw = self.spec.warp_size // self.virtual_warp_size
+        n = graph.num_vertices
+
+        rep_bytes = problem.csr.memory_bytes(vbytes, ebytes, sbytes)
+        h2d_ms = transfer_ms(rep_bytes, self.pcie)
+        d2h_ms = transfer_ms(n * vbytes, self.pcie)
+
+        total_stats = KernelStats()
+        store_dynamic = KernelStats()
+        traces: list[IterationTrace] = []
+        kernel_ms = 0.0
+        converged = False
+        iterations = 0
+        upd_mask = np.zeros(n, dtype=bool)
+
+        for iteration in range(1, max_iterations + 1):
+            updated_idx, _ops = iterate_chunks(problem, self.chunk_vertices)
+            iter_stats = static_stats.copy()
+            iter_stats.kernel_launches = 1
+            if updated_idx.size:
+                # Lane-0 conditional stores: group vertices by physical warp
+                # (vpw consecutive vertices per warp row).
+                upd_mask[:] = False
+                upd_mask[updated_idx] = True
+                store_tc = gather_transactions(
+                    np.arange(n, dtype=np.int64),
+                    vbytes,
+                    active=upd_mask,
+                    warp_size=vpw,
+                )
+                iter_stats.add_store(store_tc)
+                store_dynamic.add_store(store_tc)
+            t_ms = self.cost_model.time_ms(iter_stats, occupancy=1.0)
+            kernel_ms += t_ms
+            total_stats += iter_stats
+            iterations = iteration
+            if collect_traces:
+                traces.append(
+                    IterationTrace(
+                        iteration, int(updated_idx.size), t_ms, kernel_ms
+                    )
+                )
+            if updated_idx.size == 0:
+                converged = True
+                break
+
+        if not converged and not allow_partial:
+            raise ConvergenceError(
+                f"{self.name}/{program.name} did not converge in "
+                f"{max_iterations} iterations"
+            )
+        def scaled(s: KernelStats, k: int) -> KernelStats:
+            out = KernelStats()
+            out.load_transactions = s.load_transactions * k
+            out.load_bytes_requested = s.load_bytes_requested * k
+            out.store_transactions = s.store_transactions * k
+            out.store_bytes_requested = s.store_bytes_requested * k
+            out.active_lane_slots = s.active_lane_slots * k
+            out.total_lane_slots = s.total_lane_slots * k
+            out.warp_instructions = s.warp_instructions * k
+            return out
+
+        stage_stats = {
+            name: scaled(s, iterations) for name, s in phases.items()
+        }
+        stage_stats["stores"] = store_dynamic
+        return RunResult(
+            engine=self.name,
+            program=program.name,
+            values=problem.vertex_values,
+            iterations=iterations,
+            converged=converged,
+            kernel_time_ms=kernel_ms,
+            h2d_ms=h2d_ms,
+            d2h_ms=d2h_ms,
+            representation_bytes=rep_bytes,
+            stats=total_stats,
+            traces=traces,
+            num_edges=graph.num_edges,
+            stage_stats=stage_stats,
+        )

@@ -1,0 +1,35 @@
+"""SIMT GPU performance-model simulator.
+
+The paper ran on an Nvidia GTX 780; this environment has no GPU, so
+``repro.gpu`` models the parts of the hardware that CuSha's claims are
+about — DRAM transaction coalescing, warp-lane utilization, shared-memory
+atomics, block/SM occupancy, kernel launch overhead, and PCIe transfers —
+and derives kernel runtimes and CUDA-profiler-style efficiency metrics from
+the *actual address streams* the graph representations induce.
+
+Modules
+-------
+- :mod:`repro.gpu.spec` — hardware parameter sheets (GPU, CPU, PCIe).
+- :mod:`repro.gpu.memory` — the 128-byte-transaction coalescing model.
+- :mod:`repro.gpu.warp` — warp-lane activity accounting.
+- :mod:`repro.gpu.occupancy` — resident blocks/warps per SM.
+- :mod:`repro.gpu.stats` — :class:`KernelStats` and the profiler-metric
+  definitions (gld/gst efficiency, warp execution efficiency).
+- :mod:`repro.gpu.engine` — the cycle cost model turning stats into
+  milliseconds.
+- :mod:`repro.gpu.pcie` — host-device transfer times.
+"""
+
+from repro.gpu.spec import GPUSpec, CPUSpec, PCIeSpec, GTX780, I7_3930K
+from repro.gpu.stats import KernelStats
+from repro.gpu.engine import KernelCostModel
+
+__all__ = [
+    "GPUSpec",
+    "CPUSpec",
+    "PCIeSpec",
+    "GTX780",
+    "I7_3930K",
+    "KernelStats",
+    "KernelCostModel",
+]

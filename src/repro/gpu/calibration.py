@@ -1,0 +1,101 @@
+"""Cost-model sensitivity analysis.
+
+The reproduction's central methodological claim (README, docs/modeling.md)
+is that the *calibration constants* — per-loop-body instruction counts,
+atomic costs — shift all engines together, so cross-engine speedups are
+insensitive to them, while the *counted quantities* (transactions, lane
+slots) carry the paper's effects.  This module makes that claim testable:
+
+:func:`sensitivity_report` re-prices a fixed set of engine runs under
+perturbed hardware constants and reports how much each speedup ratio moves.
+Because engines consume the spec at run time, perturbation means re-running
+with a modified :class:`~repro.gpu.spec.GPUSpec` / instruction overhead;
+values are identical across runs (pricing never feeds back into values), so
+only the time model varies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.algorithms import make_program
+from repro.frameworks.cusha import CuShaEngine
+from repro.frameworks.vwc import VWCEngine
+from repro.gpu.spec import GTX780, GPUSpec
+
+__all__ = ["SensitivityResult", "sensitivity_report", "DEFAULT_PERTURBATIONS"]
+
+DEFAULT_PERTURBATIONS: tuple[tuple[str, float], ...] = (
+    ("issue_slots_per_sm_per_cycle", 0.5),
+    ("issue_slots_per_sm_per_cycle", 2.0),
+    ("shared_atomic_cycles", 0.5),
+    ("shared_atomic_cycles", 2.0),
+    ("mem_bandwidth_gb_per_s", 0.5),
+    ("mem_bandwidth_gb_per_s", 2.0),
+    ("kernel_launch_overhead_us", 0.5),
+    ("kernel_launch_overhead_us", 2.0),
+)
+"""(spec field, multiplier) pairs: halve/double each rate-like constant."""
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Speedup of CuSha-CW over a VWC baseline under one perturbation."""
+
+    field: str
+    multiplier: float
+    speedup: float
+
+    def deviation_from(self, baseline: float) -> float:
+        """Relative change of the speedup vs the unperturbed model."""
+        if baseline == 0:
+            return 0.0
+        return abs(self.speedup - baseline) / baseline
+
+
+def _speedup(graph, program_name: str, spec: GPUSpec,
+             *, vwc_size: int, max_iterations: int) -> float:
+    p1 = make_program(program_name, graph)
+    cw = CuShaEngine("cw", spec=spec).run(
+        graph, p1, max_iterations=max_iterations, allow_partial=True
+    )
+    p2 = make_program(program_name, graph)
+    vwc = VWCEngine(vwc_size, spec=spec).run(
+        graph, p2, max_iterations=max_iterations, allow_partial=True
+    )
+    return vwc.kernel_time_ms / cw.kernel_time_ms
+
+
+def sensitivity_report(
+    graph,
+    program_name: str = "pr",
+    *,
+    base_spec: GPUSpec = GTX780,
+    vwc_size: int = 8,
+    perturbations: tuple[tuple[str, float], ...] = DEFAULT_PERTURBATIONS,
+    max_iterations: int = 400,
+) -> tuple[float, list[SensitivityResult]]:
+    """Baseline speedup plus its value under each perturbed model.
+
+    Returns ``(baseline_speedup, results)``.  A well-behaved model keeps
+    every ``result.deviation_from(baseline)`` small relative to the size of
+    the perturbation (2x), except for constants that legitimately shift the
+    balance (memory bandwidth trades against the issue bound).
+    """
+    baseline = _speedup(graph, program_name, base_spec,
+                        vwc_size=vwc_size, max_iterations=max_iterations)
+    results = []
+    for field, mult in perturbations:
+        spec = dataclasses.replace(
+            base_spec, **{field: getattr(base_spec, field) * mult}
+        )
+        results.append(
+            SensitivityResult(
+                field,
+                mult,
+                _speedup(graph, program_name, spec,
+                         vwc_size=vwc_size, max_iterations=max_iterations),
+            )
+        )
+    return baseline, results

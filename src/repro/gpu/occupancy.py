@@ -1,0 +1,45 @@
+"""Block/SM occupancy model (paper section 4, "Selecting shard size").
+
+CuSha sizes shards so the per-block shared-memory footprint
+(``N * sizeof(Vertex)``) lets the desired number of blocks co-reside on an
+SM.  :func:`blocks_per_sm` applies the standard CUDA occupancy limits
+(shared memory, thread count, hardware block cap); :func:`occupancy` turns
+that into the resident-warp ratio the profiler reports.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.spec import GPUSpec
+
+__all__ = ["blocks_per_sm", "occupancy", "shared_mem_per_block"]
+
+
+def shared_mem_per_block(
+    vertices_per_shard: int, vertex_value_bytes: int, extra_bytes: int = 64
+) -> int:
+    """Shared memory one CuSha block needs: the local vertex array plus the
+    handful of control flags in Figure 5 (``values_updated`` etc.)."""
+    return vertices_per_shard * vertex_value_bytes + extra_bytes
+
+
+def blocks_per_sm(
+    spec: GPUSpec, shared_bytes_per_block: int, threads_per_block: int
+) -> int:
+    """Resident blocks per SM under the shared-memory / thread / block caps."""
+    if threads_per_block <= 0:
+        raise ValueError("threads_per_block must be positive")
+    if threads_per_block > spec.max_threads_per_block:
+        return 0
+    limits = [spec.max_blocks_per_sm, spec.max_threads_per_sm // threads_per_block]
+    if shared_bytes_per_block > 0:
+        limits.append(spec.shared_mem_per_sm_bytes // shared_bytes_per_block)
+    return max(0, min(limits))
+
+
+def occupancy(
+    spec: GPUSpec, shared_bytes_per_block: int, threads_per_block: int
+) -> float:
+    """Resident warps over the SM's maximum warps (CUDA occupancy)."""
+    blocks = blocks_per_sm(spec, shared_bytes_per_block, threads_per_block)
+    warps_per_block = -(-threads_per_block // spec.warp_size)
+    return min(1.0, blocks * warps_per_block / spec.max_warps_per_sm)

@@ -1,0 +1,22 @@
+"""Host-device transfer model (paper Figure 10's H2D / D2H components).
+
+CuSha pays more H2D time than VWC-CSR because G-Shards/CW occupy 2-2.6x the
+bytes of CSR (Figure 9); D2H moves only the final ``VertexValues`` and is
+negligible.  Both effects follow directly from byte counts through this
+model.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.spec import PCIeSpec
+
+__all__ = ["transfer_ms"]
+
+
+def transfer_ms(num_bytes: int, spec: PCIeSpec) -> float:
+    """Milliseconds to move ``num_bytes`` over the interconnect."""
+    if num_bytes < 0:
+        raise ValueError("num_bytes must be non-negative")
+    if num_bytes == 0:
+        return 0.0
+    return spec.latency_us / 1e3 + num_bytes / (spec.bandwidth_gb_per_s * 1e6)

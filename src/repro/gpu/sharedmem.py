@@ -1,0 +1,87 @@
+"""Shared-memory bank-conflict model.
+
+Kepler shared memory has 32 banks; when several lanes of a warp issue
+atomics to addresses in the same bank, the accesses serialize into replays.
+CuSha's stage 2 reduces into ``local_vertices[DestIndex - offset]``, so the
+destination pattern of each warp-row of shard entries determines the
+replay count — low for shards with spread destinations (the paper's "lock
+contention is low because of the size of shards"), high when many entries
+share a destination.
+
+:func:`conflict_replays` counts, for each warp-row of 32 consecutive
+entries, ``max_bank_multiplicity - 1`` (the extra serialized rounds) and
+returns the total.  It is computed once per shard (the pattern is static).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["conflict_replays", "bank_multiplicity_histogram"]
+
+
+def _row_max_multiplicity(banks: np.ndarray) -> np.ndarray:
+    """Per row, the largest number of lanes hitting one bank.
+
+    ``banks`` is ``(rows, lanes)``; rows are sorted and run lengths counted
+    vectorized.
+    """
+    s = np.sort(banks, axis=1)
+    rows, lanes = s.shape
+    # run id increments where the value changes
+    change = np.ones((rows, lanes), dtype=np.int64)
+    change[:, 1:] = (s[:, 1:] != s[:, :-1]).astype(np.int64)
+    run_id = np.cumsum(change, axis=1)  # 1..k per row
+    # count run lengths: offset run ids per row to make them globally unique
+    offset = (np.arange(rows, dtype=np.int64) * (lanes + 1))[:, None]
+    flat = (run_id + offset).ravel()
+    counts = np.bincount(flat, minlength=rows * (lanes + 1) + lanes + 2)
+    per_row = counts[: rows * (lanes + 1) + 1]
+    # max run length per row
+    grid = np.zeros((rows, lanes + 1), dtype=np.int64)
+    grid.ravel()[: per_row.size - 1] = per_row[1:]
+    return grid.max(axis=1)
+
+
+def conflict_replays(
+    dest_idx: np.ndarray, *, warp_size: int = 32, banks: int = 32,
+    value_words: int = 1,
+) -> int:
+    """Total atomic replay rounds for a warp-schedule over ``dest_idx``.
+
+    ``dest_idx[k]`` is the shared-memory slot lane ``k`` atomically updates
+    (consecutive lanes form warps).  A row whose 32 lanes hit 32 distinct
+    banks replays 0 times; a row where ``m`` lanes share a bank replays
+    ``m - 1`` times.  ``value_words`` scales slot indices to 4-byte words
+    (8-byte vertex values stride two banks).
+    """
+    idx = np.asarray(dest_idx, dtype=np.int64)
+    if idx.size == 0:
+        return 0
+    bank = (idx * value_words) % banks
+    pad = (-bank.size) % warp_size
+    if pad:
+        # Padding lanes get unique out-of-range "banks": runs of length one
+        # that never create (or mask) a conflict.
+        filler = banks + np.arange(pad, dtype=np.int64)
+        bank = np.concatenate([bank, filler])
+    rows = bank.reshape(-1, warp_size)
+    max_mult = _row_max_multiplicity(rows)
+    return int((max_mult - 1).sum())
+
+
+def bank_multiplicity_histogram(
+    dest_idx: np.ndarray, *, warp_size: int = 32, banks: int = 32
+) -> np.ndarray:
+    """Histogram of per-row maximum bank multiplicities (1..warp_size)."""
+    idx = np.asarray(dest_idx, dtype=np.int64)
+    if idx.size == 0:
+        return np.zeros(warp_size + 1, dtype=np.int64)
+    bank = idx % banks
+    pad = (-bank.size) % warp_size
+    if pad:
+        filler = banks + np.arange(pad, dtype=np.int64)
+        bank = np.concatenate([bank, filler])
+    rows = bank.reshape(-1, warp_size)
+    mult = _row_max_multiplicity(rows)
+    return np.bincount(mult, minlength=warp_size + 1).astype(np.int64)

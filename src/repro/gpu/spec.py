@@ -1,0 +1,127 @@
+"""Hardware parameter sheets for the performance model.
+
+:data:`GTX780` matches the paper's evaluation machine (section 5): a GeForce
+GTX 780 (Kepler GK110: 12 SMX units, 48 KB shared memory per SMX, 288.4 GB/s
+GDDR5) paired with an Intel Core i7-3930K (Sandy Bridge-E, 6 cores / 12
+hardware threads at 3.2 GHz) over PCIe 3.0 x16.
+
+Absolute latencies/bandwidths are published figures; where a microbenchmark
+would normally calibrate a constant (kernel launch overhead, atomic
+throughput) we use values typical of the era and document them here.  The
+reproduction's claims are about *ratios* between representations, which are
+insensitive to these constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PCIeSpec", "GPUSpec", "CPUSpec", "GTX780", "I7_3930K"]
+
+
+@dataclass(frozen=True)
+class PCIeSpec:
+    """Host-device interconnect model."""
+
+    bandwidth_gb_per_s: float = 12.0
+    """Achievable PCIe 3.0 x16 throughput (~12 GB/s of the 15.75 GB/s peak)."""
+
+    latency_us: float = 10.0
+    """Fixed per-transfer setup cost."""
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """SIMT device model (defaults are GTX 780 / GK110 values)."""
+
+    name: str = "GeForce GTX 780 (modeled)"
+    num_sms: int = 12
+    warp_size: int = 32
+    clock_ghz: float = 0.863
+    mem_bandwidth_gb_per_s: float = 288.4
+    transaction_bytes: int = 128
+    """Store granularity: stores write-allocate a full L2 line."""
+
+    load_sector_bytes: int = 32
+    """Load granularity: Kepler global loads are serviced in 32-byte L2
+    sectors, which is the granularity nvprof's ``gld_efficiency`` uses."""
+
+    shared_mem_per_sm_bytes: int = 48 * 1024
+    max_blocks_per_sm: int = 16
+    max_threads_per_sm: int = 2048
+    max_threads_per_block: int = 1024
+    issue_slots_per_sm_per_cycle: float = 4.0
+    """Kepler SMX has four warp schedulers."""
+
+    kernel_launch_overhead_us: float = 6.0
+    """Per-kernel-launch host+driver overhead (the paper launches one kernel
+    per iteration, so this bounds very fast iterations)."""
+
+    shared_atomic_cycles: float = 6.0
+    """Amortized cost of one shared-memory atomic (low contention, §4)."""
+
+    global_atomic_cycles: float = 120.0
+    """Amortized cost of one global-memory atomic."""
+
+    dram_latency_cycles: float = 400.0
+    """Used as a latency floor for kernels with trivial traffic."""
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """DRAM bytes deliverable per core-clock cycle."""
+        return self.mem_bandwidth_gb_per_s / self.clock_ghz
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        return self.max_threads_per_sm // self.warp_size
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Multicore host model (defaults are Core i7-3930K values).
+
+    The paper calls the machine "12 cores (hyper-threading enabled)"; the
+    i7-3930K is physically 6 cores / 12 hardware threads, which is what the
+    ``cores`` / ``smt_ways`` split encodes.
+    """
+
+    name: str = "Intel Core i7-3930K (modeled)"
+    cores: int = 6
+    smt_ways: int = 2
+    clock_ghz: float = 3.2
+    mem_bandwidth_gb_per_s: float = 51.2
+    cache_line_bytes: int = 64
+    llc_bytes: int = 12 * 1024 * 1024
+    smt_yield: float = 0.3
+    """Fraction of an extra core one SMT sibling is worth (memory-bound
+    graph code gains little from hyper-threading)."""
+
+    oversubscribe_penalty: float = 0.02
+    """Per-extra-software-thread scheduling overhead once threads exceed
+    hardware contexts."""
+
+    sync_overhead_us_per_thread: float = 1.5
+    """Per-iteration barrier cost, linear in thread count."""
+
+    edge_cycles: float = 14.0
+    """Issue cost of processing one incoming edge (load + compare + update)."""
+
+    vertex_cycles: float = 10.0
+    """Issue cost of the per-vertex prologue/epilogue."""
+
+    def effective_parallelism(self, threads: int) -> float:
+        """Speedup factor a ``threads``-way run achieves over one thread."""
+        if threads <= 0:
+            raise ValueError("threads must be positive")
+        hw = min(threads, self.cores)
+        extra = min(max(threads - self.cores, 0), self.cores * (self.smt_ways - 1))
+        par = hw + extra * self.smt_yield
+        over = max(threads - self.cores * self.smt_ways, 0)
+        return par / (1.0 + self.oversubscribe_penalty * over)
+
+
+GTX780 = GPUSpec()
+"""The paper's GPU, with default model constants."""
+
+I7_3930K = CPUSpec()
+"""The paper's host CPU, with default model constants."""

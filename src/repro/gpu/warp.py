@@ -1,0 +1,81 @@
+"""Warp-lane activity accounting.
+
+The CUDA profiler's *warp execution efficiency* is the average fraction of
+active lanes per issued warp instruction.  The engines produce two shapes of
+lane schedule:
+
+- contiguous work lists processed by consecutive threads
+  (:func:`slots_for_contiguous`) — e.g. CuSha stages 1-3 and CW write-back;
+- one warp iterating over a variable-length segment
+  (:func:`slots_for_segments`) — e.g. G-Shards write-back windows, and the
+  per-virtual-warp neighbor loops of VWC-CSR.
+
+Both return ``(active_slots, total_slots)`` pairs; efficiency is the ratio
+after summing over a whole kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["slots_for_contiguous", "slots_for_segments", "reduction_slots"]
+
+
+def slots_for_contiguous(num_items: int, warp_size: int = 32) -> tuple[int, int]:
+    """Lane slots when ``num_items`` tasks map to consecutive threads.
+
+    Every warp except possibly the last runs fully populated; the tail warp
+    carries ``num_items % warp_size`` active lanes.
+    """
+    if num_items <= 0:
+        return 0, 0
+    rows = -(-num_items // warp_size)
+    return num_items, rows * warp_size
+
+
+def slots_for_segments(
+    sizes: np.ndarray, warp_size: int = 32, *, lanes_per_task: int | None = None
+) -> tuple[int, int]:
+    """Lane slots when each segment is iterated by one warp (or sub-warp).
+
+    ``sizes[i]`` tasks are processed ``lanes_per_task`` at a time (default: a
+    full warp).  A segment of size ``L`` therefore occupies
+    ``ceil(L / lanes) * warp_size`` slots with ``L`` of them active — the
+    underutilization G-Shards write-back suffers on small windows.
+
+    Empty segments cost nothing (the warp skips them after a bounds check,
+    charged as instruction overhead elsewhere).
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    if sizes.size == 0:
+        return 0, 0
+    lanes = warp_size if lanes_per_task is None else lanes_per_task
+    if lanes <= 0 or lanes > warp_size:
+        raise ValueError("lanes_per_task must be in [1, warp_size]")
+    active = int(sizes.sum())
+    rows = -(-sizes // lanes)
+    total = int(rows.sum()) * lanes
+    # When lanes < warp_size the task occupies only its slice of the physical
+    # warp; lockstep divergence against sibling sub-warps (physical-warp
+    # steps = max over siblings) is accounted by the VWC schedule builder,
+    # which knows the sibling grouping.
+    return active, total
+
+
+def reduction_slots(
+    sizes: np.ndarray, virtual_warp_size: int, warp_size: int = 32
+) -> tuple[int, int]:
+    """Lane slots of the parallel-reduction step of VWC-CSR (paper Fig. 14).
+
+    A virtual warp of ``w`` lanes reduces its ``w`` partial results in
+    ``log2(w)`` steps with halving active-lane counts; vertices with no
+    neighbors skip the reduction.
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    if sizes.size == 0 or virtual_warp_size <= 1:
+        return 0, 0
+    steps = int(np.log2(virtual_warp_size))
+    nonempty = int((sizes > 0).sum())
+    active = nonempty * (virtual_warp_size - 1)  # sum of w/2 + w/4 + ... + 1
+    total = nonempty * steps * virtual_warp_size
+    return active, total

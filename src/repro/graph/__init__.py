@@ -1,0 +1,35 @@
+"""Graph substrate: core digraph, generators, and the three representations.
+
+This package provides everything CuSha's paper assumes about graphs:
+
+- :class:`repro.graph.digraph.DiGraph` — the in-memory edge-list graph.
+- :mod:`repro.graph.generators` — R-MAT, road-network, and utility
+  generators used to synthesize the evaluation inputs.
+- :mod:`repro.graph.suite` — scaled synthetic analogs of the paper's six
+  SNAP graphs (Table 1).
+- :class:`repro.graph.csr.CSR` — the Compressed Sparse Row representation
+  (paper section 2).
+- :class:`repro.graph.shards.GShards` — the G-Shards representation
+  (paper section 3.1).
+- :class:`repro.graph.cw.ConcatenatedWindows` — the CW representation
+  (paper section 3.2).
+- :mod:`repro.graph.partition` — shard-size (|N|) auto-selection
+  (paper section 4, "Selecting shard size").
+- :mod:`repro.graph.properties` — degree and window-size analytics
+  (paper figures 1 and 11).
+"""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.csr import CSR
+from repro.graph.shards import GShards
+from repro.graph.cw import ConcatenatedWindows
+from repro.graph.partition import ShardingPlan, select_shard_size
+
+__all__ = [
+    "DiGraph",
+    "CSR",
+    "GShards",
+    "ConcatenatedWindows",
+    "ShardingPlan",
+    "select_shard_size",
+]

@@ -1,0 +1,228 @@
+"""Synthetic graph generators.
+
+The paper evaluates on six SNAP graphs plus R-MAT graphs produced with the
+SNAP library.  Neither the datasets nor the SNAP C++ library are available in
+this environment, so this module implements the generators from scratch:
+
+- :func:`rmat` — the Recursive MATrix model (Chakrabarti, Zhan, Faloutsos,
+  SDM'04) used by the paper's sensitivity study (section 5.2) and, here, to
+  synthesize analogs of the social/web graphs in Table 1.
+- :func:`road_network` — a 2-D lattice with a sprinkling of shortcut edges,
+  matching the degree profile of RoadNetCA (average degree ~2.8, near-uniform
+  low degrees).
+- :func:`erdos_renyi` and the small deterministic generators (:func:`path`,
+  :func:`cycle`, :func:`star`, :func:`complete`, :func:`grid2d`) used by the
+  test-suite.
+
+All generators are deterministic given a seed and vectorized over the edge
+count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "rmat",
+    "erdos_renyi",
+    "road_network",
+    "path",
+    "cycle",
+    "star",
+    "complete",
+    "grid2d",
+    "random_weights",
+]
+
+
+def _as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def rmat(
+    num_vertices: int,
+    num_edges: int,
+    *,
+    a: float = 0.45,
+    b: float = 0.22,
+    c: float = 0.22,
+    d: float = 0.11,
+    seed: int | np.random.Generator | None = 0,
+    noise: float = 0.05,
+    deduplicate: bool = False,
+) -> DiGraph:
+    """Generate a scale-free directed graph with the R-MAT model.
+
+    Each edge independently descends ``ceil(log2 n)`` levels of the adjacency
+    matrix, picking quadrant ``(0,0)/(0,1)/(1,0)/(1,1)`` with probabilities
+    ``a/b/c/d``.  ``noise`` jitters the probabilities per level (as in the
+    reference implementation) to avoid lattice artifacts.  Vertex ids above
+    ``num_vertices - 1`` (possible when ``n`` is not a power of two) are
+    folded back with a modulo, which preserves the skewed degree profile.
+
+    With ``deduplicate=True`` parallel duplicates are removed, so the
+    resulting edge count can be slightly below ``num_edges``.
+    """
+    if num_vertices <= 0:
+        raise ValueError("num_vertices must be positive")
+    if num_edges < 0:
+        raise ValueError("num_edges must be non-negative")
+    total = a + b + c + d
+    if not np.isclose(total, 1.0):
+        raise ValueError(f"quadrant probabilities must sum to 1, got {total}")
+    rng = _as_rng(seed)
+    levels = max(1, int(np.ceil(np.log2(num_vertices))))
+    src = np.zeros(num_edges, dtype=np.int64)
+    dst = np.zeros(num_edges, dtype=np.int64)
+    for _ in range(levels):
+        # Jitter quadrant probabilities per level, then renormalize.
+        jitter = 1.0 + noise * (rng.random(4) * 2.0 - 1.0)
+        pa, pb, pc, pd = np.array([a, b, c, d]) * jitter / np.dot(
+            [a, b, c, d], jitter
+        )
+        u = rng.random(num_edges)
+        src_bit = (u >= pa + pb).astype(np.int64)
+        # Conditional destination-bit probability given the source bit.
+        p_dst_given0 = pb / (pa + pb)
+        p_dst_given1 = pd / (pc + pd)
+        v = rng.random(num_edges)
+        dst_bit = np.where(
+            src_bit == 0, v < p_dst_given0, v < p_dst_given1
+        ).astype(np.int64)
+        src = (src << 1) | src_bit
+        dst = (dst << 1) | dst_bit
+    src %= num_vertices
+    dst %= num_vertices
+    g = DiGraph(src, dst, num_vertices, validate=False)
+    if deduplicate:
+        g = g.deduplicated()
+    return g
+
+
+def erdos_renyi(
+    num_vertices: int,
+    num_edges: int,
+    *,
+    seed: int | np.random.Generator | None = 0,
+    allow_self_loops: bool = True,
+) -> DiGraph:
+    """Uniform random directed multigraph with ``num_edges`` edges."""
+    if num_vertices <= 0 and num_edges > 0:
+        raise ValueError("cannot place edges in an empty vertex set")
+    rng = _as_rng(seed)
+    src = rng.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    dst = rng.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    if not allow_self_loops and num_vertices > 1:
+        loops = src == dst
+        while loops.any():
+            dst[loops] = rng.integers(0, num_vertices, size=int(loops.sum()))
+            loops = src == dst
+    return DiGraph(src, dst, max(num_vertices, 0), validate=False)
+
+
+def road_network(
+    rows: int,
+    cols: int,
+    *,
+    shortcut_fraction: float = 0.01,
+    seed: int | np.random.Generator | None = 0,
+) -> DiGraph:
+    """A road-network-like graph: a bidirectional 2-D lattice plus shortcuts.
+
+    Every lattice cell connects to its right and down neighbors in both
+    directions (average degree just under 4, like a street grid), and
+    ``shortcut_fraction * |E|`` extra random bidirectional edges model
+    highways.  The result mimics RoadNetCA's near-uniform low-degree profile
+    (paper Figure 1) and its extreme sparsity.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be positive")
+    n = rows * cols
+    idx = np.arange(n, dtype=np.int64).reshape(rows, cols)
+    right_src = idx[:, :-1].ravel()
+    right_dst = idx[:, 1:].ravel()
+    down_src = idx[:-1, :].ravel()
+    down_dst = idx[1:, :].ravel()
+    src = np.concatenate([right_src, right_dst, down_src, down_dst])
+    dst = np.concatenate([right_dst, right_src, down_dst, down_src])
+    if shortcut_fraction > 0 and n > 1:
+        rng = _as_rng(seed)
+        extra = int(shortcut_fraction * src.size)
+        s = rng.integers(0, n, size=extra, dtype=np.int64)
+        t = rng.integers(0, n, size=extra, dtype=np.int64)
+        keep = s != t
+        s, t = s[keep], t[keep]
+        src = np.concatenate([src, s, t])
+        dst = np.concatenate([dst, t, s])
+    return DiGraph(src, dst, n, validate=False)
+
+
+def path(num_vertices: int) -> DiGraph:
+    """Directed path ``0 -> 1 -> ... -> n-1``."""
+    if num_vertices < 1:
+        raise ValueError("path needs at least one vertex")
+    s = np.arange(num_vertices - 1, dtype=np.int64)
+    return DiGraph(s, s + 1, num_vertices, validate=False)
+
+
+def cycle(num_vertices: int) -> DiGraph:
+    """Directed cycle on ``num_vertices`` vertices."""
+    if num_vertices < 1:
+        raise ValueError("cycle needs at least one vertex")
+    s = np.arange(num_vertices, dtype=np.int64)
+    return DiGraph(s, (s + 1) % num_vertices, num_vertices, validate=False)
+
+
+def star(num_leaves: int, *, outward: bool = True) -> DiGraph:
+    """Star with center 0; ``outward`` chooses the edge direction."""
+    if num_leaves < 0:
+        raise ValueError("num_leaves must be non-negative")
+    leaves = np.arange(1, num_leaves + 1, dtype=np.int64)
+    center = np.zeros(num_leaves, dtype=np.int64)
+    if outward:
+        return DiGraph(center, leaves, num_leaves + 1, validate=False)
+    return DiGraph(leaves, center, num_leaves + 1, validate=False)
+
+
+def complete(num_vertices: int, *, self_loops: bool = False) -> DiGraph:
+    """Complete directed graph."""
+    if num_vertices < 0:
+        raise ValueError("num_vertices must be non-negative")
+    s, t = np.meshgrid(
+        np.arange(num_vertices, dtype=np.int64),
+        np.arange(num_vertices, dtype=np.int64),
+        indexing="ij",
+    )
+    s, t = s.ravel(), t.ravel()
+    if not self_loops:
+        keep = s != t
+        s, t = s[keep], t[keep]
+    return DiGraph(s, t, num_vertices, validate=False)
+
+
+def grid2d(rows: int, cols: int) -> DiGraph:
+    """Bidirectional 2-D lattice without shortcuts (deterministic)."""
+    return road_network(rows, cols, shortcut_fraction=0.0)
+
+
+def random_weights(
+    graph: DiGraph,
+    *,
+    low: float = 1.0,
+    high: float = 100.0,
+    integer: bool = True,
+    seed: int | np.random.Generator | None = 0,
+) -> DiGraph:
+    """Attach uniform random weights in ``[low, high)`` to every edge."""
+    rng = _as_rng(seed)
+    if integer:
+        w = rng.integers(int(low), int(high), size=graph.num_edges).astype(
+            np.float64
+        )
+    else:
+        w = rng.uniform(low, high, size=graph.num_edges)
+    return graph.with_weights(w)

@@ -1,0 +1,92 @@
+"""Shard-size (|N|) auto-selection (paper section 4, "Selecting shard size").
+
+The paper derives the average window size ``|E| * N^2 / |V|^2`` (section 3.2)
+and picks ``N`` so this equals the warp size (32), then clamps ``N`` to what
+fits the per-block shared-memory quota (total SM shared memory divided by the
+number of resident blocks desired).
+
+:func:`select_shard_size` reproduces that procedure and returns a
+:class:`ShardingPlan` carrying the chosen ``N`` plus the derived quantities
+the engines and benchmarks report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.graph.digraph import DiGraph
+
+__all__ = ["ShardingPlan", "select_shard_size"]
+
+
+@dataclass(frozen=True)
+class ShardingPlan:
+    """Outcome of shard-size selection.
+
+    Attributes
+    ----------
+    vertices_per_shard:
+        The chosen ``|N|``.
+    num_shards:
+        ``ceil(|V| / N)``.
+    expected_window_size:
+        The analytic estimate ``|E| * N^2 / |V|^2`` at the chosen ``N``.
+    shared_mem_limited:
+        True when the shared-memory cap, not the window-size target, decided
+        ``N``.
+    """
+
+    vertices_per_shard: int
+    num_shards: int
+    expected_window_size: float
+    shared_mem_limited: bool
+
+
+def select_shard_size(
+    graph: DiGraph,
+    *,
+    target_window_size: int = 32,
+    shared_mem_per_block_bytes: int = 24 * 1024,
+    vertex_value_bytes: int = 4,
+    warp_size: int = 32,
+    min_vertices_per_shard: int | None = None,
+) -> ShardingPlan:
+    """Choose ``|N|`` for ``graph`` following the paper's procedure.
+
+    Parameters
+    ----------
+    target_window_size:
+        Desired average window size; the paper uses the warp size (32).
+    shared_mem_per_block_bytes:
+        Shared memory available to one block (SM shared memory divided by
+        resident blocks; the paper's example is 48 KB / 2 = 24 KB).
+    vertex_value_bytes:
+        Size of one (local) vertex value kept in shared memory.
+    warp_size:
+        ``N`` is rounded to a multiple of this so blocks map cleanly onto
+        warps.
+    min_vertices_per_shard:
+        Floor for ``N`` (defaults to ``warp_size``).
+    """
+    if min_vertices_per_shard is None:
+        min_vertices_per_shard = warp_size
+    n, m = graph.num_vertices, graph.num_edges
+    cap = max(warp_size, shared_mem_per_block_bytes // max(1, vertex_value_bytes))
+    cap = (cap // warp_size) * warp_size
+
+    if n == 0 or m == 0:
+        # Degenerate graphs: one shard covering everything (bounded by cap).
+        N = min(cap, max(min_vertices_per_shard, warp_size))
+        S = max(1, -(-n // N))
+        return ShardingPlan(N, S, 0.0, False)
+
+    # Window-size target: 32 = m * N^2 / n^2  =>  N = n * sqrt(32 / m).
+    n_target = n * math.sqrt(target_window_size / m)
+    N = int(round(n_target / warp_size)) * warp_size
+    N = max(min_vertices_per_shard, N)
+    limited = N > cap
+    N = min(N, cap)
+    S = max(1, -(-n // N))
+    expected = m * (N / n) ** 2
+    return ShardingPlan(N, S, expected, limited)

@@ -1,0 +1,99 @@
+"""Graph analytics backing Figures 1 and 11 of the paper.
+
+- :func:`degree_distribution` — the (degree, vertex-count) series of
+  Figure 1.
+- :func:`window_size_histogram` — the frequency-of-window-sizes series of
+  Figure 11, for a given :class:`~repro.graph.shards.GShards`.
+- :func:`graph_summary` — the |V| / |E| / sparsity row of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.graph.shards import GShards
+
+__all__ = [
+    "degree_distribution",
+    "window_size_histogram",
+    "window_size_stats",
+    "graph_summary",
+    "GraphSummary",
+]
+
+
+def degree_distribution(
+    graph: DiGraph, *, direction: str = "in"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(degrees, counts)`` — how many vertices have each degree.
+
+    ``direction`` is ``"in"``, ``"out"``, or ``"total"``.  Degrees with zero
+    vertices are omitted, matching the log-log scatter of Figure 1.
+    """
+    if direction == "in":
+        deg = graph.in_degrees()
+    elif direction == "out":
+        deg = graph.out_degrees()
+    elif direction == "total":
+        deg = graph.in_degrees() + graph.out_degrees()
+    else:
+        raise ValueError(f"unknown direction {direction!r}")
+    counts = np.bincount(deg)
+    degrees = np.nonzero(counts)[0]
+    return degrees.astype(np.int64), counts[degrees].astype(np.int64)
+
+
+def window_size_histogram(
+    shards: GShards, *, max_size: int = 128
+) -> tuple[np.ndarray, np.ndarray]:
+    """Frequency of window sizes from 0 to ``max_size`` (Figure 11).
+
+    Window sizes above ``max_size`` are clipped into the last bin, matching
+    the paper's 0..128 x-axis.
+    """
+    sizes = shards.window_sizes().ravel()
+    clipped = np.minimum(sizes, max_size)
+    counts = np.bincount(clipped, minlength=max_size + 1)
+    return np.arange(max_size + 1, dtype=np.int64), counts.astype(np.int64)
+
+
+def window_size_stats(shards: GShards) -> dict[str, float]:
+    """Summary statistics of the window-size distribution."""
+    sizes = shards.window_sizes().ravel()
+    if sizes.size == 0:
+        return {"mean": 0.0, "median": 0.0, "max": 0.0, "frac_below_warp": 0.0}
+    return {
+        "mean": float(sizes.mean()),
+        "median": float(np.median(sizes)),
+        "max": float(sizes.max()),
+        "frac_below_warp": float(np.mean(sizes < 32)),
+    }
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """One row of Table 1."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    average_degree: float
+    max_in_degree: int
+    max_out_degree: int
+
+
+def graph_summary(graph: DiGraph, name: str = "") -> GraphSummary:
+    """Compute the Table 1 row for ``graph``."""
+    in_deg = graph.in_degrees()
+    out_deg = graph.out_degrees()
+    return GraphSummary(
+        name=name,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        average_degree=graph.average_degree(),
+        max_in_degree=int(in_deg.max(initial=0)),
+        max_out_degree=int(out_deg.max(initial=0)),
+    )

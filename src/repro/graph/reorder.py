@@ -1,0 +1,114 @@
+"""Vertex reordering strategies.
+
+The paper's related-work section (§6) discusses data reordering as the
+classic remedy for non-coalesced accesses ([27], [29]) and positions
+G-Shards/CW as a representation-level alternative.  This module implements
+the standard reorderings so that claim can be tested quantitatively (see
+``benchmarks/bench_ablation_reordering.py``): how much of VWC-CSR's
+coalescing gap can relabeling close, compared to switching representation?
+
+- :func:`degree_sort` — relabel by descending in-degree (hub clustering);
+- :func:`bfs_order` — relabel by BFS discovery order from a high-degree
+  root (locality of neighborhoods);
+- :func:`random_relabel` — destroy locality (worst case / control);
+- :func:`apply_relabeling` — rewrite a graph under a permutation.
+
+All functions return a new :class:`~repro.graph.digraph.DiGraph` plus the
+permutation used (``perm[old_id] = new_id``), so results can be mapped back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "apply_relabeling",
+    "degree_sort",
+    "bfs_order",
+    "random_relabel",
+]
+
+
+def apply_relabeling(
+    graph: DiGraph, perm: np.ndarray
+) -> DiGraph:
+    """Rewrite ``graph`` with vertex ``v`` renamed to ``perm[v]``."""
+    perm = np.asarray(perm, dtype=np.int64)
+    if perm.shape != (graph.num_vertices,):
+        raise ValueError("perm must have one entry per vertex")
+    if np.sort(perm).tolist() != list(range(graph.num_vertices)):
+        raise ValueError("perm must be a permutation of the vertex ids")
+    return DiGraph(
+        perm[graph.src],
+        perm[graph.dst],
+        graph.num_vertices,
+        graph.weights,
+        validate=False,
+    )
+
+
+def degree_sort(
+    graph: DiGraph, *, direction: str = "in", descending: bool = True
+) -> tuple[DiGraph, np.ndarray]:
+    """Relabel vertices by degree; hubs get the lowest (or highest) ids.
+
+    Clustering high-degree vertices makes the hot region of
+    ``VertexValues`` compact, which increases the chance that a warp's
+    gathers share memory sectors.
+    """
+    if direction == "in":
+        deg = graph.in_degrees()
+    elif direction == "out":
+        deg = graph.out_degrees()
+    else:
+        raise ValueError(f"unknown direction {direction!r}")
+    order = np.argsort(-deg if descending else deg, kind="stable")
+    perm = np.empty(graph.num_vertices, dtype=np.int64)
+    perm[order] = np.arange(graph.num_vertices)
+    return apply_relabeling(graph, perm), perm
+
+
+def bfs_order(
+    graph: DiGraph, *, root: int | None = None
+) -> tuple[DiGraph, np.ndarray]:
+    """Relabel vertices in BFS discovery order over the symmetrized graph.
+
+    Neighborhoods become contiguous id ranges — the relabeling CSR-based
+    systems use to claw back locality.  Unreached vertices keep their
+    relative order after all reached ones.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return graph, np.empty(0, dtype=np.int64)
+    if root is None:
+        root = int(np.argmax(graph.out_degrees()))
+    sym = graph.symmetrized()
+    order = np.full(n, -1, dtype=np.int64)
+    seen = np.zeros(n, dtype=bool)
+    seen[root] = True
+    frontier = np.array([root], dtype=np.int64)
+    next_id = 0
+    src, dst = sym.src.astype(np.int64), sym.dst.astype(np.int64)
+    while frontier.size:
+        order[frontier] = np.arange(next_id, next_id + frontier.size)
+        next_id += frontier.size
+        on = np.zeros(n, dtype=bool)
+        on[frontier] = True
+        cand = np.unique(dst[on[src]])
+        fresh = cand[~seen[cand]]
+        seen[fresh] = True
+        frontier = fresh
+    rest = np.flatnonzero(order < 0)
+    order[rest] = np.arange(next_id, next_id + rest.size)
+    return apply_relabeling(graph, order), order
+
+
+def random_relabel(
+    graph: DiGraph, *, seed: int = 0
+) -> tuple[DiGraph, np.ndarray]:
+    """Shuffle vertex ids uniformly (locality-destroying control)."""
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(graph.num_vertices).astype(np.int64)
+    return apply_relabeling(graph, perm), perm

@@ -1,0 +1,14 @@
+"""Experiment harness.
+
+- :mod:`repro.harness.runner` — engine factories, scaled hardware specs, and
+  a memoizing grid runner shared by all benchmarks.
+- :mod:`repro.harness.tables` — plain-text table formatting that mimics the
+  paper's layout.
+- :mod:`repro.harness.experiments` — one driver per paper table/figure (the
+  per-experiment index in DESIGN.md maps each to its regenerating benchmark).
+"""
+
+from repro.harness.runner import GridRunner, scaled_spec
+from repro.harness.tables import format_table, fmt_range
+
+__all__ = ["GridRunner", "scaled_spec", "format_table", "fmt_range"]

@@ -1,0 +1,120 @@
+"""Terminal plotting helpers (ASCII) for benches and examples.
+
+The repository is terminal-first (no matplotlib dependency); these helpers
+render the paper's figure *shapes* directly in text: horizontal bar charts
+for the efficiency/speedup figures, sparklines for convergence traces, and
+log-log scatter strips for degree distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = ["hbar_chart", "sparkline", "log_histogram", "trace_plot"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def _bar(value: float, vmax: float, width: int) -> str:
+    if vmax <= 0:
+        return ""
+    frac = max(0.0, min(1.0, value / vmax))
+    whole, rem = divmod(frac * width, 1)
+    bar = "█" * int(whole)
+    if rem > 0 and len(bar) < width:
+        bar += _BLOCKS[int(rem * (len(_BLOCKS) - 1))]
+    return bar
+
+
+def hbar_chart(
+    items: Sequence[tuple[str, float]],
+    *,
+    width: int = 40,
+    fmt: str = "{:.2f}",
+    title: str | None = None,
+) -> str:
+    """Labeled horizontal bar chart.
+
+    >>> print(hbar_chart([("a", 1.0), ("b", 0.5)], width=4))
+    a 1.00 ████
+    b 0.50 ██
+    """
+    if not items:
+        return title or ""
+    vmax = max(v for _, v in items)
+    label_w = max(len(k) for k, _ in items)
+    val_w = max(len(fmt.format(v)) for _, v in items)
+    lines = [] if title is None else [title]
+    for label, value in items:
+        lines.append(
+            f"{label.ljust(label_w)} {fmt.format(value).rjust(val_w)} "
+            f"{_bar(value, vmax, width)}"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Iterable[float]) -> str:
+    """One-line sparkline of a numeric series.
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▅█'
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _SPARKS[0] * len(vals)
+    out = []
+    for v in vals:
+        idx = int((v - lo) / (hi - lo) * (len(_SPARKS) - 1))
+        out.append(_SPARKS[idx])
+    return "".join(out)
+
+
+def log_histogram(
+    pairs: Sequence[tuple[float, float]],
+    *,
+    width: int = 40,
+    max_rows: int = 12,
+    title: str | None = None,
+) -> str:
+    """Log-scale bar rendering of ``(x, count)`` pairs (Figure 1 style).
+
+    Counts are compressed with log10 so heavy tails stay visible; at most
+    ``max_rows`` evenly-sampled rows are drawn.
+    """
+    if not pairs:
+        return title or ""
+    if len(pairs) > max_rows:
+        step = len(pairs) / max_rows
+        pairs = [pairs[int(i * step)] for i in range(max_rows)]
+    logs = [(x, math.log10(1 + c)) for x, c in pairs]
+    vmax = max(v for _, v in logs)
+    lines = [] if title is None else [title]
+    for (x, raw), (_, lv) in zip(pairs, logs):
+        lines.append(
+            f"{x:>8g} |{_bar(lv, vmax, width)} {raw:g}"
+        )
+    return "\n".join(lines)
+
+
+def trace_plot(
+    traces: dict[str, Sequence[tuple[float, int]]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Figure 7-style convergence comparison: per engine, a sparkline of
+    vertices-updated per iteration plus the time span."""
+    lines = [] if title is None else [title]
+    label_w = max((len(k) for k in traces), default=0)
+    for engine, pts in traces.items():
+        updates = [u for _, u in pts]
+        end = pts[-1][0] if pts else 0.0
+        lines.append(
+            f"{engine.ljust(label_w)} {sparkline(updates)} "
+            f"({len(pts)} iters, {end:.3f} ms)"
+        )
+    return "\n".join(lines)

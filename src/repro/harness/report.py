@@ -1,0 +1,71 @@
+"""One-shot full evaluation report.
+
+:func:`generate_report` renders every table and figure against one
+memoizing :class:`~repro.harness.runner.GridRunner` and stitches them into
+a single markdown-ish text document — the quickest way to eyeball the whole
+reproduction (also reachable as ``python -m repro experiments all``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+from repro.harness import experiments as E
+from repro.harness.runner import GridRunner
+from repro.harness.tables import banner
+
+__all__ = ["generate_report", "write_report"]
+
+
+def generate_report(
+    runner: GridRunner,
+    *,
+    include_rmat_study: bool = True,
+) -> str:
+    """Render the full evaluation.
+
+    ``include_rmat_study=False`` skips Figures 11-13 (the R-MAT grid is the
+    most expensive part) for a quick look at the Table-1-suite results.
+    """
+    scale = runner.scale
+    sections: list[tuple[str, str]] = [
+        ("Inputs", E.render_table1(scale)),
+        ("Degree distributions", E.render_fig1(scale)),
+        ("Programming interfaces", E.render_table3()),
+        ("VWC-CSR efficiency", E.render_table2(runner)),
+        ("Running times", E.render_table4(runner)),
+        ("Running times (kernel only)",
+         E.render_table4(runner, kernel_only=True)),
+        ("Speedups over VWC-CSR", E.render_table5(runner)),
+        ("Speedups over MTCPU-CSR", E.render_table6(runner)),
+        ("BFS TEPS", E.render_table7(runner)),
+        ("BFS convergence traces", E.render_fig7(runner)),
+        ("Profiled efficiencies", E.render_fig8(runner)),
+        ("Memory footprint", E.render_fig9(scale)),
+        ("Time breakdown", E.render_fig10(runner)),
+    ]
+    if include_rmat_study:
+        sections += [
+            ("Window-size distributions", E.render_fig11(scale)),
+            ("GS vs CW sensitivity", E.render_fig12(scale)),
+            ("CW vs VWC on R-MAT", E.render_fig13(scale)),
+        ]
+    header = banner(
+        f"CuSha reproduction — full evaluation (scale 1/{scale}, "
+        f"generated {time.strftime('%Y-%m-%d %H:%M:%S')})"
+    )
+    body = "\n\n".join(f"{banner(title)}\n{text}" for title, text in sections)
+    return f"{header}\n\n{body}\n"
+
+
+def write_report(
+    runner: GridRunner,
+    path: str | pathlib.Path,
+    **kwargs,
+) -> pathlib.Path:
+    """Generate and save the report; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(generate_report(runner, **kwargs), encoding="utf-8")
+    return path

@@ -1,0 +1,57 @@
+"""Plain-text table rendering for the benchmark regenerators.
+
+The goal is a terminal rendition of the paper's tables: same rows, same
+columns, values from the simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "fmt_range", "fmt_ms", "fmt_speedup", "banner"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def fmt_ms(value: float) -> str:
+    """Milliseconds with sensible precision."""
+    if value >= 100:
+        return f"{value:.0f}"
+    if value >= 1:
+        return f"{value:.1f}"
+    return f"{value:.3f}"
+
+
+def fmt_range(lo: float, hi: float, unit: str = "") -> str:
+    """The paper's ``min-max`` range notation."""
+    return f"{fmt_ms(lo)}-{fmt_ms(hi)}{unit}"
+
+
+def fmt_speedup(lo: float, hi: float) -> str:
+    return f"{lo:.2f}x-{hi:.2f}x"
+
+
+def banner(text: str) -> str:
+    bar = "=" * max(len(text), 8)
+    return f"{bar}\n{text}\n{bar}"

@@ -1,0 +1,21 @@
+"""Golden reference answers (independent oracles for the test-suite)."""
+
+from repro.reference.golden import (
+    bfs_levels,
+    sssp_distances,
+    widest_paths,
+    component_min_labels,
+    ancestor_min_labels,
+    pagerank_fixpoint,
+    circuit_voltages,
+)
+
+__all__ = [
+    "bfs_levels",
+    "sssp_distances",
+    "widest_paths",
+    "component_min_labels",
+    "ancestor_min_labels",
+    "pagerank_fixpoint",
+    "circuit_voltages",
+]

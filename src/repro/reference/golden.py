@@ -1,0 +1,176 @@
+"""Independent golden answers for the eight benchmarks.
+
+None of these share code with the engines: BFS is a frontier sweep over the
+*edge list*, SSSP/CC go through :mod:`scipy.sparse.csgraph`, SSWP is a
+textbook max-min Dijkstra on a heap, PageRank and Circuit Simulation are
+direct sparse linear solves of their fixpoint equations, and the
+ancestor-label oracle for directed CC walks reachability with networkx.
+The test-suite compares every engine against these on randomized graphs.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.csgraph as csgraph
+
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "bfs_levels",
+    "sssp_distances",
+    "widest_paths",
+    "component_min_labels",
+    "ancestor_min_labels",
+    "pagerank_fixpoint",
+    "circuit_voltages",
+]
+
+_INF = np.inf
+
+
+def bfs_levels(graph: DiGraph, source: int) -> np.ndarray:
+    """Hop distance from ``source`` along edge direction (inf = unreachable)."""
+    n = graph.num_vertices
+    levels = np.full(n, _INF)
+    levels[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    src = graph.src.astype(np.int64)
+    dst = graph.dst.astype(np.int64)
+    while frontier.size:
+        level += 1
+        on_frontier = np.zeros(n, dtype=bool)
+        on_frontier[frontier] = True
+        candidates = dst[on_frontier[src]]
+        fresh = candidates[levels[candidates] == _INF]
+        if fresh.size == 0:
+            break
+        fresh = np.unique(fresh)
+        levels[fresh] = level
+        frontier = fresh
+    return levels
+
+
+def sssp_distances(graph: DiGraph, source: int) -> np.ndarray:
+    """Dijkstra distances from ``source`` (inf = unreachable)."""
+    weights = (
+        np.ones(graph.num_edges) if graph.weights is None else graph.weights
+    )
+    n = graph.num_vertices
+    # Parallel edges: keep the minimum weight (csr_matrix would *sum* them).
+    dedup: dict[tuple[int, int], float] = {}
+    for s, d, w in zip(graph.src.tolist(), graph.dst.tolist(), weights.tolist()):
+        k = (s, d)
+        if k not in dedup or w < dedup[k]:
+            dedup[k] = float(w)
+    if dedup:
+        rows, cols = zip(*dedup.keys())
+        adj = sp.csr_matrix((list(dedup.values()), (rows, cols)), shape=(n, n))
+    else:
+        adj = sp.csr_matrix((n, n))
+    return csgraph.dijkstra(adj, directed=True, indices=source)
+
+
+def widest_paths(graph: DiGraph, source: int) -> np.ndarray:
+    """Maximum-bottleneck path width from ``source`` (0 = unreachable,
+    inf at the source itself) — max-min Dijkstra on a heap."""
+    n = graph.num_vertices
+    weights = (
+        np.ones(graph.num_edges) if graph.weights is None else graph.weights
+    )
+    out_adj: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+    for s, d, w in zip(graph.src.tolist(), graph.dst.tolist(), weights.tolist()):
+        out_adj[s].append((d, w))
+    width = np.zeros(n)
+    width[source] = _INF
+    heap = [(-_INF, source)]
+    done = np.zeros(n, dtype=bool)
+    while heap:
+        negw, v = heapq.heappop(heap)
+        if done[v]:
+            continue
+        done[v] = True
+        for u, w in out_adj[v]:
+            cand = min(-negw, w)
+            if cand > width[u]:
+                width[u] = cand
+                heapq.heappush(heap, (-cand, u))
+    return width
+
+
+def component_min_labels(graph: DiGraph) -> np.ndarray:
+    """For a *symmetric* graph: each vertex's weakly-connected-component
+    label, canonicalized to the minimum vertex index in the component."""
+    n = graph.num_vertices
+    adj = sp.csr_matrix(
+        (np.ones(graph.num_edges), (graph.src, graph.dst)), shape=(n, n)
+    )
+    _, comp = csgraph.connected_components(adj, directed=False)
+    mins = np.full(comp.max() + 1 if n else 1, n, dtype=np.int64)
+    np.minimum.at(mins, comp, np.arange(n, dtype=np.int64))
+    return mins[comp]
+
+
+def ancestor_min_labels(graph: DiGraph) -> np.ndarray:
+    """Directed min-label-propagation fixpoint: for every vertex, the minimum
+    index over itself and all vertices that can reach it.  O(V·E); intended
+    for small test graphs only."""
+    import networkx as nx
+
+    g = graph.to_networkx()
+    labels = np.arange(graph.num_vertices, dtype=np.int64)
+    for u in range(graph.num_vertices):
+        for v in nx.descendants(g, u):
+            labels[v] = min(labels[v], u)
+    return labels
+
+
+def pagerank_fixpoint(graph: DiGraph, damping: float = 0.85) -> np.ndarray:
+    """Exact fixpoint of the paper's unnormalized PageRank:
+    ``r = (1 - d) 1 + d · P r`` with ``P[v, u] = 1/outdeg(u)`` for edges
+    ``u -> v``, solved directly."""
+    n = graph.num_vertices
+    outdeg = graph.out_degrees().astype(np.float64)
+    inv = np.zeros(n)
+    nz = outdeg > 0
+    inv[nz] = 1.0 / outdeg[nz]
+    data = inv[graph.src]
+    p = sp.csr_matrix((data, (graph.dst, graph.src)), shape=(n, n))
+    a = sp.eye(n, format="csr") - damping * p
+    b = np.full(n, 1.0 - damping)
+    return sp.linalg.spsolve(a.tocsc(), b)
+
+
+def circuit_voltages(
+    graph: DiGraph,
+    conductances: np.ndarray,
+    sources: tuple[tuple[int, float], ...],
+) -> np.ndarray:
+    """Exact fixpoint of the CS relaxation: pinned sources keep their
+    voltage; every other vertex with inflow satisfies
+    ``V_v = Σ G_e V_src(e) / Σ G_e``; vertices with no inflow stay 0."""
+    n = graph.num_vertices
+    pinned = np.zeros(n, dtype=bool)
+    voltage = np.zeros(n)
+    for v, volt in sources:
+        pinned[v] = True
+        voltage[v] = volt
+    gsum = np.zeros(n)
+    np.add.at(gsum, graph.dst, conductances)
+    w = sp.csr_matrix(
+        (conductances, (graph.dst, graph.src)), shape=(n, n)
+    ).tolil()
+    a = sp.eye(n, format="lil")
+    b = np.zeros(n)
+    for v in range(n):
+        if pinned[v]:
+            b[v] = voltage[v]
+        elif gsum[v] > 0:
+            a[v, :] = -w[v, :] / gsum[v]
+            a[v, v] += 1.0
+            b[v] = 0.0
+        # no inflow: V stays 0 (identity row, b = 0)
+    return sp.linalg.spsolve(sp.csr_matrix(a).tocsc(), b)

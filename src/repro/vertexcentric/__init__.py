@@ -1,0 +1,14 @@
+"""The CuSha programming model.
+
+Users describe an algorithm as a :class:`VertexProgram`: the paper's
+``Vertex`` / ``StaticVertex`` / ``Edge`` structs become NumPy structured
+dtypes, and the ``init_compute`` / ``compute`` / ``update_condition`` device
+functions become methods (in both the paper's scalar form, used by the
+reference engine and the docs, and a vectorized form the simulated engines
+execute).  See :mod:`repro.algorithms` for the paper's eight programs.
+"""
+
+from repro.vertexcentric.program import VertexProgram, ReduceOp
+from repro.vertexcentric.datatypes import UINT_INF, vertex_dtype
+
+__all__ = ["VertexProgram", "ReduceOp", "UINT_INF", "vertex_dtype"]

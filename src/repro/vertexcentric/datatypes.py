@@ -1,0 +1,33 @@
+"""Struct dtypes and sentinel values for vertex programs.
+
+The paper's device structs are plain C structs of 4-byte members; here they
+are NumPy structured dtypes, which gives the engines flat per-field arrays
+(SoA on the simulated device) and gives the memory model exact byte sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["UINT_INF", "vertex_dtype", "field_bytes"]
+
+UINT_INF = np.uint32(0xFFFFFFFF)
+"""The paper's ``INF`` sentinel for unsigned 4-byte vertex values."""
+
+
+def vertex_dtype(**fields: type | str) -> np.dtype:
+    """Build a structured dtype from ``name=type`` pairs.
+
+    >>> vertex_dtype(dist=np.uint32).itemsize
+    4
+    >>> vertex_dtype(q=np.float32, q_new=np.float32).names
+    ('q', 'q_new')
+    """
+    if not fields:
+        raise ValueError("a vertex dtype needs at least one field")
+    return np.dtype([(name, np.dtype(t)) for name, t in fields.items()])
+
+
+def field_bytes(dtype: np.dtype, name: str) -> int:
+    """Byte size of one field of a structured dtype."""
+    return dtype.fields[name][0].itemsize

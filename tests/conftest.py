@@ -1,0 +1,58 @@
+"""Shared fixtures and graph factories for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import generators
+from repro.graph.digraph import DiGraph
+
+
+def paper_example_graph() -> DiGraph:
+    """An 8-vertex graph shaped like the paper's Figure 2(a) example:
+    every vertex has in-edges, vertex 2's in-neighbors are {1, 7}, and the
+    vertex set splits into two 4-vertex shards with all four windows
+    non-empty — the properties Figures 2-4 illustrate."""
+    edges = [
+        (0, 1), (1, 2), (7, 2), (2, 3), (0, 3), (4, 1), (5, 0),
+        (6, 5), (3, 4), (1, 4), (2, 5), (3, 6), (5, 7), (6, 7),
+    ]
+    weights = [float(3 + 2 * i) for i in range(len(edges))]
+    return DiGraph.from_edges(edges, num_vertices=8, weights=weights)
+
+
+def random_graph(
+    seed: int,
+    n: int = 60,
+    m: int = 300,
+    *,
+    weighted: bool = True,
+    symmetric: bool = False,
+) -> DiGraph:
+    """Deterministic random multigraph for cross-engine comparisons."""
+    g = generators.erdos_renyi(n, m, seed=seed)
+    if symmetric:
+        g = g.symmetrized()
+    if weighted:
+        g = generators.random_weights(g, seed=seed + 1)
+    return g
+
+
+@pytest.fixture
+def example_graph() -> DiGraph:
+    return paper_example_graph()
+
+
+@pytest.fixture
+def rmat_small() -> DiGraph:
+    return generators.random_weights(
+        generators.rmat(256, 2048, seed=9), seed=10
+    )
+
+
+@pytest.fixture
+def road_small() -> DiGraph:
+    return generators.random_weights(
+        generators.road_network(12, 12, seed=3), seed=4
+    )

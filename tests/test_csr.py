@@ -1,0 +1,105 @@
+"""Unit tests for the CSR representation (paper section 2)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators
+from repro.graph.csr import CSR
+from repro.graph.digraph import DiGraph
+
+
+class TestStructure:
+    def test_offsets_shape_and_bounds(self, example_graph):
+        csr = CSR.from_graph(example_graph)
+        assert csr.in_edge_idxs.shape == (9,)
+        assert csr.in_edge_idxs[0] == 0
+        assert csr.in_edge_idxs[-1] == example_graph.num_edges
+
+    def test_offsets_monotone(self, rmat_small):
+        csr = CSR.from_graph(rmat_small)
+        assert (np.diff(csr.in_edge_idxs) >= 0).all()
+
+    def test_in_degree_matches_graph(self, rmat_small):
+        csr = CSR.from_graph(rmat_small)
+        deg = rmat_small.in_degrees()
+        for v in [0, 1, 17, 100, 255]:
+            assert csr.in_degree(v) == deg[v]
+
+    def test_paper_figure2_neighborhood_of_vertex_2(self, example_graph):
+        """The paper's example: vertex 2's in-neighbors are vertices 1 and 7."""
+        csr = CSR.from_graph(example_graph)
+        assert sorted(csr.in_neighbors(2).tolist()) == [1, 7]
+
+    def test_sources_sorted_within_group(self, rmat_small):
+        csr = CSR.from_graph(rmat_small)
+        for v in range(0, 256, 37):
+            nbrs = csr.in_neighbors(v)
+            assert (np.diff(nbrs.astype(np.int64)) >= 0).all()
+
+    def test_edge_positions_form_permutation(self, rmat_small):
+        csr = CSR.from_graph(rmat_small)
+        assert np.array_equal(
+            np.sort(csr.edge_positions), np.arange(rmat_small.num_edges)
+        )
+
+    def test_slots_reference_original_edges(self, example_graph):
+        csr = CSR.from_graph(example_graph)
+        dests = csr.destinations()
+        for slot in range(csr.num_edges):
+            eid = csr.edge_positions[slot]
+            assert example_graph.src[eid] == csr.src_indxs[slot]
+            assert example_graph.dst[eid] == dests[slot]
+
+    def test_empty_graph(self):
+        csr = CSR.from_graph(DiGraph.empty(5))
+        assert csr.num_edges == 0
+        assert csr.in_edge_idxs.tolist() == [0] * 6
+
+    def test_validation_rejects_bad_offsets(self):
+        with pytest.raises(ValueError):
+            CSR(2, np.array([0, 1]), np.array([0], dtype=np.int32),
+                np.array([0]))
+        with pytest.raises(ValueError):
+            CSR(1, np.array([1, 1]), np.empty(0, dtype=np.int32),
+                np.empty(0, dtype=np.int64))
+
+
+class TestEdgeValues:
+    def test_gather_edge_values(self, example_graph):
+        csr = CSR.from_graph(example_graph)
+        gathered = csr.gather_edge_values(example_graph.weights)
+        dests = csr.destinations()
+        for slot in [0, 3, 7, 13]:
+            eid = csr.edge_positions[slot]
+            assert gathered[slot] == example_graph.weights[eid]
+        assert dests.shape == gathered.shape
+
+    def test_gather_rejects_wrong_length(self, example_graph):
+        csr = CSR.from_graph(example_graph)
+        with pytest.raises(ValueError):
+            csr.gather_edge_values(np.ones(3))
+
+    def test_in_edge_ids(self, example_graph):
+        csr = CSR.from_graph(example_graph)
+        ids = csr.in_edge_ids(2)
+        assert sorted(example_graph.dst[ids].tolist()) == [2, 2]
+
+
+class TestMemoryAccounting:
+    def test_formula(self):
+        g = generators.rmat(100, 1000, seed=0)
+        csr = CSR.from_graph(g)
+        expected = 100 * 4 + 101 * 4 + 1000 * 4 + 1000 * 4
+        assert csr.memory_bytes(4, 4) == expected
+
+    def test_static_vertex_bytes_add_per_vertex(self):
+        g = generators.rmat(100, 1000, seed=0)
+        csr = CSR.from_graph(g)
+        assert csr.memory_bytes(4, 0, static_vertex_bytes=4) == (
+            csr.memory_bytes(4, 0) + 400
+        )
+
+    def test_grows_with_edge_value_size(self):
+        g = generators.rmat(100, 1000, seed=0)
+        csr = CSR.from_graph(g)
+        assert csr.memory_bytes(4, 8) > csr.memory_bytes(4, 4)

@@ -1,0 +1,108 @@
+"""Unit tests for the Concatenated Windows representation (paper §3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators
+from repro.graph.cw import ConcatenatedWindows
+from repro.graph.shards import GShards
+
+
+class TestMapper:
+    def test_mapper_is_a_permutation(self, rmat_small):
+        cw = ConcatenatedWindows.from_graph(rmat_small, 40)
+        assert np.array_equal(
+            np.sort(cw.mapper), np.arange(rmat_small.num_edges)
+        )
+
+    def test_cw_src_index_matches_mapped_entries(self, rmat_small):
+        cw = ConcatenatedWindows.from_graph(rmat_small, 40)
+        assert np.array_equal(
+            cw.shards.src_index[cw.mapper], cw.cw_src_index
+        )
+
+    def test_cw_groups_hold_own_shards_sources(self, rmat_small):
+        """CW_i contains exactly the entries whose source lives in shard i."""
+        cw = ConcatenatedWindows.from_graph(rmat_small, 40)
+        N = cw.vertices_per_shard
+        for i in range(cw.num_shards):
+            s = cw.cw_src_index[cw.cw_slice(i)].astype(np.int64)
+            assert ((s // N) == i).all()
+
+    def test_concatenation_ordered_by_destination_shard(self, rmat_small):
+        """Within CW_i the windows W_ij appear in increasing j (the paper's
+        'ordered by j')."""
+        cw = ConcatenatedWindows.from_graph(rmat_small, 40)
+        sh = cw.shards
+        dst_shard_of_pos = np.repeat(
+            np.arange(sh.num_shards), np.diff(sh.shard_offsets)
+        )
+        for i in range(cw.num_shards):
+            j_seq = dst_shard_of_pos[cw.mapper[cw.cw_slice(i)]]
+            assert (np.diff(j_seq) >= 0).all()
+
+    def test_positions_within_window_stay_ordered(self, rmat_small):
+        cw = ConcatenatedWindows.from_graph(rmat_small, 40)
+        sh = cw.shards
+        for i in range(cw.num_shards):
+            for j, start, stop in sh.windows_of(i):
+                if stop > start:
+                    segment = cw.mapper[cw.cw_slice(i)]
+                    inside = segment[(segment >= start) & (segment < stop)]
+                    assert np.array_equal(inside, np.arange(start, stop))
+
+    def test_paper_figure4_example(self, example_graph):
+        """Figure 4(c): CW_0 entries come first (W_00 then W_01), then CW_1
+        (W_10 then W_11), and the mapper restores the original positions."""
+        cw = ConcatenatedWindows.from_graph(example_graph, 4)
+        sh = cw.shards
+        sizes = sh.window_sizes()
+        assert cw.cw_size(0) == sizes[0, 0] + sizes[0, 1]
+        assert cw.cw_size(1) == sizes[1, 0] + sizes[1, 1]
+        w00 = sizes[0, 0]
+        first_group = cw.mapper[:w00]
+        assert np.array_equal(
+            first_group, np.arange(sh.window_offsets[0, 0], sh.window_offsets[0, 1])
+        )
+
+
+class TestOffsets:
+    def test_offsets_cover_all_entries(self, rmat_small):
+        cw = ConcatenatedWindows.from_graph(rmat_small, 40)
+        assert cw.cw_offsets[0] == 0
+        assert cw.cw_offsets[-1] == rmat_small.num_edges
+        assert (np.diff(cw.cw_offsets) >= 0).all()
+
+    def test_cw_sizes_equal_window_column_sums(self, rmat_small):
+        cw = ConcatenatedWindows.from_graph(rmat_small, 40)
+        sizes = cw.shards.window_sizes()
+        for i in range(cw.num_shards):
+            assert cw.cw_size(i) == sizes[i, :].sum()
+
+    def test_delegated_properties(self, rmat_small):
+        cw = ConcatenatedWindows.from_graph(rmat_small, 40)
+        assert cw.num_vertices == rmat_small.num_vertices
+        assert cw.num_edges == rmat_small.num_edges
+        assert cw.vertices_per_shard == 40
+        assert cw.num_shards == cw.shards.num_shards
+
+
+class TestMemoryAccounting:
+    def test_adds_mapper_overhead_over_gshards(self, rmat_small):
+        """Paper: CW adds |E| * sizeof(index) bytes over G-Shards."""
+        sh = GShards(rmat_small, 64)
+        cw = ConcatenatedWindows(sh)
+        gs_bytes = sh.memory_bytes(4, 4)
+        cw_bytes = cw.memory_bytes(4, 4)
+        mapper = rmat_small.num_edges * 4
+        assert cw_bytes - gs_bytes >= mapper
+        assert cw_bytes - gs_bytes <= mapper + (cw.num_shards + 1) * 8
+
+    def test_ratio_to_csr_in_paper_band(self, rmat_small):
+        """Paper Figure 9: CW averages ~2.6x CSR."""
+        from repro.graph.csr import CSR
+
+        csr = CSR.from_graph(rmat_small)
+        cw = ConcatenatedWindows.from_graph(rmat_small, 64)
+        ratio = cw.memory_bytes(4, 4) / csr.memory_bytes(4, 4)
+        assert 1.8 < ratio < 3.6

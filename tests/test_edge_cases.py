@@ -1,0 +1,157 @@
+"""Edge-case and failure-injection tests across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import PROGRAM_NAMES, make_program
+from repro.frameworks import CuShaEngine, MTCPUEngine, VWCEngine
+from repro.graph import generators
+from repro.graph.csr import CSR
+from repro.graph.cw import ConcatenatedWindows
+from repro.graph.digraph import DiGraph
+from repro.graph.shards import GShards
+from repro.vertexcentric.datatypes import UINT_INF
+
+
+def tiny(name):
+    """A 3-vertex weighted graph with a self-loop and a parallel edge."""
+    g = DiGraph.from_edges(
+        [(0, 1), (0, 1), (1, 2), (2, 2)], num_vertices=3,
+        weights=[5.0, 3.0, 7.0, 1.0],
+    )
+    return g, make_program(name, g, **({"source": 0} if name in ("bfs", "sssp", "sswp") else {}))
+
+
+class TestSelfLoopsAndParallelEdges:
+    @pytest.mark.parametrize("engine_cls", [
+        lambda: CuShaEngine("cw", vertices_per_shard=2),
+        lambda: CuShaEngine("gs", vertices_per_shard=2),
+        lambda: VWCEngine(2),
+        lambda: MTCPUEngine(1),
+    ])
+    def test_sssp_uses_cheapest_parallel_edge(self, engine_cls):
+        g, p = tiny("sssp")
+        res = engine_cls().run(g, p)
+        assert res.values["dist"].tolist() == [0, 3, 10]
+
+    def test_bfs_self_loop_harmless(self):
+        g, p = tiny("bfs")
+        res = CuShaEngine("cw", vertices_per_shard=2).run(g, p)
+        assert res.values["level"].tolist() == [0, 1, 2]
+
+    def test_cc_self_loop_keeps_own_label(self):
+        g = DiGraph.from_edges([(1, 1)], num_vertices=2)
+        res = VWCEngine(8).run(g, make_program("cc", g))
+        assert res.values["cmpnent"].tolist() == [0, 1]
+
+
+class TestSingleVertexAndIsolated:
+    @pytest.mark.parametrize("name", PROGRAM_NAMES)
+    def test_single_vertex_graph(self, name):
+        g = DiGraph.empty(1)
+        kwargs = {"source": 0} if name in ("bfs", "sssp", "sswp") else {}
+        if name == "cs":
+            kwargs["sources"] = ((0, 1.0),)
+        p = make_program(name, g, **kwargs)
+        res = CuShaEngine("cw", vertices_per_shard=4).run(
+            g, p, max_iterations=50, allow_partial=True
+        )
+        assert res.values.shape == (1,)
+
+    def test_isolated_vertices_keep_initial_values(self):
+        g = DiGraph.from_edges([(0, 1)], num_vertices=10)
+        p = make_program("bfs", g, source=0)
+        res = VWCEngine(4).run(g, p)
+        assert (res.values["level"][2:] == UINT_INF).all()
+
+    def test_source_with_no_out_edges(self):
+        g = DiGraph.from_edges([(0, 1), (1, 2)], num_vertices=4)
+        p = make_program("bfs", g, source=3)
+        res = CuShaEngine("cw", vertices_per_shard=2).run(g, p)
+        levels = res.values["level"]
+        assert levels[3] == 0
+        assert (levels[:3] == UINT_INF).all()
+
+
+class TestShardBoundaryAlignment:
+    @pytest.mark.parametrize("n_per_shard", [1, 2, 3, 5, 7, 64])
+    def test_results_independent_of_shard_size(self, n_per_shard):
+        g = generators.random_weights(generators.rmat(50, 250, seed=17), seed=18)
+        p = make_program("sssp", g, source=0)
+        baseline = VWCEngine(8).run(g, p).values["dist"]
+        res = CuShaEngine("cw", vertices_per_shard=n_per_shard).run(g, p)
+        assert np.array_equal(res.values["dist"], baseline)
+
+    def test_shard_size_larger_than_graph(self):
+        g = generators.rmat(20, 80, seed=19)
+        p = make_program("cc", g)
+        res = CuShaEngine("gs", vertices_per_shard=1000).run(g, p)
+        assert res.converged
+
+    def test_representations_with_one_vertex_per_shard(self):
+        g = generators.rmat(16, 60, seed=20)
+        sh = GShards(g, 1)
+        assert sh.num_shards == 16
+        cw = ConcatenatedWindows(sh)
+        assert np.array_equal(np.sort(cw.mapper), np.arange(g.num_edges))
+
+
+class TestDegenerateGraphStructures:
+    def test_star_graph_one_iteration_per_level(self):
+        g = generators.star(100)  # all edges 0 -> leaf
+        p = make_program("bfs", g, source=0)
+        res = CuShaEngine("cw", vertices_per_shard=32).run(g, p)
+        assert (res.values["level"][1:] == 1).all()
+        assert res.iterations <= 3
+
+    def test_long_path_propagation(self):
+        g = generators.path(200)
+        p = make_program("bfs", g, source=0)
+        res = CuShaEngine("cw", vertices_per_shard=16).run(g, p)
+        assert np.array_equal(
+            res.values["level"], np.arange(200, dtype=np.uint32)
+        )
+
+    def test_cycle_cc_collapses_to_zero(self):
+        g = generators.cycle(50)
+        res = VWCEngine(2).run(g, make_program("cc", g))
+        assert (res.values["cmpnent"] == 0).all()
+
+    def test_complete_graph_single_hop(self):
+        g = generators.complete(40)
+        p = make_program("bfs", g, source=5)
+        res = CuShaEngine("gs", vertices_per_shard=8).run(g, p)
+        lv = res.values["level"]
+        assert lv[5] == 0 and (np.delete(lv, 5) == 1).all()
+
+    def test_csr_of_star_has_one_hot_degrees(self):
+        g = generators.star(10, outward=False)
+        csr = CSR.from_graph(g)
+        assert csr.in_degree(0) == 10
+        assert all(csr.in_degree(v) == 0 for v in range(1, 11))
+
+
+class TestNumericRobustness:
+    def test_sssp_distances_do_not_overflow(self):
+        """Worst path on the suite scale stays far below uint32 range."""
+        g = generators.random_weights(generators.path(1000), seed=0)
+        p = make_program("sssp", g, source=0)
+        res = CuShaEngine("cw", vertices_per_shard=64).run(g, p)
+        assert int(res.values["dist"][-1]) == int(g.weights.sum())
+        assert int(res.values["dist"][-1]) < 2**31
+
+    def test_pr_dangling_vertices_get_base_rank(self):
+        g = DiGraph.from_edges([(0, 1)], num_vertices=3)
+        p = make_program("pr", g, tolerance=1e-7)
+        res = VWCEngine(8).run(g, p, max_iterations=10_000)
+        # Vertex 2 has no in-edges: rank = 1 - d.
+        assert res.values["rank"][2] == pytest.approx(0.15, abs=1e-4)
+
+    def test_nn_saturation_does_not_diverge(self):
+        g = generators.random_weights(generators.complete(30), seed=3)
+        p = make_program("nn", g, tolerance=1e-4)
+        res = CuShaEngine("cw", vertices_per_shard=8).run(
+            g, p, max_iterations=20_000, allow_partial=True
+        )
+        assert np.isfinite(res.values["x"]).all()
+        assert (np.abs(res.values["x"]) <= 1.0).all()

@@ -1,0 +1,66 @@
+"""Smoke tests: every shipped example must run end-to-end.
+
+The heavy examples are exercised with reduced workloads by importing their
+main-module functions where possible; `quickstart` and `custom_algorithm`
+are cheap enough to run verbatim as subprocesses.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, timeout: int = 600) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "pagerank_webgraph.py",
+        "roadnetwork_sssp.py",
+        "custom_algorithm.py",
+        "heat_simulation.py",
+        "outofcore_streaming.py",
+    } <= names
+
+
+def test_quickstart_runs():
+    out = run_example("quickstart.py")
+    assert "converged" in out
+    assert "hardware report" in out
+
+
+def test_custom_algorithm_runs():
+    out = run_example("custom_algorithm.py")
+    assert "cross-check passed" in out
+
+
+@pytest.mark.slow
+def test_pagerank_webgraph_runs():
+    out = run_example("pagerank_webgraph.py")
+    assert "max |rank - exact|" in out
+
+
+@pytest.mark.slow
+def test_roadnetwork_sssp_runs():
+    out = run_example("roadnetwork_sssp.py")
+    assert "GS ms" in out
+
+
+@pytest.mark.slow
+def test_heat_simulation_runs():
+    out = run_example("heat_simulation.py")
+    assert "temperature" in out

@@ -1,0 +1,135 @@
+"""Tests for the extension programs (beyond the paper's Table 3)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.extensions import (
+    DegreeCentrality,
+    DirichletHeat,
+    MultiSourceBFS,
+)
+from repro.frameworks import CuShaEngine, ScalarReferenceEngine, VWCEngine
+from repro.reference import golden
+from repro.vertexcentric.datatypes import UINT_INF
+from tests.conftest import random_graph
+
+
+class TestMultiSourceBFS:
+    def test_each_field_matches_single_source_oracle(self):
+        g = random_graph(0, n=80, m=320, weighted=False)
+        seeds = (0, 5, 17, 42)
+        res = CuShaEngine("cw", vertices_per_shard=16).run(
+            g, MultiSourceBFS(seeds)
+        )
+        for k, seed in enumerate(seeds):
+            expected = golden.bfs_levels(g, seed)
+            got = res.values[f"d{k}"].astype(np.float64)
+            got[res.values[f"d{k}"] == UINT_INF] = np.inf
+            assert np.array_equal(got, expected), f"seed {seed}"
+
+    def test_matches_scalar_reference(self):
+        g = random_graph(1, n=50, m=200, weighted=False)
+        p1 = MultiSourceBFS((0, 1, 2, 3))
+        p2 = MultiSourceBFS((0, 1, 2, 3))
+        fast = CuShaEngine("gs", vertices_per_shard=8).run(g, p1)
+        ref = ScalarReferenceEngine(vertices_per_shard=8).run(g, p2)
+        for k in range(4):
+            assert np.array_equal(fast.values[f"d{k}"], ref.values[f"d{k}"])
+
+    def test_fewer_than_four_seeds(self):
+        g = random_graph(2, n=40, m=160, weighted=False)
+        res = VWCEngine(8).run(g, MultiSourceBFS((3,)))
+        assert res.values["d0"][3] == 0
+        assert (res.values["d1"] == UINT_INF).all()
+
+    def test_seed_count_validated(self):
+        with pytest.raises(ValueError):
+            MultiSourceBFS(())
+        with pytest.raises(ValueError):
+            MultiSourceBFS((0, 1, 2, 3, 4))
+
+    def test_nearest_seed(self):
+        g = random_graph(3, n=60, m=300, weighted=False)
+        p = MultiSourceBFS((0, 30))
+        res = CuShaEngine("cw", vertices_per_shard=16).run(g, p)
+        nearest = p.nearest_seed(res.values)
+        d0 = res.values["d0"].astype(np.int64)
+        d1 = res.values["d1"].astype(np.int64)
+        for v in range(g.num_vertices):
+            if nearest[v] == -1:
+                assert res.values["d0"][v] == UINT_INF
+                assert res.values["d1"][v] == UINT_INF
+            elif nearest[v] == 0:
+                assert d0[v] <= d1[v] or res.values["d1"][v] == UINT_INF
+
+
+class TestDirichletHeat:
+    def test_boundary_never_moves(self):
+        g = random_graph(4, n=60, m=240, symmetric=True)
+        p = DirichletHeat(((0, 100.0), (59, 0.0)), tolerance=1e-4)
+        res = CuShaEngine("cw", vertices_per_shard=16).run(
+            g, p, max_iterations=50_000
+        )
+        assert res.values["q"][0] == pytest.approx(100.0)
+        assert res.values["q"][59] == pytest.approx(0.0)
+
+    def test_interior_between_boundary_values(self):
+        g = random_graph(5, n=60, m=240, symmetric=True)
+        p = DirichletHeat(((0, 100.0), (59, 0.0)), tolerance=1e-4)
+        res = CuShaEngine("cw", vertices_per_shard=16).run(
+            g, p, max_iterations=50_000
+        )
+        q = res.values["q"]
+        assert (q >= -1e-3).all() and (q <= 100.0 + 1e-3).all()
+
+    def test_matches_harmonic_solve_on_path(self):
+        """On a path with both endpoints pinned, the harmonic solution is
+        linear interpolation."""
+        from repro.graph import generators
+
+        g = generators.grid2d(1, 11)  # a path of 11 vertices, bidirectional
+        p = DirichletHeat(((0, 0.0), (10, 100.0)), tolerance=1e-6)
+        res = CuShaEngine("cw", vertices_per_shard=4).run(
+            g, p, max_iterations=100_000
+        )
+        expected = np.linspace(0, 100, 11)
+        assert np.allclose(res.values["q"], expected, atol=0.3)
+
+    def test_requires_boundary(self):
+        with pytest.raises(ValueError):
+            DirichletHeat(())
+
+    def test_scalar_reference_agreement(self):
+        g = random_graph(6, n=30, m=120, symmetric=True)
+        p1 = DirichletHeat(((0, 10.0),), tolerance=1e-3)
+        p2 = DirichletHeat(((0, 10.0),), tolerance=1e-3)
+        fast = CuShaEngine("gs", vertices_per_shard=8).run(
+            g, p1, max_iterations=50_000
+        )
+        ref = ScalarReferenceEngine(vertices_per_shard=8).run(
+            g, p2, max_iterations=50_000
+        )
+        assert np.allclose(fast.values["q"], ref.values["q"], atol=2e-2)
+
+
+class TestDegreeCentrality:
+    def test_unweighted_equals_in_degree(self):
+        g = random_graph(7, n=70, m=400)
+        res = VWCEngine(8).run(g, DegreeCentrality())
+        assert np.array_equal(
+            res.values["score"].astype(np.int64), g.in_degrees()
+        )
+
+    def test_weighted_sums_weights(self):
+        g = random_graph(8, n=50, m=200)
+        res = CuShaEngine("cw", vertices_per_shard=16).run(
+            g, DegreeCentrality(weighted=True)
+        )
+        expected = np.zeros(g.num_vertices)
+        np.add.at(expected, g.dst, g.weights)
+        assert np.allclose(res.values["score"], expected)
+
+    def test_converges_in_two_iterations(self):
+        g = random_graph(9, n=40, m=150)
+        res = CuShaEngine("cw", vertices_per_shard=16).run(g, DegreeCentrality())
+        assert res.iterations == 2

@@ -1,0 +1,152 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators
+
+
+class TestRMAT:
+    def test_sizes(self):
+        g = generators.rmat(500, 4000, seed=1)
+        assert g.num_vertices == 500
+        assert g.num_edges == 4000
+
+    def test_deterministic(self):
+        a = generators.rmat(200, 1000, seed=5)
+        b = generators.rmat(200, 1000, seed=5)
+        assert a == b
+
+    def test_seed_changes_output(self):
+        a = generators.rmat(200, 1000, seed=5)
+        b = generators.rmat(200, 1000, seed=6)
+        assert a != b
+
+    def test_skewed_degrees(self):
+        """R-MAT with a=0.45 must be much more skewed than uniform."""
+        g = generators.rmat(2000, 20000, seed=2)
+        u = generators.erdos_renyi(2000, 20000, seed=2)
+        assert g.in_degrees().max() > 3 * u.in_degrees().max()
+
+    def test_indices_in_range(self):
+        g = generators.rmat(100, 5000, seed=3)  # non-power-of-two n
+        assert g.src.max() < 100 and g.dst.max() < 100
+        assert g.src.min() >= 0 and g.dst.min() >= 0
+
+    def test_deduplicate_option(self):
+        g = generators.rmat(64, 2000, seed=4, deduplicate=True)
+        key = g.src.astype(np.int64) * 64 + g.dst
+        assert np.unique(key).size == g.num_edges
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            generators.rmat(10, 10, a=0.5, b=0.5, c=0.5, d=0.5)
+
+    def test_rejects_nonpositive_vertices(self):
+        with pytest.raises(ValueError):
+            generators.rmat(0, 10)
+
+    def test_zero_edges(self):
+        g = generators.rmat(10, 0, seed=0)
+        assert g.num_edges == 0
+
+
+class TestErdosRenyi:
+    def test_sizes(self):
+        g = generators.erdos_renyi(50, 400, seed=0)
+        assert g.num_vertices == 50 and g.num_edges == 400
+
+    def test_no_self_loops_option(self):
+        g = generators.erdos_renyi(20, 500, seed=1, allow_self_loops=False)
+        assert not g.has_self_loops()
+
+    def test_deterministic(self):
+        assert generators.erdos_renyi(30, 100, seed=7) == generators.erdos_renyi(
+            30, 100, seed=7
+        )
+
+
+class TestRoadNetwork:
+    def test_lattice_structure(self):
+        g = generators.road_network(4, 5, shortcut_fraction=0.0)
+        assert g.num_vertices == 20
+        # 2 * (rows*(cols-1) + (rows-1)*cols) directed edges
+        assert g.num_edges == 2 * (4 * 4 + 3 * 5)
+
+    def test_low_uniform_degrees(self):
+        g = generators.road_network(20, 20, shortcut_fraction=0.0)
+        deg = g.in_degrees()
+        assert deg.max() <= 4
+        assert deg.min() >= 2
+
+    def test_shortcuts_add_edges(self):
+        base = generators.road_network(10, 10, shortcut_fraction=0.0)
+        plus = generators.road_network(10, 10, shortcut_fraction=0.05, seed=1)
+        assert plus.num_edges > base.num_edges
+
+    def test_symmetry(self):
+        g = generators.road_network(6, 6, shortcut_fraction=0.02, seed=2)
+        pairs = set(map(tuple, g.edges().tolist()))
+        assert all((d, s) in pairs for s, d in pairs)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            generators.road_network(0, 5)
+
+
+class TestSmallGenerators:
+    def test_path(self):
+        g = generators.path(5)
+        assert g.num_edges == 4
+        assert g.out_degrees()[4] == 0
+
+    def test_cycle(self):
+        g = generators.cycle(5)
+        assert g.num_edges == 5
+        assert (g.in_degrees() == 1).all()
+
+    def test_star_outward(self):
+        g = generators.star(6)
+        assert g.num_vertices == 7
+        assert g.out_degrees()[0] == 6
+
+    def test_star_inward(self):
+        g = generators.star(6, outward=False)
+        assert g.in_degrees()[0] == 6
+
+    def test_complete(self):
+        g = generators.complete(5)
+        assert g.num_edges == 20
+        assert not g.has_self_loops()
+
+    def test_complete_with_self_loops(self):
+        assert generators.complete(4, self_loops=True).num_edges == 16
+
+    def test_grid2d(self):
+        g = generators.grid2d(3, 3)
+        assert g.num_vertices == 9
+        assert g.num_edges == 2 * (3 * 2 + 2 * 3)
+
+    def test_single_vertex_path_and_cycle(self):
+        assert generators.path(1).num_edges == 0
+        assert generators.cycle(1).num_edges == 1  # self-loop
+
+
+class TestRandomWeights:
+    def test_integer_weights_in_range(self, rmat_small):
+        w = rmat_small.weights
+        assert w is not None
+        assert (w >= 1).all() and (w < 100).all()
+        assert np.allclose(w, np.round(w))
+
+    def test_float_weights(self):
+        g = generators.random_weights(
+            generators.path(10), integer=False, low=0.5, high=0.9, seed=0
+        )
+        assert ((g.weights >= 0.5) & (g.weights < 0.9)).all()
+
+    def test_deterministic(self):
+        g = generators.path(50)
+        a = generators.random_weights(g, seed=3)
+        b = generators.random_weights(g, seed=3)
+        assert np.array_equal(a.weights, b.weights)

@@ -1,0 +1,153 @@
+"""Engine results vs independent golden references.
+
+Every engine must converge to the mathematically correct answer:
+BFS/SSSP/SSWP against graph-search oracles, CC against
+connected-components, PR and CS against direct sparse linear solves, HS
+against its consensus invariants, NN against fixpoint self-consistency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_program
+from repro.frameworks import CuShaEngine, MTCPUEngine, VWCEngine
+from repro.reference import golden
+from repro.vertexcentric.datatypes import UINT_INF
+from tests.conftest import random_graph
+
+ENGINES = [
+    CuShaEngine("gs", vertices_per_shard=16),
+    CuShaEngine("cw", vertices_per_shard=16),
+    VWCEngine(8),
+    MTCPUEngine(4),
+]
+ENGINE_IDS = ["cusha-gs", "cusha-cw", "vwc-8", "mtcpu-4"]
+
+
+def finite_or_inf(levels_uint32):
+    out = levels_uint32.astype(np.float64)
+    out[levels_uint32 == UINT_INF] = np.inf
+    return out
+
+
+@pytest.mark.parametrize("engine", ENGINES, ids=ENGINE_IDS)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_bfs_matches_frontier_oracle(engine, seed):
+    g = random_graph(seed, n=70, m=260, weighted=False)
+    p = make_program("bfs", g, source=0)
+    res = engine.run(g, p)
+    assert res.converged
+    expected = golden.bfs_levels(g, 0)
+    assert np.array_equal(finite_or_inf(res.values["level"]), expected)
+
+
+@pytest.mark.parametrize("engine", ENGINES, ids=ENGINE_IDS)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_sssp_matches_dijkstra(engine, seed):
+    g = random_graph(seed, n=70, m=300)
+    p = make_program("sssp", g, source=0)
+    res = engine.run(g, p)
+    expected = golden.sssp_distances(g, 0)
+    assert np.array_equal(finite_or_inf(res.values["dist"]), expected)
+
+
+@pytest.mark.parametrize("engine", ENGINES, ids=ENGINE_IDS)
+@pytest.mark.parametrize("seed", [0, 1])
+def test_sswp_matches_widest_path_dijkstra(engine, seed):
+    g = random_graph(seed, n=60, m=250)
+    p = make_program("sswp", g, source=0)
+    res = engine.run(g, p)
+    expected = golden.widest_paths(g, 0)
+    got = res.values["bwidth"].astype(np.float64)
+    got[res.values["bwidth"] == UINT_INF] = np.inf
+    assert np.array_equal(got, expected)
+
+
+@pytest.mark.parametrize("engine", ENGINES, ids=ENGINE_IDS)
+@pytest.mark.parametrize("seed", [0, 1])
+def test_cc_on_symmetric_graph_matches_components(engine, seed):
+    g = random_graph(seed, n=80, m=120, weighted=False, symmetric=True)
+    p = make_program("cc", g)
+    res = engine.run(g, p)
+    expected = golden.component_min_labels(g)
+    assert np.array_equal(res.values["cmpnent"].astype(np.int64), expected)
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_cc_on_directed_graph_matches_ancestor_labels(seed):
+    g = random_graph(seed, n=30, m=70, weighted=False)
+    res = CuShaEngine("cw", vertices_per_shard=8).run(g, make_program("cc", g))
+    expected = golden.ancestor_min_labels(g)
+    assert np.array_equal(res.values["cmpnent"].astype(np.int64), expected)
+
+
+@pytest.mark.parametrize("engine", ENGINES, ids=ENGINE_IDS)
+def test_pagerank_matches_linear_solve(engine):
+    g = random_graph(3, n=60, m=400, weighted=False)
+    p = make_program("pr", g, tolerance=1e-6)
+    res = engine.run(g, p, max_iterations=20_000)
+    expected = golden.pagerank_fixpoint(g, damping=0.85)
+    assert np.allclose(res.values["rank"], expected, atol=5e-4)
+
+
+@pytest.mark.parametrize("engine", ENGINES, ids=ENGINE_IDS)
+def test_circuit_matches_linear_solve(engine):
+    g = random_graph(4, n=50, m=90, symmetric=True)
+    sources = ((0, 1.0), (g.num_vertices - 1, 0.0))
+    p = make_program("cs", g, sources=sources, tolerance=1e-7)
+    res = engine.run(g, p, max_iterations=50_000)
+    cond = p.edge_values(g)["g"].astype(np.float64)
+    expected = golden.circuit_voltages(g, cond, sources)
+    assert np.allclose(res.values["v"], expected, atol=1e-3)
+
+
+@pytest.mark.parametrize("engine", ENGINES, ids=ENGINE_IDS)
+def test_circuit_sources_never_move(engine):
+    g = random_graph(5, n=40, m=80, symmetric=True)
+    p = make_program("cs", g, sources=((3, 2.5),), tolerance=1e-6)
+    res = engine.run(g, p, max_iterations=50_000)
+    assert res.values["v"][3] == pytest.approx(2.5)
+    assert res.values["gsum_or_a"][3] == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("engine", ENGINES, ids=ENGINE_IDS)
+def test_heat_converges_toward_consensus(engine):
+    g = random_graph(6, n=50, m=100, symmetric=True)
+    p = make_program("hs", g, tolerance=1e-3)
+    res = engine.run(g, p, max_iterations=50_000)
+    q0 = p.initial_values(g)["q"].astype(np.float64)
+    q = res.values["q"].astype(np.float64)
+    # Diffusion is a contraction: final temperatures stay inside the initial
+    # range, and the spread within each connected component shrinks.
+    assert q.min() >= q0.min() - 1e-3
+    assert q.max() <= q0.max() + 1e-3
+    labels = golden.component_min_labels(g)
+    for lbl in np.unique(labels):
+        members = q[labels == lbl]
+        init = q0[labels == lbl]
+        if members.size > 1 and np.ptp(init) > 1.0:
+            assert np.ptp(members) < np.ptp(init)
+
+
+@pytest.mark.parametrize("engine", ENGINES, ids=ENGINE_IDS)
+def test_nn_fixpoint_self_consistent(engine):
+    g = random_graph(7, n=50, m=200)
+    p = make_program("nn", g, tolerance=1e-5)
+    res = engine.run(g, p, max_iterations=50_000)
+    x = res.values["x"].astype(np.float64)
+    w = p.edge_values(g)["weight"].astype(np.float64)
+    acc = np.zeros(g.num_vertices)
+    np.add.at(acc, g.dst, x[g.src] * w)
+    # At convergence x == tanh(W x) within the update tolerance.
+    assert np.abs(np.tanh(acc) - x).max() < 5e-4
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_bfs_unreachable_vertices_stay_inf(seed):
+    g = random_graph(seed, n=50, m=60, weighted=False)
+    res = CuShaEngine("cw", vertices_per_shard=16).run(
+        g, make_program("bfs", g, source=0)
+    )
+    expected = golden.bfs_levels(g, 0)
+    got = res.values["level"]
+    assert ((got == UINT_INF) == np.isinf(expected)).all()

@@ -1,0 +1,223 @@
+"""Tests for warp accounting, occupancy, stats, the cost model, and PCIe."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.gpu.engine import KernelCostModel
+from repro.gpu.memory import TransactionCount, contiguous_transactions
+from repro.gpu.occupancy import blocks_per_sm, occupancy, shared_mem_per_block
+from repro.gpu.pcie import transfer_ms
+from repro.gpu.spec import GTX780, I7_3930K, GPUSpec, PCIeSpec
+from repro.gpu.stats import KernelStats
+from repro.gpu.warp import reduction_slots, slots_for_contiguous, slots_for_segments
+
+
+class TestWarpSlots:
+    def test_contiguous_exact_multiple(self):
+        assert slots_for_contiguous(64) == (64, 64)
+
+    def test_contiguous_tail(self):
+        assert slots_for_contiguous(65) == (65, 96)
+
+    def test_contiguous_empty(self):
+        assert slots_for_contiguous(0) == (0, 0)
+
+    def test_segments_small_windows_underutilize(self):
+        """Four 1-element windows: 4 active lanes over 4 full warp rows —
+        the G-Shards small-window pathology."""
+        active, total = slots_for_segments(np.array([1, 1, 1, 1]))
+        assert active == 4
+        assert total == 128
+
+    def test_segments_skip_empty(self):
+        active, total = slots_for_segments(np.array([0, 0, 5]))
+        assert active == 5 and total == 32
+
+    def test_segments_subwarp_lanes(self):
+        active, total = slots_for_segments(np.array([3]), lanes_per_task=4)
+        assert active == 3 and total == 4
+
+    def test_segments_lane_bounds(self):
+        with pytest.raises(ValueError):
+            slots_for_segments(np.array([1]), lanes_per_task=64)
+
+    def test_reduction_log_steps(self):
+        active, total = reduction_slots(np.array([5]), 8)
+        assert active == 7  # 4 + 2 + 1
+        assert total == 3 * 8
+
+    def test_reduction_skips_isolated_vertices(self):
+        a1, t1 = reduction_slots(np.array([5, 0]), 8)
+        a2, t2 = reduction_slots(np.array([5]), 8)
+        assert (a1, t1) == (a2, t2)
+
+    def test_reduction_trivial_for_vw1(self):
+        assert reduction_slots(np.array([3]), 1) == (0, 0)
+
+
+class TestOccupancy:
+    def test_shared_memory_limit(self):
+        assert blocks_per_sm(GTX780, 24 * 1024, 256) == 2
+
+    def test_thread_limit(self):
+        assert blocks_per_sm(GTX780, 0, 1024) == 2
+
+    def test_block_cap(self):
+        assert blocks_per_sm(GTX780, 16, 32) == GTX780.max_blocks_per_sm
+
+    def test_oversized_block(self):
+        assert blocks_per_sm(GTX780, 0, 2048) == 0
+
+    def test_occupancy_fraction(self):
+        occ = occupancy(GTX780, 24 * 1024, 512)
+        assert occ == pytest.approx(2 * 16 / 64)
+
+    def test_occupancy_capped_at_one(self):
+        assert occupancy(GTX780, 0, 64) <= 1.0
+
+    def test_shared_mem_per_block(self):
+        assert shared_mem_per_block(1000, 4) == 4064
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            blocks_per_sm(GTX780, 0, 0)
+
+
+class TestKernelStats:
+    def test_addition_componentwise(self):
+        a = KernelStats(load_transactions=1, load_bytes_requested=32,
+                        kernel_launches=1)
+        b = KernelStats(load_transactions=2, load_bytes_requested=32,
+                        warp_instructions=5.0)
+        c = a + b
+        assert c.load_transactions == 3
+        assert c.kernel_launches == 1
+        assert c.warp_instructions == 5.0
+
+    def test_iadd(self):
+        a = KernelStats()
+        a += KernelStats(store_transactions=4, store_bytes_requested=64)
+        assert a.store_transactions == 4
+
+    def test_copy_is_independent(self):
+        a = KernelStats(load_transactions=1)
+        b = a.copy()
+        b.load_transactions = 99
+        assert a.load_transactions == 1
+
+    def test_gld_efficiency_sector_granularity(self):
+        s = KernelStats()
+        s.add_load(TransactionCount(4, 128))
+        assert s.gld_efficiency == pytest.approx(1.0)  # 128 / (4 * 32)
+
+    def test_gst_efficiency_line_granularity(self):
+        s = KernelStats()
+        s.add_store(TransactionCount(1, 4))
+        assert s.gst_efficiency == pytest.approx(4 / 128)
+
+    def test_efficiency_defaults_to_one(self):
+        assert KernelStats().gld_efficiency == 1.0
+        assert KernelStats().warp_execution_efficiency == 1.0
+
+    def test_add_lanes_charges_instructions(self):
+        s = KernelStats()
+        s.add_lanes(64, 64, instructions_per_row=10)
+        assert s.warp_instructions == pytest.approx(20.0)
+        assert s.warp_execution_efficiency == 1.0
+
+    def test_add_instructions_no_lane_footprint(self):
+        s = KernelStats()
+        s.add_instructions(100.0)
+        assert s.warp_instructions == 100.0
+        assert s.total_lane_slots == 0
+
+    def test_atomics(self):
+        s = KernelStats()
+        s.add_atomics(shared=10, global_=2)
+        assert s.shared_atomics == 10 and s.global_atomics == 2
+
+
+class TestCostModel:
+    def test_memory_bound_kernel(self):
+        cm = KernelCostModel(GTX780)
+        s = KernelStats()
+        s.add_load(TransactionCount(1_000_000, 32_000_000))
+        mem = cm.memory_cycles(s)
+        assert cm.kernel_cycles(s) == pytest.approx(mem)
+
+    def test_issue_bound_kernel(self):
+        cm = KernelCostModel(GTX780)
+        s = KernelStats()
+        s.add_instructions(10_000_000)
+        assert cm.kernel_cycles(s) == pytest.approx(cm.issue_cycles(s))
+
+    def test_latency_floor(self):
+        cm = KernelCostModel(GTX780)
+        s = KernelStats()
+        s.add_load(TransactionCount(1, 4))
+        assert cm.kernel_cycles(s) >= GTX780.dram_latency_cycles
+
+    def test_low_occupancy_degrades_memory_throughput(self):
+        cm = KernelCostModel(GTX780)
+        s = KernelStats()
+        s.add_load(TransactionCount(1_000_000, 32_000_000))
+        slow = cm.kernel_cycles(s, occupancy=0.1)
+        fast = cm.kernel_cycles(s, occupancy=1.0)
+        assert slow > fast
+
+    def test_launch_overhead_added_per_launch(self):
+        cm = KernelCostModel(GTX780)
+        s = KernelStats(kernel_launches=10)
+        assert cm.time_ms(s) >= 10 * GTX780.kernel_launch_overhead_us / 1e3
+
+    def test_more_transactions_cost_more_time(self):
+        cm = KernelCostModel(GTX780)
+        small, big = KernelStats(), KernelStats()
+        small.add_load(TransactionCount(100_000, 1))
+        big.add_load(TransactionCount(200_000, 1))
+        assert cm.time_ms(big) > cm.time_ms(small)
+
+
+class TestPCIe:
+    def test_zero_bytes(self):
+        assert transfer_ms(0, PCIeSpec()) == 0.0
+
+    def test_latency_floor(self):
+        spec = PCIeSpec(latency_us=10)
+        assert transfer_ms(1, spec) >= 0.01
+
+    def test_bandwidth_scaling(self):
+        spec = PCIeSpec()
+        assert transfer_ms(2 * 10**9, spec) == pytest.approx(
+            2 * transfer_ms(10**9, spec), rel=0.01
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_ms(-1, PCIeSpec())
+
+
+class TestSpecs:
+    def test_gtx780_constants(self):
+        assert GTX780.num_sms == 12
+        assert GTX780.warp_size == 32
+        assert GTX780.shared_mem_per_sm_bytes == 48 * 1024
+        assert GTX780.bytes_per_cycle == pytest.approx(288.4 / 0.863)
+
+    def test_cpu_effective_parallelism_monotone_then_saturating(self):
+        cpu = I7_3930K
+        assert cpu.effective_parallelism(1) == 1.0
+        assert cpu.effective_parallelism(6) == 6.0
+        assert cpu.effective_parallelism(12) > cpu.effective_parallelism(6)
+        # Oversubscription brings diminishing (eventually negative) returns.
+        assert cpu.effective_parallelism(128) < cpu.effective_parallelism(12)
+
+    def test_cpu_rejects_nonpositive_threads(self):
+        with pytest.raises(ValueError):
+            I7_3930K.effective_parallelism(0)
+
+    def test_specs_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            GTX780.num_sms = 1

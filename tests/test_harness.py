@@ -1,0 +1,168 @@
+"""Tests for the experiment harness (runner, tables, experiment drivers).
+
+Uses a large scale divisor (tiny graphs) so the whole grid stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import experiments as E
+from repro.harness.runner import GridRunner, scaled_spec
+from repro.harness.tables import banner, fmt_ms, fmt_range, fmt_speedup, format_table
+
+SCALE = 2000
+GRAPHS = ("webgoogle", "amazon0312")
+PROGRAMS = ("bfs", "pr")
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return GridRunner(scale=SCALE, max_iterations=300)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1
+
+    def test_format_table_title(self):
+        assert format_table(["x"], [[1]], title="T").startswith("T\n")
+
+    def test_fmt_ms_precision(self):
+        assert fmt_ms(123.4) == "123"
+        assert fmt_ms(12.34) == "12.3"
+        assert fmt_ms(0.1234) == "0.123"
+
+    def test_fmt_range_and_speedup(self):
+        assert fmt_range(1.0, 2.0) == "1.0-2.0"
+        assert fmt_speedup(1.5, 2.25) == "1.50x-2.25x"
+
+    def test_banner(self):
+        assert "hello" in banner("hello")
+
+
+class TestRunner:
+    def test_scaled_spec_divides_launch_overhead(self):
+        assert scaled_spec(100).kernel_launch_overhead_us == pytest.approx(0.06)
+
+    def test_engine_keys(self, runner):
+        assert runner.cusha_keys() == ["cusha-gs", "cusha-cw"]
+        assert runner.vwc_keys()[0] == "vwc-2"
+        assert "mtcpu-128" in runner.mtcpu_keys()
+        with pytest.raises(KeyError):
+            runner.engine("thrust")
+
+    def test_vwc_engines_get_dilation(self, runner):
+        assert runner.engine("vwc-4").address_dilation == SCALE
+
+    def test_memoization(self, runner):
+        a = runner.run("amazon0312", "bfs", "cusha-cw")
+        b = runner.run("amazon0312", "bfs", "cusha-cw")
+        assert a is b
+
+    def test_best_vwc_is_min(self, runner):
+        best = runner.best_vwc("amazon0312", "bfs")
+        lo, hi = runner.vwc_range("amazon0312", "bfs")
+        assert best.total_ms == pytest.approx(lo)
+        assert hi >= lo
+
+    def test_mtcpu_range_ordered(self, runner):
+        lo, hi = runner.mtcpu_range("amazon0312", "bfs")
+        assert hi >= lo > 0
+
+
+class TestExperimentDrivers:
+    def test_table1_rows(self):
+        rows = E.table1(SCALE)
+        assert len(rows) == 6
+        assert rows[0][0] == "LiveJournal"
+        assert all(e > 0 and v > 0 for _, e, v in rows)
+
+    def test_fig1_series(self):
+        series = E.fig1_series(SCALE)
+        assert set(series) == set(
+            ("livejournal", "pokec", "higgstwitter", "roadnetca",
+             "webgoogle", "amazon0312")
+        )
+        deg, cnt = series["webgoogle"]
+        assert deg.size == cnt.size > 0
+
+    def test_table2_bounds(self, runner):
+        data = E.table2(runner, graphs=GRAPHS, programs=PROGRAMS)
+        for prog in PROGRAMS:
+            lo, hi = data[prog]["global_memory"]
+            assert 0 < lo <= hi <= 1
+            lo, hi = data[prog]["warp_execution"]
+            assert 0 < lo <= hi <= 1
+
+    def test_table4_structure(self, runner):
+        data = E.table4(runner, graphs=GRAPHS, programs=PROGRAMS)
+        cell = data["webgoogle"]["pr"]
+        assert cell["cw"] > 0 and cell["gs"] > 0
+        assert cell["vwc"][0] <= cell["vwc"][1]
+
+    def test_table5_consistent_with_table4(self, runner):
+        t4 = E.table4(runner, graphs=GRAPHS, programs=PROGRAMS)
+        t5 = E.table5(runner, graphs=GRAPHS, programs=PROGRAMS)
+        expected_lo = np.mean(
+            [t4[g]["pr"]["vwc"][0] / t4[g]["pr"]["gs"] for g in GRAPHS]
+        )
+        assert t5["prog:pr"]["gs"][0] == pytest.approx(expected_lo)
+
+    def test_table6_speedups_positive(self, runner):
+        t6 = E.table6(runner, graphs=GRAPHS, programs=PROGRAMS)
+        for row in t6.values():
+            assert row["cw"][0] > 0 and row["cw"][1] >= row["cw"][0]
+
+    def test_table7_teps(self, runner):
+        rows = E.table7(runner, graphs=GRAPHS)
+        assert all(cw > 0 and gs > 0 and v > 0 for _, cw, gs, v in rows)
+
+    def test_fig7_traces_end_at_zero_updates(self, runner):
+        data = E.fig7_traces(runner, graphs=("amazon0312",))
+        for pts in data["amazon0312"].values():
+            assert pts[-1][1] == 0
+
+    def test_fig8_effs(self, runner):
+        data = E.fig8_efficiencies(runner, graph="webgoogle", programs=PROGRAMS)
+        assert data["cusha-gs"]["gld"] > data["best-vwc"]["gld"]
+        assert data["cusha-cw"]["warp"] > data["best-vwc"]["warp"]
+
+    def test_fig9_normalization(self):
+        data = E.fig9_memory(SCALE, programs=PROGRAMS)
+        for reps in data.values():
+            assert reps["csr"][1] == pytest.approx(1.0)
+            assert reps["gs"][1] > 1.5
+            assert reps["cw"][1] > reps["gs"][1]
+
+    def test_fig10_components_sum(self, runner):
+        data = E.fig10_breakdown(runner, graph="webgoogle", programs=("bfs",))
+        h2d, kern, d2h = data["bfs"]["cusha-cw"]
+        res = runner.run("webgoogle", "bfs", "cusha-cw")
+        assert h2d + kern + d2h == pytest.approx(res.total_ms)
+
+    def test_fig11_panels(self):
+        data = E.fig11_histograms(SCALE)
+        assert set(data) == {"size", "sparsity", "shard"}
+        assert len(data["shard"]) == 3
+
+    def test_scaled_shard_size(self):
+        assert E.scaled_shard_size(3000, 100) == 304
+        assert E.scaled_shard_size(1000, 10000) >= 8
+
+    def test_renderers_produce_text(self, runner):
+        assert "Table 2" in E.render_table2(
+            runner, graphs=GRAPHS, programs=PROGRAMS
+        )
+        assert "Table 4" in E.render_table4(
+            runner, graphs=GRAPHS, programs=PROGRAMS
+        )
+        assert "Table 5" in E.render_table5(
+            runner, graphs=GRAPHS, programs=PROGRAMS
+        )
+        assert "Figure 8" in E.render_fig8(
+            runner, graph="webgoogle", programs=PROGRAMS
+        )
+        assert "Figure 1" in E.render_fig1(SCALE)

@@ -1,0 +1,114 @@
+"""Second property-based suite: engine-level invariants on random inputs."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import make_program
+from repro.algorithms.extensions import DegreeCentrality
+from repro.frameworks import CuShaEngine, MTCPUEngine, StreamedCuShaEngine, VWCEngine
+from repro.graph import reorder
+from repro.graph.digraph import DiGraph
+from repro.reference import golden
+from repro.vertexcentric.datatypes import UINT_INF
+
+
+@st.composite
+def weighted_graphs(draw, max_vertices=32, max_edges=120):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    m = draw(st.integers(min_value=1, max_value=max_edges))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    w = draw(st.lists(st.integers(1, 50), min_size=m, max_size=m))
+    return DiGraph(
+        np.array(src, np.int64), np.array(dst, np.int64), n,
+        np.array(w, np.float64),
+    )
+
+
+@given(weighted_graphs(), st.integers(0, 3))
+@settings(max_examples=25, deadline=None)
+def test_sssp_distances_satisfy_triangle_inequality(g, src_pick):
+    source = src_pick % g.num_vertices
+    p = make_program("sssp", g, source=source)
+    res = CuShaEngine("cw", vertices_per_shard=8).run(g, p)
+    dist = res.values["dist"].astype(np.float64)
+    dist[res.values["dist"] == UINT_INF] = np.inf
+    # Fixpoint inequalities: for every edge (u, v), d(v) <= d(u) + w.
+    for s, d, w in zip(g.src.tolist(), g.dst.tolist(), g.weights.tolist()):
+        assert dist[d] <= dist[s] + w + 1e-9
+    assert dist[source] == 0
+
+
+@given(weighted_graphs())
+@settings(max_examples=20, deadline=None)
+def test_sswp_widths_are_bottleneck_consistent(g):
+    p = make_program("sswp", g, source=0)
+    res = VWCEngine(4).run(g, p)
+    bw = res.values["bwidth"].astype(np.float64)
+    bw[res.values["bwidth"] == UINT_INF] = np.inf
+    # For every edge, the destination's width is at least the bottleneck
+    # achievable through this edge.
+    for s, d, w in zip(g.src.tolist(), g.dst.tolist(), g.weights.tolist()):
+        assert bw[d] >= min(bw[s], w) - 1e-9
+    assert np.isinf(bw[0])
+
+
+@given(weighted_graphs(), st.integers(1, 6))
+@settings(max_examples=15, deadline=None)
+def test_streamed_engine_matches_resident(g, budget_kb):
+    p1 = make_program("bfs", g, source=0)
+    p2 = make_program("bfs", g, source=0)
+    resident = CuShaEngine("cw", vertices_per_shard=8).run(g, p1)
+    streamed = StreamedCuShaEngine(
+        device_memory_bytes=budget_kb * 256, vertices_per_shard=8
+    ).run(g, p2)
+    assert np.array_equal(
+        resident.values["level"], streamed.values["level"]
+    )
+
+
+@given(weighted_graphs(), st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_relabeling_commutes_with_bfs(g, seed):
+    relabeled, perm = reorder.random_relabel(g, seed=seed)
+    base = golden.bfs_levels(g, 0)
+    moved = golden.bfs_levels(relabeled, int(perm[0]))
+    assert np.array_equal(moved[perm], base)
+
+
+@given(weighted_graphs())
+@settings(max_examples=20, deadline=None)
+def test_degree_centrality_equals_bincount(g):
+    res = MTCPUEngine(2).run(g, DegreeCentrality())
+    assert np.array_equal(
+        res.values["score"].astype(np.int64), g.in_degrees()
+    )
+
+
+@given(weighted_graphs())
+@settings(max_examples=15, deadline=None)
+def test_stats_are_internally_consistent(g):
+    p = make_program("sssp", g, source=0)
+    res = CuShaEngine("gs", vertices_per_shard=8).run(g, p)
+    s = res.stats
+    assert 0.0 <= s.gld_efficiency <= 1.0
+    assert 0.0 <= s.gst_efficiency <= 1.0
+    assert 0.0 <= s.warp_execution_efficiency <= 1.0
+    assert s.active_lane_slots <= s.total_lane_slots
+    assert s.load_bytes_requested <= s.load_bytes_moved
+    assert s.store_bytes_requested <= s.store_bytes_moved
+    assert res.kernel_time_ms >= 0
+    agg = None
+    for st_ in res.stage_stats.values():
+        agg = st_ if agg is None else agg + st_
+    assert agg.load_transactions == s.load_transactions
+
+
+@given(weighted_graphs(), st.sampled_from([2, 4, 8, 16, 32]))
+@settings(max_examples=15, deadline=None)
+def test_vwc_deferred_variant_value_equivalence(g, vw):
+    p1 = make_program("cc", g)
+    p2 = make_program("cc", g)
+    plain = VWCEngine(vw).run(g, p1)
+    deferred = VWCEngine(vw, defer_outliers=True, outlier_factor=1).run(g, p2)
+    assert np.array_equal(plain.values["cmpnent"], deferred.values["cmpnent"])

@@ -1,0 +1,84 @@
+"""Unit tests for shard-size (|N|) auto-selection (paper section 4)."""
+
+import math
+
+import pytest
+
+import numpy as np
+
+from repro.graph import generators
+from repro.graph.digraph import DiGraph
+from repro.graph.partition import select_shard_size
+
+
+def _big_sparse_graph() -> DiGraph:
+    """2M vertices, 2M edges: sparse enough that the window-size formula
+    wants |N| above the 6K shared-memory cap (built cheaply as a ring)."""
+    n = 2_000_000
+    src = np.arange(n, dtype=np.int64)
+    return DiGraph(src, (src + 1) % n, n, validate=False)
+
+
+class TestWindowTarget:
+    def test_targets_average_window_of_32(self):
+        g = generators.rmat(10_000, 100_000, seed=0)
+        plan = select_shard_size(g)
+        # The realized estimate should be near the warp size.
+        assert 10 < plan.expected_window_size < 90
+
+    def test_formula_matches_paper(self):
+        g = generators.rmat(10_000, 100_000, seed=0)
+        plan = select_shard_size(g, warp_size=32)
+        analytic = g.num_vertices * math.sqrt(32 / g.num_edges)
+        assert abs(plan.vertices_per_shard - analytic) <= 32
+
+    def test_n_multiple_of_warp(self):
+        g = generators.rmat(7777, 90_000, seed=1)
+        plan = select_shard_size(g)
+        assert plan.vertices_per_shard % 32 == 0
+
+    def test_num_shards_consistent(self):
+        g = generators.rmat(5000, 60_000, seed=2)
+        plan = select_shard_size(g)
+        assert plan.num_shards == -(-g.num_vertices // plan.vertices_per_shard)
+
+
+class TestSharedMemoryCap:
+    def test_cap_binds_on_huge_sparse_graphs(self):
+        """The paper's failure mode: |N| wants to exceed the shared-memory
+        quota on very sparse graphs."""
+        g = _big_sparse_graph()
+        plan = select_shard_size(
+            g, shared_mem_per_block_bytes=24 * 1024, vertex_value_bytes=4
+        )
+        assert plan.shared_mem_limited
+        assert plan.vertices_per_shard <= 24 * 1024 // 4
+
+    def test_bigger_vertex_values_lower_the_cap(self):
+        g = _big_sparse_graph()
+        p4 = select_shard_size(g, vertex_value_bytes=4)
+        p8 = select_shard_size(g, vertex_value_bytes=8)
+        assert p8.vertices_per_shard <= p4.vertices_per_shard
+
+    def test_paper_example_quota(self):
+        """48 KB SM / 2 blocks and 4-byte values caps |N| at 6K (paper §4)."""
+        g = generators.rmat(10_000_000 // 4, 10_000_000, seed=4)
+        plan = select_shard_size(
+            g, shared_mem_per_block_bytes=24 * 1024, vertex_value_bytes=4
+        )
+        assert plan.vertices_per_shard <= 6 * 1024
+
+
+class TestDegenerateInputs:
+    def test_empty_graph(self):
+        plan = select_shard_size(DiGraph.empty(0))
+        assert plan.num_shards == 1
+
+    def test_edgeless_graph(self):
+        plan = select_shard_size(DiGraph.empty(100))
+        assert plan.vertices_per_shard >= 32
+
+    def test_minimum_is_warp_size(self):
+        g = generators.rmat(64, 50_000, seed=5)  # dense: tiny N wanted
+        plan = select_shard_size(g)
+        assert plan.vertices_per_shard >= 32

@@ -1,0 +1,102 @@
+"""Tests for the ASCII plot helpers and the cost-model sensitivity module."""
+
+import pytest
+
+from repro.harness.plots import hbar_chart, log_histogram, sparkline, trace_plot
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        assert sparkline([0, 1, 2, 3]) == "▁▃▅█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_preserved(self):
+        assert len(sparkline(range(17))) == 17
+
+
+class TestHBar:
+    def test_proportional_bars(self):
+        out = hbar_chart([("a", 1.0), ("b", 0.5)], width=4)
+        lines = out.splitlines()
+        assert lines[0].count("█") == 4
+        assert lines[1].count("█") == 2
+
+    def test_title(self):
+        assert hbar_chart([("a", 1.0)], title="T").startswith("T\n")
+
+    def test_empty(self):
+        assert hbar_chart([]) == ""
+
+    def test_labels_aligned(self):
+        out = hbar_chart([("long-label", 1.0), ("x", 2.0)])
+        lines = out.splitlines()
+        assert lines[0].index("1.00") == lines[1].index("2.00")
+
+
+class TestLogHistogram:
+    def test_rows_capped(self):
+        pairs = [(i, 10**i) for i in range(30)]
+        out = log_histogram(pairs, max_rows=5)
+        assert len(out.splitlines()) == 5
+
+    def test_log_compression(self):
+        out = log_histogram([(1, 10), (2, 100000)], width=10)
+        l1, l2 = out.splitlines()
+        # The 10000x larger count gets a longer but not 10000x longer bar.
+        assert l2.count("█") < 10 * max(l1.count("█"), 1)
+
+    def test_empty(self):
+        assert log_histogram([], title="t") == "t"
+
+
+class TestTracePlot:
+    def test_shape(self):
+        out = trace_plot(
+            {"cusha-cw": [(0.1, 10), (0.2, 5), (0.3, 0)],
+             "vwc-8": [(0.2, 12), (0.5, 0)]},
+            title="Figure 7",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Figure 7"
+        assert "3 iters" in lines[1]
+        assert "2 iters" in lines[2]
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.gpu.calibration import sensitivity_report
+        from tests.conftest import random_graph
+
+        g = random_graph(0, n=2000, m=16000)
+        return sensitivity_report(g, "pr", max_iterations=200)
+
+    def test_baseline_positive(self, report):
+        baseline, _ = report
+        assert baseline > 0
+
+    def test_launch_overhead_barely_matters(self, report):
+        baseline, results = report
+        for r in results:
+            if r.field == "kernel_launch_overhead_us":
+                assert r.deviation_from(baseline) < 0.25
+
+    def test_no_perturbation_flips_the_winner(self, report):
+        """Halving/doubling any single rate constant must not invert who
+        wins — the reproduction's calibration-robustness claim."""
+        baseline, results = report
+        assert baseline > 1.0
+        for r in results:
+            assert r.speedup > 0.8, (r.field, r.multiplier, r.speedup)
+
+    def test_bounded_sensitivity(self, report):
+        """A 2x perturbation of one constant moves the speedup by far less
+        than 2x."""
+        baseline, results = report
+        for r in results:
+            assert r.deviation_from(baseline) < 0.75, r

@@ -1,0 +1,175 @@
+"""Tests for graph analytics (Figures 1/11 inputs), I/O, and the synthetic
+Table 1 suite."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.graph import generators, suite
+from repro.graph.digraph import DiGraph
+from repro.graph.io import load_edge_list, load_npz, save_edge_list, save_npz
+from repro.graph.properties import (
+    degree_distribution,
+    graph_summary,
+    window_size_histogram,
+    window_size_stats,
+)
+from repro.graph.shards import GShards
+
+
+class TestDegreeDistribution:
+    def test_counts_sum_to_vertices_with_degree(self, rmat_small):
+        deg, cnt = degree_distribution(rmat_small)
+        assert cnt.sum() == rmat_small.num_vertices
+        assert (cnt > 0).all()
+
+    def test_weighted_sum_recovers_edges(self, rmat_small):
+        deg, cnt = degree_distribution(rmat_small, direction="in")
+        assert (deg * cnt).sum() == rmat_small.num_edges
+
+    def test_directions(self, rmat_small):
+        din, cin = degree_distribution(rmat_small, direction="in")
+        dtot, ctot = degree_distribution(rmat_small, direction="total")
+        assert (dtot * ctot).sum() == 2 * rmat_small.num_edges
+        with pytest.raises(ValueError):
+            degree_distribution(rmat_small, direction="sideways")
+
+    def test_road_network_is_uniform_low_degree(self, road_small):
+        deg, cnt = degree_distribution(road_small)
+        assert deg.max() <= 5
+
+
+class TestWindowHistogram:
+    def test_total_windows_counted(self, rmat_small):
+        sh = GShards(rmat_small, 32)
+        bins, counts = window_size_histogram(sh)
+        assert counts.sum() == sh.num_shards**2
+        assert bins.size == 129
+
+    def test_clipping_into_last_bin(self):
+        g = generators.complete(40)
+        sh = GShards(g, 40)  # one shard, window of ~1560 edges
+        _, counts = window_size_histogram(sh, max_size=16)
+        assert counts[16] == 1
+
+    def test_stats(self, rmat_small):
+        sh = GShards(rmat_small, 32)
+        st = window_size_stats(sh)
+        sizes = sh.window_sizes().ravel()
+        assert st["mean"] == pytest.approx(sizes.mean())
+        assert st["max"] == sizes.max()
+        assert 0.0 <= st["frac_below_warp"] <= 1.0
+
+    def test_stats_empty(self):
+        st = window_size_stats(GShards(DiGraph.empty(0), 8))
+        assert st["mean"] == 0.0 or st["max"] == 0.0
+
+
+class TestGraphSummary:
+    def test_fields(self, rmat_small):
+        s = graph_summary(rmat_small, "g")
+        assert s.num_vertices == rmat_small.num_vertices
+        assert s.num_edges == rmat_small.num_edges
+        assert s.max_in_degree == rmat_small.in_degrees().max()
+        assert s.average_degree == pytest.approx(rmat_small.average_degree())
+
+
+class TestEdgeListIO:
+    def test_round_trip_unweighted(self, tmp_path):
+        g = generators.rmat(50, 200, seed=0)
+        path = tmp_path / "g.txt"
+        save_edge_list(g, path)
+        back = load_edge_list(path, num_vertices=50)
+        assert back == g
+
+    def test_round_trip_weighted(self, tmp_path):
+        g = generators.random_weights(generators.rmat(50, 200, seed=0), seed=1)
+        path = tmp_path / "g.txt"
+        save_edge_list(g, path)
+        back = load_edge_list(path, num_vertices=50)
+        assert np.allclose(back.weights, g.weights)
+
+    def test_snap_style_comments(self):
+        text = "# Directed graph\n# src\tdst\n0\t1\n2\t0\n"
+        g = load_edge_list(io.StringIO(text))
+        assert g.num_edges == 2
+        assert g.num_vertices == 3
+
+    def test_header_written(self, tmp_path):
+        g = generators.path(4)
+        path = tmp_path / "h.txt"
+        save_edge_list(g, path, header="test graph")
+        assert open(path).readline().startswith("# test graph")
+        assert load_edge_list(path) == g
+
+    def test_empty_file(self):
+        g = load_edge_list(io.StringIO("# nothing\n"), num_vertices=3)
+        assert g.num_edges == 0 and g.num_vertices == 3
+
+    def test_rejects_bad_columns(self):
+        with pytest.raises(ValueError):
+            load_edge_list(io.StringIO("1 2 3 4\n"))
+
+    def test_npz_round_trip(self, tmp_path):
+        g = generators.random_weights(generators.rmat(64, 300, seed=2), seed=3)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        assert load_npz(path) == g
+
+    def test_npz_unweighted(self, tmp_path):
+        g = generators.rmat(64, 300, seed=2)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        back = load_npz(path)
+        assert back.weights is None and back == g
+
+
+class TestSuite:
+    def test_names_in_paper_order(self):
+        assert suite.graph_names() == (
+            "livejournal",
+            "pokec",
+            "higgstwitter",
+            "roadnetca",
+            "webgoogle",
+            "amazon0312",
+        )
+
+    def test_scaled_sizes_track_table1(self):
+        g = suite.load("pokec", scale=500)
+        assert abs(g.num_edges - 30_622_564 // 500) < 5
+        assert abs(g.num_vertices - 1_632_803 // 500) < 5
+
+    def test_sparsity_preserved_across_scales(self):
+        a = suite.load("webgoogle", scale=200)
+        b = suite.load("webgoogle", scale=600)
+        assert a.average_degree() == pytest.approx(b.average_degree(), rel=0.15)
+
+    def test_roadnet_low_degree(self):
+        g = suite.load("roadnetca", scale=500)
+        assert g.in_degrees().max() <= 8
+        assert 2.0 < g.average_degree() < 3.5
+
+    def test_weighted_by_default(self):
+        assert suite.load("amazon0312", scale=500).weights is not None
+
+    def test_unweighted_option(self):
+        assert suite.load("amazon0312", scale=500, weighted=False).weights is None
+
+    def test_caching_returns_same_object(self):
+        a = suite.load("amazon0312", scale=500)
+        b = suite.load("amazon0312", scale=500)
+        assert a is b
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            suite.load("orkut")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            suite.load("pokec", scale=0)
+
+    def test_default_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "321")
+        assert suite.default_scale() == 321

@@ -1,0 +1,101 @@
+"""Tests for the vertex reordering strategies."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_program
+from repro.frameworks import CuShaEngine
+from repro.graph import generators, reorder
+from repro.graph.digraph import DiGraph
+from tests.conftest import random_graph
+
+
+class TestApplyRelabeling:
+    def test_identity(self, rmat_small):
+        g = reorder.apply_relabeling(
+            rmat_small, np.arange(rmat_small.num_vertices)
+        )
+        assert g == rmat_small
+
+    def test_preserves_structure(self, rmat_small):
+        g, perm = reorder.random_relabel(rmat_small, seed=1)
+        assert g.num_edges == rmat_small.num_edges
+        # Degree multiset is invariant under relabeling.
+        assert sorted(g.in_degrees().tolist()) == sorted(
+            rmat_small.in_degrees().tolist()
+        )
+        # Each edge maps through the permutation.
+        assert np.array_equal(perm[rmat_small.src], g.src.astype(np.int64))
+
+    def test_rejects_non_permutation(self, rmat_small):
+        with pytest.raises(ValueError):
+            reorder.apply_relabeling(
+                rmat_small, np.zeros(rmat_small.num_vertices, dtype=np.int64)
+            )
+
+    def test_rejects_wrong_length(self, rmat_small):
+        with pytest.raises(ValueError):
+            reorder.apply_relabeling(rmat_small, np.arange(3))
+
+    def test_weights_follow_edges(self):
+        g = DiGraph.from_edges([(0, 1), (1, 2)], num_vertices=3,
+                               weights=[5.0, 7.0])
+        out, perm = reorder.random_relabel(g, seed=2)
+        # weight of edge (perm[0] -> perm[1]) must still be 5.
+        i = np.flatnonzero(out.src == perm[0])[0]
+        assert out.weights[i] == 5.0
+
+
+class TestDegreeSort:
+    def test_hubs_get_low_ids(self, rmat_small):
+        g, _ = reorder.degree_sort(rmat_small)
+        deg = g.in_degrees()
+        assert deg[0] == deg.max()
+        # Degrees weakly decrease with id.
+        assert (np.diff(deg) <= 0).sum() > 0.9 * (deg.size - 1)
+
+    def test_ascending_option(self, rmat_small):
+        g, _ = reorder.degree_sort(rmat_small, descending=False)
+        assert g.in_degrees()[0] == rmat_small.in_degrees().min()
+
+    def test_out_direction(self, rmat_small):
+        g, _ = reorder.degree_sort(rmat_small, direction="out")
+        assert g.out_degrees()[0] == rmat_small.out_degrees().max()
+
+    def test_unknown_direction(self, rmat_small):
+        with pytest.raises(ValueError):
+            reorder.degree_sort(rmat_small, direction="both")
+
+
+class TestBFSOrder:
+    def test_root_gets_id_zero(self, rmat_small):
+        g, perm = reorder.bfs_order(rmat_small, root=17)
+        assert perm[17] == 0
+
+    def test_all_ids_assigned(self, rmat_small):
+        _, perm = reorder.bfs_order(rmat_small)
+        assert sorted(perm.tolist()) == list(range(rmat_small.num_vertices))
+
+    def test_neighborhoods_get_contiguous_ids(self):
+        """On a path, BFS order from an endpoint is the identity."""
+        g = generators.path(20)
+        out, perm = reorder.bfs_order(g, root=0)
+        assert np.array_equal(perm, np.arange(20))
+
+    def test_empty_graph(self):
+        g = DiGraph.empty(0)
+        out, perm = reorder.bfs_order(g, root=None) if g.num_vertices else (g, np.empty(0))
+        assert out.num_vertices == 0
+
+
+class TestSemanticInvariance:
+    def test_algorithm_results_map_through_permutation(self):
+        g = random_graph(3, n=60, m=250)
+        p = make_program("sssp", g, source=0)
+        base = CuShaEngine("cw", vertices_per_shard=16).run(g, p)
+        relabeled, perm = reorder.random_relabel(g, seed=9)
+        p2 = make_program("sssp", relabeled, source=int(perm[0]))
+        res = CuShaEngine("cw", vertices_per_shard=16).run(relabeled, p2)
+        assert np.array_equal(
+            res.values["dist"][perm], base.values["dist"]
+        )

@@ -1,0 +1,115 @@
+"""Tests for the shared-memory bank-conflict model and its engine wiring."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.sharedmem import bank_multiplicity_histogram, conflict_replays
+
+
+class TestConflictReplays:
+    def test_distinct_banks_conflict_free(self):
+        assert conflict_replays(np.arange(32)) == 0
+
+    def test_fully_serialized_row(self):
+        assert conflict_replays(np.zeros(32, dtype=np.int64)) == 31
+
+    def test_pairwise_conflict(self):
+        idx = np.arange(32)
+        idx[1] = 32  # bank 0, same as lane 0
+        assert conflict_replays(idx) == 1
+
+    def test_two_rows_summed(self):
+        idx = np.concatenate([np.zeros(32, dtype=np.int64), np.arange(32)])
+        assert conflict_replays(idx) == 31
+
+    def test_padding_is_conflict_free(self):
+        # 33 entries: one full row + 1-lane tail; the tail cannot conflict.
+        idx = np.arange(33)
+        assert conflict_replays(idx) == conflict_replays(np.arange(32))
+
+    def test_empty(self):
+        assert conflict_replays(np.empty(0, dtype=np.int64)) == 0
+
+    def test_value_words_stride(self):
+        """8-byte values stride two banks: 16 distinct slots spread over 32
+        banks stay conflict-free, but slots 0 and 16 collide."""
+        idx = np.arange(32)
+        free = conflict_replays(idx[:16], value_words=2)
+        assert free == 0
+        clash = conflict_replays(np.array([0, 16]), value_words=2)
+        assert clash == 1
+
+    def test_bank_wraparound(self):
+        assert conflict_replays(np.array([0, 32, 64, 96])) == 3
+
+    def test_histogram(self):
+        h = bank_multiplicity_histogram(np.zeros(96, dtype=np.int64))
+        assert h[32] == 3
+        assert h.sum() == 3
+
+    def test_histogram_empty(self):
+        h = bank_multiplicity_histogram(np.empty(0, dtype=np.int64))
+        assert h.sum() == 0
+
+
+class TestEngineWiring:
+    def test_conflict_heavy_destinations_cost_instructions(self):
+        """A star graph funnels every edge into one destination slot —
+        maximal bank conflicts — and must price more stage-2 instructions
+        than a conflict-free workload of the same size."""
+        from repro.algorithms import make_program
+        from repro.frameworks.cusha import CuShaEngine
+        from repro.graph import generators
+
+        star = generators.star(1024, outward=False)  # all edges -> vertex 0
+        ring = generators.cycle(1025)  # same edge count, spread dests
+        res_star = CuShaEngine("cw", vertices_per_shard=2048).run(
+            star, make_program("cc", star)
+        )
+        res_ring = CuShaEngine("cw", vertices_per_shard=2048).run(
+            ring, make_program("cc", ring)
+        )
+        star_instr = (
+            res_star.stage_stats["stage2-compute"].warp_instructions
+            / res_star.iterations
+        )
+        ring_instr = (
+            res_ring.stage_stats["stage2-compute"].warp_instructions
+            / res_ring.iterations
+        )
+        assert star_instr > ring_instr
+
+
+class TestStageStats:
+    def test_stage_sums_equal_totals(self):
+        from repro.algorithms import make_program
+        from repro.frameworks.cusha import CuShaEngine
+        from tests.conftest import random_graph
+
+        g = random_graph(0, n=200, m=900)
+        res = CuShaEngine("gs", vertices_per_shard=32).run(
+            g, make_program("sssp", g)
+        )
+        agg = None
+        for s in res.stage_stats.values():
+            agg = s if agg is None else agg + s
+        assert agg.load_transactions == res.stats.load_transactions
+        assert agg.store_transactions == res.stats.store_transactions
+        assert agg.shared_atomics == res.stats.shared_atomics
+        assert agg.warp_instructions == pytest.approx(
+            res.stats.warp_instructions
+        )
+
+    def test_stage2_dominates_load_traffic(self):
+        from repro.algorithms import make_program
+        from repro.frameworks.cusha import CuShaEngine
+        from tests.conftest import random_graph
+
+        g = random_graph(1, n=300, m=3000)
+        res = CuShaEngine("cw", vertices_per_shard=64).run(
+            g, make_program("pr", g), max_iterations=2000
+        )
+        loads = {
+            k: s.load_bytes_moved for k, s in res.stage_stats.items()
+        }
+        assert loads["stage2-compute"] == max(loads.values())

@@ -1,0 +1,125 @@
+"""End-to-end cost-model sanity: simulated times respond to hardware
+parameters in the physically sensible direction, and values never do."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_program
+from repro.frameworks import CuShaEngine, VWCEngine
+from repro.gpu.spec import GTX780, PCIeSpec
+from tests.conftest import random_graph
+
+
+@pytest.fixture(scope="module")
+def workload():
+    g = random_graph(0, n=3000, m=24_000)
+    return g
+
+
+def run_cusha(g, spec=GTX780, pcie=None, **kw):
+    p = make_program("pr", g)
+    return CuShaEngine("cw", spec=spec, pcie=pcie, **kw).run(
+        g, p, max_iterations=1000
+    )
+
+
+class TestMonotonicity:
+    def test_more_bandwidth_never_slower(self, workload):
+        slow = dataclasses.replace(GTX780, mem_bandwidth_gb_per_s=50.0)
+        fast = dataclasses.replace(GTX780, mem_bandwidth_gb_per_s=500.0)
+        assert (
+            run_cusha(workload, fast).kernel_time_ms
+            <= run_cusha(workload, slow).kernel_time_ms
+        )
+
+    def test_more_sms_never_slower_per_iteration(self, workload):
+        """num_sms also widens the wave schedule (changing iteration counts,
+        as real concurrency does), so compare per-iteration cost."""
+        few = dataclasses.replace(GTX780, num_sms=2)
+        many = dataclasses.replace(GTX780, num_sms=24)
+        rf = run_cusha(workload, few)
+        rm = run_cusha(workload, many)
+        assert (
+            rm.kernel_time_ms / rm.iterations
+            <= rf.kernel_time_ms / rf.iterations
+        )
+
+    def test_launch_overhead_adds_per_iteration(self, workload):
+        zero = dataclasses.replace(GTX780, kernel_launch_overhead_us=0.0)
+        heavy = dataclasses.replace(GTX780, kernel_launch_overhead_us=100.0)
+        r0 = run_cusha(workload, zero)
+        r1 = run_cusha(workload, heavy)
+        assert r1.kernel_time_ms - r0.kernel_time_ms == pytest.approx(
+            0.1 * r0.iterations, rel=0.01
+        )
+
+    def test_slower_pcie_inflates_transfers_only(self, workload):
+        fast = PCIeSpec(bandwidth_gb_per_s=12.0)
+        slow = PCIeSpec(bandwidth_gb_per_s=1.0)
+        rf = run_cusha(workload, pcie=fast)
+        rs = run_cusha(workload, pcie=slow)
+        assert rs.h2d_ms > 5 * rf.h2d_ms
+        assert rs.kernel_time_ms == pytest.approx(rf.kernel_time_ms)
+
+    def test_vwc_time_scales_with_transactions_not_requests(self, workload):
+        """Doubling dilation scatters gathers further: more transactions,
+        same requested bytes, longer simulated time."""
+        p = make_program("pr", workload)
+        near = VWCEngine(8, address_dilation=1).run(
+            workload, p, max_iterations=1000
+        )
+        p2 = make_program("pr", workload)
+        far = VWCEngine(8, address_dilation=128).run(
+            workload, p2, max_iterations=1000
+        )
+        assert far.stats.load_transactions > near.stats.load_transactions
+        assert (
+            far.stats.load_bytes_requested == near.stats.load_bytes_requested
+        )
+        assert far.kernel_time_ms >= near.kernel_time_ms
+
+
+class TestValueInvariance:
+    """Hardware parameters are pricing-only: they must never leak into the
+    computed values."""
+
+    # num_sms is deliberately absent: it sets the wave (block concurrency)
+    # width, which is a *semantic* scheduling parameter on real hardware too.
+    @pytest.mark.parametrize("field,value", [
+        ("mem_bandwidth_gb_per_s", 10.0),
+        ("kernel_launch_overhead_us", 500.0),
+        ("shared_atomic_cycles", 100.0),
+    ])
+    def test_cusha_values_spec_independent(self, workload, field, value):
+        base = run_cusha(workload)
+        spec = dataclasses.replace(GTX780, **{field: value})
+        res = run_cusha(workload, spec)
+        assert np.array_equal(base.values["rank"], res.values["rank"])
+        assert base.iterations == res.iterations
+
+    def test_threads_per_block_value_independent(self, workload):
+        base = run_cusha(workload)
+        res = run_cusha(workload, threads_per_block=128)
+        assert np.array_equal(base.values["rank"], res.values["rank"])
+
+
+class TestDegenerateHardware:
+    def test_single_sm_single_scheduler_still_finishes(self, workload):
+        tiny = dataclasses.replace(
+            GTX780, num_sms=1, issue_slots_per_sm_per_cycle=1.0
+        )
+        res = run_cusha(workload, tiny)
+        base = run_cusha(workload)
+        assert res.converged
+        assert (res.kernel_time_ms / res.iterations
+                > base.kernel_time_ms / base.iterations)
+
+    def test_tiny_shared_memory_caps_shard_size(self, workload):
+        cramped = dataclasses.replace(
+            GTX780, shared_mem_per_sm_bytes=4 * 1024
+        )
+        eng = CuShaEngine("cw", spec=cramped)
+        n = eng._choose_shard_size(workload, make_program("pr", workload))
+        assert n <= 4 * 1024 // 2 // 4  # half the SM quota / 4-byte values

@@ -1,0 +1,169 @@
+"""Systematic validation matrix: every program × every engine × three graph
+classes, each checked with a program-specific fixpoint validator.
+
+Complements the golden tests (which compare against external oracles on one
+graph class): here the coverage axis is breadth — power-law, road-grid, and
+hub-dominated topologies stress different shard/window/divergence regimes,
+and each program's validator asserts the *mathematical* fixpoint conditions
+directly, so any engine/topology combination that breaks semantics fails
+loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import PROGRAM_NAMES, default_source, make_program
+from repro.frameworks import CuShaEngine, MTCPUEngine, VWCEngine
+from repro.graph import generators
+from repro.vertexcentric.datatypes import UINT_INF
+
+
+def _rmat():
+    return generators.random_weights(generators.rmat(180, 1400, seed=51), seed=52)
+
+
+def _road():
+    g = generators.road_network(14, 14, shortcut_fraction=0.02, seed=53)
+    return generators.random_weights(g, seed=54)
+
+
+def _hub():
+    """A hub-and-spoke plus a ring: extreme degree skew in both directions."""
+    star_out = generators.star(120, outward=True)
+    ring = generators.cycle(121)
+    src = np.concatenate([star_out.src, ring.src])
+    dst = np.concatenate([star_out.dst, ring.dst])
+    from repro.graph.digraph import DiGraph
+
+    g = DiGraph(src, dst, 121)
+    return generators.random_weights(g, seed=55)
+
+
+GRAPHS = {"rmat": _rmat, "road": _road, "hub": _hub}
+
+ENGINES = {
+    "cusha-gs": lambda: CuShaEngine("gs", vertices_per_shard=24),
+    "cusha-cw": lambda: CuShaEngine("cw", vertices_per_shard=24),
+    "vwc-4": lambda: VWCEngine(4),
+    "mtcpu-2": lambda: MTCPUEngine(2),
+}
+
+
+# ----------------------------------------------------------------------
+# Per-program fixpoint validators
+# ----------------------------------------------------------------------
+
+def _validate_bfs(g, p, values):
+    lv = values["level"].astype(np.float64)
+    lv[values["level"] == UINT_INF] = np.inf
+    assert lv[p.source] == 0
+    # Edge relaxation: no edge can improve its destination.
+    assert (lv[g.dst] <= lv[g.src] + 1 + 1e-9).all()
+    # Support: every finite level > 0 is witnessed by an in-edge.
+    finite = np.isfinite(lv) & (lv > 0)
+    witnessed = np.zeros(g.num_vertices, dtype=bool)
+    ok = lv[g.dst] == lv[g.src] + 1
+    witnessed[g.dst[ok]] = True
+    assert witnessed[finite].all()
+
+
+def _validate_sssp(g, p, values):
+    dist = values["dist"].astype(np.float64)
+    dist[values["dist"] == UINT_INF] = np.inf
+    w = g.weights
+    assert dist[p.source] == 0
+    assert (dist[g.dst] <= dist[g.src] + w + 1e-9).all()
+    finite = np.isfinite(dist) & (dist > 0)
+    witnessed = np.zeros(g.num_vertices, dtype=bool)
+    ok = np.isclose(dist[g.dst], dist[g.src] + w)
+    witnessed[g.dst[ok]] = True
+    assert witnessed[finite].all()
+
+
+def _validate_pr(g, p, values):
+    rank = values["rank"].astype(np.float64)
+    outdeg = g.out_degrees().astype(np.float64)
+    contrib = np.zeros(g.num_vertices)
+    nz = outdeg[g.src] > 0
+    np.add.at(contrib, g.dst[nz], rank[g.src[nz]] / outdeg[g.src[nz]])
+    expected = (1 - p.damping) + p.damping * contrib
+    # Fixpoint residual within the engine's stopping tolerance (float32
+    # accumulation adds a bit of slack on hubs).
+    assert np.abs(expected - rank).max() < 20 * p.tolerance
+
+
+def _validate_cc(g, p, values):
+    lbl = values["cmpnent"].astype(np.int64)
+    assert (lbl <= np.arange(g.num_vertices)).all()
+    assert (lbl[g.dst] <= lbl[g.src]).all()
+    # Support: a label below own index must come from some in-edge.
+    lowered = lbl < np.arange(g.num_vertices)
+    witnessed = np.zeros(g.num_vertices, dtype=bool)
+    ok = lbl[g.dst] == lbl[g.src]
+    witnessed[g.dst[ok]] = True
+    assert witnessed[lowered].all()
+
+
+def _validate_sswp(g, p, values):
+    bw = values["bwidth"].astype(np.float64)
+    bw[values["bwidth"] == UINT_INF] = np.inf
+    w = g.weights
+    assert np.isinf(bw[p.source])
+    assert (bw[g.dst] >= np.minimum(bw[g.src], w) - 1e-9).all()
+
+
+def _validate_nn(g, p, values):
+    x = values["x"].astype(np.float64)
+    w = p.edge_values(g)["weight"].astype(np.float64)
+    acc = np.zeros(g.num_vertices)
+    np.add.at(acc, g.dst, x[g.src] * w)
+    assert np.abs(np.tanh(acc) - x).max() < 20 * p.tolerance
+    assert (np.abs(x) <= 1.0).all()
+
+
+def _validate_hs(g, p, values):
+    q = values["q"].astype(np.float64)
+    coeff = p.edge_values(g)["coeff"].astype(np.float64)
+    flow = np.zeros(g.num_vertices)
+    np.add.at(flow, g.dst, (q[g.src] - q[g.dst]) * coeff)
+    # At the stopping point the net inflow per vertex is below tolerance.
+    assert np.abs(flow).max() < 20 * p.tolerance
+
+
+def _validate_cs(g, p, values):
+    v = values["v"].astype(np.float64)
+    cond = p.edge_values(g)["g"].astype(np.float64)
+    num = np.zeros(g.num_vertices)
+    den = np.zeros(g.num_vertices)
+    np.add.at(num, g.dst, v[g.src] * cond)
+    np.add.at(den, g.dst, cond)
+    pinned = values["gsum_or_a"] != 0
+    for vertex, volt in p.sources:
+        assert v[vertex] == pytest.approx(volt)
+    interior = ~pinned & (den > 0)
+    resid = np.abs(v[interior] - num[interior] / den[interior])
+    assert resid.max(initial=0.0) < 50 * p.tolerance
+
+
+VALIDATORS = {
+    "bfs": _validate_bfs,
+    "sssp": _validate_sssp,
+    "pr": _validate_pr,
+    "cc": _validate_cc,
+    "sswp": _validate_sswp,
+    "nn": _validate_nn,
+    "hs": _validate_hs,
+    "cs": _validate_cs,
+}
+
+
+@pytest.mark.parametrize("graph_kind", sorted(GRAPHS))
+@pytest.mark.parametrize("engine_key", sorted(ENGINES))
+@pytest.mark.parametrize("prog_name", PROGRAM_NAMES)
+def test_fixpoint_conditions(graph_kind, engine_key, prog_name):
+    g = GRAPHS[graph_kind]()
+    p = make_program(prog_name, g)
+    engine = ENGINES[engine_key]()
+    res = engine.run(g, p, max_iterations=60_000)
+    assert res.converged
+    VALIDATORS[prog_name](g, p, res.values)

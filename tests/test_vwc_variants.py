@@ -1,0 +1,108 @@
+"""Tests for the VWC engine's schedule pricing and its deferred-outliers
+variant."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_program
+from repro.frameworks.csrloop import CSRProblem
+from repro.frameworks.vwc import VWCEngine
+from repro.graph import generators
+from tests.conftest import random_graph
+
+
+class TestDeferredOutliers:
+    def test_values_unchanged(self):
+        g = random_graph(0, n=200, m=2000)
+        p = make_program("sssp", g)
+        plain = VWCEngine(4).run(g, p)
+        deferred = VWCEngine(4, defer_outliers=True).run(g, p)
+        assert np.array_equal(plain.values["dist"], deferred.values["dist"])
+
+    def test_name_reflects_variant(self):
+        assert VWCEngine(8, defer_outliers=True).name == "vwc-8-deferred"
+        assert VWCEngine(8).name == "vwc-8"
+
+    def test_no_outliers_prices_identically(self):
+        """A uniform low-degree graph has no outliers: both variants charge
+        the same hardware activity."""
+        g = generators.cycle(500)
+        p = make_program("cc", g)
+        prob = CSRProblem.build(g, p)
+        plain = VWCEngine(4)._static_stats(prob)
+        deferred = VWCEngine(4, defer_outliers=True)._static_stats(prob)
+        assert plain.load_transactions == deferred.load_transactions
+        assert plain.total_lane_slots == deferred.total_lane_slots
+
+    def test_skewed_graph_lane_slots_shrink_in_regular_pass(self):
+        """Pulling a hub out of the virtual-warp pass removes its divergence
+        from the regular schedule: total lane slots drop even counting the
+        full-warp outlier pass."""
+        g = generators.star(3000, outward=False)  # one hub of degree 3000
+        p = make_program("cc", g)
+        prob = CSRProblem.build(g, p)
+        plain = VWCEngine(2)._static_stats(prob)
+        deferred = VWCEngine(2, defer_outliers=True)._static_stats(prob)
+        assert deferred.total_lane_slots < plain.total_lane_slots
+        # The edge work itself is preserved.
+        assert deferred.active_lane_slots >= g.num_edges
+
+    def test_outlier_factor_controls_threshold(self):
+        g = random_graph(1, n=300, m=3000)
+        p = make_program("cc", g)
+        prob = CSRProblem.build(g, p)
+        eager = VWCEngine(2, defer_outliers=True, outlier_factor=1)
+        lazy = VWCEngine(2, defer_outliers=True, outlier_factor=64)
+        plain = VWCEngine(2)
+        s_lazy = lazy._static_stats(prob)
+        s_plain = plain._static_stats(prob)
+        # A huge factor defers nothing.
+        assert s_lazy.total_lane_slots == s_plain.total_lane_slots
+        # An aggressive factor defers plenty (stats differ).
+        s_eager = eager._static_stats(prob)
+        assert s_eager.total_lane_slots != s_plain.total_lane_slots
+
+
+class TestSchedulePricing:
+    def test_edge_activity_equals_edge_count(self):
+        """Every edge occupies exactly one active lane slot in the neighbor
+        loop (plus the SISD/reduction slots accounted separately)."""
+        g = random_graph(2, n=150, m=900)
+        p = make_program("cc", g)
+        prob = CSRProblem.build(g, p)
+        from repro.gpu.stats import KernelStats
+
+        eng = VWCEngine(8)
+        loop = KernelStats()
+        deg = np.diff(prob.csr.in_edge_idxs)
+        eng._edge_loop_stats(loop, deg, prob.csr.in_edge_idxs[:-1],
+                             prob.csr, 8, 4, 0, 0)
+        assert loop.active_lane_slots == g.num_edges
+
+    def test_requested_bytes_per_edge(self):
+        g = random_graph(3, n=100, m=600)
+        p = make_program("sssp", g)  # 4B value + 4B edge weight
+        prob = CSRProblem.build(g, p)
+        from repro.gpu.stats import KernelStats
+
+        eng = VWCEngine(8)
+        loop = KernelStats()
+        deg = np.diff(prob.csr.in_edge_idxs)
+        eng._edge_loop_stats(loop, deg, prob.csr.in_edge_idxs[:-1],
+                             prob.csr, 8, 4, 0, 4)
+        # 4B index + 4B gathered value + 4B edge value per edge.
+        assert loop.load_bytes_requested == g.num_edges * 12
+
+    def test_full_warp_mode_minimizes_divergence(self):
+        """vw=32 on a single huge-degree vertex wastes almost no lanes."""
+        g = generators.star(3200, outward=False)
+        p = make_program("cc", g)
+        prob = CSRProblem.build(g, p)
+        from repro.gpu.stats import KernelStats
+
+        eng = VWCEngine(32)
+        loop = KernelStats()
+        deg = np.diff(prob.csr.in_edge_idxs)
+        eng._edge_loop_stats(loop, deg, prob.csr.in_edge_idxs[:-1],
+                             prob.csr, 32, 4, 0, 0)
+        assert loop.active_lane_slots / loop.total_lane_slots == 1.0
