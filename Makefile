@@ -1,0 +1,24 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test bench smoke-trace report clean
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/ -q
+
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# CI smoke: trace a tiny R-MAT run end-to-end and validate the emitted
+# JSONL against the repro-trace schema (exits non-zero on any violation).
+smoke-trace:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro trace \
+		--graph 1024x8192 --program sssp --engine cusha-cw \
+		--out /tmp/repro-smoke-trace.jsonl --format both --check
+
+report:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro experiments all
+
+clean:
+	rm -rf .pytest_cache build dist src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

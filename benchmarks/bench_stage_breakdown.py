@@ -3,12 +3,19 @@
 Not a paper figure, but the quantitative backing for its section-3 prose:
 stage 2 (the coalesced entry sweep) should dominate traffic, and the
 write-back stage should be the GS-vs-CW differentiator.
+
+The per-stage numbers are sourced from the telemetry tracer: each CuSha
+iteration emits one ``stage`` span per pipeline stage carrying that
+iteration's :class:`~repro.gpu.stats.KernelStats` delta, and
+:func:`repro.telemetry.aggregate_stage_stats` folds them back into the
+per-stage totals.
 """
 
 from repro.algorithms import make_program
+from repro.frameworks.base import RunConfig
 from repro.frameworks.cusha import CuShaEngine
-from repro.gpu.stats import LOAD_GRANULARITY_BYTES, STORE_GRANULARITY_BYTES
 from repro.harness.tables import format_table
+from repro.telemetry import Tracer, aggregate_stage_stats
 
 from conftest import once
 
@@ -18,16 +25,24 @@ def bench_stage_breakdown(benchmark, runner, emit):
         g = runner.graph("livejournal")
         rows = []
         results = {}
+        stage_aggs = {}
         for mode in ("gs", "cw"):
             p = make_program("pr", g)
+            tracer = Tracer()
             res = CuShaEngine(mode, spec=runner.spec).run(
-                g, p, max_iterations=400, allow_partial=True
+                g,
+                p,
+                config=RunConfig(
+                    max_iterations=400, allow_partial=True, tracer=tracer
+                ),
             )
             results[mode] = res
+            stages = aggregate_stage_stats(tracer)
+            stage_aggs[mode] = stages
             moved_total = (
                 res.stats.load_bytes_moved + res.stats.store_bytes_moved
             )
-            for stage, s in res.stage_stats.items():
+            for stage, s in stages.items():
                 moved = s.load_bytes_moved + s.store_bytes_moved
                 rows.append(
                     (
@@ -38,9 +53,9 @@ def bench_stage_breakdown(benchmark, runner, emit):
                         f"{s.warp_instructions / 1e6:.2f}",
                     )
                 )
-        return rows, results
+        return rows, results, stage_aggs
 
-    rows, results = once(benchmark, run)
+    rows, results, stage_aggs = once(benchmark, run)
     text = format_table(
         ["Engine", "Stage", "Bytes moved (MB)", "Share", "Warp instr (M)"],
         rows,
@@ -48,11 +63,16 @@ def bench_stage_breakdown(benchmark, runner, emit):
     )
     emit("stage_breakdown", text)
     for mode in ("gs", "cw"):
-        stages = results[mode].stage_stats
+        stages = stage_aggs[mode]
         loads = {k: s.load_bytes_moved for k, s in stages.items()}
         # Stage 2 reads the most bytes: it streams every shard entry.
         assert loads["stage2-compute"] == max(loads.values())
+        # The trace-derived stages agree with the engine's own accounting.
+        for k, s in stages.items():
+            legacy = results[mode].stage_stats[k]
+            assert s.load_bytes_moved == legacy.load_bytes_moved
+            assert s.total_transactions == legacy.total_transactions
     # The write-back stage is where the representations differ.
-    gs4 = results["gs"].stage_stats["stage4-writeback"]
-    cw4 = results["cw"].stage_stats["stage4-writeback"]
+    gs4 = stage_aggs["gs"]["stage4-writeback"]
+    cw4 = stage_aggs["cw"]["stage4-writeback"]
     assert gs4.total_transactions != cw4.total_transactions

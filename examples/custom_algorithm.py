@@ -13,7 +13,7 @@ Run:  python examples/custom_algorithm.py
 
 import numpy as np
 
-from repro import CuShaEngine, ScalarReferenceEngine, VertexProgram
+from repro import VertexProgram, make_engine
 from repro.graph import generators
 from repro.vertexcentric.datatypes import vertex_dtype
 
@@ -82,7 +82,9 @@ def main() -> None:
     seeds = (1, 17, 256, 3999)
     program = SeedReachability(seeds)
 
-    result = CuShaEngine("cw").run(graph, program)
+    # Custom programs plug into any registered engine; make_engine looks
+    # engines up by the same keys the CLI and harness use.
+    result = make_engine("cusha-cw").run(graph, program)
     print(f"graph: {graph}; seeds: {seeds}")
     print(f"converged in {result.iterations} iterations, "
           f"{result.total_ms:.2f} ms simulated")
@@ -93,10 +95,10 @@ def main() -> None:
     # The scalar reference engine executes the paper-style device functions
     # directly — a free cross-check for any custom program.
     small = generators.rmat(120, 700, seed=22)
-    ref = ScalarReferenceEngine(vertices_per_shard=16).run(
+    ref = make_engine("scalar", vertices_per_shard=16).run(
         small, SeedReachability((0, 1, 2, 3))
     )
-    fast = CuShaEngine("gs", vertices_per_shard=16).run(
+    fast = make_engine("cusha-gs", vertices_per_shard=16).run(
         small, SeedReachability((0, 1, 2, 3))
     )
     for k in range(4):

@@ -4,14 +4,17 @@
 Shows the three steps every CuSha application takes:
 
 1. build (or load) a graph;
-2. pick a vertex program — here the built-in SSSP, configured with a source;
-3. run an engine and inspect the answer plus the simulated-hardware report.
+2. pick a vertex program — here the built-in SSSP — and an engine by its
+   registry key (``cusha-cw``, ``cusha-gs``, ``vwc-8``, ``mtcpu``, ...);
+3. run via the :func:`repro.run` façade and inspect the answer plus the
+   simulated-hardware report.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import CuShaEngine, VWCEngine, make_program
+import repro
 from repro.graph import generators
+from repro.telemetry import Tracer
 
 
 def main() -> None:
@@ -21,12 +24,11 @@ def main() -> None:
     )
     print(f"graph: {graph}")
 
-    # 2. SSSP from the highest-out-degree vertex (the harness default).
-    program = make_program("sssp", graph)
-    print(f"program: {program.name}, source = {program.source}")
-
-    # 3. Run CuSha with Concatenated Windows; shard size is auto-selected.
-    result = CuShaEngine("cw").run(graph, program)
+    # 2+3. SSSP (source defaults to the highest-out-degree vertex) on
+    # CuSha with Concatenated Windows; shard size is auto-selected.  A
+    # Tracer is optional — without one, runs carry zero telemetry cost.
+    tracer = Tracer()
+    result = repro.run(graph, "sssp", engine="cusha-cw", tracer=tracer)
     dists = result.field_values("dist")
     reachable = dists != 0xFFFFFFFF
     print(
@@ -46,11 +48,21 @@ def main() -> None:
         f"{s.warp_execution_efficiency:.1%}"
     )
 
+    # The trace records one span per iteration and one per pipeline stage;
+    # exporters in repro.telemetry turn it into JSONL / Chrome / CSV.
+    stages = tracer.find(kind="stage")
+    print(
+        f"trace: {len(tracer)} spans "
+        f"({len(tracer.find(kind='iteration'))} iterations, "
+        f"{len(stages)} stage spans, "
+        f"{len(tracer.metrics)} metrics published)"
+    )
+
     # Compare with the Virtual Warp-Centric CSR baseline.  On a short
     # traversal like this the one-time H2D copy of CuSha's bigger
     # representation eats into the total; the kernel-time ratio shows the
     # per-iteration advantage that dominates longer-running workloads.
-    baseline = VWCEngine(8).run(graph, program)
+    baseline = repro.run(graph, "sssp", engine="vwc-8")
     assert (baseline.field_values("dist") == dists).all(), "engines disagree!"
     print(
         f"VWC-CSR (vw=8) baseline: {baseline.total_ms:.2f} ms total, "

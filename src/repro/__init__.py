@@ -17,10 +17,10 @@ This package reproduces *CuSha: Vertex-Centric Graph Processing on GPUs*
 
 Quickstart
 ----------
->>> from repro import CuShaEngine, make_program
+>>> import repro
 >>> from repro.graph import generators
 >>> g = generators.random_weights(generators.rmat(1000, 8000, seed=1), seed=2)
->>> result = CuShaEngine("cw").run(g, make_program("sssp", g))
+>>> result = repro.run(g, "sssp", engine="cusha-cw")
 >>> result.converged
 True
 """
@@ -29,17 +29,57 @@ from repro.algorithms import PROGRAM_NAMES, default_source, make_program
 from repro.frameworks import (
     CuShaEngine,
     MTCPUEngine,
+    RunConfig,
     RunResult,
     ScalarReferenceEngine,
     VWCEngine,
+    engine_keys,
+    make_engine,
 )
 from repro.graph import CSR, ConcatenatedWindows, DiGraph, GShards, select_shard_size
 from repro.gpu import GTX780, I7_3930K, KernelStats
 from repro.vertexcentric import VertexProgram
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def run(
+    graph: DiGraph,
+    program_name: str,
+    *,
+    engine: str = "cusha-cw",
+    source: int | None = None,
+    max_iterations: int = 10_000,
+    allow_partial: bool = False,
+    tracer=None,
+    **engine_opts,
+) -> RunResult:
+    """One-call façade: run ``program_name`` on ``graph`` with ``engine``.
+
+    ``engine`` is a :func:`repro.frameworks.make_engine` key (``cusha-cw``,
+    ``cusha-gs``, ``vwc-8``, ``mtcpu``, ``scalar``, ...); extra keyword
+    arguments are forwarded to the factory (e.g. ``shard_size=64``).
+    ``source`` seeds the traversal programs (BFS/SSSP/SSWP); ``tracer``
+    attaches a :class:`repro.telemetry.Tracer` for structured tracing.
+
+    >>> result = repro.run(g, "bfs", engine="vwc-8", source=0)
+    """
+    prog_kwargs = {} if source is None else {"source": source}
+    program = make_program(program_name, graph, **prog_kwargs)
+    eng = make_engine(engine, **engine_opts)
+    config = RunConfig(
+        max_iterations=max_iterations, allow_partial=allow_partial
+    )
+    if tracer is not None:
+        config = config.with_tracer(tracer)
+    return eng.run(graph, program, config=config)
+
 
 __all__ = [
+    "run",
+    "make_engine",
+    "engine_keys",
+    "RunConfig",
     "DiGraph",
     "CSR",
     "GShards",

@@ -12,6 +12,11 @@ Commands
 ``experiments``
     Regenerate one (or all) of the paper's tables/figures.
 
+``trace``
+    Run one algorithm with a :class:`repro.telemetry.Tracer` attached and
+    export the structured trace (JSONL and/or Chrome ``chrome://tracing``
+    format), optionally schema-validating the output (the CI smoke path).
+
 Examples
 --------
 ::
@@ -20,11 +25,13 @@ Examples
     python -m repro run pr --edges my_graph.txt --engine vwc-8
     python -m repro info --rmat 100000x800000
     python -m repro experiments table4 --scale 200
+    python -m repro trace --graph rmat --program sssp --engine cusha-cw
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 
 import numpy as np
@@ -81,6 +88,34 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--scale", type=int, default=None,
                      help="graph scale divisor (default: REPRO_SCALE or 100)")
     exp.add_argument("--max-iterations", type=int, default=400)
+
+    trace = sub.add_parser(
+        "trace", help="run with tracing attached and export the trace"
+    )
+    trace.add_argument(
+        "--graph",
+        default="rmat",
+        help="a Table-1 suite name, 'rmat' (a tiny default R-MAT), or an "
+        "explicit VxE R-MAT size like 4096x32768",
+    )
+    trace.add_argument("--program", default="sssp", choices=PROGRAM_NAMES)
+    trace.add_argument("--engine", default="cusha-cw",
+                       help="any make_engine key (cusha-cw, vwc-8, ...)")
+    trace.add_argument("--out", default="trace.jsonl",
+                       help="output path (default: trace.jsonl)")
+    trace.add_argument("--format", default="jsonl",
+                       choices=("jsonl", "chrome", "both"),
+                       help="jsonl (default), chrome, or both")
+    trace.add_argument("--check", action="store_true",
+                       help="schema-validate the written JSONL and fail "
+                       "on any violation")
+    trace.add_argument("--source", type=int, default=None,
+                       help="source vertex for BFS/SSSP/SSWP")
+    trace.add_argument("--max-iterations", type=int, default=10_000)
+    trace.add_argument("--shard-size", type=int, default=None)
+    trace.add_argument("--scale", type=int, default=None,
+                       help="scale divisor for suite graphs")
+    trace.add_argument("--seed", type=int, default=1, help="R-MAT seed")
     return parser
 
 
@@ -111,28 +146,18 @@ def _load_graph(args) -> DiGraph:
 
 
 def _make_engine(key: str, shard_size: int | None):
-    from repro.frameworks import (
-        CuShaEngine,
-        MTCPUEngine,
-        ScalarReferenceEngine,
-        StreamedCuShaEngine,
-        VWCEngine,
-    )
+    """CLI wrapper over :func:`repro.frameworks.make_engine`."""
+    from repro.frameworks import EngineKeyError, make_engine
 
-    if key in ("cusha-cw", "cusha-gs"):
-        return CuShaEngine(key.split("-")[1], vertices_per_shard=shard_size)
-    if key == "cusha-streamed":
-        return StreamedCuShaEngine(vertices_per_shard=shard_size)
-    if key.startswith("vwc-"):
-        return VWCEngine(int(key.split("-")[1]))
-    if key.startswith("mtcpu-"):
-        return MTCPUEngine(int(key.split("-")[1]))
-    if key == "scalar":
-        return ScalarReferenceEngine(vertices_per_shard=shard_size or 4)
-    raise SystemExit(f"unknown engine {key!r}")
+    try:
+        return make_engine(key, shard_size=shard_size)
+    except EngineKeyError as exc:
+        raise SystemExit(f"unknown engine {key!r}") from exc
 
 
 def _cmd_run(args) -> int:
+    from repro.frameworks import RunConfig
+
     graph = _load_graph(args)
     kwargs = {}
     if args.source is not None and args.program in ("bfs", "sssp", "sswp"):
@@ -140,7 +165,9 @@ def _cmd_run(args) -> int:
     program = make_program(args.program, graph, **kwargs)
     engine = _make_engine(args.engine, args.shard_size)
     result = engine.run(
-        graph, program, max_iterations=args.max_iterations, allow_partial=True
+        graph,
+        program,
+        config=RunConfig(max_iterations=args.max_iterations, allow_partial=True),
     )
     print(f"graph   : {graph}")
     print(f"engine  : {result.engine}")
@@ -227,6 +254,89 @@ def _cmd_experiments(args) -> int:
     return 0
 
 
+_DEFAULT_TRACE_RMAT = "4096x32768"
+
+
+def _trace_graph(args) -> DiGraph:
+    """Resolve the trace subcommand's free-form ``--graph`` value."""
+    name = args.graph
+    if name in suite.graph_names():
+        return suite.load(name, args.scale)
+    if name == "rmat":
+        name = _DEFAULT_TRACE_RMAT
+    try:
+        v, e = (int(x) for x in name.lower().split("x"))
+    except ValueError:
+        raise SystemExit(
+            f"unknown graph {args.graph!r}: expected a suite name "
+            f"({', '.join(suite.graph_names())}), 'rmat', or VxE"
+        ) from None
+    return generators.random_weights(
+        generators.rmat(v, e, seed=args.seed), seed=args.seed + 1
+    )
+
+
+def _cmd_trace(args) -> int:
+    from repro.frameworks import RunConfig
+    from repro.telemetry import (Tracer, validate_jsonl, write_chrome_trace,
+                                 write_jsonl)
+
+    graph = _trace_graph(args)
+    kwargs = {}
+    if args.source is not None and args.program in ("bfs", "sssp", "sswp"):
+        kwargs["source"] = args.source
+    program = make_program(args.program, graph, **kwargs)
+    engine = _make_engine(args.engine, args.shard_size)
+    tracer = Tracer()
+    result = engine.run(
+        graph,
+        program,
+        config=RunConfig(
+            max_iterations=args.max_iterations,
+            allow_partial=True,
+            tracer=tracer,
+        ),
+    )
+    kinds = {k: len(tracer.find(kind=k)) for k in ("run", "iteration",
+                                                   "stage", "transfer")}
+    print(f"graph   : {graph}")
+    print(f"engine  : {result.engine}")
+    print(f"program : {result.program}")
+    print(
+        f"trace   : {len(tracer)} spans "
+        f"({kinds['iteration']} iterations, {kinds['stage']} stages, "
+        f"{kinds['transfer']} transfers) over {result.total_ms:.3f} ms model time"
+    )
+    print(f"metrics : {len(tracer.metrics)} instruments")
+    out = pathlib.Path(args.out)
+    meta = {
+        "engine": result.engine,
+        "program": result.program,
+        "graph": str(graph),
+        "iterations": result.iterations,
+        "converged": result.converged,
+        "total_ms": result.total_ms,
+    }
+    if args.format in ("jsonl", "both"):
+        write_jsonl(tracer, out, meta=meta)
+        print(f"jsonl   : {out}")
+    chrome_out = out if args.format == "chrome" else out.with_suffix(".chrome.json")
+    if args.format in ("chrome", "both"):
+        write_chrome_trace(tracer, chrome_out)
+        print(f"chrome  : {chrome_out}")
+    if args.check:
+        if args.format == "chrome":
+            raise SystemExit("--check validates the JSONL format; use "
+                             "--format jsonl or both")
+        errors = validate_jsonl(out)
+        if errors:
+            for err in errors:
+                print(f"INVALID : {err}")
+            return 1
+        print(f"valid   : {out} passes the repro-trace schema")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -236,6 +346,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_info(args)
         if args.command == "experiments":
             return _cmd_experiments(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
     except BrokenPipeError:  # e.g. `python -m repro ... | head`
         return 0
     raise SystemExit(2)  # pragma: no cover - argparse guards this

@@ -21,22 +21,37 @@ instances:
 All engines return a :class:`repro.frameworks.base.RunResult` with the final
 vertex values, per-iteration traces, aggregated hardware statistics, and
 simulated times.
+
+Engines are usually instantiated through the registry factory::
+
+    from repro.frameworks import make_engine
+
+    engine = make_engine("cusha-cw", shard_size=64)
+    result = engine.run(graph, program, config=RunConfig(max_iterations=100))
 """
 
-from repro.frameworks.base import Engine, IterationTrace, RunResult
+from repro.frameworks.base import (Engine, IterationTrace, RunConfig,
+                                   RunResult)
 from repro.frameworks.cusha import CuShaEngine
 from repro.frameworks.vwc import VWCEngine
 from repro.frameworks.mtcpu import MTCPUEngine
 from repro.frameworks.scalar import ScalarReferenceEngine
 from repro.frameworks.streamed import StreamedCuShaEngine
+from repro.frameworks.registry import (EngineKeyError, engine_keys,
+                                       make_engine, register_engine)
 
 __all__ = [
     "Engine",
     "IterationTrace",
+    "RunConfig",
     "RunResult",
     "CuShaEngine",
     "VWCEngine",
     "MTCPUEngine",
     "ScalarReferenceEngine",
     "StreamedCuShaEngine",
+    "make_engine",
+    "engine_keys",
+    "register_engine",
+    "EngineKeyError",
 ]

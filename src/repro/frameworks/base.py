@@ -7,20 +7,35 @@ hardware activity the access patterns would generate on the modeled device.
 The returned :class:`RunResult` therefore carries both the answer (validated
 against golden references in the test-suite) and the paper's performance
 quantities (times, efficiencies, TEPS).
+
+The driver contract is ``engine.run(graph, program, config=RunConfig(...))``.
+The historical keyword arguments (``max_iterations=``, ``allow_partial=``,
+``collect_traces=``) still work through a deprecation shim on
+:meth:`Engine.run` that maps them onto a :class:`RunConfig` and warns;
+engines themselves implement :meth:`Engine._run` and only ever see the
+config object.
 """
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.graph.digraph import DiGraph
 from repro.gpu.stats import KernelStats
+from repro.telemetry.tracer import NULL_TRACER
 from repro.vertexcentric.program import VertexProgram
 
-__all__ = ["IterationTrace", "RunResult", "Engine", "ConvergenceError"]
+__all__ = [
+    "IterationTrace",
+    "RunConfig",
+    "RunResult",
+    "Engine",
+    "ConvergenceError",
+]
 
 
 class ConvergenceError(RuntimeError):
@@ -35,6 +50,23 @@ class IterationTrace:
     updated_vertices: int
     time_ms: float
     cumulative_time_ms: float
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Immutable per-run settings shared by every engine.
+
+    ``tracer`` defaults to the zero-overhead :data:`~repro.telemetry.NULL_TRACER`;
+    pass a :class:`~repro.telemetry.Tracer` to collect spans and metrics.
+    """
+
+    max_iterations: int = 10_000
+    allow_partial: bool = False
+    collect_traces: bool = True
+    tracer: object = NULL_TRACER
+
+    def with_tracer(self, tracer) -> "RunConfig":
+        return replace(self, tracer=tracer)
 
 
 @dataclass
@@ -55,7 +87,9 @@ class RunResult:
     num_edges: int = 0
     stage_stats: dict[str, KernelStats] | None = None
     """Per-pipeline-stage breakdown of :attr:`stats` (engines that track
-    stages populate it; keys are engine-specific stage names)."""
+    stages populate it; keys are engine-specific stage names).  Kept for
+    compatibility — the tracer's ``stage`` spans carry the same breakdown
+    plus per-iteration resolution and standalone modeled times."""
 
     @property
     def total_ms(self) -> float:
@@ -65,9 +99,17 @@ class RunResult:
 
     @property
     def teps(self) -> float:
-        """Traversed edges per second, ``|E| / total_time`` (Table 7)."""
-        if self.total_ms <= 0:
+        """Traversed edges per second, ``|E| / total_time`` (Table 7).
+
+        Edge cases are explicit: a zero-edge graph traverses nothing, so
+        TEPS is ``0.0`` no matter how long transfers took; a run with edges
+        but zero modeled time (e.g. the scalar oracle, which models no
+        hardware) is reported as ``inf`` rather than silently ``0.0``.
+        """
+        if self.num_edges == 0:
             return 0.0
+        if self.total_ms <= 0:
+            return float("inf")
         return self.num_edges / (self.total_ms / 1e3)
 
     def field_values(self, name: str | None = None) -> np.ndarray:
@@ -77,27 +119,74 @@ class RunResult:
         return self.values[name]
 
 
+_LEGACY_SENTINEL = object()
+
+
 class Engine(ABC):
     """Common driver contract.
 
-    ``run`` must execute ``program`` on ``graph`` until the program reports
-    no updates (or ``max_iterations`` is hit, raising
-    :class:`ConvergenceError` unless ``allow_partial``).
+    :meth:`run` must execute ``program`` on ``graph`` until the program
+    reports no updates (or ``config.max_iterations`` is hit, raising
+    :class:`ConvergenceError` unless ``config.allow_partial``).  Subclasses
+    implement :meth:`_run`; the public :meth:`run` normalizes the legacy
+    keyword arguments into a :class:`RunConfig`.
     """
 
     name: str = "engine"
 
-    @abstractmethod
     def run(
         self,
         graph: DiGraph,
         program: VertexProgram,
         *,
-        max_iterations: int = 10_000,
-        allow_partial: bool = False,
-        collect_traces: bool = True,
+        config: RunConfig | None = None,
+        tracer=None,
+        max_iterations=_LEGACY_SENTINEL,
+        allow_partial=_LEGACY_SENTINEL,
+        collect_traces=_LEGACY_SENTINEL,
     ) -> RunResult:
-        """Execute ``program`` to convergence and return the result."""
+        """Execute ``program`` to convergence and return the result.
+
+        Pass settings via ``config=RunConfig(...)``.  ``tracer=`` is an
+        accepted shorthand for ``config=RunConfig(tracer=...)``.  The old
+        ``max_iterations=`` / ``allow_partial=`` / ``collect_traces=``
+        keywords still work but emit a :class:`DeprecationWarning`; they
+        cannot be combined with ``config=``.
+        """
+        legacy = {
+            name: value
+            for name, value in (
+                ("max_iterations", max_iterations),
+                ("allow_partial", allow_partial),
+                ("collect_traces", collect_traces),
+            )
+            if value is not _LEGACY_SENTINEL
+        }
+        if legacy:
+            if config is not None:
+                raise TypeError(
+                    "pass either config=RunConfig(...) or the legacy keywords "
+                    f"({', '.join(sorted(legacy))}), not both"
+                )
+            warnings.warn(
+                "Engine.run(max_iterations=..., allow_partial=..., "
+                "collect_traces=...) is deprecated; pass "
+                "config=RunConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = RunConfig(**legacy)
+        elif config is None:
+            config = RunConfig()
+        if tracer is not None:
+            config = config.with_tracer(tracer)
+        return self._run(graph, program, config)
+
+    @abstractmethod
+    def _run(
+        self, graph: DiGraph, program: VertexProgram, config: RunConfig
+    ) -> RunResult:
+        """Engine-specific execution under a normalized :class:`RunConfig`."""
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"

@@ -78,20 +78,28 @@ def run_chunk(problem: CSRProblem, a: int, b: int) -> tuple[np.ndarray, int]:
 
 
 def iterate_chunks(
-    problem: CSRProblem, chunk_size: int
+    problem: CSRProblem, chunk_size: int, *, metrics=None
 ) -> tuple[np.ndarray, int]:
     """One full iteration over all vertices in ``chunk_size`` chunks.
 
     Returns ``(updated_vertex_indices, reduction_ops)`` for the iteration.
+    When a :class:`~repro.telemetry.MetricsRegistry` is passed via
+    ``metrics``, the iteration's reduction-op and chunk counts are published
+    under the ``csr.*`` namespace.
     """
     n = problem.csr.num_vertices
     updated: list[np.ndarray] = []
     ops = 0
+    chunks = 0
     for a in range(0, n, chunk_size):
         idx, chunk_ops = run_chunk(problem, a, min(a + chunk_size, n))
         ops += chunk_ops
+        chunks += 1
         if idx.size:
             updated.append(idx)
+    if metrics is not None:
+        metrics.counter("csr.reduction_ops").inc(ops)
+        metrics.counter("csr.chunks").inc(chunks)
     if updated:
         return np.concatenate(updated), ops
     return np.empty(0, dtype=np.int64), ops

@@ -33,7 +33,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.frameworks import costs
-from repro.frameworks.base import ConvergenceError, Engine, IterationTrace, RunResult
+from repro.frameworks.base import (ConvergenceError, Engine, IterationTrace,
+                                   RunConfig, RunResult)
 from repro.graph.cw import ConcatenatedWindows
 from repro.graph.digraph import DiGraph
 from repro.graph.partition import select_shard_size
@@ -46,6 +47,7 @@ from repro.gpu.stats import (KernelStats, LOAD_GRANULARITY_BYTES,
                              STORE_GRANULARITY_BYTES)
 from repro.gpu.sharedmem import conflict_replays
 from repro.gpu.warp import slots_for_contiguous, slots_for_segments
+from repro.telemetry.metrics import publish_kernel_stats
 from repro.vertexcentric.program import VertexProgram, apply_reductions
 
 __all__ = ["CuShaEngine"]
@@ -161,15 +163,25 @@ class CuShaEngine(Engine):
         return plan.vertices_per_shard
 
     # ------------------------------------------------------------------
-    def run(
-        self,
-        graph: DiGraph,
-        program: VertexProgram,
-        *,
-        max_iterations: int = 10_000,
-        allow_partial: bool = False,
-        collect_traces: bool = True,
+    def _run(
+        self, graph: DiGraph, program: VertexProgram, config: RunConfig
     ) -> RunResult:
+        tracer = config.tracer
+        with tracer.span(
+            self.name,
+            "run",
+            engine=self.name,
+            program=program.name,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+        ) as run_span:
+            return self._execute(graph, program, config, run_span)
+
+    def _execute(
+        self, graph: DiGraph, program: VertexProgram, config: RunConfig, run_span
+    ) -> RunResult:
+        max_iterations = config.max_iterations
+        tracer = config.tracer
         N = self._choose_shard_size(graph, program)
         cw = ConcatenatedWindows.from_graph(graph, N)
         sh = cw.shards
@@ -290,6 +302,10 @@ class CuShaEngine(Engine):
         )
         h2d_ms = transfer_ms(rep_bytes, self.pcie)
         d2h_ms = transfer_ms(graph.num_vertices * vbytes, self.pcie)
+        tracer.emit(
+            "h2d", "transfer", model_start_ms=0.0, model_ms=h2d_ms,
+            bytes=rep_bytes,
+        )
 
         # ----- iterate --------------------------------------------------------
         total_stats = KernelStats()
@@ -316,70 +332,128 @@ class CuShaEngine(Engine):
             )
             wave_size = max(1, self.spec.num_sms * resident)
 
+        trace_on = tracer.enabled
         for iteration in range(1, max_iterations + 1):
-            iter_stats = base.copy()
-            iter_stats.kernel_launches = 1
-            updated_total = 0
-            updated_shards: list[int] = []
-            pending_writeback: list[int] = []
-            for i in range(S):
-                lo, hi, o = shard_ranges[i]
-                sl = slice(o, o + sh.shard_size(i))
-                old = vertex_values[lo:hi]
-                local = program.init_local(old)
-                dest_local = sh.dest_index[sl].astype(np.int64) - lo
-                msgs, mask = program.messages(
-                    src_value[sl],
-                    None if src_static is None else src_static[sl],
-                    None if edge_vals is None else edge_vals[sl],
-                    old[dest_local],
-                )
-                ops = apply_reductions(program, local, dest_local, msgs, mask)
-                iter_stats.add_atomics(shared=ops)
-                stage2_dynamic.add_atomics(shared=ops)
-                final, upd = program.apply(local, old)
-                n_upd = int(upd.sum())
-                if n_upd:
-                    idx = lo + np.flatnonzero(upd)
-                    vertex_values[idx] = final[upd]
-                    store_tc = gather_transactions(
-                        idx, vbytes, warp_size=warp,
-                        transaction_bytes=STORE_GRANULARITY_BYTES)
-                    iter_stats.add_store(store_tc)
-                    stage3_dynamic.add_store(store_tc)
-                    updated_total += n_upd
-                    updated_shards.append(i)
-                    pending_writeback.append(i)
-                elif self.always_writeback:
-                    updated_shards.append(i)
-                    pending_writeback.append(i)
-                if (i + 1) % wave_size == 0 or i == S - 1:
-                    for j in pending_writeback:
-                        csl = cw.cw_slice(j)
-                        src_value[cw.mapper[csl]] = vertex_values[
-                            cw.cw_src_index[csl]
-                        ]
-                    pending_writeback.clear()
-            for i in updated_shards:
-                iter_stats += stage4[i]
-                stage4_total += stage4[i]
-            t_ms = self.cost_model.time_ms(iter_stats, occupancy=occ)
-            kernel_ms += t_ms
-            total_stats += iter_stats
-            iterations = iteration
-            if collect_traces:
-                traces.append(
-                    IterationTrace(iteration, updated_total, t_ms, kernel_ms)
-                )
+            iter_start_ms = h2d_ms + kernel_ms
+            with tracer.span(
+                f"iter-{iteration}", "iteration", model_start_ms=iter_start_ms
+            ) as it_span:
+                iter_stats = base.copy()
+                iter_stats.kernel_launches = 1
+                if trace_on:
+                    # Per-iteration dynamic deltas, tracked only when a real
+                    # tracer is attached so untraced runs do no extra work.
+                    dyn2 = KernelStats()
+                    dyn3 = KernelStats()
+                    st4_iter = KernelStats()
+                updated_total = 0
+                updated_shards: list[int] = []
+                pending_writeback: list[int] = []
+                for i in range(S):
+                    lo, hi, o = shard_ranges[i]
+                    sl = slice(o, o + sh.shard_size(i))
+                    old = vertex_values[lo:hi]
+                    local = program.init_local(old)
+                    dest_local = sh.dest_index[sl].astype(np.int64) - lo
+                    msgs, mask = program.messages(
+                        src_value[sl],
+                        None if src_static is None else src_static[sl],
+                        None if edge_vals is None else edge_vals[sl],
+                        old[dest_local],
+                    )
+                    ops = apply_reductions(program, local, dest_local, msgs, mask)
+                    iter_stats.add_atomics(shared=ops)
+                    stage2_dynamic.add_atomics(shared=ops)
+                    if trace_on:
+                        dyn2.add_atomics(shared=ops)
+                    final, upd = program.apply(local, old)
+                    n_upd = int(upd.sum())
+                    if n_upd:
+                        idx = lo + np.flatnonzero(upd)
+                        vertex_values[idx] = final[upd]
+                        store_tc = gather_transactions(
+                            idx, vbytes, warp_size=warp,
+                            transaction_bytes=STORE_GRANULARITY_BYTES)
+                        iter_stats.add_store(store_tc)
+                        stage3_dynamic.add_store(store_tc)
+                        if trace_on:
+                            dyn3.add_store(store_tc)
+                        updated_total += n_upd
+                        updated_shards.append(i)
+                        pending_writeback.append(i)
+                    elif self.always_writeback:
+                        updated_shards.append(i)
+                        pending_writeback.append(i)
+                    if (i + 1) % wave_size == 0 or i == S - 1:
+                        for j in pending_writeback:
+                            csl = cw.cw_slice(j)
+                            src_value[cw.mapper[csl]] = vertex_values[
+                                cw.cw_src_index[csl]
+                            ]
+                        pending_writeback.clear()
+                for i in updated_shards:
+                    iter_stats += stage4[i]
+                    stage4_total += stage4[i]
+                    if trace_on:
+                        st4_iter += stage4[i]
+                t_ms = self.cost_model.time_ms(iter_stats, occupancy=occ)
+                kernel_ms += t_ms
+                total_stats += iter_stats
+                iterations = iteration
+                if config.collect_traces:
+                    traces.append(
+                        IterationTrace(iteration, updated_total, t_ms, kernel_ms)
+                    )
+                if trace_on:
+                    it_span.model_ms = t_ms
+                    it_span.attrs["updated_vertices"] = updated_total
+                    it_span.attrs["updated_shards"] = len(updated_shards)
+                    tracer.metrics.histogram(
+                        "engine.updated_vertices"
+                    ).observe(updated_total)
+                    # Stage spans: the stage's stats delta this iteration plus
+                    # its standalone modeled cost (no launch overhead — the
+                    # per-stage stats carry kernel_launches=0).
+                    for sname, sstats in (
+                        ("stage1-fetch", base1.copy()),
+                        ("stage2-compute", base2 + dyn2),
+                        ("stage3-update", base3 + dyn3),
+                        ("stage4-writeback", st4_iter),
+                    ):
+                        tracer.emit(
+                            sname,
+                            "stage",
+                            model_start_ms=iter_start_ms,
+                            model_ms=self.cost_model.time_ms(
+                                sstats, occupancy=occ
+                            ),
+                            stats=sstats,
+                            iteration=iteration,
+                        )
             if updated_total == 0:
                 converged = True
                 break
 
-        if not converged and not allow_partial:
+        if not converged and not config.allow_partial:
             raise ConvergenceError(
                 f"{self.name}/{program.name} did not converge in "
                 f"{max_iterations} iterations"
             )
+        tracer.emit(
+            "d2h", "transfer", model_start_ms=h2d_ms + kernel_ms,
+            model_ms=d2h_ms, bytes=graph.num_vertices * vbytes,
+        )
+        if trace_on:
+            m = tracer.metrics
+            publish_kernel_stats(m, total_stats)
+            m.counter("engine.iterations").inc(iterations)
+            m.gauge("cusha.num_shards").set(S)
+            m.gauge("cusha.vertices_per_shard").set(N)
+            m.gauge("cusha.wave_size").set(wave_size)
+            m.gauge("cusha.waves_per_iteration").set(-(-S // wave_size))
+            run_span.model_ms = h2d_ms + kernel_ms + d2h_ms
+            run_span.attrs["iterations"] = iterations
+            run_span.attrs["converged"] = converged
         stage_stats = {
             "stage1-fetch": _scaled(base1, iterations),
             "stage2-compute": _scaled(base2, iterations) + stage2_dynamic,

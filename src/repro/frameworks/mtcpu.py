@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.frameworks.base import ConvergenceError, Engine, IterationTrace, RunResult
+from repro.frameworks.base import (ConvergenceError, Engine, IterationTrace,
+                                   RunConfig, RunResult)
 from repro.frameworks.csrloop import CSRProblem, iterate_chunks
 from repro.graph.digraph import DiGraph
 from repro.gpu.spec import CPUSpec, I7_3930K
@@ -71,41 +72,69 @@ class MTCPUEngine(Engine):
         return (max(issue_s, mem_s) + sync_s) * 1e3
 
     # ------------------------------------------------------------------
-    def run(
-        self,
-        graph: DiGraph,
-        program: VertexProgram,
-        *,
-        max_iterations: int = 10_000,
-        allow_partial: bool = False,
-        collect_traces: bool = True,
+    def _run(
+        self, graph: DiGraph, program: VertexProgram, config: RunConfig
     ) -> RunResult:
-        problem = CSRProblem.build(graph, program)
-        chunk = max(1, -(-graph.num_vertices // self.threads))
-        iter_ms = self._iteration_ms(graph, program)
+        max_iterations = config.max_iterations
+        tracer = config.tracer
+        trace_on = tracer.enabled
+        with tracer.span(
+            self.name,
+            "run",
+            engine=self.name,
+            program=program.name,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            threads=self.threads,
+        ) as run_span:
+            problem = CSRProblem.build(graph, program)
+            chunk = max(1, -(-graph.num_vertices // self.threads))
+            iter_ms = self._iteration_ms(graph, program)
 
-        traces: list[IterationTrace] = []
-        kernel_ms = 0.0
-        converged = False
-        iterations = 0
-        for iteration in range(1, max_iterations + 1):
-            updated_idx, _ops = iterate_chunks(problem, chunk)
-            kernel_ms += iter_ms
-            iterations = iteration
-            if collect_traces:
-                traces.append(
-                    IterationTrace(
-                        iteration, int(updated_idx.size), iter_ms, kernel_ms
+            traces: list[IterationTrace] = []
+            kernel_ms = 0.0
+            converged = False
+            iterations = 0
+            for iteration in range(1, max_iterations + 1):
+                with tracer.span(
+                    f"iter-{iteration}", "iteration", model_start_ms=kernel_ms
+                ) as it_span:
+                    updated_idx, _ops = iterate_chunks(
+                        problem,
+                        chunk,
+                        metrics=tracer.metrics if trace_on else None,
                     )
+                    kernel_ms += iter_ms
+                    iterations = iteration
+                    if config.collect_traces:
+                        traces.append(
+                            IterationTrace(
+                                iteration, int(updated_idx.size), iter_ms,
+                                kernel_ms,
+                            )
+                        )
+                    if trace_on:
+                        it_span.model_ms = iter_ms
+                        it_span.attrs["updated_vertices"] = int(updated_idx.size)
+                        tracer.metrics.histogram(
+                            "engine.updated_vertices"
+                        ).observe(int(updated_idx.size))
+                if updated_idx.size == 0:
+                    converged = True
+                    break
+            if not converged and not config.allow_partial:
+                raise ConvergenceError(
+                    f"{self.name}/{program.name} did not converge in "
+                    f"{max_iterations} iterations"
                 )
-            if updated_idx.size == 0:
-                converged = True
-                break
-        if not converged and not allow_partial:
-            raise ConvergenceError(
-                f"{self.name}/{program.name} did not converge in "
-                f"{max_iterations} iterations"
-            )
+            if trace_on:
+                m = tracer.metrics
+                m.counter("engine.iterations").inc(iterations)
+                m.gauge("mtcpu.threads").set(self.threads)
+                m.gauge("mtcpu.chunk_vertices").set(chunk)
+                run_span.model_ms = kernel_ms
+                run_span.attrs["iterations"] = iterations
+                run_span.attrs["converged"] = converged
         rep_bytes = problem.csr.memory_bytes(
             program.vertex_value_bytes,
             program.edge_value_bytes,

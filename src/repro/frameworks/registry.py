@@ -1,0 +1,187 @@
+"""Registry-backed engine factory: ``make_engine(key, **opts)``.
+
+One place maps engine keys to constructors, replacing the hand-rolled
+factories that ``cli.py`` and ``harness/runner.py`` each grew.  Keys:
+
+======================  ====================================================
+``cusha-gs``            CuSha over G-Shards
+``cusha-cw``            CuSha over Concatenated Windows
+``cusha-streamed``      out-of-core CuSha (alias: ``streamed``)
+``vwc-<N>``             Virtual Warp-Centric CSR, virtual warp size N
+``mtcpu`` / ``mtcpu-T`` multithreaded CPU CSR (default 12 threads)
+``scalar``              the loop-based oracle
+``csrloop``             single-threaded CSR loop (``mtcpu`` at 1 thread)
+======================  ====================================================
+
+Options contract
+----------------
+``make_engine`` accepts a *shared* option vocabulary and each engine family
+picks out what it understands; unknown or inapplicable options are
+**silently ignored**, so one call site (e.g. the grid runner) can pass
+``gpu_spec=...`` to every key without branching on family.  Because GPU and
+CPU engines both call their hardware model ``spec``, the factory vocabulary
+disambiguates: ``gpu_spec`` reaches the GPU engines, ``cpu_spec`` reaches
+the CPU engine, and plain ``spec`` reaches whichever family the key selects.
+
+Recognized options: ``shard_size`` (a.k.a. ``vertices_per_shard``),
+``gpu_spec``, ``cpu_spec``, ``spec``, ``pcie``, ``sync_mode``,
+``threads_per_block``, ``resident_blocks``, ``always_writeback``,
+``address_dilation``, ``chunk_vertices``, ``defer_outliers``,
+``outlier_factor``, ``device_memory_bytes``, ``threads``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.frameworks.base import Engine
+from repro.frameworks.cusha import CuShaEngine
+from repro.frameworks.mtcpu import MTCPU_THREAD_COUNTS, MTCPUEngine
+from repro.frameworks.scalar import ScalarReferenceEngine
+from repro.frameworks.streamed import StreamedCuShaEngine
+from repro.frameworks.vwc import VIRTUAL_WARP_SIZES, VWCEngine
+
+__all__ = ["make_engine", "engine_keys", "register_engine", "EngineKeyError"]
+
+
+class EngineKeyError(KeyError):
+    """Raised for keys no registered builder recognizes."""
+
+
+def _pick(opts: dict, *names, default=None):
+    for n in names:
+        if n in opts and opts[n] is not None:
+            return opts[n]
+    return default
+
+
+def _build_cusha(key: str, opts: dict) -> Engine:
+    mode = key.split("-", 1)[1]
+    kwargs = {}
+    shard = _pick(opts, "shard_size", "vertices_per_shard")
+    if shard is not None:
+        kwargs["vertices_per_shard"] = shard
+    spec = _pick(opts, "gpu_spec", "spec")
+    if spec is not None:
+        kwargs["spec"] = spec
+    for name in ("pcie", "sync_mode", "threads_per_block", "resident_blocks",
+                 "always_writeback"):
+        if opts.get(name) is not None:
+            kwargs[name] = opts[name]
+    return CuShaEngine(mode, **kwargs)
+
+
+def _build_streamed(key: str, opts: dict) -> Engine:
+    kwargs = {}
+    shard = _pick(opts, "shard_size", "vertices_per_shard")
+    if shard is not None:
+        kwargs["vertices_per_shard"] = shard
+    spec = _pick(opts, "gpu_spec", "spec")
+    if spec is not None:
+        kwargs["spec"] = spec
+    for name in ("pcie", "device_memory_bytes"):
+        if opts.get(name) is not None:
+            kwargs[name] = opts[name]
+    return StreamedCuShaEngine(**kwargs)
+
+
+def _build_vwc(key: str, opts: dict) -> Engine:
+    try:
+        w = int(key.split("-", 1)[1])
+    except (IndexError, ValueError):
+        raise EngineKeyError(
+            f"{key!r}: expected vwc-<N> with N in {VIRTUAL_WARP_SIZES}"
+        ) from None
+    kwargs = {}
+    spec = _pick(opts, "gpu_spec", "spec")
+    if spec is not None:
+        kwargs["spec"] = spec
+    for name in ("pcie", "address_dilation", "chunk_vertices",
+                 "defer_outliers", "outlier_factor"):
+        if opts.get(name) is not None:
+            kwargs[name] = opts[name]
+    return VWCEngine(w, **kwargs)
+
+
+def _build_mtcpu(key: str, opts: dict) -> Engine:
+    parts = key.split("-", 1)
+    if len(parts) == 2:
+        try:
+            threads = int(parts[1])
+        except ValueError:
+            raise EngineKeyError(
+                f"{key!r}: expected mtcpu or mtcpu-<threads>"
+            ) from None
+    else:
+        threads = _pick(opts, "threads", default=12)
+    kwargs = {}
+    spec = _pick(opts, "cpu_spec", "spec")
+    if spec is not None:
+        kwargs["spec"] = spec
+    return MTCPUEngine(threads, **kwargs)
+
+
+def _build_csrloop(key: str, opts: dict) -> Engine:
+    kwargs = {}
+    spec = _pick(opts, "cpu_spec", "spec")
+    if spec is not None:
+        kwargs["spec"] = spec
+    engine = MTCPUEngine(1, **kwargs)
+    engine.name = "csrloop"
+    return engine
+
+
+def _build_scalar(key: str, opts: dict) -> Engine:
+    shard = _pick(opts, "shard_size", "vertices_per_shard", default=4)
+    return ScalarReferenceEngine(vertices_per_shard=shard)
+
+
+_EXACT: dict[str, Callable[[str, dict], Engine]] = {
+    "cusha-gs": _build_cusha,
+    "cusha-cw": _build_cusha,
+    "cusha-streamed": _build_streamed,
+    "streamed": _build_streamed,
+    "mtcpu": _build_mtcpu,
+    "scalar": _build_scalar,
+    "csrloop": _build_csrloop,
+}
+_PREFIX: dict[str, Callable[[str, dict], Engine]] = {
+    "vwc-": _build_vwc,
+    "mtcpu-": _build_mtcpu,
+}
+
+
+def register_engine(
+    key: str, builder: Callable[[str, dict], Engine], *, prefix: bool = False
+) -> None:
+    """Register a builder for an exact ``key`` (or a ``key`` prefix).
+
+    The builder is called as ``builder(full_key, opts_dict)`` and must
+    return an :class:`~repro.frameworks.base.Engine`.
+    """
+    (_PREFIX if prefix else _EXACT)[key] = builder
+
+
+def engine_keys() -> list[str]:
+    """Canonical concrete keys (parameterized families enumerated)."""
+    keys = ["cusha-gs", "cusha-cw", "cusha-streamed"]
+    keys += [f"vwc-{w}" for w in VIRTUAL_WARP_SIZES]
+    keys += ["mtcpu"] + [f"mtcpu-{t}" for t in MTCPU_THREAD_COUNTS]
+    keys += ["scalar", "csrloop"]
+    return keys
+
+
+def make_engine(key: str, **opts) -> Engine:
+    """Build the engine named by ``key`` (see module docstring for the
+    key table and the shared options contract)."""
+    builder = _EXACT.get(key)
+    if builder is None:
+        for prefix, b in _PREFIX.items():
+            if key.startswith(prefix):
+                builder = b
+                break
+    if builder is None:
+        raise EngineKeyError(
+            f"unknown engine key {key!r}; expected one of {engine_keys()}"
+        )
+    return builder(key, opts)

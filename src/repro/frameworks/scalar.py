@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.frameworks.base import ConvergenceError, Engine, IterationTrace, RunResult
+from repro.frameworks.base import (ConvergenceError, Engine, IterationTrace,
+                                   RunConfig, RunResult)
 from repro.graph.digraph import DiGraph
 from repro.graph.shards import GShards
 from repro.gpu.stats import KernelStats
@@ -43,15 +44,25 @@ class ScalarReferenceEngine(Engine):
     def __init__(self, vertices_per_shard: int = 4) -> None:
         self.vertices_per_shard = vertices_per_shard
 
-    def run(
-        self,
-        graph: DiGraph,
-        program: VertexProgram,
-        *,
-        max_iterations: int = 10_000,
-        allow_partial: bool = False,
-        collect_traces: bool = True,
+    def _run(
+        self, graph: DiGraph, program: VertexProgram, config: RunConfig
     ) -> RunResult:
+        tracer = config.tracer
+        with tracer.span(
+            self.name,
+            "run",
+            engine=self.name,
+            program=program.name,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+        ) as run_span:
+            return self._execute(graph, program, config, run_span)
+
+    def _execute(
+        self, graph: DiGraph, program: VertexProgram, config: RunConfig, run_span
+    ) -> RunResult:
+        max_iterations = config.max_iterations
+        tracer = config.tracer
         sh = GShards(graph, self.vertices_per_shard)
         vertex_values = program.initial_values(graph)
         static_all = program.static_values(graph)
@@ -97,18 +108,31 @@ class ScalarReferenceEngine(Engine):
                         for e in range(start, stop):
                             src_value[e] = vertex_values[int(sh.src_index[e])]
             iterations = iteration
-            if collect_traces:
+            if config.collect_traces:
                 traces.append(
                     IterationTrace(iteration, updated_total, 0.0, 0.0)
                 )
+            if tracer.enabled:
+                # The oracle models no hardware: spans carry wall time only.
+                tracer.emit(
+                    f"iter-{iteration}", "iteration",
+                    updated_vertices=updated_total,
+                )
+                tracer.metrics.histogram(
+                    "engine.updated_vertices"
+                ).observe(updated_total)
             if updated_total == 0:
                 converged = True
                 break
-        if not converged and not allow_partial:
+        if not converged and not config.allow_partial:
             raise ConvergenceError(
                 f"{self.name}/{program.name} did not converge in "
                 f"{max_iterations} iterations"
             )
+        if tracer.enabled:
+            tracer.metrics.counter("engine.iterations").inc(iterations)
+            run_span.attrs["iterations"] = iterations
+            run_span.attrs["converged"] = converged
         return RunResult(
             engine=self.name,
             program=program.name,

@@ -30,7 +30,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.frameworks.base import ConvergenceError, Engine, IterationTrace, RunResult
+from repro.frameworks.base import (ConvergenceError, Engine, IterationTrace,
+                                   RunConfig, RunResult)
 from repro.frameworks.cusha import CuShaEngine
 from repro.graph.cw import ConcatenatedWindows
 from repro.graph.digraph import DiGraph
@@ -43,6 +44,7 @@ from repro.gpu.stats import LOAD_GRANULARITY_BYTES, STORE_GRANULARITY_BYTES
 from repro.gpu.engine import KernelCostModel
 from repro.frameworks import costs
 from repro.gpu.warp import slots_for_contiguous
+from repro.telemetry.metrics import publish_kernel_stats
 
 __all__ = ["StreamedCuShaEngine"]
 
@@ -98,15 +100,26 @@ class StreamedCuShaEngine(Engine):
         return chunks
 
     # ------------------------------------------------------------------
-    def run(
-        self,
-        graph: DiGraph,
-        program: VertexProgram,
-        *,
-        max_iterations: int = 10_000,
-        allow_partial: bool = False,
-        collect_traces: bool = True,
+    def _run(
+        self, graph: DiGraph, program: VertexProgram, config: RunConfig
     ) -> RunResult:
+        tracer = config.tracer
+        with tracer.span(
+            self.name,
+            "run",
+            engine=self.name,
+            program=program.name,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+        ) as run_span:
+            return self._execute(graph, program, config, run_span)
+
+    def _execute(
+        self, graph: DiGraph, program: VertexProgram, config: RunConfig, run_span
+    ) -> RunResult:
+        max_iterations = config.max_iterations
+        tracer = config.tracer
+        trace_on = tracer.enabled
         inner = CuShaEngine(
             "cw",
             vertices_per_shard=self.vertices_per_shard,
@@ -188,6 +201,10 @@ class StreamedCuShaEngine(Engine):
             graph.num_vertices * (vbytes + sbytes), self.pcie
         )
         d2h_ms = transfer_ms(graph.num_vertices * vbytes, self.pcie)
+        tracer.emit(
+            "h2d", "transfer", model_start_ms=0.0, model_ms=h2d_fixed_ms,
+            bytes=graph.num_vertices * (vbytes + sbytes), resident=True,
+        )
 
         total_stats = KernelStats()
         traces: list[IterationTrace] = []
@@ -197,63 +214,107 @@ class StreamedCuShaEngine(Engine):
         iterations = 0
 
         for iteration in range(1, max_iterations + 1):
-            updated_total = 0
-            updated_shards_all: list[int] = []
-            compute_times: list[float] = []
-            transfer_times = [
-                transfer_ms(chunk_bytes(c), self.pcie) for c in chunks
-            ]
-            iter_stats = KernelStats()
-            iter_stats.kernel_launches = len(chunks)
-            for c in chunks:
-                stats, updated, upd_shards = chunk_compute(c)
-                updated_total += updated
-                updated_shards_all.extend(upd_shards)
-                compute_times.append(self.cost_model.time_ms(stats))
-                iter_stats += stats
-            # Write-back (CW) is applied once per iteration after all
-            # chunks ran: cross-chunk staging semantics (BSP across chunks).
-            wb_stats = KernelStats()
-            for i in updated_shards_all:
-                csl = cw.cw_slice(i)
-                src_value[cw.mapper[csl]] = vertex_values[cw.cw_src_index[csl]]
-                L = cw.cw_size(i)
-                cwo = int(cw.cw_offsets[i])
-                wb_stats.add_load(contiguous_transactions(
-                    L, 4, start_byte=cwo * 4, warp_size=warp,
-                    transaction_bytes=LOAD_GRANULARITY_BYTES))
-                wb_stats.add_store(gather_transactions(
-                    cw.mapper[csl], vbytes, warp_size=warp,
-                    transaction_bytes=STORE_GRANULARITY_BYTES))
-                wb_stats.add_lanes(*slots_for_contiguous(L, warp),
-                                   instructions_per_row=costs.INSTR_WRITEBACK)
-            wb_ms = self.cost_model.time_ms(wb_stats)
-            iter_stats += wb_stats
+            iter_start_ms = h2d_fixed_ms + kernel_ms
+            with tracer.span(
+                f"iter-{iteration}", "iteration", model_start_ms=iter_start_ms
+            ) as it_span:
+                updated_total = 0
+                updated_shards_all: list[int] = []
+                compute_times: list[float] = []
+                transfer_times = [
+                    transfer_ms(chunk_bytes(c), self.pcie) for c in chunks
+                ]
+                iter_stats = KernelStats()
+                iter_stats.kernel_launches = len(chunks)
+                for k, c in enumerate(chunks):
+                    stats, updated, upd_shards = chunk_compute(c)
+                    updated_total += updated
+                    updated_shards_all.extend(upd_shards)
+                    compute_times.append(self.cost_model.time_ms(stats))
+                    iter_stats += stats
+                    if trace_on:
+                        tracer.emit(
+                            f"chunk-{k}-compute", "stage",
+                            model_start_ms=iter_start_ms,
+                            model_ms=compute_times[-1],
+                            stats=stats, iteration=iteration, chunk=k,
+                        )
+                        tracer.emit(
+                            f"chunk-{k}-h2d", "transfer",
+                            model_start_ms=iter_start_ms,
+                            model_ms=transfer_times[k],
+                            bytes=chunk_bytes(c), iteration=iteration, chunk=k,
+                        )
+                # Write-back (CW) is applied once per iteration after all
+                # chunks ran: cross-chunk staging semantics (BSP across chunks).
+                wb_stats = KernelStats()
+                for i in updated_shards_all:
+                    csl = cw.cw_slice(i)
+                    src_value[cw.mapper[csl]] = vertex_values[cw.cw_src_index[csl]]
+                    L = cw.cw_size(i)
+                    cwo = int(cw.cw_offsets[i])
+                    wb_stats.add_load(contiguous_transactions(
+                        L, 4, start_byte=cwo * 4, warp_size=warp,
+                        transaction_bytes=LOAD_GRANULARITY_BYTES))
+                    wb_stats.add_store(gather_transactions(
+                        cw.mapper[csl], vbytes, warp_size=warp,
+                        transaction_bytes=STORE_GRANULARITY_BYTES))
+                    wb_stats.add_lanes(*slots_for_contiguous(L, warp),
+                                       instructions_per_row=costs.INSTR_WRITEBACK)
+                wb_ms = self.cost_model.time_ms(wb_stats)
+                iter_stats += wb_stats
 
-            # Overlap model: chunk k+1's H2D hides under chunk k's compute.
-            pipelined = transfer_times[0]
-            for k, comp in enumerate(compute_times):
-                incoming = transfer_times[k + 1] if k + 1 < len(chunks) else 0.0
-                pipelined += max(comp, incoming)
-            serial = sum(compute_times) + sum(transfer_times)
-            t_ms = pipelined + wb_ms
-            kernel_ms += t_ms
-            unoverlapped_ms += serial + wb_ms
-            total_stats += iter_stats
-            iterations = iteration
-            if collect_traces:
-                traces.append(
-                    IterationTrace(iteration, updated_total, t_ms, kernel_ms)
-                )
+                # Overlap model: chunk k+1's H2D hides under chunk k's compute.
+                pipelined = transfer_times[0]
+                for k, comp in enumerate(compute_times):
+                    incoming = transfer_times[k + 1] if k + 1 < len(chunks) else 0.0
+                    pipelined += max(comp, incoming)
+                serial = sum(compute_times) + sum(transfer_times)
+                t_ms = pipelined + wb_ms
+                kernel_ms += t_ms
+                unoverlapped_ms += serial + wb_ms
+                total_stats += iter_stats
+                iterations = iteration
+                if config.collect_traces:
+                    traces.append(
+                        IterationTrace(iteration, updated_total, t_ms, kernel_ms)
+                    )
+                if trace_on:
+                    tracer.emit(
+                        "writeback", "stage", model_start_ms=iter_start_ms,
+                        model_ms=wb_ms, stats=wb_stats, iteration=iteration,
+                    )
+                    it_span.model_ms = t_ms
+                    it_span.attrs["updated_vertices"] = updated_total
+                    it_span.attrs["overlap_saved_ms"] = serial - pipelined
+                    tracer.metrics.histogram(
+                        "engine.updated_vertices"
+                    ).observe(updated_total)
             if updated_total == 0:
                 converged = True
                 break
 
-        if not converged and not allow_partial:
+        if not converged and not config.allow_partial:
             raise ConvergenceError(
                 f"{self.name}/{program.name} did not converge in "
                 f"{max_iterations} iterations"
             )
+        tracer.emit(
+            "d2h", "transfer", model_start_ms=h2d_fixed_ms + kernel_ms,
+            model_ms=d2h_ms, bytes=graph.num_vertices * vbytes,
+        )
+        if trace_on:
+            m = tracer.metrics
+            publish_kernel_stats(m, total_stats)
+            m.counter("engine.iterations").inc(iterations)
+            m.gauge("streamed.num_chunks").set(len(chunks))
+            m.gauge("streamed.device_memory_bytes").set(self.device_memory_bytes)
+            m.counter("streamed.overlap_saved_ms").inc(
+                max(0.0, unoverlapped_ms - kernel_ms)
+            )
+            run_span.model_ms = h2d_fixed_ms + kernel_ms + d2h_ms
+            run_span.attrs["iterations"] = iterations
+            run_span.attrs["converged"] = converged
         result = RunResult(
             engine=self.name,
             program=program.name,

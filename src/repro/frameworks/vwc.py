@@ -21,7 +21,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.frameworks import costs
-from repro.frameworks.base import ConvergenceError, Engine, IterationTrace, RunResult
+from repro.frameworks.base import (ConvergenceError, Engine, IterationTrace,
+                                   RunConfig, RunResult)
 from repro.frameworks.csrloop import CSRProblem, iterate_chunks
 from repro.graph.digraph import DiGraph
 from repro.gpu.engine import KernelCostModel
@@ -30,6 +31,7 @@ from repro.gpu.pcie import transfer_ms
 from repro.gpu.spec import GTX780, GPUSpec, PCIeSpec
 from repro.gpu.stats import KernelStats, LOAD_GRANULARITY_BYTES
 from repro.gpu.warp import reduction_slots
+from repro.telemetry.metrics import publish_kernel_stats
 from repro.vertexcentric.program import VertexProgram
 
 __all__ = ["VWCEngine", "VIRTUAL_WARP_SIZES"]
@@ -233,15 +235,26 @@ class VWCEngine(Engine):
                             instructions_per_row=costs.INSTR_VWC_EDGE)
 
     # ------------------------------------------------------------------
-    def run(
-        self,
-        graph: DiGraph,
-        program: VertexProgram,
-        *,
-        max_iterations: int = 10_000,
-        allow_partial: bool = False,
-        collect_traces: bool = True,
+    def _run(
+        self, graph: DiGraph, program: VertexProgram, config: RunConfig
     ) -> RunResult:
+        tracer = config.tracer
+        with tracer.span(
+            self.name,
+            "run",
+            engine=self.name,
+            program=program.name,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+        ) as run_span:
+            return self._execute(graph, program, config, run_span)
+
+    def _execute(
+        self, graph: DiGraph, program: VertexProgram, config: RunConfig, run_span
+    ) -> RunResult:
+        max_iterations = config.max_iterations
+        tracer = config.tracer
+        trace_on = tracer.enabled
         problem = CSRProblem.build(graph, program)
         phases = self._static_stat_phases(problem)
         static_stats = KernelStats()
@@ -256,6 +269,18 @@ class VWCEngine(Engine):
         rep_bytes = problem.csr.memory_bytes(vbytes, ebytes, sbytes)
         h2d_ms = transfer_ms(rep_bytes, self.pcie)
         d2h_ms = transfer_ms(n * vbytes, self.pcie)
+        tracer.emit(
+            "h2d", "transfer", model_start_ms=0.0, model_ms=h2d_ms,
+            bytes=rep_bytes,
+        )
+        if trace_on:
+            # Standalone per-phase modeled cost of the static schedule
+            # (kernel_launches=0, so no launch overhead) — reused every
+            # iteration's stage spans since the schedule is static.
+            phase_ms = {
+                name: self.cost_model.time_ms(s, occupancy=1.0)
+                for name, s in phases.items()
+            }
 
         total_stats = KernelStats()
         store_dynamic = KernelStats()
@@ -266,41 +291,92 @@ class VWCEngine(Engine):
         upd_mask = np.zeros(n, dtype=bool)
 
         for iteration in range(1, max_iterations + 1):
-            updated_idx, _ops = iterate_chunks(problem, self.chunk_vertices)
-            iter_stats = static_stats.copy()
-            iter_stats.kernel_launches = 1
-            if updated_idx.size:
-                # Lane-0 conditional stores: group vertices by physical warp
-                # (vpw consecutive vertices per warp row).
-                upd_mask[:] = False
-                upd_mask[updated_idx] = True
-                store_tc = gather_transactions(
-                    np.arange(n, dtype=np.int64),
-                    vbytes,
-                    active=upd_mask,
-                    warp_size=vpw,
+            iter_start_ms = h2d_ms + kernel_ms
+            with tracer.span(
+                f"iter-{iteration}", "iteration", model_start_ms=iter_start_ms
+            ) as it_span:
+                updated_idx, _ops = iterate_chunks(
+                    problem,
+                    self.chunk_vertices,
+                    metrics=tracer.metrics if trace_on else None,
                 )
-                iter_stats.add_store(store_tc)
-                store_dynamic.add_store(store_tc)
-            t_ms = self.cost_model.time_ms(iter_stats, occupancy=1.0)
-            kernel_ms += t_ms
-            total_stats += iter_stats
-            iterations = iteration
-            if collect_traces:
-                traces.append(
-                    IterationTrace(
-                        iteration, int(updated_idx.size), t_ms, kernel_ms
+                iter_stats = static_stats.copy()
+                iter_stats.kernel_launches = 1
+                if trace_on:
+                    stores_iter = KernelStats()
+                if updated_idx.size:
+                    # Lane-0 conditional stores: group vertices by physical warp
+                    # (vpw consecutive vertices per warp row).
+                    upd_mask[:] = False
+                    upd_mask[updated_idx] = True
+                    store_tc = gather_transactions(
+                        np.arange(n, dtype=np.int64),
+                        vbytes,
+                        active=upd_mask,
+                        warp_size=vpw,
                     )
-                )
+                    iter_stats.add_store(store_tc)
+                    store_dynamic.add_store(store_tc)
+                    if trace_on:
+                        stores_iter.add_store(store_tc)
+                t_ms = self.cost_model.time_ms(iter_stats, occupancy=1.0)
+                kernel_ms += t_ms
+                total_stats += iter_stats
+                iterations = iteration
+                if config.collect_traces:
+                    traces.append(
+                        IterationTrace(
+                            iteration, int(updated_idx.size), t_ms, kernel_ms
+                        )
+                    )
+                if trace_on:
+                    it_span.model_ms = t_ms
+                    it_span.attrs["updated_vertices"] = int(updated_idx.size)
+                    tracer.metrics.histogram(
+                        "engine.updated_vertices"
+                    ).observe(int(updated_idx.size))
+                    for pname, pstats in phases.items():
+                        tracer.emit(
+                            pname,
+                            "stage",
+                            model_start_ms=iter_start_ms,
+                            model_ms=phase_ms[pname],
+                            stats=pstats,
+                            iteration=iteration,
+                        )
+                    tracer.emit(
+                        "stores",
+                        "stage",
+                        model_start_ms=iter_start_ms,
+                        model_ms=self.cost_model.time_ms(
+                            stores_iter, occupancy=1.0
+                        ),
+                        stats=stores_iter,
+                        iteration=iteration,
+                    )
             if updated_idx.size == 0:
                 converged = True
                 break
 
-        if not converged and not allow_partial:
+        if not converged and not config.allow_partial:
             raise ConvergenceError(
                 f"{self.name}/{program.name} did not converge in "
                 f"{max_iterations} iterations"
             )
+        tracer.emit(
+            "d2h", "transfer", model_start_ms=h2d_ms + kernel_ms,
+            model_ms=d2h_ms, bytes=n * vbytes,
+        )
+        if trace_on:
+            m = tracer.metrics
+            publish_kernel_stats(m, total_stats)
+            m.counter("engine.iterations").inc(iterations)
+            m.gauge("vwc.virtual_warp_size").set(self.virtual_warp_size)
+            m.gauge("vwc.chunk_vertices").set(self.chunk_vertices)
+            run_span.model_ms = h2d_ms + kernel_ms + d2h_ms
+            run_span.attrs["iterations"] = iterations
+            run_span.attrs["converged"] = converged
+
         def scaled(s: KernelStats, k: int) -> KernelStats:
             out = KernelStats()
             out.load_transactions = s.load_transactions * k

@@ -22,9 +22,12 @@ __all__ = [
     "export_speedups",
     "export_fig8",
     "export_fig9",
+    "export_fig10",
     "export_fig11",
     "export_fig12",
     "export_fig13",
+    "export_trace",
+    "export_metrics",
     "export_all",
 ]
 
@@ -152,6 +155,67 @@ def export_fig9(out_dir: str | pathlib.Path, scale: int) -> pathlib.Path:
     )
 
 
+def export_fig10(
+    out_dir: str | pathlib.Path, runner: GridRunner, **kw
+) -> pathlib.Path:
+    data = E.fig10_breakdown(runner, **kw)
+    rows = []
+    for prog, engines in data.items():
+        for engine, (h2d, kern, d2h) in engines.items():
+            rows.append(
+                (prog, engine, f"{h2d:.6f}", f"{kern:.6f}", f"{d2h:.6f}")
+            )
+    return _write(
+        pathlib.Path(out_dir) / "fig10_time_breakdown.csv",
+        ["program", "engine", "h2d_ms", "kernel_ms", "d2h_ms"],
+        rows,
+    )
+
+
+def export_trace(
+    out_dir: str | pathlib.Path,
+    runner: GridRunner,
+    *,
+    graph: str,
+    program: str,
+    engine: str,
+) -> pathlib.Path:
+    """Flatten one traced grid cell's spans into CSV (one row per span)."""
+    from repro.telemetry import write_csv
+
+    _res, tracer = runner.run_traced(graph, program, engine)
+    path = (
+        pathlib.Path(out_dir) / f"trace_{graph}_{program}_{engine}.csv"
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return write_csv(tracer, path)
+
+
+def export_metrics(
+    out_dir: str | pathlib.Path,
+    runner: GridRunner,
+    *,
+    graph: str,
+    program: str,
+    engine: str,
+) -> pathlib.Path:
+    """One traced grid cell's metrics registry as flat CSV."""
+    import json
+
+    _res, tracer = runner.run_traced(graph, program, engine)
+    rows = [
+        (name, snap["type"],
+         json.dumps({k: v for k, v in snap.items() if k != "type"},
+                    sort_keys=True))
+        for name, snap in tracer.metrics.as_dict().items()
+    ]
+    return _write(
+        pathlib.Path(out_dir) / f"metrics_{graph}_{program}_{engine}.csv",
+        ["metric", "type", "value"],
+        rows,
+    )
+
+
 def export_fig11(out_dir: str | pathlib.Path, scale: int) -> pathlib.Path:
     data = E.fig11_histograms(scale)
     rows = []
@@ -207,6 +271,7 @@ def export_all(
         export_fig7(out_dir, runner),
         export_fig8(out_dir, runner),
         export_fig9(out_dir, scale),
+        export_fig10(out_dir, runner),
         export_fig11(out_dir, scale),
         export_fig12(out_dir, scale),
         export_fig13(out_dir, scale),

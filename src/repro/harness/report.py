@@ -13,9 +13,36 @@ import time
 
 from repro.harness import experiments as E
 from repro.harness.runner import GridRunner
-from repro.harness.tables import banner
+from repro.harness.tables import banner, format_table
 
-__all__ = ["generate_report", "write_report"]
+__all__ = ["generate_report", "render_telemetry", "write_report"]
+
+
+def render_telemetry(
+    runner: GridRunner,
+    *,
+    graph: str = "livejournal",
+    program: str = "bfs",
+    engine: str = "cusha-cw",
+) -> str:
+    """Span counts and published metrics for one traced grid cell."""
+    _res, tracer = runner.run_traced(graph, program, engine)
+    kinds = {k: len(tracer.find(kind=k))
+             for k in ("run", "iteration", "stage", "transfer")}
+    rows = [("spans." + k, "count", str(v)) for k, v in kinds.items()]
+    for name, snap in tracer.metrics.as_dict().items():
+        kind = snap["type"]
+        if kind == "histogram":
+            value = (f"n={snap['count']} mean={snap['mean']:.1f} "
+                     f"max={snap['max']}")
+        else:
+            value = str(snap["value"])
+        rows.append((name, kind, value))
+    return format_table(
+        ["Metric", "Type", "Value"],
+        rows,
+        title=f"Telemetry: {graph} / {program} / {engine}",
+    )
 
 
 def generate_report(
@@ -44,6 +71,7 @@ def generate_report(
         ("Profiled efficiencies", E.render_fig8(runner)),
         ("Memory footprint", E.render_fig9(scale)),
         ("Time breakdown", E.render_fig10(runner)),
+        ("Telemetry sample", render_telemetry(runner)),
     ]
     if include_rmat_study:
         sections += [

@@ -26,12 +26,13 @@ import dataclasses
 from dataclasses import dataclass, field
 
 from repro.algorithms import make_program
-from repro.frameworks.base import RunResult
-from repro.frameworks.cusha import CuShaEngine
-from repro.frameworks.mtcpu import MTCPUEngine, MTCPU_THREAD_COUNTS
-from repro.frameworks.vwc import VWCEngine, VIRTUAL_WARP_SIZES
+from repro.frameworks.base import RunConfig, RunResult
+from repro.frameworks.mtcpu import MTCPU_THREAD_COUNTS
+from repro.frameworks.registry import make_engine
+from repro.frameworks.vwc import VIRTUAL_WARP_SIZES
 from repro.graph import suite
 from repro.gpu.spec import GTX780, GPUSpec
+from repro.telemetry import Tracer
 
 __all__ = [
     "scaled_spec",
@@ -68,6 +69,7 @@ class GridRunner:
     scale: int | None = None
     max_iterations: int = DEFAULT_MAX_ITERATIONS
     _cache: dict = field(default_factory=dict, repr=False)
+    _traced_cache: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if self.scale is None:
@@ -76,15 +78,15 @@ class GridRunner:
 
     # ------------------------------------------------------------------
     def engine(self, key: str):
-        """Instantiate the engine for a grid key."""
-        if key in ("cusha-gs", "cusha-cw"):
-            return CuShaEngine(key.split("-")[1], spec=self.spec)
-        if key.startswith("vwc-"):
-            w = int(key.split("-")[1])
-            return VWCEngine(w, spec=self.spec, address_dilation=self.scale)
-        if key.startswith("mtcpu-"):
-            return MTCPUEngine(int(key.split("-")[1]))
-        raise KeyError(f"unknown engine key {key!r}")
+        """Instantiate the engine for a grid key.
+
+        Delegates to :func:`repro.frameworks.make_engine`: the scaled GPU
+        spec and the address dilation are passed for every key and each
+        engine family picks out what applies to it (``gpu_spec`` never
+        reaches the CPU engines, ``address_dilation`` only VWC)."""
+        return make_engine(
+            key, gpu_spec=self.spec, address_dilation=self.scale
+        )
 
     def cusha_keys(self) -> list[str]:
         return [f"cusha-{m}" for m in CUSHA_MODES]
@@ -109,10 +111,34 @@ class GridRunner:
             self._cache[key] = engine.run(
                 graph,
                 program,
-                max_iterations=self.max_iterations,
-                allow_partial=True,
+                config=RunConfig(
+                    max_iterations=self.max_iterations, allow_partial=True
+                ),
             )
         return self._cache[key]
+
+    def run_traced(
+        self, graph_name: str, program_name: str, engine_key: str
+    ) -> tuple[RunResult, Tracer]:
+        """Like :meth:`run` but with a :class:`~repro.telemetry.Tracer`
+        attached; memoized separately so untraced grid cells stay inert."""
+        key = (graph_name, program_name, engine_key, self.scale)
+        if key not in self._traced_cache:
+            graph = self.graph(graph_name)
+            program = make_program(program_name, graph)
+            engine = self.engine(engine_key)
+            tracer = Tracer()
+            result = engine.run(
+                graph,
+                program,
+                config=RunConfig(
+                    max_iterations=self.max_iterations,
+                    allow_partial=True,
+                    tracer=tracer,
+                ),
+            )
+            self._traced_cache[key] = (result, tracer)
+        return self._traced_cache[key]
 
     # ------------------------------------------------------------------
     def best_vwc(self, graph_name: str, program_name: str) -> RunResult:

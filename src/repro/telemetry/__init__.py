@@ -1,0 +1,81 @@
+"""Structured tracing + metrics for the CuSha reproduction.
+
+Public surface:
+
+- :class:`Tracer` / :class:`NullTracer` / :data:`NULL_TRACER` — typed span
+  collection (``run``/``iteration``/``stage``/``transfer``) over wall time
+  and model time, zero-overhead when disabled;
+- :class:`MetricsRegistry` — named counters/gauges/histograms engines
+  publish hardware activity into (``tracer.metrics``);
+- exporters — JSONL dump/load/validate, Chrome ``chrome://tracing``
+  format, flat CSV, and stage-stats aggregation.
+
+Typical use::
+
+    from repro.telemetry import Tracer, write_jsonl
+
+    tracer = Tracer()
+    result = engine.run(graph, program, config=RunConfig(tracer=tracer))
+    write_jsonl(tracer, "trace.jsonl")
+"""
+
+from repro.telemetry.exporters import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    aggregate_stage_stats,
+    chrome_trace,
+    read_jsonl,
+    span_record,
+    validate_jsonl,
+    write_chrome_trace,
+    write_csv,
+    write_jsonl,
+)
+from repro.telemetry.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    publish_kernel_stats,
+)
+from repro.telemetry.tracer import (
+    NULL_TRACER,
+    SPAN_KINDS,
+    NullTracer,
+    Span,
+    Tracer,
+    stats_from_dict,
+    stats_to_dict,
+)
+
+__all__ = [
+    # tracer
+    "SPAN_KINDS",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "stats_to_dict",
+    "stats_from_dict",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "publish_kernel_stats",
+    # exporters
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "span_record",
+    "write_jsonl",
+    "read_jsonl",
+    "validate_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_csv",
+    "aggregate_stage_stats",
+]

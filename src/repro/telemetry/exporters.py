@@ -1,0 +1,302 @@
+"""Trace exporters: JSONL, Chrome ``chrome://tracing``, CSV, aggregation.
+
+The JSONL format is the interchange format: one JSON object per span per
+line, schema below, written by ``python -m repro trace`` and validated by
+:func:`validate_jsonl` (the CI smoke target).  The Chrome exporter maps the
+same spans onto the Trace Event Format so a trace can be opened in
+``chrome://tracing`` / Perfetto; model time is the timeline, with one lane
+per span family.
+
+JSONL schema (one record per line)::
+
+    {"schema": "repro-trace", "version": 1, ...}        # first line: header
+    {"span_id": int, "parent_id": int|null, "name": str,
+     "kind": "run"|"iteration"|"stage"|"transfer",
+     "wall_ms": float, "model_start_ms": float, "model_ms": float,
+     "attrs": {...}, "stats": {...}|null}                # span lines
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Iterable
+
+from repro.gpu.stats import KernelStats
+from repro.telemetry.tracer import SPAN_KINDS, Span, stats_from_dict
+
+__all__ = [
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "span_record",
+    "write_jsonl",
+    "read_jsonl",
+    "validate_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_csv",
+    "aggregate_stage_stats",
+]
+
+SCHEMA_NAME = "repro-trace"
+SCHEMA_VERSION = 1
+
+
+def _spans(trace) -> list[Span]:
+    """Accept a Tracer or any iterable of spans."""
+    return list(getattr(trace, "spans", trace))
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+
+def span_record(span: Span) -> dict:
+    """One span as the JSONL record dict."""
+    return {
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "kind": span.kind,
+        "wall_ms": span.wall_ms,
+        "model_start_ms": span.model_start_ms,
+        "model_ms": span.model_ms,
+        "attrs": span.attrs,
+        "stats": span.stats,
+    }
+
+
+def write_jsonl(trace, path: str | pathlib.Path, *, meta: dict | None = None) -> pathlib.Path:
+    """Dump a trace as JSON-lines; first line is the schema header."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {"schema": SCHEMA_NAME, "version": SCHEMA_VERSION}
+    if meta:
+        header["meta"] = meta
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(header) + "\n")
+        for span in _spans(trace):
+            fh.write(json.dumps(span_record(span)) + "\n")
+    return path
+
+
+def read_jsonl(path: str | pathlib.Path) -> list[Span]:
+    """Parse a JSONL trace back into :class:`Span` objects."""
+    spans: list[Span] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if "schema" in rec:  # header line
+                if rec["schema"] != SCHEMA_NAME:
+                    raise ValueError(f"not a {SCHEMA_NAME} file: {path}")
+                continue
+            spans.append(
+                Span(
+                    span_id=rec["span_id"],
+                    parent_id=rec["parent_id"],
+                    name=rec["name"],
+                    kind=rec["kind"],
+                    wall_start_s=0.0,
+                    wall_ms=rec["wall_ms"],
+                    model_start_ms=rec["model_start_ms"],
+                    model_ms=rec["model_ms"],
+                    attrs=rec.get("attrs") or {},
+                    stats=rec.get("stats"),
+                )
+            )
+    return spans
+
+
+_SPAN_FIELD_TYPES = {
+    "span_id": int,
+    "name": str,
+    "kind": str,
+    "wall_ms": (int, float),
+    "model_start_ms": (int, float),
+    "model_ms": (int, float),
+    "attrs": dict,
+}
+
+
+def validate_jsonl(path: str | pathlib.Path) -> list[str]:
+    """Schema-check a JSONL trace; returns a list of problems (empty = ok)."""
+    errors: list[str] = []
+    seen_ids: set[int] = set()
+    header_ok = False
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"line {lineno}: invalid JSON ({exc})")
+                continue
+            if lineno == 1:
+                if rec.get("schema") == SCHEMA_NAME and isinstance(
+                    rec.get("version"), int
+                ):
+                    header_ok = True
+                else:
+                    errors.append("line 1: missing repro-trace header")
+                continue
+            for fname, ftype in _SPAN_FIELD_TYPES.items():
+                if fname not in rec:
+                    errors.append(f"line {lineno}: missing field {fname!r}")
+                elif not isinstance(rec[fname], ftype):
+                    errors.append(
+                        f"line {lineno}: field {fname!r} has type "
+                        f"{type(rec[fname]).__name__}"
+                    )
+            if "parent_id" not in rec:
+                errors.append(f"line {lineno}: missing field 'parent_id'")
+            elif rec["parent_id"] is not None:
+                if not isinstance(rec["parent_id"], int):
+                    errors.append(f"line {lineno}: parent_id must be int|null")
+                elif rec["parent_id"] not in seen_ids:
+                    errors.append(
+                        f"line {lineno}: parent_id {rec['parent_id']} "
+                        "references an unseen span"
+                    )
+            if rec.get("kind") not in SPAN_KINDS:
+                errors.append(f"line {lineno}: unknown kind {rec.get('kind')!r}")
+            stats = rec.get("stats")
+            if stats is not None and not isinstance(stats, dict):
+                errors.append(f"line {lineno}: stats must be object|null")
+            if isinstance(rec.get("span_id"), int):
+                if rec["span_id"] in seen_ids:
+                    errors.append(f"line {lineno}: duplicate span_id")
+                seen_ids.add(rec["span_id"])
+    if not header_ok and not errors:
+        errors.append("missing repro-trace header")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format
+# ----------------------------------------------------------------------
+
+_LANES = {
+    "run": 0,
+    "iteration": 1,
+    "transfer": 2,
+}
+_STAGE_LANE_BASE = 3
+
+
+def chrome_trace(trace) -> dict:
+    """The trace as a ``chrome://tracing`` / Perfetto JSON object.
+
+    Model time is the timeline (µs); each span family gets its own thread
+    lane so stage costs (which may overlap their iteration) stay readable.
+    """
+    spans = _spans(trace)
+    stage_lanes: dict[str, int] = {}
+    events: list[dict] = []
+    lane_names = {0: "run", 1: "iterations", 2: "transfers"}
+    for span in spans:
+        if span.kind == "stage":
+            tid = stage_lanes.setdefault(
+                span.name, _STAGE_LANE_BASE + len(stage_lanes)
+            )
+            lane_names[tid] = f"stage:{span.name}"
+        else:
+            tid = _LANES.get(span.kind, 0)
+        args = dict(span.attrs)
+        if span.stats is not None:
+            args["stats"] = span.stats
+        args["wall_ms"] = span.wall_ms
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.kind,
+                "pid": 0,
+                "tid": tid,
+                "ts": span.model_start_ms * 1e3,
+                "dur": span.model_ms * 1e3,
+                "args": args,
+            }
+        )
+    meta = [
+        {
+            "ph": "M",
+            "name": "thread_name",
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": name},
+        }
+        for tid, name in sorted(lane_names.items())
+    ]
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(trace, path: str | pathlib.Path) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(trace)), encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# CSV (plot-ready flat rows, mirrors repro.harness.export)
+# ----------------------------------------------------------------------
+
+def write_csv(trace, path: str | pathlib.Path) -> pathlib.Path:
+    """Flatten spans into one CSV row each (attrs/stats as JSON columns)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            [
+                "span_id",
+                "parent_id",
+                "kind",
+                "name",
+                "model_start_ms",
+                "model_ms",
+                "wall_ms",
+                "attrs",
+                "stats",
+            ]
+        )
+        for span in _spans(trace):
+            writer.writerow(
+                [
+                    span.span_id,
+                    "" if span.parent_id is None else span.parent_id,
+                    span.kind,
+                    span.name,
+                    f"{span.model_start_ms:.6f}",
+                    f"{span.model_ms:.6f}",
+                    f"{span.wall_ms:.6f}",
+                    json.dumps(span.attrs, sort_keys=True),
+                    "" if span.stats is None else json.dumps(span.stats, sort_keys=True),
+                ]
+            )
+    return path
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+
+def aggregate_stage_stats(trace) -> dict[str, KernelStats]:
+    """Sum the stats attached to ``stage`` spans, keyed by stage name.
+
+    For engines that attach per-iteration stage stats this reproduces the
+    legacy ``RunResult.stage_stats`` breakdown from the trace alone.
+    """
+    out: dict[str, KernelStats] = {}
+    for span in _spans(trace):
+        if span.kind != "stage" or span.stats is None:
+            continue
+        acc = out.setdefault(span.name, KernelStats())
+        acc += stats_from_dict(span.stats)
+    return out

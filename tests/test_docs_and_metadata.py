@@ -74,7 +74,7 @@ class TestPackageMetadata:
     def test_version_exposed(self):
         import repro
 
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_all_exports_resolve(self):
         import repro

@@ -131,6 +131,43 @@ class TestDegenerateGraphStructures:
         assert all(csr.in_degree(v) == 0 for v in range(1, 11))
 
 
+class TestTepsSemantics:
+    """``RunResult.teps`` edge cases: |E| = 0 and zero modeled time."""
+
+    @staticmethod
+    def _result(num_edges, kernel_ms, h2d_ms=0.0, d2h_ms=0.0):
+        from repro.frameworks.base import RunResult
+        from repro.gpu.stats import KernelStats
+
+        return RunResult(
+            engine="test", program="test",
+            values=np.zeros(1, dtype=np.uint32),
+            iterations=1, converged=True,
+            kernel_time_ms=kernel_ms, h2d_ms=h2d_ms, d2h_ms=d2h_ms,
+            representation_bytes=0, stats=KernelStats(),
+            num_edges=num_edges,
+        )
+
+    def test_zero_edges_is_zero_even_with_transfer_time(self):
+        # An edgeless run traverses nothing: 0 TEPS, not 0/0 noise.
+        assert self._result(0, 0.0).teps == 0.0
+        assert self._result(0, 1.5, h2d_ms=0.25).teps == 0.0
+
+    def test_edges_with_zero_time_is_inf(self):
+        assert self._result(100, 0.0).teps == float("inf")
+
+    def test_normal_ratio(self):
+        # 500 edges in 2 ms -> 250k edges/s.
+        assert self._result(500, 2.0).teps == pytest.approx(250_000.0)
+
+    def test_empty_graph_run_reports_zero_teps(self):
+        g = DiGraph.empty(3)
+        p = make_program("cc", g)
+        res = CuShaEngine("cw", vertices_per_shard=2).run(g, p)
+        assert res.num_edges == 0
+        assert res.teps == 0.0
+
+
 class TestNumericRobustness:
     def test_sssp_distances_do_not_overflow(self):
         """Worst path on the suite scale stays far below uint32 range."""
