@@ -1,13 +1,22 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench smoke-trace report clean
+.PHONY: test bench perf-smoke smoke-trace report clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/ -q
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Performance smoke: micro-benchmark the simulator's hot kernels, then run
+# the end-to-end fast-vs-reference / cold-vs-warm-cache comparison, which
+# archives benchmarks/results/BENCH_perf_smoke.json (median wall time per
+# engine on a fixed R-MAT graph).
+perf-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks/bench_micro_kernels.py --benchmark-only
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_perf_smoke.py
 
 # CI smoke: trace a tiny R-MAT run end-to-end and validate the emitted
 # JSONL against the repro-trace schema (exits non-zero on any violation).

@@ -1,0 +1,126 @@
+"""End-to-end performance smoke: wall-clock medians for the wave-batched
+fast path vs. the per-shard reference loop, plus the cold/warm effect of
+the cross-run representation cache.
+
+Unlike the ``bench_*`` regenerators this is a plain script (no
+pytest-benchmark): ``make perf-smoke`` runs it after the micro-kernel
+benchmarks and it emits ``benchmarks/results/BENCH_perf_smoke.json`` with
+the median wall time per engine on a fixed R-MAT graph, so successive
+checkouts can be compared with plain ``diff``/``jq``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_smoke.py [--repeats N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import time
+
+from repro.algorithms import make_program
+from repro.cache import RepresentationCache
+from repro.frameworks import RunConfig, make_engine
+from repro.graph.generators import random_weights, rmat
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+# Fixed workload: sparse R-MAT with a high shard count (the regime the
+# wave-batched core targets — Python-loop overhead grows with the number
+# of shards, vectorized work does not).
+GRAPH_VERTICES = 60_000
+GRAPH_EDGES = 240_000
+GRAPH_SEED = 13
+SHARD_SIZE = 128
+MAX_ITERATIONS = 60
+
+ENGINES = {
+    "cusha-cw": {"shard_size": SHARD_SIZE},
+    "cusha-gs": {"shard_size": SHARD_SIZE},
+    "cusha-streamed": {"shard_size": SHARD_SIZE,
+                       "device_memory_bytes": 8 * 1024 * 1024},
+    "vwc-8": {},
+}
+
+
+def _timed_run(engine_key, opts, graph, *, exec_path, cache, repeats):
+    samples = []
+    result = None
+    for _ in range(repeats):
+        eng = make_engine(engine_key, cache=cache, **opts)
+        prog = make_program("pr", graph)
+        cfg = RunConfig(exec_path=exec_path, allow_partial=True,
+                        max_iterations=MAX_ITERATIONS)
+        t0 = time.perf_counter()
+        result = eng.run(graph, prog, config=cfg)
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples), result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="samples per configuration (median reported)")
+    args = parser.parse_args(argv)
+
+    graph = random_weights(
+        rmat(GRAPH_VERTICES, GRAPH_EDGES, seed=GRAPH_SEED), seed=GRAPH_SEED)
+
+    report = {
+        "graph": {"vertices": GRAPH_VERTICES, "edges": GRAPH_EDGES,
+                  "seed": GRAPH_SEED, "generator": "rmat"},
+        "program": "pr",
+        "max_iterations": MAX_ITERATIONS,
+        "repeats": args.repeats,
+        "engines": {},
+    }
+
+    for key, opts in ENGINES.items():
+        fast_ms, fast = _timed_run(key, opts, graph, exec_path="fast",
+                                   cache=False, repeats=args.repeats)
+        ref_ms, ref = _timed_run(key, opts, graph, exec_path="reference",
+                                 cache=False, repeats=args.repeats)
+        # The fast path is only acceptable if it is *exact*: any drift in
+        # values or modeled hardware numbers is a bug, not a trade-off.
+        assert fast.values.tobytes() == ref.values.tobytes(), key
+        assert fast.stats == ref.stats, key
+        assert fast.iterations == ref.iterations, key
+
+        # Cold vs. warm setup through a fresh representation cache.
+        cache = RepresentationCache()
+        cold_ms, _ = _timed_run(key, opts, graph, exec_path="fast",
+                                cache=cache, repeats=1)
+        warm_ms, _ = _timed_run(key, opts, graph, exec_path="fast",
+                                cache=cache, repeats=args.repeats)
+        hits, misses = cache.counters()
+
+        report["engines"][key] = {
+            "fast_median_s": round(fast_ms, 4),
+            "reference_median_s": round(ref_ms, 4),
+            "speedup": round(ref_ms / fast_ms, 2) if fast_ms else None,
+            "cold_cache_s": round(cold_ms, 4),
+            "warm_cache_median_s": round(warm_ms, 4),
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "iterations": fast.iterations,
+        }
+        row = report["engines"][key]
+        print(f"{key:16s} fast={row['fast_median_s']:.3f}s "
+              f"ref={row['reference_median_s']:.3f}s "
+              f"speedup={row['speedup']}x "
+              f"cold={row['cold_cache_s']:.3f}s "
+              f"warm={row['warm_cache_median_s']:.3f}s "
+              f"(hits={hits} misses={misses})")
+
+    RESULTS.mkdir(exist_ok=True)
+    out = RESULTS / "BENCH_perf_smoke.json"
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

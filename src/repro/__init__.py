@@ -26,6 +26,7 @@ True
 """
 
 from repro.algorithms import PROGRAM_NAMES, default_source, make_program
+from repro.cache import RepresentationCache, default_cache, graph_fingerprint
 from repro.frameworks import (
     CuShaEngine,
     MTCPUEngine,
@@ -40,7 +41,7 @@ from repro.graph import CSR, ConcatenatedWindows, DiGraph, GShards, select_shard
 from repro.gpu import GTX780, I7_3930K, KernelStats
 from repro.vertexcentric import VertexProgram
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 
 def run(
@@ -52,6 +53,8 @@ def run(
     max_iterations: int = 10_000,
     allow_partial: bool = False,
     tracer=None,
+    exec_path: str = "fast",
+    cache=None,
     **engine_opts,
 ) -> RunResult:
     """One-call façade: run ``program_name`` on ``graph`` with ``engine``.
@@ -62,13 +65,21 @@ def run(
     ``source`` seeds the traversal programs (BFS/SSSP/SSWP); ``tracer``
     attaches a :class:`repro.telemetry.Tracer` for structured tracing.
 
+    ``exec_path`` selects the wave-batched vectorized core (``"fast"``,
+    default) or the per-shard reference loop (``"reference"``); the two are
+    equivalence-gated to identical results (see ``docs/performance.md``).
+    ``cache`` controls the cross-run representation memo: ``None`` uses the
+    process-wide :func:`repro.cache.default_cache`, ``False`` disables it,
+    and an explicit :class:`repro.cache.RepresentationCache` scopes it.
+
     >>> result = repro.run(g, "bfs", engine="vwc-8", source=0)
     """
     prog_kwargs = {} if source is None else {"source": source}
     program = make_program(program_name, graph, **prog_kwargs)
-    eng = make_engine(engine, **engine_opts)
+    eng = make_engine(engine, cache=cache, **engine_opts)
     config = RunConfig(
-        max_iterations=max_iterations, allow_partial=allow_partial
+        max_iterations=max_iterations, allow_partial=allow_partial,
+        exec_path=exec_path,
     )
     if tracer is not None:
         config = config.with_tracer(tracer)
@@ -94,6 +105,9 @@ __all__ = [
     "MTCPUEngine",
     "ScalarReferenceEngine",
     "RunResult",
+    "RepresentationCache",
+    "default_cache",
+    "graph_fingerprint",
     "KernelStats",
     "GTX780",
     "I7_3930K",

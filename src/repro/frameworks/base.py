@@ -58,12 +58,23 @@ class RunConfig:
 
     ``tracer`` defaults to the zero-overhead :data:`~repro.telemetry.NULL_TRACER`;
     pass a :class:`~repro.telemetry.Tracer` to collect spans and metrics.
+
+    ``exec_path`` selects between the wave-batched vectorized core
+    (``"fast"``, the default) and the original per-shard loop
+    (``"reference"``) in the engines that implement both; the two paths are
+    equivalence-gated to byte-identical results.  Engines with a single
+    path ignore it.
     """
 
     max_iterations: int = 10_000
     allow_partial: bool = False
     collect_traces: bool = True
     tracer: object = NULL_TRACER
+    exec_path: str = "fast"
+
+    def __post_init__(self) -> None:
+        if self.exec_path not in ("fast", "reference"):
+            raise ValueError("exec_path must be 'fast' or 'reference'")
 
     def with_tracer(self, tracer) -> "RunConfig":
         return replace(self, tracer=tracer)

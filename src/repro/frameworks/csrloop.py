@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cache import graph_fingerprint, resolve_cache
 from repro.graph.csr import CSR
 from repro.graph.digraph import DiGraph
 from repro.vertexcentric.program import VertexProgram, apply_reductions
@@ -35,8 +36,28 @@ class CSRProblem:
     destinations: np.ndarray  # per CSR slot, int64
 
     @classmethod
-    def build(cls, graph: DiGraph, program: VertexProgram) -> "CSRProblem":
-        csr = CSR.from_graph(graph)
+    def build(
+        cls, graph: DiGraph, program: VertexProgram, cache=None
+    ) -> "CSRProblem":
+        """Assemble the problem, memoizing the structural pieces.
+
+        The CSR arrays and the per-slot destination map depend only on the
+        graph's topology, so they are cached by fingerprint (see
+        :mod:`repro.cache`); the value arrays depend on the program and the
+        graph's weights and are always built fresh.  ``cache=False``
+        disables the memo.
+        """
+        resolved = resolve_cache(cache)
+        if resolved is not None:
+            fp = graph_fingerprint(graph)
+            csr = resolved.get(("csr", fp), lambda: CSR.from_graph(graph))
+            destinations = resolved.get(
+                ("csr-dest", fp),
+                lambda: csr.destinations().astype(np.int64),
+            )
+        else:
+            csr = CSR.from_graph(graph)
+            destinations = csr.destinations().astype(np.int64)
         ev = program.edge_values(graph)
         return cls(
             csr=csr,
@@ -44,7 +65,7 @@ class CSRProblem:
             vertex_values=program.initial_values(graph),
             static_values=program.static_values(graph),
             edge_values=None if ev is None else csr.gather_edge_values(ev),
-            destinations=csr.destinations().astype(np.int64),
+            destinations=destinations,
         )
 
 

@@ -26,20 +26,39 @@ Figure 7); ``"async"`` makes every write-back immediately visible (fully
 sequential schedule), ``"bsp"`` defers all visibility to the iteration
 boundary.  All three converge to the same fixpoint; hardware accounting is
 identical.
+
+Execution paths
+---------------
+``config.exec_path`` selects the iteration core.  The default ``"fast"``
+path batches each wave into one vectorized step: within a wave, shards only
+communicate through ``SrcValue`` (refreshed at wave boundaries) and each
+shard exclusively owns its destination-vertex slice, so concatenating a
+wave's shard entries and running ``messages`` / ``apply_reductions`` /
+``apply`` once over the whole wave is bit-identical to the per-shard loop
+(``ufunc.at`` applies updates sequentially in entry order, which the
+concatenation preserves).  Hardware pricing uses the segmented helpers so
+warp rows never span shard boundaries; the per-shard stage-4 stats are one
+matrix whose updated rows are summed per iteration.  ``"reference"``
+preserves the original per-shard loop as the equivalence baseline.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.cache import graph_fingerprint, resolve_cache
 from repro.frameworks import costs
 from repro.frameworks.base import (ConvergenceError, Engine, IterationTrace,
                                    RunConfig, RunResult)
+from repro.frameworks.wavebatch import (add_row_into, cusha_static_bundle,
+                                        multi_arange, stats_from_row,
+                                        STAT_FIELDS)
 from repro.graph.cw import ConcatenatedWindows
 from repro.graph.digraph import DiGraph
 from repro.graph.partition import select_shard_size
 from repro.gpu.engine import KernelCostModel
-from repro.gpu.memory import contiguous_transactions, gather_transactions, TransactionCount
+from repro.gpu.memory import (contiguous_transactions, gather_transactions,
+                              gather_transactions_segmented, TransactionCount)
 from repro.gpu.occupancy import blocks_per_sm, occupancy, shared_mem_per_block
 from repro.gpu.pcie import transfer_ms
 from repro.gpu.spec import GTX780, GPUSpec, PCIeSpec
@@ -99,6 +118,9 @@ def _window_rows_transactions(
     return TransactionCount(int(txs.sum()), int(sz.sum()) * item_bytes)
 
 
+_EMPTY_SHARDS = np.empty(0, dtype=np.int64)
+
+
 class CuShaEngine(Engine):
     """CuSha over G-Shards (``mode="gs"``) or Concatenated Windows
     (``mode="cw"``).
@@ -117,6 +139,11 @@ class CuShaEngine(Engine):
         (the paper's example uses 2).
     sync_mode:
         ``"async"`` (paper) or ``"bsp"`` (ablation); see module docstring.
+    cache:
+        ``None`` (default) memoizes representations and static stats in the
+        process-wide :func:`repro.cache.default_cache`; ``False`` disables
+        caching; an explicit :class:`~repro.cache.RepresentationCache`
+        scopes it.  Only the fast path consults the cache.
     """
 
     def __init__(
@@ -130,6 +157,7 @@ class CuShaEngine(Engine):
         threads_per_block: int = 512,
         sync_mode: str = "wave",
         always_writeback: bool = False,
+        cache=None,
     ) -> None:
         if mode not in ("gs", "cw"):
             raise ValueError("mode must be 'gs' or 'cw'")
@@ -145,6 +173,7 @@ class CuShaEngine(Engine):
         # Ablation of Figure 5's ``values_updated`` flag: when set, stage 4
         # runs for every shard every iteration instead of only updated ones.
         self.always_writeback = always_writeback
+        self.cache = cache
         self.cost_model = KernelCostModel(spec)
         self.name = f"cusha-{mode}"
 
@@ -162,6 +191,16 @@ class CuShaEngine(Engine):
         )
         return plan.vertices_per_shard
 
+    def _wave_size(self, shared_bytes: int) -> int:
+        if self.sync_mode == "async":
+            return 1
+        if self.sync_mode == "bsp":
+            return max(1, 10**18)  # effectively all shards in one wave
+        resident = max(
+            1, blocks_per_sm(self.spec, shared_bytes, self.threads_per_block)
+        )
+        return max(1, self.spec.num_sms * resident)
+
     # ------------------------------------------------------------------
     def _run(
         self, graph: DiGraph, program: VertexProgram, config: RunConfig
@@ -175,9 +214,258 @@ class CuShaEngine(Engine):
             num_vertices=graph.num_vertices,
             num_edges=graph.num_edges,
         ) as run_span:
-            return self._execute(graph, program, config, run_span)
+            if config.exec_path == "reference":
+                return self._execute_reference(graph, program, config, run_span)
+            return self._execute_fast(graph, program, config, run_span)
 
-    def _execute(
+    # ------------------------------------------------------------------
+    # Fast path: wave-batched vectorized core
+    # ------------------------------------------------------------------
+    def _execute_fast(
+        self, graph: DiGraph, program: VertexProgram, config: RunConfig, run_span
+    ) -> RunResult:
+        max_iterations = config.max_iterations
+        tracer = config.tracer
+        trace_on = tracer.enabled
+        N = self._choose_shard_size(graph, program)
+        vbytes = program.vertex_value_bytes
+        sbytes = program.static_value_bytes
+        ebytes = program.edge_value_bytes
+        warp = self.spec.warp_size
+
+        cache = resolve_cache(self.cache)
+        if cache is not None:
+            hits0, misses0 = cache.counters()
+            fp = graph_fingerprint(graph)
+            cw = cache.get(
+                ("cw", fp, N),
+                lambda: ConcatenatedWindows.from_graph(graph, N),
+            )
+            bundle = cache.get(
+                ("cusha-stats", fp, self.mode, N, warp, vbytes, sbytes, ebytes),
+                lambda: cusha_static_bundle(
+                    cw, self.mode, warp, vbytes, sbytes, ebytes
+                ),
+            )
+            if trace_on:
+                hits1, misses1 = cache.counters()
+                tracer.metrics.counter("cache.hits").inc(hits1 - hits0)
+                tracer.metrics.counter("cache.misses").inc(misses1 - misses0)
+        else:
+            cw = ConcatenatedWindows.from_graph(graph, N)
+            bundle = cusha_static_bundle(
+                cw, self.mode, warp, vbytes, sbytes, ebytes
+            )
+        sh = cw.shards
+        S = sh.num_shards
+        n = graph.num_vertices
+
+        # ----- device arrays -------------------------------------------------
+        vertex_values = program.initial_values(graph)
+        static_all = program.static_values(graph)
+        src_value = vertex_values[sh.src_index].copy()
+        src_static = None if static_all is None else static_all[sh.src_index]
+        ev = program.edge_values(graph)
+        edge_vals = None if ev is None else ev[sh.edge_positions]
+
+        base1, base2, base3 = bundle.base1, bundle.base2, bundle.base3
+        st4_mat = bundle.stage4
+        base = base1 + base2 + base3
+
+        shared_bytes = shared_mem_per_block(N, vbytes)
+        occ = occupancy(self.spec, shared_bytes, self.threads_per_block)
+
+        # ----- transfers (Figure 10) -----------------------------------------
+        rep_bytes = (
+            cw.memory_bytes(vbytes, ebytes, sbytes)
+            if self.mode == "cw"
+            else sh.memory_bytes(vbytes, ebytes, sbytes)
+        )
+        h2d_ms = transfer_ms(rep_bytes, self.pcie)
+        d2h_ms = transfer_ms(graph.num_vertices * vbytes, self.pcie)
+        tracer.emit(
+            "h2d", "transfer", model_start_ms=0.0, model_ms=h2d_ms,
+            bytes=rep_bytes,
+        )
+
+        wave_size = min(self._wave_size(shared_bytes), S)
+
+        # Per-wave loop invariants, hoisted out of the iteration loop: the
+        # wave's vertex slice, its entry slice, and the destination indices
+        # rebased to the wave's vertex origin.
+        dest_global = bundle.dest_global
+        waves = []
+        for a in range(0, S, wave_size):
+            b = min(a + wave_size, S)
+            vlo = a * N
+            vhi = min(b * N, n)
+            eo = int(sh.shard_offsets[a])
+            ee = int(sh.shard_offsets[b])
+            waves.append((a, b, vlo, vhi, eo, ee, dest_global[eo:ee] - vlo))
+
+        # ----- iterate --------------------------------------------------------
+        total_stats = KernelStats()
+        stage3_dynamic = KernelStats()
+        stage2_dynamic = KernelStats()
+        stage4_total_row = np.zeros(len(STAT_FIELDS), dtype=np.float64)
+        traces: list[IterationTrace] = []
+        kernel_ms = 0.0
+        converged = False
+        iterations = 0
+
+        for iteration in range(1, max_iterations + 1):
+            iter_start_ms = h2d_ms + kernel_ms
+            with tracer.span(
+                f"iter-{iteration}", "iteration", model_start_ms=iter_start_ms
+            ) as it_span:
+                iter_stats = base.copy()
+                iter_stats.kernel_launches = 1
+                if trace_on:
+                    dyn2 = KernelStats()
+                    dyn3 = KernelStats()
+                updated_total = 0
+                updated_shard_count = 0
+                st4_row = np.zeros(len(STAT_FIELDS), dtype=np.float64)
+                for a, b, vlo, vhi, eo, ee, dest_local in waves:
+                    old = vertex_values[vlo:vhi]
+                    local = program.init_local(old)
+                    msgs, mask = program.messages(
+                        src_value[eo:ee],
+                        None if src_static is None else src_static[eo:ee],
+                        None if edge_vals is None else edge_vals[eo:ee],
+                        old[dest_local],
+                    )
+                    ops = apply_reductions(program, local, dest_local, msgs, mask)
+                    iter_stats.add_atomics(shared=ops)
+                    stage2_dynamic.add_atomics(shared=ops)
+                    if trace_on:
+                        dyn2.add_atomics(shared=ops)
+                    final, upd = program.apply(local, old)
+                    n_upd = int(upd.sum())
+                    wave_shards = _EMPTY_SHARDS
+                    if n_upd:
+                        idx = vlo + np.flatnonzero(upd)
+                        vertex_values[idx] = final[upd]
+                        # Per-shard store pricing: segment the updated
+                        # indices by owning shard so warp rows never span
+                        # shard boundaries (as in the reference loop).
+                        counts = np.bincount(idx // N - a, minlength=b - a)
+                        seg = np.zeros(b - a + 1, dtype=np.int64)
+                        np.cumsum(counts, out=seg[1:])
+                        store_tc = gather_transactions_segmented(
+                            idx, vbytes, seg, warp_size=warp,
+                            transaction_bytes=STORE_GRANULARITY_BYTES)
+                        iter_stats.add_store(store_tc)
+                        stage3_dynamic.add_store(store_tc)
+                        if trace_on:
+                            dyn3.add_store(store_tc)
+                        updated_total += n_upd
+                        wave_shards = a + np.flatnonzero(counts)
+                    if self.always_writeback:
+                        wave_shards = np.arange(a, b, dtype=np.int64)
+                    if wave_shards.size:
+                        updated_shard_count += wave_shards.size
+                        st4_row += st4_mat[wave_shards].sum(axis=0)
+                        # Wave-boundary write-back, batched over the wave's
+                        # updated shards (mapper slots are disjoint).
+                        if wave_shards.size == b - a:
+                            psl = slice(
+                                int(cw.cw_offsets[a]), int(cw.cw_offsets[b])
+                            )
+                            src_value[cw.mapper[psl]] = vertex_values[
+                                cw.cw_src_index[psl]
+                            ]
+                        else:
+                            pos = multi_arange(
+                                cw.cw_offsets[wave_shards],
+                                cw.cw_offsets[wave_shards + 1],
+                            )
+                            src_value[cw.mapper[pos]] = vertex_values[
+                                cw.cw_src_index[pos]
+                            ]
+                add_row_into(iter_stats, st4_row)
+                stage4_total_row += st4_row
+                t_ms = self.cost_model.time_ms(iter_stats, occupancy=occ)
+                kernel_ms += t_ms
+                total_stats += iter_stats
+                iterations = iteration
+                if config.collect_traces:
+                    traces.append(
+                        IterationTrace(iteration, updated_total, t_ms, kernel_ms)
+                    )
+                if trace_on:
+                    it_span.model_ms = t_ms
+                    it_span.attrs["updated_vertices"] = updated_total
+                    it_span.attrs["updated_shards"] = updated_shard_count
+                    tracer.metrics.histogram(
+                        "engine.updated_vertices"
+                    ).observe(updated_total)
+                    for sname, sstats in (
+                        ("stage1-fetch", base1.copy()),
+                        ("stage2-compute", base2 + dyn2),
+                        ("stage3-update", base3 + dyn3),
+                        ("stage4-writeback", stats_from_row(st4_row)),
+                    ):
+                        tracer.emit(
+                            sname,
+                            "stage",
+                            model_start_ms=iter_start_ms,
+                            model_ms=self.cost_model.time_ms(
+                                sstats, occupancy=occ
+                            ),
+                            stats=sstats,
+                            iteration=iteration,
+                        )
+            if updated_total == 0:
+                converged = True
+                break
+
+        if not converged and not config.allow_partial:
+            raise ConvergenceError(
+                f"{self.name}/{program.name} did not converge in "
+                f"{max_iterations} iterations"
+            )
+        tracer.emit(
+            "d2h", "transfer", model_start_ms=h2d_ms + kernel_ms,
+            model_ms=d2h_ms, bytes=graph.num_vertices * vbytes,
+        )
+        if trace_on:
+            m = tracer.metrics
+            publish_kernel_stats(m, total_stats)
+            m.counter("engine.iterations").inc(iterations)
+            m.gauge("cusha.num_shards").set(S)
+            m.gauge("cusha.vertices_per_shard").set(N)
+            m.gauge("cusha.wave_size").set(wave_size)
+            m.gauge("cusha.waves_per_iteration").set(-(-S // wave_size))
+            run_span.model_ms = h2d_ms + kernel_ms + d2h_ms
+            run_span.attrs["iterations"] = iterations
+            run_span.attrs["converged"] = converged
+        stage_stats = {
+            "stage1-fetch": _scaled(base1, iterations),
+            "stage2-compute": _scaled(base2, iterations) + stage2_dynamic,
+            "stage3-update": _scaled(base3, iterations) + stage3_dynamic,
+            "stage4-writeback": stats_from_row(stage4_total_row),
+        }
+        return RunResult(
+            engine=self.name,
+            program=program.name,
+            values=vertex_values,
+            iterations=iterations,
+            converged=converged,
+            kernel_time_ms=kernel_ms,
+            h2d_ms=h2d_ms,
+            d2h_ms=d2h_ms,
+            representation_bytes=rep_bytes,
+            stats=total_stats,
+            traces=traces,
+            num_edges=graph.num_edges,
+            stage_stats=stage_stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Reference path: the original per-shard loop (equivalence baseline)
+    # ------------------------------------------------------------------
+    def _execute_reference(
         self, graph: DiGraph, program: VertexProgram, config: RunConfig, run_span
     ) -> RunResult:
         max_iterations = config.max_iterations
@@ -204,13 +492,17 @@ class CuShaEngine(Engine):
         base2 = KernelStats()
         base3 = KernelStats()
         stage4 = [KernelStats() for _ in range(S)]
-        shard_ranges = []
+        # Loop invariants of the iteration loop, computed once: vertex
+        # ranges, entry slices, rebased destination indices, CW slices.
+        shard_meta: list[tuple[int, int, slice, np.ndarray, slice]] = []
         for i in range(S):
             lo, hi = sh.vertex_range(i)
             n_i = hi - lo
             m_i = sh.shard_size(i)
             o = int(sh.shard_offsets[i])
-            shard_ranges.append((lo, hi, o))
+            sl_i = slice(o, o + m_i)
+            dest_local = sh.dest_index[sl_i].astype(np.int64) - lo
+            shard_meta.append((lo, hi, sl_i, dest_local, cw.cw_slice(i)))
             # Stage 1: coalesced VertexValues fetch.
             base1.add_load(
                 contiguous_transactions(n_i, vbytes, start_byte=lo * vbytes,
@@ -236,10 +528,7 @@ class CuShaEngine(Engine):
                             instructions_per_row=costs.INSTR_COMPUTE)
             # Shared-memory atomic bank conflicts: destination indices that
             # collide modulo the bank count serialize within a warp round.
-            sl_i = slice(o, o + m_i)
-            replays = conflict_replays(
-                sh.dest_index[sl_i].astype(np.int64) - lo, warp_size=warp
-            )
+            replays = conflict_replays(dest_local, warp_size=warp)
             base2.add_instructions(replays * costs.INSTR_ATOMIC_REPLAY)
             # Stage 3: coalesced VertexValues read (stores are dynamic).
             base3.add_load(
@@ -273,19 +562,19 @@ class CuShaEngine(Engine):
                     transaction_bytes=LOAD_GRANULARITY_BYTES))
                 st4.add_instructions(S * costs.INSTR_GS_WINDOW_SCAN)
             else:
-                sl = cw.cw_slice(i)
                 L = cw.cw_size(i)
                 cwo = int(cw.cw_offsets[i])
-                # SrcIndex and Mapper reads are contiguous (4-byte device
-                # indices); the SrcValue stores scatter through the mapper.
-                st4.add_load(contiguous_transactions(
+                # SrcIndex and Mapper are both contiguous 4-byte reads over
+                # the same CW slot range, so their pricing is identical:
+                # compute once, charge twice.  The SrcValue stores scatter
+                # through the mapper.
+                cw_read = contiguous_transactions(
                     L, 4, start_byte=cwo * 4, warp_size=warp,
-                    transaction_bytes=LOAD_GRANULARITY_BYTES))
-                st4.add_load(contiguous_transactions(
-                    L, 4, start_byte=cwo * 4, warp_size=warp,
-                    transaction_bytes=LOAD_GRANULARITY_BYTES))
+                    transaction_bytes=LOAD_GRANULARITY_BYTES)
+                st4.add_load(cw_read)
+                st4.add_load(cw_read)
                 st4.add_store(gather_transactions(
-                    cw.mapper[sl], vbytes, warp_size=warp,
+                    cw.mapper[cw.cw_slice(i)], vbytes, warp_size=warp,
                     transaction_bytes=STORE_GRANULARITY_BYTES))
                 st4.add_lanes(*slots_for_contiguous(L, warp),
                               instructions_per_row=costs.INSTR_WRITEBACK)
@@ -322,15 +611,7 @@ class CuShaEngine(Engine):
         # boundary — the visibility a real grid of blocks on num_sms SMs
         # provides (and the reason CuSha needs a few more iterations than
         # the single-version CSR baselines, paper Figure 7).
-        if self.sync_mode == "async":
-            wave_size = 1
-        elif self.sync_mode == "bsp":
-            wave_size = S
-        else:  # "wave"
-            resident = max(
-                1, blocks_per_sm(self.spec, shared_bytes, self.threads_per_block)
-            )
-            wave_size = max(1, self.spec.num_sms * resident)
+        wave_size = min(self._wave_size(shared_bytes), S)
 
         trace_on = tracer.enabled
         for iteration in range(1, max_iterations + 1):
@@ -350,11 +631,9 @@ class CuShaEngine(Engine):
                 updated_shards: list[int] = []
                 pending_writeback: list[int] = []
                 for i in range(S):
-                    lo, hi, o = shard_ranges[i]
-                    sl = slice(o, o + sh.shard_size(i))
+                    lo, hi, sl, dest_local, _csl = shard_meta[i]
                     old = vertex_values[lo:hi]
                     local = program.init_local(old)
-                    dest_local = sh.dest_index[sl].astype(np.int64) - lo
                     msgs, mask = program.messages(
                         src_value[sl],
                         None if src_static is None else src_static[sl],
@@ -386,7 +665,7 @@ class CuShaEngine(Engine):
                         pending_writeback.append(i)
                     if (i + 1) % wave_size == 0 or i == S - 1:
                         for j in pending_writeback:
-                            csl = cw.cw_slice(j)
+                            csl = shard_meta[j][4]
                             src_value[cw.mapper[csl]] = vertex_values[
                                 cw.cw_src_index[csl]
                             ]

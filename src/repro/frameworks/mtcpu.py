@@ -40,11 +40,14 @@ MTCPU_THREAD_COUNTS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
 class MTCPUEngine(Engine):
     """CSR processing on the modeled host CPU with ``threads`` workers."""
 
-    def __init__(self, threads: int = 12, *, spec: CPUSpec = I7_3930K) -> None:
+    def __init__(
+        self, threads: int = 12, *, spec: CPUSpec = I7_3930K, cache=None
+    ) -> None:
         if threads < 1:
             raise ValueError("threads must be positive")
         self.threads = threads
         self.spec = spec
+        self.cache = cache
         self.name = f"mtcpu-{threads}"
 
     # ------------------------------------------------------------------
@@ -87,7 +90,10 @@ class MTCPUEngine(Engine):
             num_edges=graph.num_edges,
             threads=self.threads,
         ) as run_span:
-            problem = CSRProblem.build(graph, program)
+            problem = CSRProblem.build(
+                graph, program,
+                cache=False if config.exec_path == "reference" else self.cache,
+            )
             chunk = max(1, -(-graph.num_vertices // self.threads))
             iter_ms = self._iteration_ms(graph, program)
 

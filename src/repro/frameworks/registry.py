@@ -27,7 +27,10 @@ Recognized options: ``shard_size`` (a.k.a. ``vertices_per_shard``),
 ``gpu_spec``, ``cpu_spec``, ``spec``, ``pcie``, ``sync_mode``,
 ``threads_per_block``, ``resident_blocks``, ``always_writeback``,
 ``address_dilation``, ``chunk_vertices``, ``defer_outliers``,
-``outlier_factor``, ``device_memory_bytes``, ``threads``.
+``outlier_factor``, ``device_memory_bytes``, ``threads``, ``cache``
+(representation-cache selection, see :mod:`repro.cache`: ``None`` =
+process-wide default, ``False`` = disabled, or an explicit
+``RepresentationCache``).
 """
 
 from __future__ import annotations
@@ -65,7 +68,7 @@ def _build_cusha(key: str, opts: dict) -> Engine:
     if spec is not None:
         kwargs["spec"] = spec
     for name in ("pcie", "sync_mode", "threads_per_block", "resident_blocks",
-                 "always_writeback"):
+                 "always_writeback", "cache"):
         if opts.get(name) is not None:
             kwargs[name] = opts[name]
     return CuShaEngine(mode, **kwargs)
@@ -79,7 +82,7 @@ def _build_streamed(key: str, opts: dict) -> Engine:
     spec = _pick(opts, "gpu_spec", "spec")
     if spec is not None:
         kwargs["spec"] = spec
-    for name in ("pcie", "device_memory_bytes"):
+    for name in ("pcie", "device_memory_bytes", "cache"):
         if opts.get(name) is not None:
             kwargs[name] = opts[name]
     return StreamedCuShaEngine(**kwargs)
@@ -97,7 +100,7 @@ def _build_vwc(key: str, opts: dict) -> Engine:
     if spec is not None:
         kwargs["spec"] = spec
     for name in ("pcie", "address_dilation", "chunk_vertices",
-                 "defer_outliers", "outlier_factor"):
+                 "defer_outliers", "outlier_factor", "cache"):
         if opts.get(name) is not None:
             kwargs[name] = opts[name]
     return VWCEngine(w, **kwargs)
@@ -118,6 +121,8 @@ def _build_mtcpu(key: str, opts: dict) -> Engine:
     spec = _pick(opts, "cpu_spec", "spec")
     if spec is not None:
         kwargs["spec"] = spec
+    if opts.get("cache") is not None:
+        kwargs["cache"] = opts["cache"]
     return MTCPUEngine(threads, **kwargs)
 
 
@@ -126,6 +131,8 @@ def _build_csrloop(key: str, opts: dict) -> Engine:
     spec = _pick(opts, "cpu_spec", "spec")
     if spec is not None:
         kwargs["spec"] = spec
+    if opts.get("cache") is not None:
+        kwargs["cache"] = opts["cache"]
     engine = MTCPUEngine(1, **kwargs)
     engine.name = "csrloop"
     return engine

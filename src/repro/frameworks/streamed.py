@@ -24,22 +24,34 @@ time so the benefit of streaming is visible.
 
 Vertex values are computed exactly (same fixpoint as every other engine);
 only the schedule and the transfer accounting differ.
+
+``config.exec_path`` selects the iteration core.  Because every shard owns
+its destination-vertex slice and write-backs are deferred to the iteration
+boundary, *all* shards in an iteration are independent: the fast path
+(default) evaluates the whole iteration in one vectorized step and recovers
+the per-chunk stats — and therefore the identical per-chunk compute times
+feeding the overlap model — from segmented pricing.  ``"reference"`` keeps
+the original per-shard chunk loop.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.cache import graph_fingerprint, resolve_cache
 from repro.frameworks.base import (ConvergenceError, Engine, IterationTrace,
                                    RunConfig, RunResult)
 from repro.frameworks.cusha import CuShaEngine
+from repro.frameworks.wavebatch import (multi_arange, stats_from_row,
+                                        streamed_static_bundle, STAT_FIELDS)
 from repro.graph.cw import ConcatenatedWindows
 from repro.graph.digraph import DiGraph
 from repro.gpu.pcie import transfer_ms
 from repro.gpu.spec import GTX780, GPUSpec, PCIeSpec
 from repro.gpu.stats import KernelStats
 from repro.vertexcentric.program import VertexProgram, apply_reductions
-from repro.gpu.memory import contiguous_transactions, gather_transactions
+from repro.gpu.memory import (contiguous_transactions, gather_transactions,
+                              gather_transactions_segmented)
 from repro.gpu.stats import LOAD_GRANULARITY_BYTES, STORE_GRANULARITY_BYTES
 from repro.gpu.engine import KernelCostModel
 from repro.frameworks import costs
@@ -61,6 +73,11 @@ class StreamedCuShaEngine(Engine):
     vertices_per_shard:
         The paper's ``|N|``; ``None`` auto-selects like
         :class:`~repro.frameworks.cusha.CuShaEngine`.
+    cache:
+        Representation/stats memo selection, as in
+        :class:`~repro.frameworks.cusha.CuShaEngine` (``None`` = process
+        default, ``False`` = disabled, or an explicit
+        :class:`~repro.cache.RepresentationCache`).
     """
 
     def __init__(
@@ -70,6 +87,7 @@ class StreamedCuShaEngine(Engine):
         vertices_per_shard: int | None = None,
         spec: GPUSpec = GTX780,
         pcie: PCIeSpec | None = None,
+        cache=None,
     ) -> None:
         if device_memory_bytes <= 0:
             raise ValueError("device_memory_bytes must be positive")
@@ -77,6 +95,7 @@ class StreamedCuShaEngine(Engine):
         self.vertices_per_shard = vertices_per_shard
         self.spec = spec
         self.pcie = pcie or PCIeSpec()
+        self.cache = cache
         self.cost_model = KernelCostModel(spec)
         self.name = "cusha-streamed"
 
@@ -112,9 +131,276 @@ class StreamedCuShaEngine(Engine):
             num_vertices=graph.num_vertices,
             num_edges=graph.num_edges,
         ) as run_span:
-            return self._execute(graph, program, config, run_span)
+            if config.exec_path == "reference":
+                return self._execute_reference(graph, program, config, run_span)
+            return self._execute_fast(graph, program, config, run_span)
 
-    def _execute(
+    # ------------------------------------------------------------------
+    # Fast path: whole-iteration batching with per-chunk stat recovery
+    # ------------------------------------------------------------------
+    def _execute_fast(
+        self, graph: DiGraph, program: VertexProgram, config: RunConfig, run_span
+    ) -> RunResult:
+        max_iterations = config.max_iterations
+        tracer = config.tracer
+        trace_on = tracer.enabled
+        inner = CuShaEngine(
+            "cw",
+            vertices_per_shard=self.vertices_per_shard,
+            spec=self.spec,
+            pcie=self.pcie,
+        )
+        N = inner._choose_shard_size(graph, program)
+        vbytes = program.vertex_value_bytes
+        sbytes = program.static_value_bytes
+        ebytes = program.edge_value_bytes
+        warp = self.spec.warp_size
+        entry_bytes = 4 + vbytes + sbytes + ebytes + 4 + 4  # + mapper slot
+
+        cache = resolve_cache(self.cache)
+        if cache is not None:
+            hits0, misses0 = cache.counters()
+            fp = graph_fingerprint(graph)
+            cw = cache.get(
+                ("cw", fp, N),
+                lambda: ConcatenatedWindows.from_graph(graph, N),
+            )
+            chunks, bundle = cache.get(
+                ("streamed-stats", fp, N, warp, vbytes, sbytes, ebytes,
+                 self.device_memory_bytes),
+                lambda: (
+                    lambda ch: (ch, streamed_static_bundle(
+                        cw, ch, warp, vbytes, sbytes, ebytes))
+                )(self._chunk_shards(cw, entry_bytes)),
+            )
+            if trace_on:
+                hits1, misses1 = cache.counters()
+                tracer.metrics.counter("cache.hits").inc(hits1 - hits0)
+                tracer.metrics.counter("cache.misses").inc(misses1 - misses0)
+        else:
+            cw = ConcatenatedWindows.from_graph(graph, N)
+            chunks = self._chunk_shards(cw, entry_bytes)
+            bundle = streamed_static_bundle(
+                cw, chunks, warp, vbytes, sbytes, ebytes
+            )
+        sh = cw.shards
+        S = sh.num_shards
+        C = len(chunks)
+
+        # Host-side state (the "disk" copy); device residency is modeled.
+        vertex_values = program.initial_values(graph)
+        static_all = program.static_values(graph)
+        src_value = vertex_values[sh.src_index].copy()
+        src_static = None if static_all is None else static_all[sh.src_index]
+        ev = program.edge_values(graph)
+        edge_vals = None if ev is None else ev[sh.edge_positions]
+
+        dest_global = bundle.dest_global
+        chunk_static = bundle.chunk_static
+        wb_mat = bundle.writeback
+        # Entry->chunk and shard->chunk maps for attributing the dynamic
+        # stats (atomic ops, conditional stores) back to their chunk.
+        chunk_entry_sizes = np.array(
+            [int(sh.shard_offsets[b] - sh.shard_offsets[a]) for a, b in chunks],
+            dtype=np.int64,
+        )
+        entry_chunk = np.repeat(np.arange(C, dtype=np.int64), chunk_entry_sizes)
+        shard_chunk = np.repeat(
+            np.arange(C, dtype=np.int64),
+            np.array([b - a for a, b in chunks], dtype=np.int64),
+        )
+        chunk_byte_sizes = chunk_entry_sizes * entry_bytes
+
+        # Transfers: VertexValues resident once, chunks stream per iteration.
+        h2d_fixed_ms = transfer_ms(
+            graph.num_vertices * (vbytes + sbytes), self.pcie
+        )
+        d2h_ms = transfer_ms(graph.num_vertices * vbytes, self.pcie)
+        tracer.emit(
+            "h2d", "transfer", model_start_ms=0.0, model_ms=h2d_fixed_ms,
+            bytes=graph.num_vertices * (vbytes + sbytes), resident=True,
+        )
+        transfer_times = [
+            transfer_ms(int(cb), self.pcie) for cb in chunk_byte_sizes
+        ]
+
+        total_stats = KernelStats()
+        traces: list[IterationTrace] = []
+        kernel_ms = 0.0
+        unoverlapped_ms = 0.0
+        converged = False
+        iterations = 0
+
+        for iteration in range(1, max_iterations + 1):
+            iter_start_ms = h2d_fixed_ms + kernel_ms
+            with tracer.span(
+                f"iter-{iteration}", "iteration", model_start_ms=iter_start_ms
+            ) as it_span:
+                # One vectorized step over every entry: shards only read
+                # their own vertex slice pre-update and write-back is
+                # deferred to the iteration boundary, so the concatenated
+                # evaluation is bit-identical to the per-chunk loop.
+                local = program.init_local(vertex_values)
+                msgs, mask = program.messages(
+                    src_value, src_static, edge_vals,
+                    vertex_values[dest_global],
+                )
+                ops_total = apply_reductions(
+                    program, local, dest_global, msgs, mask
+                )
+                n_fields = len(msgs)
+                if mask is None:
+                    masked_per_chunk = chunk_entry_sizes
+                else:
+                    masked_per_chunk = np.bincount(
+                        entry_chunk[mask], minlength=C
+                    )
+                ops_per_chunk = masked_per_chunk * n_fields
+                final, upd = program.apply(local, vertex_values)
+                idx = np.flatnonzero(upd)
+                updated_total = int(idx.size)
+                store_tx_chunk = np.zeros(C, dtype=np.float64)
+                store_bytes_chunk = np.zeros(C, dtype=np.float64)
+                if updated_total:
+                    vertex_values[idx] = final[upd]
+                    shard_counts = np.bincount(idx // N, minlength=S)
+                    seg = np.zeros(S + 1, dtype=np.int64)
+                    np.cumsum(shard_counts, out=seg[1:])
+                    _, per_shard_tx = gather_transactions_segmented(
+                        idx, vbytes, seg, warp_size=warp,
+                        transaction_bytes=STORE_GRANULARITY_BYTES,
+                        per_segment=True,
+                    )
+                    store_tx_chunk = np.bincount(
+                        shard_chunk, weights=per_shard_tx, minlength=C
+                    )
+                    store_bytes_chunk = np.bincount(
+                        shard_chunk, weights=shard_counts * vbytes,
+                        minlength=C,
+                    )
+                    upd_shards = np.flatnonzero(shard_counts)
+                else:
+                    upd_shards = np.empty(0, dtype=np.int64)
+
+                iter_stats = KernelStats()
+                iter_stats.kernel_launches = C
+                compute_times: list[float] = []
+                for k in range(C):
+                    row = chunk_static[k].copy()
+                    row[2] += store_tx_chunk[k]
+                    row[3] += store_bytes_chunk[k]
+                    row[7] += ops_per_chunk[k]
+                    stats = stats_from_row(row)
+                    compute_times.append(self.cost_model.time_ms(stats))
+                    iter_stats += stats
+                    if trace_on:
+                        tracer.emit(
+                            f"chunk-{k}-compute", "stage",
+                            model_start_ms=iter_start_ms,
+                            model_ms=compute_times[-1],
+                            stats=stats, iteration=iteration, chunk=k,
+                        )
+                        tracer.emit(
+                            f"chunk-{k}-h2d", "transfer",
+                            model_start_ms=iter_start_ms,
+                            model_ms=transfer_times[k],
+                            bytes=int(chunk_byte_sizes[k]),
+                            iteration=iteration, chunk=k,
+                        )
+                assert ops_total == int(ops_per_chunk.sum())
+                # Write-back (CW) is applied once per iteration after all
+                # chunks ran: cross-chunk staging semantics (BSP across
+                # chunks).  The updated shards' mapper slots are disjoint,
+                # so one batched scatter matches the per-shard loop.
+                if upd_shards.size:
+                    pos = multi_arange(
+                        cw.cw_offsets[upd_shards],
+                        cw.cw_offsets[upd_shards + 1],
+                    )
+                    src_value[cw.mapper[pos]] = vertex_values[
+                        cw.cw_src_index[pos]
+                    ]
+                    wb_stats = stats_from_row(wb_mat[upd_shards].sum(axis=0))
+                else:
+                    wb_stats = KernelStats()
+                wb_ms = self.cost_model.time_ms(wb_stats)
+                iter_stats += wb_stats
+
+                # Overlap model: chunk k+1's H2D hides under chunk k's
+                # compute.
+                pipelined = transfer_times[0]
+                for k, comp in enumerate(compute_times):
+                    incoming = transfer_times[k + 1] if k + 1 < C else 0.0
+                    pipelined += max(comp, incoming)
+                serial = sum(compute_times) + sum(transfer_times)
+                t_ms = pipelined + wb_ms
+                kernel_ms += t_ms
+                unoverlapped_ms += serial + wb_ms
+                total_stats += iter_stats
+                iterations = iteration
+                if config.collect_traces:
+                    traces.append(
+                        IterationTrace(iteration, updated_total, t_ms, kernel_ms)
+                    )
+                if trace_on:
+                    tracer.emit(
+                        "writeback", "stage", model_start_ms=iter_start_ms,
+                        model_ms=wb_ms, stats=wb_stats, iteration=iteration,
+                    )
+                    it_span.model_ms = t_ms
+                    it_span.attrs["updated_vertices"] = updated_total
+                    it_span.attrs["overlap_saved_ms"] = serial - pipelined
+                    tracer.metrics.histogram(
+                        "engine.updated_vertices"
+                    ).observe(updated_total)
+            if updated_total == 0:
+                converged = True
+                break
+
+        if not converged and not config.allow_partial:
+            raise ConvergenceError(
+                f"{self.name}/{program.name} did not converge in "
+                f"{max_iterations} iterations"
+            )
+        tracer.emit(
+            "d2h", "transfer", model_start_ms=h2d_fixed_ms + kernel_ms,
+            model_ms=d2h_ms, bytes=graph.num_vertices * vbytes,
+        )
+        if trace_on:
+            m = tracer.metrics
+            publish_kernel_stats(m, total_stats)
+            m.counter("engine.iterations").inc(iterations)
+            m.gauge("streamed.num_chunks").set(C)
+            m.gauge("streamed.device_memory_bytes").set(self.device_memory_bytes)
+            m.counter("streamed.overlap_saved_ms").inc(
+                max(0.0, unoverlapped_ms - kernel_ms)
+            )
+            run_span.model_ms = h2d_fixed_ms + kernel_ms + d2h_ms
+            run_span.attrs["iterations"] = iterations
+            run_span.attrs["converged"] = converged
+        result = RunResult(
+            engine=self.name,
+            program=program.name,
+            values=vertex_values,
+            iterations=iterations,
+            converged=converged,
+            kernel_time_ms=kernel_ms,
+            h2d_ms=h2d_fixed_ms,
+            d2h_ms=d2h_ms,
+            representation_bytes=cw.memory_bytes(vbytes, ebytes, sbytes),
+            stats=total_stats,
+            traces=traces,
+            num_edges=graph.num_edges,
+        )
+        # Extra reporting: how much the overlap saved.
+        result.unoverlapped_ms = unoverlapped_ms  # type: ignore[attr-defined]
+        result.num_chunks = C  # type: ignore[attr-defined]
+        return result
+
+    # ------------------------------------------------------------------
+    # Reference path: the original per-shard chunk loop
+    # ------------------------------------------------------------------
+    def _execute_reference(
         self, graph: DiGraph, program: VertexProgram, config: RunConfig, run_span
     ) -> RunResult:
         max_iterations = config.max_iterations

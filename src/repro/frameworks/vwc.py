@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.cache import graph_fingerprint, resolve_cache
 from repro.frameworks import costs
 from repro.frameworks.base import (ConvergenceError, Engine, IterationTrace,
                                    RunConfig, RunResult)
@@ -55,6 +56,7 @@ class VWCEngine(Engine):
         address_dilation: int = 1,
         defer_outliers: bool = False,
         outlier_factor: int = 4,
+        cache=None,
     ) -> None:
         if virtual_warp_size not in (1, 2, 4, 8, 16, 32):
             raise ValueError("virtual_warp_size must divide the physical warp")
@@ -76,6 +78,7 @@ class VWCEngine(Engine):
         # machinery (priced as extra SISD work per deferred vertex).
         self.defer_outliers = defer_outliers
         self.outlier_factor = outlier_factor
+        self.cache = cache
         self.spec = spec
         self.pcie = pcie or PCIeSpec()
         self.cost_model = KernelCostModel(spec)
@@ -199,13 +202,17 @@ class VWCEngine(Engine):
         total_rows = int(steps.sum())
         row_warp = np.repeat(np.arange(num_warps), steps)
         row_k = np.arange(total_rows, dtype=np.int64) - np.repeat(pos_in, steps)
+        # Loop invariants: each warp's per-lane degree/offset rows, broadcast
+        # to lane positions once instead of re-gathered per chunk.
+        deg_lane = deg_mat[:, lane_vwarp]
+        off_lane = off_mat[:, lane_vwarp]
 
         for start in range(0, total_rows, _ROW_CHUNK):
             stop = min(start + _ROW_CHUNK, total_rows)
-            w = row_warp[start:stop, None]
+            wm = row_warp[start:stop]
             k = row_k[start:stop, None]
-            d = deg_mat[w[:, 0]][:, lane_vwarp]
-            o = off_mat[w[:, 0]][:, lane_vwarp]
+            d = deg_lane[wm]
+            o = off_lane[wm]
             r = k * vw + lane_rank[None, :]
             active = r < d
             pos = np.where(active, o + r, 0)
@@ -255,8 +262,33 @@ class VWCEngine(Engine):
         max_iterations = config.max_iterations
         tracer = config.tracer
         trace_on = tracer.enabled
-        problem = CSRProblem.build(graph, program)
-        phases = self._static_stat_phases(problem)
+        vbytes_ = program.vertex_value_bytes
+        sbytes_ = program.static_value_bytes
+        ebytes_ = program.edge_value_bytes
+        # The reference execution path never consults the cache, keeping the
+        # equivalence baseline free of memoization.
+        cache_opt = False if config.exec_path == "reference" else self.cache
+        cache = resolve_cache(cache_opt)
+        if cache is not None:
+            hits0, misses0 = cache.counters()
+        problem = CSRProblem.build(graph, program, cache=cache_opt)
+        if cache is not None:
+            # The lockstep schedule is static per (graph structure, virtual
+            # warp config, value layout): cache the priced phases.
+            fp = graph_fingerprint(graph)
+            phases = cache.get(
+                ("vwc-stats", fp, self.virtual_warp_size,
+                 self.address_dilation, self.defer_outliers,
+                 self.outlier_factor, self.spec.warp_size,
+                 vbytes_, sbytes_, ebytes_),
+                lambda: self._static_stat_phases(problem),
+            )
+            if trace_on:
+                hits1, misses1 = cache.counters()
+                tracer.metrics.counter("cache.hits").inc(hits1 - hits0)
+                tracer.metrics.counter("cache.misses").inc(misses1 - misses0)
+        else:
+            phases = self._static_stat_phases(problem)
         static_stats = KernelStats()
         for s in phases.values():
             static_stats += s

@@ -31,7 +31,9 @@ import numpy as np
 __all__ = [
     "TransactionCount",
     "gather_transactions",
+    "gather_transactions_segmented",
     "contiguous_transactions",
+    "contiguous_transactions_segmented",
     "strided_transactions",
     "segments_rowwise",
 ]
@@ -132,6 +134,54 @@ def gather_transactions(
     return TransactionCount(transactions, int(requested))
 
 
+def gather_transactions_segmented(
+    indices: np.ndarray,
+    item_bytes: int,
+    seg_offsets: np.ndarray,
+    *,
+    warp_size: int = 32,
+    transaction_bytes: int = 128,
+    base_byte: int = 0,
+    per_segment: bool = False,
+) -> TransactionCount | tuple[TransactionCount, np.ndarray]:
+    """Price many independent gathers in one vectorized pass.
+
+    Segment ``k`` is ``indices[seg_offsets[k] : seg_offsets[k + 1]]`` and is
+    priced exactly like a standalone :func:`gather_transactions` call on it:
+    threads pack into warps *within* a segment, so warp rows never span
+    segment boundaries (each segment is its own thread block / work list).
+    The total equals the sum of the per-segment calls; with
+    ``per_segment=True`` the per-segment transaction counts are returned as
+    well (``(total, per_segment_transactions)``).
+    """
+    indices = np.asarray(indices)
+    seg_offsets = np.asarray(seg_offsets, dtype=np.int64)
+    num_segments = seg_offsets.size - 1
+    sizes = np.diff(seg_offsets)
+    m = int(indices.size)
+    if m == 0:
+        if per_segment:
+            return ZERO, np.zeros(num_segments, dtype=np.int64)
+        return ZERO
+    seg_id = np.repeat(np.arange(num_segments, dtype=np.int64), sizes)
+    rank = np.arange(m, dtype=np.int64) - np.repeat(seg_offsets[:-1], sizes)
+    rows_per = -(-sizes // warp_size)
+    row_offsets = np.concatenate([[0], np.cumsum(rows_per)])
+    row = row_offsets[seg_id] + rank // warp_size
+    seg = (base_byte + indices.astype(np.int64) * item_bytes) // transaction_bytes
+    order = np.lexsort((seg, row))
+    rs, ss = row[order], seg[order]
+    new = np.empty(m, dtype=bool)
+    new[0] = True
+    np.not_equal(rs[1:], rs[:-1], out=new[1:])
+    new[1:] |= ss[1:] != ss[:-1]
+    total = TransactionCount(int(new.sum()), m * item_bytes)
+    if not per_segment:
+        return total
+    per_seg = np.bincount(seg_id[order][new], minlength=num_segments)
+    return total, per_seg
+
+
 def contiguous_transactions(
     num_items: int,
     item_bytes: int,
@@ -157,6 +207,53 @@ def contiguous_transactions(
     )
     txs = (hi - 1) // transaction_bytes - lo // transaction_bytes + 1
     return TransactionCount(int(txs.sum()), num_items * item_bytes)
+
+
+def contiguous_transactions_segmented(
+    sizes: np.ndarray,
+    item_bytes: int,
+    *,
+    start_bytes: np.ndarray | None = None,
+    warp_size: int = 32,
+    transaction_bytes: int = 128,
+    per_segment: bool = False,
+) -> TransactionCount | tuple[TransactionCount, np.ndarray]:
+    """Price many unit-stride sweeps in one vectorized pass.
+
+    Window ``k`` covers ``sizes[k]`` items starting at byte
+    ``start_bytes[k]`` and is priced exactly like a standalone
+    :func:`contiguous_transactions` call (warp rows never span windows).
+    ``per_segment=True`` additionally returns per-window transaction counts.
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    num = sizes.size
+    if start_bytes is None:
+        start_bytes = np.zeros(num, dtype=np.int64)
+    else:
+        start_bytes = np.asarray(start_bytes, dtype=np.int64)
+    rows_per = np.maximum(sizes, 0)
+    rows_per = -(-rows_per // warp_size)
+    total_rows = int(rows_per.sum())
+    requested = int(np.maximum(sizes, 0).sum()) * item_bytes
+    if total_rows == 0:
+        if per_segment:
+            return ZERO, np.zeros(num, dtype=np.int64)
+        return ZERO
+    row_offsets = np.concatenate([[0], np.cumsum(rows_per)])
+    win = np.repeat(np.arange(num, dtype=np.int64), rows_per)
+    local = np.arange(total_rows, dtype=np.int64) - row_offsets[win]
+    row_bytes = warp_size * item_bytes
+    lo = start_bytes[win] + local * row_bytes
+    hi = np.minimum(
+        start_bytes[win] + (local + 1) * row_bytes,
+        start_bytes[win] + sizes[win] * item_bytes,
+    )
+    txs = (hi - 1) // transaction_bytes - lo // transaction_bytes + 1
+    total = TransactionCount(int(txs.sum()), requested)
+    if not per_segment:
+        return total
+    per = np.bincount(win, weights=txs, minlength=num).astype(np.int64)
+    return total, per
 
 
 def strided_transactions(

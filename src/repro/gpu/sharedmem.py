@@ -17,7 +17,11 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["conflict_replays", "bank_multiplicity_histogram"]
+__all__ = [
+    "conflict_replays",
+    "conflict_replays_segmented",
+    "bank_multiplicity_histogram",
+]
 
 
 def _row_max_multiplicity(banks: np.ndarray) -> np.ndarray:
@@ -68,6 +72,51 @@ def conflict_replays(
     rows = bank.reshape(-1, warp_size)
     max_mult = _row_max_multiplicity(rows)
     return int((max_mult - 1).sum())
+
+
+def conflict_replays_segmented(
+    dest_idx: np.ndarray,
+    seg_offsets: np.ndarray,
+    *,
+    warp_size: int = 32,
+    banks: int = 32,
+    value_words: int = 1,
+    per_segment: bool = False,
+) -> int | tuple[int, np.ndarray]:
+    """Replay rounds for many independent warp-schedules in one pass.
+
+    Segment ``k`` is ``dest_idx[seg_offsets[k] : seg_offsets[k + 1]]`` and
+    is priced exactly like a standalone :func:`conflict_replays` call on it
+    (warp rows never span segments; each segment pads its last row with
+    conflict-free filler lanes).  ``per_segment=True`` additionally returns
+    the per-segment replay totals.
+    """
+    idx = np.asarray(dest_idx, dtype=np.int64)
+    seg_offsets = np.asarray(seg_offsets, dtype=np.int64)
+    num_segments = seg_offsets.size - 1
+    sizes = np.diff(seg_offsets)
+    if idx.size == 0:
+        if per_segment:
+            return 0, np.zeros(num_segments, dtype=np.int64)
+        return 0
+    rows_per = -(-sizes // warp_size)
+    total_rows = int(rows_per.sum())
+    row_offsets = np.concatenate([[0], np.cumsum(rows_per)])
+    # Filler lanes take distinct out-of-range banks per row (runs of length
+    # one); real entries are scattered over them at their in-segment slot.
+    padded = np.tile(banks + np.arange(warp_size, dtype=np.int64), total_rows)
+    seg_id = np.repeat(np.arange(num_segments, dtype=np.int64), sizes)
+    rank = np.arange(idx.size, dtype=np.int64) - np.repeat(seg_offsets[:-1], sizes)
+    pos = (row_offsets[seg_id] + rank // warp_size) * warp_size + rank % warp_size
+    padded[pos] = (idx * value_words) % banks
+    max_mult = _row_max_multiplicity(padded.reshape(total_rows, warp_size))
+    replays = max_mult - 1
+    total = int(replays.sum())
+    if not per_segment:
+        return total
+    row_seg = np.repeat(np.arange(num_segments, dtype=np.int64), rows_per)
+    per = np.bincount(row_seg, weights=replays, minlength=num_segments)
+    return total, per.astype(np.int64)
 
 
 def bank_multiplicity_histogram(

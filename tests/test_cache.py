@@ -1,0 +1,205 @@
+"""Unit tests for the cross-run representation cache (:mod:`repro.cache`)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cache import (RepresentationCache, default_cache,
+                         graph_fingerprint, resolve_cache)
+from repro.frameworks import CuShaEngine, RunConfig
+from repro.frameworks.csrloop import CSRProblem
+from repro.algorithms import make_program
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_weights, rmat
+from repro.telemetry.tracer import Tracer
+
+
+def _graph(seed=7):
+    return random_weights(rmat(600, 4500, seed=seed), seed=seed + 1)
+
+
+class TestFingerprint:
+    def test_stable_for_identical_structure(self):
+        g1 = _graph()
+        g2 = DiGraph(g1.src.copy(), g1.dst.copy(), g1.num_vertices)
+        assert graph_fingerprint(g1) == graph_fingerprint(g2)
+
+    def test_weights_excluded(self):
+        # Representations are structural: same topology, different weights
+        # must share cache entries (edge values are gathered from the graph
+        # actually passed to run()).
+        g1 = _graph()
+        g2 = DiGraph(g1.src, g1.dst, g1.num_vertices,
+                     weights=np.ones(g1.num_edges))
+        assert graph_fingerprint(g1) == graph_fingerprint(g2)
+
+    def test_in_place_mutation_changes_fingerprint(self):
+        g = _graph()
+        fp0 = graph_fingerprint(g)
+        g.dst[0] = (g.dst[0] + 1) % g.num_vertices
+        assert graph_fingerprint(g) != fp0
+
+    def test_vertex_count_changes_fingerprint(self):
+        g = _graph()
+        g2 = DiGraph(g.src, g.dst, g.num_vertices + 1)
+        assert graph_fingerprint(g) != graph_fingerprint(g2)
+
+
+class TestRepresentationCache:
+    def test_hit_and_miss_counters(self):
+        c = RepresentationCache()
+        builds = []
+        c.get("k", lambda: builds.append(1) or "v")
+        assert c.counters() == (0, 1)
+        assert c.get("k", lambda: builds.append(1) or "v2") == "v"
+        assert c.counters() == (1, 1)
+        assert len(builds) == 1
+
+    def test_lru_eviction(self):
+        c = RepresentationCache(max_entries=2)
+        c.get("a", lambda: 1)
+        c.get("b", lambda: 2)
+        c.get("a", lambda: None)  # refresh a
+        c.get("c", lambda: 3)  # evicts b (least recently used)
+        assert "a" in c and "c" in c and "b" not in c
+
+    def test_clear(self):
+        c = RepresentationCache()
+        c.get("a", lambda: 1)
+        c.clear()
+        assert len(c) == 0
+
+    def test_resolve_semantics(self):
+        assert resolve_cache(None) is default_cache()
+        assert resolve_cache(False) is None
+        c = RepresentationCache()
+        assert resolve_cache(c) is c
+        with pytest.raises(TypeError):
+            resolve_cache("yes")
+
+
+class TestEngineKeying:
+    def test_second_run_hits(self):
+        g = _graph()
+        c = RepresentationCache()
+        eng = CuShaEngine("cw", vertices_per_shard=64, cache=c)
+        cfg = RunConfig(allow_partial=True, max_iterations=10)
+        eng.run(g, make_program("pr", g), config=cfg)
+        h0, m0 = c.counters()
+        assert m0 > 0 and h0 == 0
+        eng.run(g, make_program("pr", g), config=cfg)
+        h1, m1 = c.counters()
+        assert h1 > 0 and m1 == m0
+
+    def test_structurally_equal_graph_hits(self):
+        g1 = _graph()
+        g2 = DiGraph(g1.src.copy(), g1.dst.copy(), g1.num_vertices)
+        c = RepresentationCache()
+        eng = CuShaEngine("cw", vertices_per_shard=64, cache=c)
+        cfg = RunConfig(allow_partial=True, max_iterations=10)
+        r1 = eng.run(g1, make_program("cc", g1), config=cfg)
+        r2 = eng.run(g2, make_program("cc", g2), config=cfg)
+        assert c.counters()[0] > 0
+        assert r1.values.tobytes() == r2.values.tobytes()
+
+    def test_mutated_graph_misses(self):
+        g = _graph()
+        c = RepresentationCache()
+        eng = CuShaEngine("cw", vertices_per_shard=64, cache=c)
+        cfg = RunConfig(allow_partial=True, max_iterations=10)
+        eng.run(g, make_program("cc", g), config=cfg)
+        _, m0 = c.counters()
+        g.dst[0] = (g.dst[0] + 1) % g.num_vertices
+        eng.run(g, make_program("cc", g), config=cfg)
+        h1, m1 = c.counters()
+        assert h1 == 0 and m1 > m0
+
+    def test_different_shard_size_misses(self):
+        g = _graph()
+        c = RepresentationCache()
+        cfg = RunConfig(allow_partial=True, max_iterations=10)
+        CuShaEngine("cw", vertices_per_shard=64, cache=c).run(
+            g, make_program("cc", g), config=cfg)
+        _, m0 = c.counters()
+        CuShaEngine("cw", vertices_per_shard=32, cache=c).run(
+            g, make_program("cc", g), config=cfg)
+        h1, m1 = c.counters()
+        assert h1 == 0 and m1 > m0
+
+    def test_mode_shares_cw_but_not_stats(self):
+        # gs and cw share the ConcatenatedWindows entry (keyed on structure
+        # and N) but have distinct static-stats bundles (keyed on mode).
+        g = _graph()
+        c = RepresentationCache()
+        cfg = RunConfig(allow_partial=True, max_iterations=10)
+        CuShaEngine("cw", vertices_per_shard=64, cache=c).run(
+            g, make_program("cc", g), config=cfg)
+        CuShaEngine("gs", vertices_per_shard=64, cache=c).run(
+            g, make_program("cc", g), config=cfg)
+        h, m = c.counters()
+        assert h == 1  # the shared ("cw", fp, N) representation
+        assert m == 3  # cw rep + two per-mode stats bundles
+
+    def test_reference_path_bypasses_cache(self):
+        g = _graph()
+        c = RepresentationCache()
+        eng = CuShaEngine("cw", vertices_per_shard=64, cache=c)
+        eng.run(g, make_program("cc", g), config=RunConfig(
+            exec_path="reference", allow_partial=True, max_iterations=10))
+        assert c.counters() == (0, 0)
+        assert len(c) == 0
+
+    def test_cache_disabled(self):
+        g = _graph()
+        eng = CuShaEngine("cw", vertices_per_shard=64, cache=False)
+        cfg = RunConfig(allow_partial=True, max_iterations=10)
+        r1 = eng.run(g, make_program("cc", g), config=cfg)
+        r2 = eng.run(g, make_program("cc", g), config=cfg)
+        assert r1.values.tobytes() == r2.values.tobytes()
+
+
+class TestCSRProblemCaching:
+    def test_structural_parts_shared(self):
+        g = _graph()
+        c = RepresentationCache()
+        p1 = CSRProblem.build(g, make_program("cc", g), cache=c)
+        p2 = CSRProblem.build(g, make_program("cc", g), cache=c)
+        assert p1.csr is p2.csr
+        assert p1.destinations is p2.destinations
+        # Value arrays are always fresh: they depend on program state.
+        assert p1.vertex_values is not p2.vertex_values
+
+    def test_disabled_builds_fresh(self):
+        g = _graph()
+        p1 = CSRProblem.build(g, make_program("cc", g), cache=False)
+        p2 = CSRProblem.build(g, make_program("cc", g), cache=False)
+        assert p1.csr is not p2.csr
+
+
+class TestMetricsPublication:
+    def test_hits_and_misses_published_per_run(self):
+        g = _graph()
+        c = RepresentationCache()
+        t1, t2 = Tracer(), Tracer()
+        repro.run(g, "pr", engine="cusha-cw", shard_size=64, cache=c,
+                  tracer=t1, allow_partial=True, max_iterations=10)
+        repro.run(g, "pr", engine="cusha-cw", shard_size=64, cache=c,
+                  tracer=t2, allow_partial=True, max_iterations=10)
+        m1, m2 = t1.metrics.as_dict(), t2.metrics.as_dict()
+        assert m1["cache.misses"]["value"] == 2
+        assert m1["cache.hits"]["value"] == 0
+        assert m2["cache.hits"]["value"] == 2
+        assert m2["cache.misses"]["value"] == 0
+
+
+class TestFacade:
+    def test_run_accepts_exec_path_and_cache(self):
+        g = _graph()
+        c = RepresentationCache()
+        r1 = repro.run(g, "sssp", engine="cusha-cw", cache=c,
+                       allow_partial=True, max_iterations=40)
+        r2 = repro.run(g, "sssp", engine="cusha-cw", cache=c,
+                       exec_path="reference", allow_partial=True,
+                       max_iterations=40)
+        assert r1.values.tobytes() == r2.values.tobytes()
+        assert r1.stats == r2.stats

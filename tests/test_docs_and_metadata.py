@@ -15,7 +15,8 @@ class TestDocuments:
         "name",
         ["README.md", "DESIGN.md", "EXPERIMENTS.md",
          "docs/modeling.md", "docs/programming_guide.md",
-         "docs/tutorial.md", "docs/api.md"],
+         "docs/tutorial.md", "docs/api.md", "docs/performance.md",
+         "docs/telemetry.md"],
     )
     def test_document_exists_and_nonempty(self, name):
         path = ROOT / name
@@ -74,7 +75,7 @@ class TestPackageMetadata:
     def test_version_exposed(self):
         import repro
 
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
 
     def test_all_exports_resolve(self):
         import repro
