@@ -41,7 +41,7 @@ from repro.graph import CSR, ConcatenatedWindows, DiGraph, GShards, select_shard
 from repro.gpu import GTX780, I7_3930K, KernelStats
 from repro.vertexcentric import VertexProgram
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 
 def run(
@@ -54,6 +54,7 @@ def run(
     allow_partial: bool = False,
     tracer=None,
     exec_path: str = "fast",
+    validate: str = "off",
     cache=None,
     **engine_opts,
 ) -> RunResult:
@@ -71,6 +72,8 @@ def run(
     ``cache`` controls the cross-run representation memo: ``None`` uses the
     process-wide :func:`repro.cache.default_cache`, ``False`` disables it,
     and an explicit :class:`repro.cache.RepresentationCache` scopes it.
+    ``validate`` gates the :mod:`repro.analysis` preflight (``"off"``,
+    ``"structure"``, or ``"full"`` — see ``docs/analysis.md``).
 
     >>> result = repro.run(g, "bfs", engine="vwc-8", source=0)
     """
@@ -79,7 +82,7 @@ def run(
     eng = make_engine(engine, cache=cache, **engine_opts)
     config = RunConfig(
         max_iterations=max_iterations, allow_partial=allow_partial,
-        exec_path=exec_path,
+        exec_path=exec_path, validate=validate,
     )
     if tracer is not None:
         config = config.with_tracer(tracer)

@@ -1,0 +1,58 @@
+"""Static analysis and runtime validation of the paper's correctness contract.
+
+Three layers, each reporting typed :class:`Violation` records:
+
+- :mod:`repro.analysis.lint` — AST-based linter for
+  :class:`~repro.vertexcentric.program.VertexProgram` subclasses
+  (section 4 / Table 3 programming contract), codes ``L0xx``;
+- :mod:`repro.analysis.invariants` — structural validators for CSR,
+  G-Shards, and Concatenated Windows (sections 2, 3.1, 3.2), codes
+  ``S1xx``;
+- :mod:`repro.analysis.races` — simulated-race detector over the reference
+  path (stage discipline of Figure 5, commutativity of section 4), codes
+  ``R2xx``.
+
+Engine wiring lives in :mod:`repro.analysis.preflight`
+(``RunConfig(validate="off"|"structure"|"full")``); deliberately broken
+fixtures proving every rule fires are in :mod:`repro.analysis.fixtures`.
+The CLI front end is ``python -m repro check``.  See ``docs/analysis.md``.
+"""
+
+from repro.analysis.invariants import (
+    validate_csr,
+    validate_cw,
+    validate_gshards,
+    validate_structure,
+)
+from repro.analysis.lint import lint_program
+from repro.analysis.preflight import (
+    VALIDATE_LEVELS,
+    collect_violations,
+    preflight,
+    publish_violations,
+)
+from repro.analysis.races import (
+    order_sensitivity_check,
+    race_check,
+    stage_discipline_check,
+)
+from repro.analysis.violations import CODES, ValidationError, Violation, describe
+
+__all__ = [
+    "CODES",
+    "VALIDATE_LEVELS",
+    "ValidationError",
+    "Violation",
+    "collect_violations",
+    "describe",
+    "lint_program",
+    "order_sensitivity_check",
+    "preflight",
+    "publish_violations",
+    "race_check",
+    "stage_discipline_check",
+    "validate_csr",
+    "validate_cw",
+    "validate_gshards",
+    "validate_structure",
+]

@@ -1,0 +1,413 @@
+"""Deliberately broken fixtures proving every analysis rule fires.
+
+Two registries back the test suite and ``python -m repro check --selftest``:
+
+- :data:`BROKEN_PROGRAMS` — minimal :class:`VertexProgram` subclasses, each
+  violating one contract rule the linter or race detector must catch.
+- :data:`CORRUPTIONS` — in-place corruptions of freshly built
+  representations, each breaking exactly one structural invariant.
+
+Every entry records the rule it targets (``expect``) plus the full set of
+codes the corruption legitimately fires (``allowed``) — some breakages
+genuinely violate a second property (e.g. shifting ``cw_offsets`` both
+breaks the tiling *and* misaligns every CW slice), and the fixtures are
+honest about that rather than pretending rules are independent.
+"""
+
+from __future__ import annotations
+
+import random  # noqa: F401  (referenced by NondetProgram's device function)
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.graph.csr import CSR
+from repro.graph.cw import ConcatenatedWindows
+from repro.graph.digraph import DiGraph
+from repro.graph.shards import GShards
+from repro.vertexcentric.datatypes import vertex_dtype as struct_dtype
+from repro.vertexcentric.program import VertexProgram
+
+__all__ = [
+    "BROKEN_PROGRAMS",
+    "CORRUPTIONS",
+    "BrokenProgram",
+    "Corruption",
+    "build_corrupted",
+    "fixture_graph",
+]
+
+
+def fixture_graph(num_vertices: int = 24, num_edges: int = 96) -> DiGraph:
+    """A small deterministic multi-shard graph for exercising the checks."""
+    rng = np.random.default_rng(1234)
+    src = rng.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    dst = rng.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    return DiGraph(src, dst, num_vertices, validate=False)
+
+
+# ----------------------------------------------------------------------
+# Broken programs
+# ----------------------------------------------------------------------
+
+class _LintOnlyBase(VertexProgram):
+    """Shared trivial implementations so lint fixtures are instantiable."""
+
+    vertex_dtype = struct_dtype(level=np.int64)
+    reduce_ops = {"level": "min"}
+
+    def initial_values(self, graph):
+        values = np.zeros(graph.num_vertices, dtype=self.vertex_dtype)
+        values["level"] = np.arange(graph.num_vertices)
+        return values
+
+    def init_compute(self, local_v, v):
+        local_v["level"] = v["level"]
+
+    def compute(self, src_v, src_static, edge, local_v):
+        local_v["level"] = min(local_v["level"], src_v["level"] + 1)
+
+    def update_condition(self, local_v, v):
+        return local_v["level"] < v["level"]
+
+    def messages(self, src_vals, src_static, edge_vals, dest_old):
+        return {"level": src_vals["level"] + 1}, None
+
+    def apply(self, local, old):
+        return local, local["level"] < old["level"]
+
+
+class UndeclaredWriteProgram(_LintOnlyBase):
+    """``compute`` (and ``messages``) touch a field outside ``reduce_ops``."""
+
+    name = "fixture-undeclared-write"
+    vertex_dtype = struct_dtype(level=np.int64, shadow=np.int64)
+    reduce_ops = {"level": "min"}
+
+    def compute(self, src_v, src_static, edge, local_v):
+        local_v["level"] = min(local_v["level"], src_v["level"] + 1)
+        local_v["shadow"] = src_v["shadow"]
+
+    def messages(self, src_vals, src_static, edge_vals, dest_old):
+        return {
+            "level": src_vals["level"] + 1,
+            "shadow": src_vals["shadow"],
+        }, None
+
+
+class BadReduceOpProgram(_LintOnlyBase):
+    """Declares a non-commutative reducer."""
+
+    name = "fixture-bad-reduce-op"
+    reduce_ops = {"level": "mul"}  # type: ignore[dict-item]
+
+
+class UnknownFieldProgram(_LintOnlyBase):
+    """Reads a field missing from the declared ``vertex_dtype``."""
+
+    name = "fixture-unknown-field"
+
+    def compute(self, src_v, src_static, edge, local_v):
+        local_v["level"] = min(local_v["level"], src_v["ghost"] + 1)
+
+
+class PairMismatchProgram(_LintOnlyBase):
+    """Scalar ``compute`` and vectorized ``messages`` cover different fields."""
+
+    name = "fixture-pair-mismatch"
+    vertex_dtype = struct_dtype(level=np.int64, rank=np.int64)
+    reduce_ops = {"level": "min", "rank": "add"}
+
+    def messages(self, src_vals, src_static, edge_vals, dest_old):
+        return {"rank": src_vals["rank"]}, None
+
+
+class NondetProgram(_LintOnlyBase):
+    """References a nondeterminism source inside a device function."""
+
+    name = "fixture-nondet"
+
+    def compute(self, src_v, src_static, edge, local_v):
+        jitter = int(random.random() * 0)
+        local_v["level"] = min(local_v["level"], src_v["level"] + 1 + jitter)
+
+
+class MutatesVertexProgram(_LintOnlyBase):
+    """Writes the read-only source record — statically L006, dynamically
+    the race detector sees the VertexValues write outside stage 3 (R201)."""
+
+    name = "fixture-mutates-vertex"
+
+    def compute(self, src_v, src_static, edge, local_v):
+        src_v["level"] = src_v["level"] + 1
+        local_v["level"] = min(local_v["level"], src_v["level"])
+
+
+class MissingDeclProgram(_LintOnlyBase):
+    """No ``name`` and no ``reduce_ops`` declaration."""
+
+    reduce_ops = {}  # type: ignore[assignment]
+
+
+class InitPairMismatchProgram(_LintOnlyBase):
+    """Overridden ``init_local`` initializes a field ``init_compute`` never
+    writes, so the scalar and vectorized init stages disagree."""
+
+    name = "fixture-init-pair-mismatch"
+    vertex_dtype = struct_dtype(level=np.int64, rank=np.int64)
+
+    def init_local(self, current):
+        out = current.copy()
+        out["rank"] = 0
+        return out
+
+
+class OrderSensitiveProgram(_LintOnlyBase):
+    """Last-writer-wins ``compute``: statically clean, but folding edges in
+    a different order changes the answer (R203)."""
+
+    name = "fixture-order-sensitive"
+    reduce_ops = {"level": "add"}
+
+    def compute(self, src_v, src_static, edge, local_v):
+        local_v["level"] = src_v["level"]
+
+    def update_condition(self, local_v, v):
+        return local_v["level"] != v["level"]
+
+    def messages(self, src_vals, src_static, edge_vals, dest_old):
+        return {"level": src_vals["level"]}, None
+
+    def apply(self, local, old):
+        return local, local["level"] != old["level"]
+
+
+class ReduceBypassProgram(_LintOnlyBase):
+    """Declares a ``min`` reducer but overwrites the local unconditionally,
+    so a stage-2 write can *increase* the value — the race detector's
+    monotonicity shadow check (R202) catches the bypass."""
+
+    name = "fixture-reduce-bypass"
+
+    def compute(self, src_v, src_static, edge, local_v):
+        local_v["level"] = src_v["level"] + 1
+
+    def update_condition(self, local_v, v):
+        return local_v["level"] < v["level"]
+
+
+@dataclass(frozen=True)
+class BrokenProgram:
+    """One broken-program fixture and the rule(s) it must trip."""
+
+    factory: Callable[[], VertexProgram]
+    expect: str
+    #: every code the fixture may legitimately fire (superset of {expect})
+    allowed: frozenset[str]
+    #: which checker catches it: "lint" or "race"
+    layer: str = "lint"
+
+
+BROKEN_PROGRAMS: dict[str, BrokenProgram] = {
+    "undeclared-write": BrokenProgram(
+        UndeclaredWriteProgram, "L001", frozenset({"L001"})
+    ),
+    "bad-reduce-op": BrokenProgram(
+        BadReduceOpProgram, "L002", frozenset({"L002"})
+    ),
+    "unknown-field": BrokenProgram(
+        UnknownFieldProgram, "L003", frozenset({"L003"})
+    ),
+    "pair-mismatch": BrokenProgram(
+        PairMismatchProgram, "L004", frozenset({"L004", "L008"})
+    ),
+    "nondet": BrokenProgram(
+        NondetProgram, "L005", frozenset({"L005"})
+    ),
+    "mutates-vertex": BrokenProgram(
+        MutatesVertexProgram, "L006", frozenset({"L006"})
+    ),
+    "missing-decl": BrokenProgram(
+        MissingDeclProgram, "L007", frozenset({"L007"})
+    ),
+    "init-pair-mismatch": BrokenProgram(
+        InitPairMismatchProgram, "L004", frozenset({"L004"})
+    ),
+    "race-vertex-write": BrokenProgram(
+        MutatesVertexProgram, "R201", frozenset({"R201", "R203"}),
+        layer="race",
+    ),
+    "race-reduce-bypass": BrokenProgram(
+        ReduceBypassProgram, "R202", frozenset({"R202", "R203"}),
+        layer="race",
+    ),
+    "race-order-sensitive": BrokenProgram(
+        OrderSensitiveProgram, "R203", frozenset({"R203"}),
+        layer="race",
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# Representation corruptions
+# ----------------------------------------------------------------------
+
+def _corrupt_csr_monotone(csr: CSR) -> None:
+    # Swap an *interior* rising pair so idx[0]=0 / idx[-1]=|E| (S103's
+    # property) stay intact and only the monotonicity rule fires.
+    idx = csr.in_edge_idxs
+    rises = np.flatnonzero(np.diff(idx)[1:-1] > 0) + 1
+    k = int(rises[0])
+    idx[k], idx[k + 1] = idx[k + 1], idx[k]
+
+
+def _corrupt_csr_range(csr: CSR) -> None:
+    csr.src_indxs[0] = csr.num_vertices
+
+
+def _corrupt_csr_bounds(csr: CSR) -> None:
+    csr.in_edge_idxs[-1] += 1
+
+
+def _corrupt_csr_positions(csr: CSR) -> None:
+    csr.edge_positions[0] = csr.edge_positions[1]
+
+
+def _corrupt_shard_dest(sh: GShards) -> None:
+    # Point the first entry's destination at the last shard's range.
+    sh.dest_index[0] = sh.num_vertices - 1
+
+
+def _corrupt_shard_order(sh: GShards) -> None:
+    # Swap two adjacent entries with different sources inside one shard.
+    src = sh.src_index
+    for j in range(sh.num_shards):
+        lo, hi = int(sh.shard_offsets[j]), int(sh.shard_offsets[j + 1])
+        rises = np.flatnonzero(np.diff(src[lo:hi]) > 0)
+        if rises.size:
+            k = lo + int(rises[0])
+            src[k], src[k + 1] = src[k + 1], src[k]
+            return
+    raise AssertionError("fixture graph has no sortable shard")
+
+
+def _corrupt_shard_positions(sh: GShards) -> None:
+    sh.edge_positions[0] = sh.edge_positions[1]
+
+
+def _corrupt_shard_windows(sh: GShards) -> None:
+    wo = sh.window_offsets
+    for j in range(sh.num_shards):
+        row = wo[j]
+        widths = np.diff(row)
+        k = int(np.argmax(widths))
+        if widths[k] > 0:
+            row[k + 1] -= 1  # shrink a non-empty window: boundary now wrong
+            return
+    raise AssertionError("fixture graph has no non-empty window")
+
+
+def _corrupt_shard_offsets(sh: GShards) -> None:
+    sh.shard_offsets[-1] += 1
+
+
+def _corrupt_cw_concat(cw: ConcatenatedWindows) -> None:
+    # Swap two CW slots *consistently* (mapper and cw_src_index together):
+    # every pointwise invariant still holds, only the concatenation order
+    # (paper's CW_i definition) is broken.
+    off = cw.cw_offsets
+    widths = np.diff(off)
+    i = int(np.argmax(widths))
+    if widths[i] < 2:
+        raise AssertionError("fixture graph has no CW_i with 2+ slots")
+    k = int(off[i])
+    m, s = cw.mapper, cw.cw_src_index
+    m[k], m[k + 1] = m[k + 1], m[k]
+    s[k], s[k + 1] = s[k + 1], s[k]
+
+
+def _corrupt_cw_mapper(cw: ConcatenatedWindows) -> None:
+    cw.mapper = cw.mapper[:-1]
+
+
+def _corrupt_cw_srcindex(cw: ConcatenatedWindows) -> None:
+    cw.cw_src_index[0] += 1
+
+
+def _corrupt_cw_offsets(cw: ConcatenatedWindows) -> None:
+    # Shrink the final boundary: the slices no longer cover slot |E|-1, so
+    # the tiling property fails on any graph (an interior decrement merely
+    # moves a boundary, which the per-shard concat rule S121 would catch
+    # instead).
+    cw.cw_offsets[-1] -= 1
+
+
+@dataclass(frozen=True)
+class Corruption:
+    """One in-place representation corruption and the rule it targets."""
+
+    kind: str  # "csr" | "gshards" | "cw"
+    expect: str
+    allowed: frozenset[str]
+    apply: Callable[[object], None]
+
+
+CORRUPTIONS: dict[str, Corruption] = {
+    "csr-nonmonotone": Corruption(
+        "csr", "S101", frozenset({"S101"}), _corrupt_csr_monotone
+    ),
+    "csr-out-of-range": Corruption(
+        "csr", "S102", frozenset({"S102"}), _corrupt_csr_range
+    ),
+    "csr-bad-bounds": Corruption(
+        "csr", "S103", frozenset({"S103"}), _corrupt_csr_bounds
+    ),
+    "csr-dup-position": Corruption(
+        "csr", "S104", frozenset({"S104"}), _corrupt_csr_positions
+    ),
+    "shard-dest-range": Corruption(
+        "gshards", "S111", frozenset({"S111"}), _corrupt_shard_dest
+    ),
+    # unsorting sources also invalidates the searchsorted-derived windows
+    "shard-unsorted": Corruption(
+        "gshards", "S112", frozenset({"S112", "S114"}), _corrupt_shard_order
+    ),
+    "shard-dup-position": Corruption(
+        "gshards", "S113", frozenset({"S113"}), _corrupt_shard_positions
+    ),
+    "shard-window-shift": Corruption(
+        "gshards", "S114", frozenset({"S114"}), _corrupt_shard_windows
+    ),
+    "shard-bad-offsets": Corruption(
+        "gshards", "S115", frozenset({"S115"}), _corrupt_shard_offsets
+    ),
+    "cw-concat-swap": Corruption(
+        "cw", "S121", frozenset({"S121"}), _corrupt_cw_concat
+    ),
+    "cw-truncated-mapper": Corruption(
+        "cw", "S122", frozenset({"S122"}), _corrupt_cw_mapper
+    ),
+    "cw-bad-offsets": Corruption(
+        "cw", "S123", frozenset({"S123"}), _corrupt_cw_offsets
+    ),
+    "cw-srcindex-drift": Corruption(
+        "cw", "S124", frozenset({"S124"}), _corrupt_cw_srcindex
+    ),
+}
+
+
+def build_corrupted(
+    name: str, graph: DiGraph, vertices_per_shard: int = 8
+):
+    """Build a fresh representation for ``graph`` and apply corruption
+    ``name``.  Returns ``(representation, corruption)``."""
+    spec = CORRUPTIONS[name]
+    if spec.kind == "csr":
+        rep: object = CSR.from_graph(graph)
+    elif spec.kind == "gshards":
+        rep = GShards(graph, vertices_per_shard)
+    else:
+        rep = ConcatenatedWindows.from_graph(graph, vertices_per_shard)
+    spec.apply(rep)
+    return rep, spec

@@ -1,0 +1,280 @@
+"""Structural invariant validators for the graph representations.
+
+Each validator re-derives the properties the paper's representations promise
+— CSR's monotone offsets (section 2), G-Shards' *Partitioned* and *Ordered*
+properties (section 3.1), CW's concatenation/bijection structure (section
+3.2) — directly from the arrays, and reports every breach as a typed
+:class:`~repro.analysis.violations.Violation` instead of raising.  They are
+pure functions over already-built representations, so they can gate engine
+runs (``RunConfig(validate="structure")``), audit cache hits, and drive the
+corruption fuzz tests.
+
+The checks are deliberately independent: a corrupted array fires the
+specific rule guarding it (plus any rules whose property it genuinely also
+breaks), never a crash.  Validators bail out of dependent checks when a
+prerequisite shape is wrong rather than raise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.violations import Violation
+from repro.graph.csr import CSR
+from repro.graph.cw import ConcatenatedWindows
+from repro.graph.shards import GShards
+
+__all__ = [
+    "validate_csr",
+    "validate_gshards",
+    "validate_cw",
+    "validate_structure",
+]
+
+#: cap on repeated reports of one rule per validator call, so a wholesale
+#: corrupted array yields a readable report instead of |E| records.
+_MAX_PER_RULE = 4
+
+
+def _is_permutation(arr: np.ndarray, m: int) -> bool:
+    if arr.ndim != 1 or arr.size != m:
+        return False
+    seen = np.zeros(m, dtype=bool)
+    ok = (arr >= 0) & (arr < m)
+    if not ok.all():
+        return False
+    seen[arr] = True
+    return bool(seen.all())
+
+
+def validate_csr(csr: CSR) -> list[Violation]:
+    """Check a :class:`~repro.graph.csr.CSR` against its representation
+    invariants (codes ``S101``-``S104``)."""
+    out: list[Violation] = []
+    subject = repr(csr)
+    n, m = csr.num_vertices, csr.num_edges
+    idx = np.asarray(csr.in_edge_idxs)
+    src = np.asarray(csr.src_indxs)
+    pos = np.asarray(csr.edge_positions)
+
+    if idx.ndim != 1 or idx.size != n + 1:
+        out.append(Violation(
+            "S103",
+            f"in_edge_idxs has {idx.size} entries, expected |V|+1={n + 1}",
+            subject,
+        ))
+        return out  # every later check indexes through the offsets
+    if idx[0] != 0 or idx[-1] != m:
+        out.append(Violation(
+            "S103",
+            f"in_edge_idxs spans [{int(idx[0])}, {int(idx[-1])}], expected "
+            f"[0, |E|={m}]",
+            subject,
+        ))
+    steps = np.diff(idx)
+    bad = np.flatnonzero(steps < 0)
+    for v in bad[:_MAX_PER_RULE]:
+        out.append(Violation(
+            "S101",
+            f"in_edge_idxs decreases at vertex {int(v)}: "
+            f"{int(idx[v])} -> {int(idx[v + 1])}",
+            subject,
+        ))
+    if src.size != m:
+        out.append(Violation(
+            "S103", f"src_indxs has {src.size} entries, expected |E|={m}",
+            subject,
+        ))
+    else:
+        oob = np.flatnonzero((src < 0) | (src >= max(n, 1)))
+        if n == 0 and m > 0:
+            oob = np.arange(m)
+        for e in oob[:_MAX_PER_RULE]:
+            out.append(Violation(
+                "S102",
+                f"src_indxs[{int(e)}] = {int(src[e])} outside [0, {n})",
+                subject,
+            ))
+    if not _is_permutation(pos, m):
+        out.append(Violation(
+            "S104",
+            f"edge_positions is not a permutation of [0, {m})",
+            subject,
+        ))
+    return out
+
+
+def validate_gshards(sh: GShards) -> list[Violation]:
+    """Check a :class:`~repro.graph.shards.GShards` against the Partitioned /
+    Ordered / window-partition properties (codes ``S111``-``S115``)."""
+    out: list[Violation] = []
+    subject = repr(sh)
+    n, m, S, N = sh.num_vertices, sh.num_edges, sh.num_shards, sh.vertices_per_shard
+    offsets = np.asarray(sh.shard_offsets)
+    src = np.asarray(sh.src_index)
+    dst = np.asarray(sh.dest_index)
+
+    if offsets.ndim != 1 or offsets.size != S + 1:
+        out.append(Violation(
+            "S115",
+            f"shard_offsets has {offsets.size} entries, expected |S|+1={S + 1}",
+            subject,
+        ))
+        return out
+    if offsets[0] != 0 or offsets[-1] != m or (np.diff(offsets) < 0).any():
+        out.append(Violation(
+            "S115",
+            f"shard_offsets must rise from 0 to |E|={m}; got "
+            f"[{int(offsets[0])}, ..., {int(offsets[-1])}]"
+            + (", non-monotone" if (np.diff(offsets) < 0).any() else ""),
+            subject,
+        ))
+        return out  # slices below would be nonsense
+
+    if dst.size == m and m:
+        # Partitioned: shard i owns destinations in [i*N, (i+1)*N).
+        owner = np.repeat(np.arange(S, dtype=np.int64), np.diff(offsets))
+        bad = np.flatnonzero(
+            (dst // N != owner) | (dst < 0) | (dst >= max(n, 1))
+        )
+        for e in bad[:_MAX_PER_RULE]:
+            out.append(Violation(
+                "S111",
+                f"entry {int(e)} of shard {int(owner[e])} has destination "
+                f"{int(dst[e])} outside the shard's vertex range "
+                f"[{int(owner[e]) * N}, {min((int(owner[e]) + 1) * N, n)})",
+                subject,
+            ))
+    if src.size == m:
+        reported = 0
+        for j in range(S):
+            lo, hi = int(offsets[j]), int(offsets[j + 1])
+            drops = np.flatnonzero(np.diff(src[lo:hi]) < 0)
+            for k in drops:
+                if reported >= _MAX_PER_RULE:
+                    break
+                out.append(Violation(
+                    "S112",
+                    f"shard {j} not source-sorted at entry {lo + int(k)}: "
+                    f"src {int(src[lo + k])} -> {int(src[lo + k + 1])}",
+                    subject,
+                ))
+                reported += 1
+    if not _is_permutation(np.asarray(sh.edge_positions), m):
+        out.append(Violation(
+            "S113",
+            f"edge_positions is not a permutation of [0, {m})",
+            subject,
+        ))
+    # Window partition: every row of window_offsets must equal the
+    # boundaries a searchsorted over the shard's (sorted) sources yields —
+    # i.e. the windows are contiguous, cover the shard, and hold exactly
+    # the entries whose source lies in the window's shard range.
+    wo = np.asarray(sh.window_offsets)
+    if wo.shape != (S, S + 1):
+        out.append(Violation(
+            "S114",
+            f"window_offsets has shape {wo.shape}, expected {(S, S + 1)}",
+            subject,
+        ))
+    elif src.size == m:
+        boundaries = np.arange(S + 1, dtype=np.int64) * N
+        reported = 0
+        for j in range(S):
+            lo, hi = int(offsets[j]), int(offsets[j + 1])
+            expect = lo + np.searchsorted(src[lo:hi], boundaries, side="left")
+            if not np.array_equal(wo[j], expect):
+                out.append(Violation(
+                    "S114",
+                    f"window_offsets row {j} does not partition shard {j} "
+                    f"into its source windows",
+                    subject,
+                ))
+                reported += 1
+                if reported >= _MAX_PER_RULE:
+                    break
+    return out
+
+
+def validate_cw(cw: ConcatenatedWindows) -> list[Violation]:
+    """Check a :class:`~repro.graph.cw.ConcatenatedWindows` against the CW
+    construction invariants (codes ``S121``-``S124``).
+
+    Only the CW-specific structure is checked here; run
+    :func:`validate_gshards` on ``cw.shards`` (or use
+    :func:`validate_structure`, which does both) for the underlying shards.
+    """
+    out: list[Violation] = []
+    subject = repr(cw)
+    m, S = cw.num_edges, cw.num_shards
+    mapper = np.asarray(cw.mapper)
+    cw_src = np.asarray(cw.cw_src_index)
+    offsets = np.asarray(cw.cw_offsets)
+
+    if offsets.ndim != 1 or offsets.size != S + 1 or offsets[0] != 0 \
+            or offsets[-1] != m or (np.diff(offsets) < 0).any():
+        out.append(Violation(
+            "S123",
+            f"cw_offsets must tile [0, |E|={m}) into {S} shard ranges",
+            subject,
+        ))
+    if not _is_permutation(mapper, m):
+        out.append(Violation(
+            "S122",
+            f"Mapper is not a bijection onto the {m} SrcValue slots "
+            f"(size {mapper.size}, expected a permutation of [0, {m}))",
+            subject,
+        ))
+        return out  # mapper-indexed checks below would raise
+    if cw_src.size != m:
+        out.append(Violation(
+            "S124",
+            f"cw_src_index has {cw_src.size} entries, expected |E|={m}",
+            subject,
+        ))
+    else:
+        mismatch = np.flatnonzero(
+            cw_src != np.asarray(cw.shards.src_index)[mapper]
+        )
+        for k in mismatch[:_MAX_PER_RULE]:
+            out.append(Violation(
+                "S124",
+                f"cw_src_index[{int(k)}] = {int(cw_src[k])} but Mapper "
+                f"points at entry {int(mapper[k])} whose SrcIndex is "
+                f"{int(cw.shards.src_index[mapper[k]])}",
+                subject,
+            ))
+    # CW_i = concat_j SrcIndex(W_ij): the mapper slots of CW_i must be
+    # exactly shard i's window positions, in window order.
+    if offsets.size == S + 1 and offsets[0] == 0 and offsets[-1] == m \
+            and not (np.diff(offsets) < 0).any():
+        reported = 0
+        for i in range(S):
+            lo, hi = int(offsets[i]), int(offsets[i + 1])
+            expect = cw.shards.windows_out_of(i)
+            if mapper[lo:hi].size != expect.size \
+                    or not np.array_equal(mapper[lo:hi], expect):
+                out.append(Violation(
+                    "S121",
+                    f"CW_{i} is not the concatenation of shard {i}'s "
+                    f"windows W_{i}j in j order",
+                    subject,
+                ))
+                reported += 1
+                if reported >= _MAX_PER_RULE:
+                    break
+    return out
+
+
+def validate_structure(rep) -> list[Violation]:
+    """Dispatch on representation type; CW also validates its shards."""
+    if isinstance(rep, CSR):
+        return validate_csr(rep)
+    if isinstance(rep, ConcatenatedWindows):
+        return validate_gshards(rep.shards) + validate_cw(rep)
+    if isinstance(rep, GShards):
+        return validate_gshards(rep)
+    raise TypeError(
+        f"no structural validator for {type(rep).__name__}; expected CSR, "
+        "GShards, or ConcatenatedWindows"
+    )

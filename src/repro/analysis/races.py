@@ -1,0 +1,302 @@
+"""Simulated-race detector for the scalar (reference) execution path.
+
+The paper's correctness argument (section 4) rests on two dynamic
+disciplines no test previously checked:
+
+1. **Stage discipline** — ``VertexValues`` may only change in stage 3 of
+   Figure 5; during stages 1/2 the device functions own a *local* copy and
+   every other record (``src_v``, ``src_static``, ``edge``, the current
+   value ``v``) is read-only.  Stage-2 updates must go through the declared
+   ``reduce_ops`` operator — an undeclared write, or a write that violates
+   a declared ``min``/``max`` operator's monotonicity, is exactly the
+   update a shared-memory atomic would lose or corrupt on the GPU.
+2. **Commutativity/associativity** — shard entries are folded in whatever
+   order warps happen to run; ``compute`` must therefore commute.  The
+   detector re-runs the same iterations with a permuted edge order and
+   diffs the results (bit-exact for integer fields, tolerance-based for
+   floating fields, whose reductions legitimately reorder rounding).
+
+Both checks execute the *scalar* device functions with instrumented record
+wrappers — a ThreadSanitizer-style shadow of the reference engine — and
+report findings as typed :class:`~repro.analysis.violations.Violation`
+records.  They are opt-in (``RunConfig(validate="full")`` or
+``python -m repro check``) and cost O(|E|) Python per iteration, so run
+them on small graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.violations import Violation
+from repro.graph.digraph import DiGraph
+from repro.graph.shards import GShards
+from repro.vertexcentric.program import VertexProgram
+
+__all__ = ["stage_discipline_check", "order_sensitivity_check", "race_check"]
+
+
+class _Tracked(dict):
+    """A record wrapper that logs field writes into the detector."""
+
+    def __init__(self, data: dict, role: str, writable: bool, log) -> None:
+        super().__init__(data)
+        self._role = role
+        self._writable = writable
+        self._log = log
+
+    def __setitem__(self, key, value) -> None:
+        self._log._on_write(self, key, value)
+        super().__setitem__(key, value)
+
+
+class _DisciplineLog:
+    """Aggregates stage-discipline findings, deduplicated per rule site."""
+
+    def __init__(self, program: VertexProgram) -> None:
+        self.program = program
+        self.stage = "init"
+        self.violations: list[Violation] = []
+        self._seen: set[tuple] = set()
+
+    def _report(self, key: tuple, code: str, message: str) -> None:
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.violations.append(
+            Violation(code, message, subject=self.program.name)
+        )
+
+    def _on_write(self, rec: _Tracked, field, value) -> None:
+        role, stage = rec._role, self.stage
+        if not rec._writable:
+            if role in ("static", "edge"):
+                self._report(
+                    ("R204", role, field, stage),
+                    "R204",
+                    f"{stage}: device function wrote read-only {role} "
+                    f"record field {field!r}",
+                )
+            else:
+                self._report(
+                    ("R201", role, field, stage),
+                    "R201",
+                    f"{stage}: device function wrote VertexValues record "
+                    f"({role}) field {field!r} outside stage 3",
+                )
+            return
+        if stage == "stage2-compute":
+            ops = self.program.reduce_ops or {}
+            if field not in ops:
+                self._report(
+                    ("R202", field),
+                    "R202",
+                    f"stage 2 wrote local field {field!r} which bypasses "
+                    f"the declared reduce_ops {sorted(ops)}",
+                )
+                return
+            old = rec.get(field)
+            op = ops[field]
+            try:
+                if op == "min" and value > old:
+                    self._report(
+                        ("R202-mono", field),
+                        "R202",
+                        f"stage 2 increased local field {field!r} "
+                        f"({old!r} -> {value!r}) despite its declared "
+                        f"'min' reducer — the write bypasses the ufunc",
+                    )
+                elif op == "max" and value < old:
+                    self._report(
+                        ("R202-mono", field),
+                        "R202",
+                        f"stage 2 decreased local field {field!r} "
+                        f"({old!r} -> {value!r}) despite its declared "
+                        f"'max' reducer — the write bypasses the ufunc",
+                    )
+            except TypeError:  # pragma: no cover - non-comparable values
+                pass
+
+
+def _record(array: np.ndarray, i: int) -> dict:
+    return {name: array[name][i] for name in array.dtype.names}
+
+
+def _store(array: np.ndarray, i: int, rec: dict) -> None:
+    for name in array.dtype.names:
+        array[name][i] = rec[name]
+
+
+def stage_discipline_check(
+    graph: DiGraph,
+    program: VertexProgram,
+    *,
+    vertices_per_shard: int = 4,
+    max_iterations: int = 8,
+) -> list[Violation]:
+    """Run up to ``max_iterations`` reference iterations with instrumented
+    records and report stage-discipline violations (``R201``/``R202``/
+    ``R204``).
+
+    The execution mirrors :class:`~repro.frameworks.scalar.ScalarReferenceEngine`
+    stage for stage; convergence simply stops the instrumentation early.
+    """
+    sh = GShards(graph, vertices_per_shard)
+    log = _DisciplineLog(program)
+    vertex_values = program.initial_values(graph)
+    static_all = program.static_values(graph)
+    ev = program.edge_values(graph)
+    edge_vals = None if ev is None else ev[sh.edge_positions]
+    src_value = vertex_values[sh.src_index].copy()
+    src_static = None if static_all is None else static_all[sh.src_index]
+
+    for _iteration in range(max_iterations):
+        updated_total = 0
+        for i in range(sh.num_shards):
+            lo, hi = sh.vertex_range(i)
+            log.stage = "stage1-init"
+            locals_ = []
+            for v in range(lo, hi):
+                rec = _Tracked(_record(vertex_values, v), "vertex", False, log)
+                local = _Tracked(dict(rec), "local", True, log)
+                program.init_compute(local, rec)
+                locals_.append(local)
+            log.stage = "stage2-compute"
+            sl = sh.shard_slice(i)
+            for e in range(sl.start, sl.stop):
+                program.compute(
+                    _Tracked(_record(src_value, e), "vertex", False, log),
+                    None if src_static is None
+                    else _Tracked(_record(src_static, e), "static", False, log),
+                    None if edge_vals is None
+                    else _Tracked(_record(edge_vals, e), "edge", False, log),
+                    locals_[int(sh.dest_index[e]) - lo],
+                )
+            log.stage = "stage3-update"
+            shard_updated = False
+            for v in range(lo, hi):
+                rec = _Tracked(_record(vertex_values, v), "vertex", False, log)
+                local = locals_[v - lo]
+                local._writable = True  # stage 3 finalizes the local copy
+                log.stage = "stage3-update"
+                if program.update_condition(local, rec):
+                    _store(vertex_values, v, local)
+                    shard_updated = True
+                    updated_total += 1
+            if shard_updated:
+                for _j, start, stop in sh.windows_of(i):
+                    for e in range(start, stop):
+                        src_value[e] = vertex_values[int(sh.src_index[e])]
+        if updated_total == 0:
+            break
+    return log.violations
+
+
+def _run_supersteps(
+    graph: DiGraph,
+    program: VertexProgram,
+    edge_order: np.ndarray,
+    iterations: int,
+) -> np.ndarray:
+    """``iterations`` BSP supersteps folding edges in ``edge_order``."""
+    n = graph.num_vertices
+    values = program.initial_values(graph)
+    static_all = program.static_values(graph)
+    ev = program.edge_values(graph)
+    src = graph.src
+    dst = graph.dst
+    for _ in range(iterations):
+        snapshot = values.copy()
+        locals_ = []
+        for v in range(n):
+            rec = _record(snapshot, v)
+            local = dict(rec)
+            program.init_compute(local, rec)
+            locals_.append(local)
+        for e in edge_order:
+            program.compute(
+                _record(snapshot, int(src[e])),
+                None if static_all is None
+                else _record(static_all, int(src[e])),
+                None if ev is None else _record(ev, int(e)),
+                locals_[int(dst[e])],
+            )
+        updated = 0
+        for v in range(n):
+            rec = _record(values, v)
+            if program.update_condition(locals_[v], rec):
+                _store(values, v, locals_[v])
+                updated += 1
+        if updated == 0:
+            break
+    return values
+
+
+def order_sensitivity_check(
+    graph: DiGraph,
+    program: VertexProgram,
+    *,
+    iterations: int = 2,
+    permutation_seed: int = 0,
+    rtol: float = 1e-4,
+    atol: float = 1e-5,
+) -> list[Violation]:
+    """Re-run ``iterations`` supersteps with a permuted edge order and diff
+    the results (``R203``).
+
+    Integer vertex fields must match bit-exactly (``min``/``max``/integer
+    ``add`` reductions are order-invariant); floating fields are compared
+    with ``rtol``/``atol`` because reordering a float ``add`` legitimately
+    reorders rounding.  A difference beyond that means ``compute`` is not
+    commutative/associative — the property the paper's atomics require.
+    """
+    m = graph.num_edges
+    baseline = _run_supersteps(
+        graph, program, np.arange(m, dtype=np.int64), iterations
+    )
+    rng = np.random.default_rng(permutation_seed)
+    permuted = _run_supersteps(
+        graph, program, rng.permutation(m).astype(np.int64), iterations
+    )
+    out: list[Violation] = []
+    for name in baseline.dtype.names:
+        a, b = baseline[name], permuted[name]
+        if a.dtype.kind == "f":
+            ok = np.allclose(a, b, rtol=rtol, atol=atol, equal_nan=True)
+        else:
+            ok = np.array_equal(a, b)
+        if not ok:
+            with np.errstate(over="ignore"):
+                diff = np.abs(a.astype(np.float64) - b.astype(np.float64))
+            out.append(Violation(
+                "R203",
+                f"permuting the edge fold order changed field {name!r} on "
+                f"{int((a != b).sum())}/{a.size} vertices "
+                f"(max |delta| = {float(np.nanmax(diff)):g} after "
+                f"{iterations} iterations) — compute is order-sensitive",
+                subject=program.name,
+            ))
+    return out
+
+
+def race_check(
+    graph: DiGraph,
+    program: VertexProgram,
+    *,
+    vertices_per_shard: int = 4,
+    max_iterations: int = 8,
+    order_iterations: int = 2,
+    permutation_seed: int = 0,
+) -> list[Violation]:
+    """Full dynamic check: stage discipline plus order sensitivity."""
+    return stage_discipline_check(
+        graph,
+        program,
+        vertices_per_shard=vertices_per_shard,
+        max_iterations=max_iterations,
+    ) + order_sensitivity_check(
+        graph,
+        program,
+        iterations=order_iterations,
+        permutation_seed=permutation_seed,
+    )

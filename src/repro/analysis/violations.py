@@ -1,0 +1,210 @@
+"""Typed violation records and the machine-readable rule catalog.
+
+Every check in :mod:`repro.analysis` — the program linter, the structural
+invariant validators, and the simulated-race detector — reports findings as
+:class:`Violation` records instead of raising, so callers can aggregate,
+count, and publish them as telemetry.  The :data:`CODES` table is the single
+source of truth for rule identifiers; ``docs/analysis.md`` renders it as the
+violation-code reference.
+
+Code namespaces
+---------------
+``Lxxx``
+    Static lint findings over :class:`~repro.vertexcentric.program.VertexProgram`
+    subclasses (paper section 4 / Table 3 contract).
+``S1xx``
+    Structural representation invariants: CSR (paper section 2), G-Shards
+    (section 3.1), Concatenated Windows (section 3.2).
+``R2xx``
+    Dynamic findings from the simulated-race detector (stage discipline of
+    Figure 5 and the commutativity requirement of section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Violation", "ValidationError", "CODES", "describe"]
+
+
+#: rule id -> (kind slug, one-line description).  Rendered as the reference
+#: table in ``docs/analysis.md``; tests assert the two stay in sync.
+CODES: dict[str, tuple[str, str]] = {
+    # ---- program linter (lint.py) -----------------------------------
+    "L001": (
+        "undeclared-reduce-write",
+        "compute (or messages) writes a vertex field not declared in "
+        "reduce_ops, so the engines would never reduce it atomically",
+    ),
+    "L002": (
+        "bad-reduce-op",
+        "reduce_ops declares an operator outside the commutative/"
+        "associative set {min, max, add} the paper requires",
+    ),
+    "L003": (
+        "unknown-field",
+        "a device function touches a field that does not exist in the "
+        "declared vertex_dtype / static_dtype / edge_dtype",
+    ),
+    "L004": (
+        "kernel-pair-mismatch",
+        "scalar and vectorized kernel pairs (compute<->messages, "
+        "init_compute<->init_local) do not cover the same field sets",
+    ),
+    "L005": (
+        "nondeterminism",
+        "a device function references a nondeterminism source (random, "
+        "time, datetime), breaking run-to-run reproducibility",
+    ),
+    "L006": (
+        "readonly-mutation",
+        "a device function writes a read-only record (src_v, src_static, "
+        "edge, or the current value v) instead of its local_v",
+    ),
+    "L007": (
+        "missing-declaration",
+        "the program lacks a required declaration (name, vertex_dtype, or "
+        "a non-empty reduce_ops)",
+    ),
+    "L008": (
+        "unused-reducer",
+        "reduce_ops declares a field that compute never writes (dead "
+        "atomic accounting)",
+    ),
+    # ---- representation invariants (invariants.py) -------------------
+    "S101": (
+        "csr-indptr-nonmonotone",
+        "CSR in_edge_idxs is not monotonically non-decreasing",
+    ),
+    "S102": (
+        "csr-index-range",
+        "CSR src_indxs contains a vertex index outside [0, |V|)",
+    ),
+    "S103": (
+        "csr-bounds",
+        "CSR offsets malformed: wrong length, nonzero start, or end != |E|",
+    ),
+    "S104": (
+        "csr-positions",
+        "CSR edge_positions is not a permutation of [0, |E|)",
+    ),
+    "S111": (
+        "shard-dest-range",
+        "a G-Shards entry's destination lies outside its shard's vertex "
+        "range (Partitioned property, paper section 3.1)",
+    ),
+    "S112": (
+        "shard-src-order",
+        "G-Shards entries are not sorted by source index within a shard "
+        "(Ordered property, paper section 3.1)",
+    ),
+    "S113": (
+        "shard-positions",
+        "G-Shards edge_positions is not a permutation of [0, |E|)",
+    ),
+    "S114": (
+        "shard-window-partition",
+        "window_offsets do not partition a shard into the windows W_ij "
+        "its sorted sources imply",
+    ),
+    "S115": (
+        "shard-offsets",
+        "shard_offsets malformed: wrong length, non-monotone, nonzero "
+        "start, or end != |E|",
+    ),
+    "S121": (
+        "cw-concat-order",
+        "CW_i is not the concatenation over j of SrcIndex(W_ij) (paper "
+        "section 3.2 definition)",
+    ),
+    "S122": (
+        "cw-mapper-bijection",
+        "the CW Mapper is not a bijection onto the SrcValue slots "
+        "(not a permutation of [0, |E|))",
+    ),
+    "S123": (
+        "cw-tiling",
+        "cw_offsets do not tile [0, |E|) into per-shard CW slot ranges",
+    ),
+    "S124": (
+        "cw-srcindex-mismatch",
+        "cw_src_index disagrees with the shard SrcIndex column reached "
+        "through the Mapper",
+    ),
+    # ---- simulated-race detector (races.py) --------------------------
+    "R201": (
+        "race-vertexvalues-write",
+        "a device function wrote a VertexValues record outside stage 3 "
+        "(v or src_v mutated), an atomicity violation w.r.t. the "
+        "destination",
+    ),
+    "R202": (
+        "race-reduce-bypass",
+        "a stage-2 update bypassed the declared reduce_ops ufunc "
+        "(undeclared field, or a write violating min/max monotonicity)",
+    ),
+    "R203": (
+        "race-order-sensitive",
+        "re-running an iteration with a permuted edge order changed the "
+        "results: compute is not commutative/associative (paper section 4)",
+    ),
+    "R204": (
+        "race-static-write",
+        "a device function mutated read-only static or edge content "
+        "(StaticVertexValue / EdgeValue records are immutable)",
+    ),
+}
+
+
+def describe(code: str) -> str:
+    """One-line description of a rule id (``KeyError`` for unknown codes)."""
+    return CODES[code][1]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding from a linter rule, invariant check, or race check.
+
+    Attributes
+    ----------
+    code:
+        Rule identifier from :data:`CODES` (e.g. ``"L001"``).
+    message:
+        Human-readable description of this specific finding.
+    subject:
+        What was checked — a program name, representation repr, or
+        engine key.
+    location:
+        ``file:line`` for lint findings when source is available.
+    severity:
+        ``"error"`` (default) or ``"warning"``.  Only errors fail
+        validation-enabled runs.
+    """
+
+    code: str
+    message: str
+    subject: str = ""
+    location: str = ""
+    severity: str = "error"
+
+    @property
+    def kind(self) -> str:
+        """Stable kind slug for the code (``"unknown"`` if unregistered)."""
+        entry = CODES.get(self.code)
+        return entry[0] if entry else "unknown"
+
+    def __str__(self) -> str:
+        where = f" [{self.location}]" if self.location else ""
+        subj = f" {self.subject}:" if self.subject else ""
+        return f"{self.code} ({self.kind}){subj} {self.message}{where}"
+
+
+class ValidationError(RuntimeError):
+    """Raised when a validation-enabled run surfaces error violations."""
+
+    def __init__(self, violations: list[Violation]) -> None:
+        self.violations = list(violations)
+        lines = "\n".join(f"  - {v}" for v in self.violations)
+        super().__init__(
+            f"{len(self.violations)} analysis violation(s):\n{lines}"
+        )

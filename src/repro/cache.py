@@ -34,6 +34,16 @@ Engines accept a ``cache`` option: ``None`` (default) uses the process-wide
 :class:`RepresentationCache` scopes the memo to the caller.  The
 ``exec_path="reference"`` path bypasses the cache entirely so a caching bug
 can never contaminate the equivalence baseline.
+
+Share-vs-copy contract
+----------------------
+``get`` hands out the *same* object to every borrower — hits never copy.
+To keep one borrower's bug from corrupting every later run, the ndarrays
+reachable from a cached artifact are frozen (``writeable=False``) when the
+entry is inserted: an in-place write through a cached representation raises
+``ValueError`` instead of silently poisoning the memo.  The borrower's own
+graph is exempt (a ``graph`` attribute is never traversed) — only the
+derived representation is read-only.  See ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -66,6 +76,41 @@ def graph_fingerprint(graph) -> str:
     return h.hexdigest()
 
 
+def _freeze_arrays(value: Any, _seen: set[int] | None = None) -> None:
+    """Mark every ndarray reachable from ``value`` read-only, in place.
+
+    Recurses through containers and ``repro``-defined objects (``__dict__``
+    and ``__slots__``), but never through a ``graph`` attribute: cached
+    artifacts are derived *from* a user graph and must not freeze it.
+    """
+    if _seen is None:
+        _seen = set()
+    if id(value) in _seen:
+        return
+    _seen.add(id(value))
+    if isinstance(value, np.ndarray):
+        value.flags.writeable = False
+        return
+    if isinstance(value, (tuple, list)):
+        for item in value:
+            _freeze_arrays(item, _seen)
+        return
+    if isinstance(value, dict):
+        for item in value.values():
+            _freeze_arrays(item, _seen)
+        return
+    if not type(value).__module__.startswith("repro."):
+        return
+    attrs: dict[str, Any] = dict(getattr(value, "__dict__", None) or {})
+    for klass in type(value).__mro__:
+        for name in getattr(klass, "__slots__", ()):
+            if hasattr(value, name):
+                attrs.setdefault(name, getattr(value, name))
+    for name, item in attrs.items():
+        if name != "graph":
+            _freeze_arrays(item, _seen)
+
+
 class RepresentationCache:
     """Bounded LRU memo for graph representations and stats bundles."""
 
@@ -86,6 +131,7 @@ class RepresentationCache:
                 self.hits += 1
                 return self._store[key]
         value = builder()  # build outside the lock; builders may be slow
+        _freeze_arrays(value)
         with self._lock:
             self.misses += 1
             self._store[key] = value

@@ -17,6 +17,13 @@ Commands
     export the structured trace (JSONL and/or Chrome ``chrome://tracing``
     format), optionally schema-validating the output (the CI smoke path).
 
+``check``
+    Run the :mod:`repro.analysis` suite — program linter, representation
+    invariant validators, and (at ``--level full``) the simulated-race
+    detector — over the bundled programs on a small graph.  ``--selftest``
+    additionally proves every rule fires on the deliberately broken
+    fixtures.  Exits non-zero on any error violation.
+
 Examples
 --------
 ::
@@ -26,6 +33,7 @@ Examples
     python -m repro info --rmat 100000x800000
     python -m repro experiments table4 --scale 200
     python -m repro trace --graph rmat --program sssp --engine cusha-cw
+    python -m repro check --program bfs --level full --selftest
 """
 
 from __future__ import annotations
@@ -116,6 +124,34 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--scale", type=int, default=None,
                        help="scale divisor for suite graphs")
     trace.add_argument("--seed", type=int, default=1, help="R-MAT seed")
+
+    check = sub.add_parser(
+        "check", help="lint programs and validate representations"
+    )
+    check.add_argument(
+        "--program", action="append", choices=PROGRAM_NAMES, default=None,
+        help="program to check (repeatable; default: all bundled programs)",
+    )
+    check.add_argument(
+        "--graph",
+        default="rmat",
+        help="a Table-1 suite name, 'rmat' (a small default R-MAT), or an "
+        "explicit VxE size like 1024x8192",
+    )
+    check.add_argument(
+        "--level", default="full", choices=("structure", "full"),
+        help="'structure' = lint + invariants; 'full' adds the simulated-"
+        "race detector (default)",
+    )
+    check.add_argument("--shard-size", type=int, default=None,
+                       help="override the auto-selected |N|")
+    check.add_argument("--scale", type=int, default=None,
+                       help="scale divisor for suite graphs")
+    check.add_argument("--seed", type=int, default=1, help="R-MAT seed")
+    check.add_argument(
+        "--selftest", action="store_true",
+        help="also assert every rule fires on the broken fixtures",
+    )
     return parser
 
 
@@ -216,7 +252,7 @@ def _cmd_info(args) -> int:
         f"{stats['frac_below_warp']:.1%} below warp size"
     )
     csr_b = csr.memory_bytes(4, 4)
-    print(f"memory (4B vertex/edge values):")
+    print("memory (4B vertex/edge values):")
     print(f"  CSR      {csr_b / 1e6:10.2f} MB")
     print(f"  G-Shards {sh.memory_bytes(4, 4) / 1e6:10.2f} MB "
           f"({sh.memory_bytes(4, 4) / csr_b:.2f}x)")
@@ -337,6 +373,116 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+_DEFAULT_CHECK_RMAT = "1024x8192"
+
+
+def _check_graph(args) -> DiGraph:
+    """Resolve ``check``'s ``--graph`` (same grammar as ``trace``'s)."""
+    name = args.graph
+    if name in suite.graph_names():
+        return suite.load(name, args.scale)
+    if name == "rmat":
+        name = _DEFAULT_CHECK_RMAT
+    try:
+        v, e = (int(x) for x in name.lower().split("x"))
+    except ValueError:
+        raise SystemExit(
+            f"unknown graph {args.graph!r}: expected a suite name "
+            f"({', '.join(suite.graph_names())}), 'rmat', or VxE"
+        ) from None
+    return generators.random_weights(
+        generators.rmat(v, e, seed=args.seed), seed=args.seed + 1
+    )
+
+
+def _cmd_check(args) -> int:
+    from repro.analysis import (lint_program, order_sensitivity_check,
+                                stage_discipline_check, validate_structure)
+
+    graph = _check_graph(args)
+    plan_n = args.shard_size or select_shard_size(graph).vertices_per_shard
+    print(f"graph   : {graph}")
+    print(f"level   : {args.level}  (|N| = {plan_n})")
+
+    errors = 0
+    warnings = 0
+
+    # Representations are program-independent: validate them once.
+    reps = (CSR.from_graph(graph), ConcatenatedWindows.from_graph(graph, plan_n))
+    for rep in reps:
+        violations = validate_structure(rep)
+        label = type(rep).__name__
+        if violations:
+            print(f"{label:8s}: {len(violations)} violation(s)")
+            for v in violations:
+                print(f"  {v}")
+                errors += v.severity == "error"
+                warnings += v.severity == "warning"
+        else:
+            print(f"{label:8s}: OK")
+
+    for name in args.program or PROGRAM_NAMES:
+        program = make_program(name, graph)
+        violations = lint_program(program)
+        if args.level == "full":
+            violations += stage_discipline_check(graph, program, max_iterations=2)
+            violations += order_sensitivity_check(graph, program, iterations=2)
+        if violations:
+            print(f"{name:8s}: {len(violations)} violation(s)")
+            for v in violations:
+                print(f"  {v}")
+                errors += v.severity == "error"
+                warnings += v.severity == "warning"
+        else:
+            print(f"{name:8s}: OK")
+
+    if args.selftest:
+        failed = _check_selftest()
+        if failed:
+            errors += failed
+
+    summary = f"{errors} error(s), {warnings} warning(s)"
+    print(f"result  : {'FAIL — ' + summary if errors else 'PASS — ' + summary}")
+    return 1 if errors else 0
+
+
+def _check_selftest() -> int:
+    """Prove every rule fires on the broken fixtures; returns #failures."""
+    from repro.analysis import lint_program, race_check, validate_structure
+    from repro.analysis.fixtures import (BROKEN_PROGRAMS, CORRUPTIONS,
+                                         build_corrupted, fixture_graph)
+
+    g = fixture_graph()
+    failed = 0
+    fired_total: set[str] = set()
+    for name, spec in BROKEN_PROGRAMS.items():
+        program = spec.factory()
+        if spec.layer == "lint":
+            found = lint_program(program)
+        else:
+            found = race_check(g, program, max_iterations=2, order_iterations=2)
+        codes = {v.code for v in found}
+        ok = spec.expect in codes and codes <= spec.allowed
+        fired_total |= codes
+        if not ok:
+            failed += 1
+            print(f"  selftest FAIL {name}: expected {spec.expect}, "
+                  f"fired {sorted(codes)} (allowed {sorted(spec.allowed)})")
+    for name in CORRUPTIONS:
+        rep, spec = build_corrupted(name, g)
+        codes = {v.code for v in validate_structure(rep)}
+        ok = spec.expect in codes and codes <= spec.allowed
+        fired_total |= codes
+        if not ok:
+            failed += 1
+            print(f"  selftest FAIL {name}: expected {spec.expect}, "
+                  f"fired {sorted(codes)} (allowed {sorted(spec.allowed)})")
+    n_fixtures = len(BROKEN_PROGRAMS) + len(CORRUPTIONS)
+    print(f"selftest: {n_fixtures - failed}/{n_fixtures} fixtures fire "
+          f"({len(fired_total)} distinct violation codes)")
+    return failed
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -348,6 +494,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_experiments(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "check":
+            return _cmd_check(args)
     except BrokenPipeError:  # e.g. `python -m repro ... | head`
         return 0
     raise SystemExit(2)  # pragma: no cover - argparse guards this

@@ -64,6 +64,15 @@ class RunConfig:
     (``"reference"``) in the engines that implement both; the two paths are
     equivalence-gated to byte-identical results.  Engines with a single
     path ignore it.
+
+    ``validate`` gates the :mod:`repro.analysis` preflight: ``"off"`` (the
+    default) skips it entirely, ``"structure"`` lints the program and
+    structurally validates the representations the engine will execute
+    over, ``"full"`` additionally runs the simulated-race detector (see
+    ``docs/analysis.md`` for the overhead of each level).  Error
+    violations abort the run with
+    :class:`~repro.analysis.violations.ValidationError` before any engine
+    state is touched.
     """
 
     max_iterations: int = 10_000
@@ -71,10 +80,13 @@ class RunConfig:
     collect_traces: bool = True
     tracer: object = NULL_TRACER
     exec_path: str = "fast"
+    validate: str = "off"
 
     def __post_init__(self) -> None:
         if self.exec_path not in ("fast", "reference"):
             raise ValueError("exec_path must be 'fast' or 'reference'")
+        if self.validate not in ("off", "structure", "full"):
+            raise ValueError("validate must be 'off', 'structure', or 'full'")
 
     def with_tracer(self, tracer) -> "RunConfig":
         return replace(self, tracer=tracer)
@@ -191,6 +203,12 @@ class Engine(ABC):
             config = RunConfig()
         if tracer is not None:
             config = config.with_tracer(tracer)
+        if config.validate != "off":
+            # Imported here: repro.analysis depends on the graph and
+            # vertexcentric layers, and must stay optional on the hot path.
+            from repro.analysis.preflight import preflight
+
+            preflight(self, graph, program, config)
         return self._run(graph, program, config)
 
     @abstractmethod
@@ -198,6 +216,18 @@ class Engine(ABC):
         self, graph: DiGraph, program: VertexProgram, config: RunConfig
     ) -> RunResult:
         """Engine-specific execution under a normalized :class:`RunConfig`."""
+
+    def preflight_representations(
+        self, graph: DiGraph, program: VertexProgram, config: RunConfig
+    ) -> tuple:
+        """Representations a validation-enabled run structurally checks.
+
+        Engines override this to expose the structures their :meth:`_run`
+        is about to execute over (ideally built through the same
+        representation cache, so the preflight warms rather than
+        duplicates the build).  The default reports none.
+        """
+        return ()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"

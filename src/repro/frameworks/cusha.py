@@ -191,6 +191,22 @@ class CuShaEngine(Engine):
         )
         return plan.vertices_per_shard
 
+    def preflight_representations(
+        self, graph: DiGraph, program: VertexProgram, config: RunConfig
+    ) -> tuple:
+        """The CW structure (and through it the shards) this run executes
+        over, built via the same cache key :meth:`_run` uses."""
+        N = self._choose_shard_size(graph, program)
+        cache = resolve_cache(self.cache)
+        if cache is not None:
+            cw = cache.get(
+                ("cw", graph_fingerprint(graph), N),
+                lambda: ConcatenatedWindows.from_graph(graph, N),
+            )
+        else:
+            cw = ConcatenatedWindows.from_graph(graph, N)
+        return (cw,)
+
     def _wave_size(self, shared_bytes: int) -> int:
         if self.sync_mode == "async":
             return 1

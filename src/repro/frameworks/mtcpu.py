@@ -21,11 +21,11 @@ single-thread run bounds the CPU's worst case (Table 6's maxima).
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.frameworks.base import (ConvergenceError, Engine, IterationTrace,
                                    RunConfig, RunResult)
+from repro.cache import graph_fingerprint, resolve_cache
 from repro.frameworks.csrloop import CSRProblem, iterate_chunks
+from repro.graph.csr import CSR
 from repro.graph.digraph import DiGraph
 from repro.gpu.spec import CPUSpec, I7_3930K
 from repro.gpu.stats import KernelStats
@@ -73,6 +73,22 @@ class MTCPUEngine(Engine):
 
         sync_s = self.threads * spec.sync_overhead_us_per_thread / 1e6
         return (max(issue_s, mem_s) + sync_s) * 1e3
+
+    # ------------------------------------------------------------------
+    def preflight_representations(
+        self, graph: DiGraph, program: VertexProgram, config: RunConfig
+    ) -> tuple:
+        """The CSR this run iterates, via the same cache key ``_run`` uses."""
+        cache_opt = False if config.exec_path == "reference" else self.cache
+        cache = resolve_cache(cache_opt)
+        if cache is not None:
+            csr = cache.get(
+                ("csr", graph_fingerprint(graph)),
+                lambda: CSR.from_graph(graph),
+            )
+        else:
+            csr = CSR.from_graph(graph)
+        return (csr,)
 
     # ------------------------------------------------------------------
     def _run(

@@ -44,6 +44,12 @@ class ScalarReferenceEngine(Engine):
     def __init__(self, vertices_per_shard: int = 4) -> None:
         self.vertices_per_shard = vertices_per_shard
 
+    def preflight_representations(
+        self, graph: DiGraph, program: VertexProgram, config: RunConfig
+    ) -> tuple:
+        """The G-Shards structure the reference loop walks."""
+        return (GShards(graph, self.vertices_per_shard),)
+
     def _run(
         self, graph: DiGraph, program: VertexProgram, config: RunConfig
     ) -> RunResult:

@@ -43,7 +43,7 @@ from repro.frameworks.base import (ConvergenceError, Engine, IterationTrace,
                                    RunConfig, RunResult)
 from repro.frameworks.cusha import CuShaEngine
 from repro.frameworks.wavebatch import (multi_arange, stats_from_row,
-                                        streamed_static_bundle, STAT_FIELDS)
+                                        streamed_static_bundle)
 from repro.graph.cw import ConcatenatedWindows
 from repro.graph.digraph import DiGraph
 from repro.gpu.pcie import transfer_ms
@@ -117,6 +117,28 @@ class StreamedCuShaEngine(Engine):
             used += size
         chunks.append((start, sh.num_shards))
         return chunks
+
+    # ------------------------------------------------------------------
+    def preflight_representations(
+        self, graph: DiGraph, program: VertexProgram, config: RunConfig
+    ) -> tuple:
+        """The CW structure the streamed run chunks, via the shared cache."""
+        inner = CuShaEngine(
+            "cw",
+            vertices_per_shard=self.vertices_per_shard,
+            spec=self.spec,
+            pcie=self.pcie,
+        )
+        N = inner._choose_shard_size(graph, program)
+        cache = resolve_cache(self.cache)
+        if cache is not None:
+            cw = cache.get(
+                ("cw", graph_fingerprint(graph), N),
+                lambda: ConcatenatedWindows.from_graph(graph, N),
+            )
+        else:
+            cw = ConcatenatedWindows.from_graph(graph, N)
+        return (cw,)
 
     # ------------------------------------------------------------------
     def _run(

@@ -25,6 +25,7 @@ from repro.frameworks import costs
 from repro.frameworks.base import (ConvergenceError, Engine, IterationTrace,
                                    RunConfig, RunResult)
 from repro.frameworks.csrloop import CSRProblem, iterate_chunks
+from repro.graph.csr import CSR
 from repro.graph.digraph import DiGraph
 from repro.gpu.engine import KernelCostModel
 from repro.gpu.memory import contiguous_transactions, gather_transactions, segments_rowwise
@@ -240,6 +241,22 @@ class VWCEngine(Engine):
                 )
             stats.add_lanes(n_active, rows * warp,
                             instructions_per_row=costs.INSTR_VWC_EDGE)
+
+    # ------------------------------------------------------------------
+    def preflight_representations(
+        self, graph: DiGraph, program: VertexProgram, config: RunConfig
+    ) -> tuple:
+        """The CSR this run iterates, via the same cache key ``_run`` uses."""
+        cache_opt = False if config.exec_path == "reference" else self.cache
+        cache = resolve_cache(cache_opt)
+        if cache is not None:
+            csr = cache.get(
+                ("csr", graph_fingerprint(graph)),
+                lambda: CSR.from_graph(graph),
+            )
+        else:
+            csr = CSR.from_graph(graph)
+        return (csr,)
 
     # ------------------------------------------------------------------
     def _run(

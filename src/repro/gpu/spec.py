@@ -14,7 +14,7 @@ insensitive to these constants.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["PCIeSpec", "GPUSpec", "CPUSpec", "GTX780", "I7_3930K"]
 

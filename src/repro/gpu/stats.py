@@ -16,7 +16,7 @@ run total whose metrics are the traffic-weighted averages.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.gpu.memory import TransactionCount
 

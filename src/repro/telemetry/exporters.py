@@ -21,7 +21,6 @@ from __future__ import annotations
 import csv
 import json
 import pathlib
-from typing import Iterable
 
 from repro.gpu.stats import KernelStats
 from repro.telemetry.tracer import SPAN_KINDS, Span, stats_from_dict

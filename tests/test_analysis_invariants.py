@@ -1,0 +1,77 @@
+"""Representation-invariant tests: fresh structures are clean, every
+corruption fires its rule, plus a hypothesis sweep over random corruptions
+(:mod:`repro.analysis.invariants`)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.fixtures import CORRUPTIONS, build_corrupted, fixture_graph
+from repro.analysis.invariants import (validate_csr, validate_cw,
+                                       validate_gshards, validate_structure)
+from repro.graph.csr import CSR
+from repro.graph.cw import ConcatenatedWindows
+from repro.graph.generators import rmat
+from repro.graph.shards import GShards
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat(200, 1500, seed=21)
+
+
+class TestFreshRepresentationsClean:
+    def test_csr(self, graph):
+        assert validate_csr(CSR.from_graph(graph)) == []
+
+    @pytest.mark.parametrize("n", [4, 16, 64])
+    def test_gshards(self, graph, n):
+        assert validate_gshards(GShards(graph, n)) == []
+
+    @pytest.mark.parametrize("n", [4, 16, 64])
+    def test_cw(self, graph, n):
+        cw = ConcatenatedWindows.from_graph(graph, n)
+        assert validate_cw(cw) == []
+        assert validate_structure(cw) == []
+
+    def test_structure_dispatch_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            validate_structure(object())
+
+
+class TestCorruptionsFire:
+    @pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+    def test_expected_code_fires(self, name):
+        rep, spec = build_corrupted(name, fixture_graph())
+        codes = {v.code for v in validate_structure(rep)}
+        assert spec.expect in codes, f"{name}: {codes}"
+        assert codes <= spec.allowed, f"{name} leaked extra codes: {codes}"
+
+    def test_violations_name_the_subject(self):
+        rep, spec = build_corrupted("csr-out-of-range", fixture_graph())
+        (violation,) = [
+            v for v in validate_structure(rep) if v.code == spec.expect
+        ]
+        assert violation.subject  # repr of the corrupted representation
+        assert violation.severity == "error"
+
+
+class TestCorruptionProperty:
+    """Satellite: one *random* corruption of a valid representation reports
+    exactly the expected Violation kind — never silence, never noise."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        name=st.sampled_from(sorted(CORRUPTIONS)),
+        seed=st.integers(min_value=0, max_value=2**16),
+        shard_pow=st.integers(min_value=2, max_value=4),
+    )
+    def test_random_corruption_reports_expected_kind(self, name, seed, shard_pow):
+        rng = np.random.default_rng(seed)
+        nv = int(rng.integers(16, 64))
+        ne = int(rng.integers(4 * nv, 8 * nv))
+        g = rmat(nv, ne, seed=seed)
+        rep, spec = build_corrupted(name, g, vertices_per_shard=2**shard_pow)
+        codes = {v.code for v in validate_structure(rep)}
+        assert spec.expect in codes
+        assert codes <= spec.allowed

@@ -1,0 +1,71 @@
+"""Program-linter tests: bundled programs are clean, every broken fixture
+fires exactly the rule it targets (:mod:`repro.analysis.lint`)."""
+
+import pytest
+
+from repro.algorithms import PROGRAM_NAMES, make_program
+from repro.analysis import CODES, describe, lint_program
+from repro.analysis.fixtures import BROKEN_PROGRAMS
+from repro.analysis.violations import ValidationError, Violation
+from repro.graph.generators import random_weights, rmat
+
+LINT_FIXTURES = {
+    name: spec for name, spec in BROKEN_PROGRAMS.items() if spec.layer == "lint"
+}
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_weights(rmat(128, 700, seed=11), seed=12)
+
+
+class TestBundledProgramsClean:
+    @pytest.mark.parametrize("name", PROGRAM_NAMES)
+    def test_no_violations(self, name, graph):
+        program = make_program(name, graph)
+        assert lint_program(program) == []
+
+
+class TestBrokenFixturesFire:
+    @pytest.mark.parametrize("name", sorted(LINT_FIXTURES))
+    def test_expected_rule_fires(self, name):
+        spec = LINT_FIXTURES[name]
+        codes = {v.code for v in lint_program(spec.factory())}
+        assert spec.expect in codes, f"{name}: {codes}"
+        assert codes <= spec.allowed, f"{name} leaked extra codes: {codes}"
+
+    def test_missing_decl_flags_both_name_and_reduce_ops(self):
+        spec = BROKEN_PROGRAMS["missing-decl"]
+        violations = [v for v in lint_program(spec.factory()) if v.code == "L007"]
+        assert len(violations) == 2  # one for name, one for reduce_ops
+
+    def test_violations_carry_location(self):
+        spec = LINT_FIXTURES["undeclared-write"]
+        hit = [v for v in lint_program(spec.factory()) if v.code == spec.expect]
+        assert hit and any(":" in v.location for v in hit)
+
+
+class TestViolationRecords:
+    def test_codes_registry_is_consistent(self):
+        for code, (kind, _message) in CODES.items():
+            assert code[0] in "LSR" and code[1:].isdigit()
+            assert kind and kind == kind.lower()
+        assert len(CODES) >= 20
+
+    def test_describe_known_and_unknown(self):
+        assert "reduce_ops" in describe("L001") or "declared" in describe("L001")
+        with pytest.raises(KeyError):
+            describe("Z999")
+
+    def test_kind_derived_from_code(self):
+        v = Violation(code="L002", message="bad op")
+        assert v.kind == CODES["L002"][0]
+
+    def test_validation_error_lists_codes(self):
+        violations = [
+            Violation(code="L001", message="undeclared write to 'x'"),
+            Violation(code="S101", message="indptr not monotone"),
+        ]
+        err = ValidationError(violations)
+        assert err.violations == violations
+        assert "L001" in str(err) and "S101" in str(err)

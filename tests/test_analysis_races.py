@@ -1,0 +1,87 @@
+"""Simulated-race detector tests: stage discipline, reduce-op bypass, and
+the permuted-edge-order commutativity check (:mod:`repro.analysis.races`)."""
+
+import pytest
+
+from repro.algorithms import PROGRAM_NAMES, make_program
+from repro.analysis.fixtures import BROKEN_PROGRAMS, fixture_graph
+from repro.analysis.races import (order_sensitivity_check, race_check,
+                                  stage_discipline_check)
+from repro.graph.generators import random_weights, rmat
+
+RACE_FIXTURES = {
+    name: spec for name, spec in BROKEN_PROGRAMS.items() if spec.layer == "race"
+}
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_weights(rmat(128, 700, seed=31), seed=32)
+
+
+class TestBrokenFixturesFire:
+    @pytest.mark.parametrize("name", sorted(RACE_FIXTURES))
+    def test_expected_rule_fires(self, name):
+        spec = RACE_FIXTURES[name]
+        codes = {
+            v.code
+            for v in race_check(
+                fixture_graph(), spec.factory(),
+                max_iterations=2, order_iterations=2,
+            )
+        }
+        assert spec.expect in codes, f"{name}: {codes}"
+        assert codes <= spec.allowed, f"{name} leaked extra codes: {codes}"
+
+    def test_reduce_bypass_names_the_field(self):
+        spec = RACE_FIXTURES["race-reduce-bypass"]
+        hits = [
+            v
+            for v in stage_discipline_check(
+                fixture_graph(), spec.factory(), max_iterations=2
+            )
+            if v.code == "R202"
+        ]
+        assert hits and any("level" in v.message for v in hits)
+
+    def test_vertex_write_reported_outside_stage3(self):
+        spec = RACE_FIXTURES["race-vertex-write"]
+        hits = [
+            v
+            for v in stage_discipline_check(
+                fixture_graph(), spec.factory(), max_iterations=2
+            )
+            if v.code == "R201"
+        ]
+        assert hits and any("stage" in v.message for v in hits)
+
+
+class TestBundledProgramsClean:
+    @pytest.mark.parametrize("name", PROGRAM_NAMES)
+    def test_stage_discipline(self, name, graph):
+        program = make_program(name, graph)
+        assert stage_discipline_check(graph, program, max_iterations=2) == []
+
+
+class TestOrderSensitivityRegression:
+    """Satellite: the paper's commutativity requirement (Section 4, Table 3)
+    holds dynamically for every shipped algorithm — folding shard entries in
+    a permuted order must not change any vertex value."""
+
+    @pytest.mark.parametrize("name", PROGRAM_NAMES)
+    def test_permuted_edge_order_is_neutral(self, name, graph):
+        program = make_program(name, graph)
+        assert order_sensitivity_check(graph, program, iterations=3) == []
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_different_permutations_stay_neutral(self, graph, seed):
+        program = make_program("pr", graph)
+        assert order_sensitivity_check(
+            graph, program, iterations=2, permutation_seed=seed
+        ) == []
+
+    def test_order_sensitive_fixture_reports_field_diff(self):
+        spec = RACE_FIXTURES["race-order-sensitive"]
+        hits = order_sensitivity_check(fixture_graph(), spec.factory())
+        assert {v.code for v in hits} == {"R203"}
+        assert any("level" in v.message for v in hits)

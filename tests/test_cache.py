@@ -4,11 +4,14 @@ import numpy as np
 import pytest
 
 import repro
+from repro.analysis.invariants import validate_structure
 from repro.cache import (RepresentationCache, default_cache,
                          graph_fingerprint, resolve_cache)
 from repro.frameworks import CuShaEngine, RunConfig
 from repro.frameworks.csrloop import CSRProblem
 from repro.algorithms import make_program
+from repro.graph.csr import CSR
+from repro.graph.cw import ConcatenatedWindows
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import random_weights, rmat
 from repro.telemetry.tracer import Tracer
@@ -156,6 +159,57 @@ class TestEngineKeying:
         r1 = eng.run(g, make_program("cc", g), config=cfg)
         r2 = eng.run(g, make_program("cc", g), config=cfg)
         assert r1.values.tobytes() == r2.values.tobytes()
+
+
+class TestShareVsCopyContract:
+    """Cached representations are shared, never copied — so they are frozen
+    on insert and a borrower's in-place write raises instead of corrupting
+    the entry every later run receives (docs/performance.md)."""
+
+    def test_cached_csr_is_read_only(self):
+        g = _graph()
+        c = RepresentationCache()
+        csr = c.get(("csr", graph_fingerprint(g)), lambda: CSR.from_graph(g))
+        with pytest.raises(ValueError):
+            csr.src_indxs[0] = 99
+
+    def test_hit_still_valid_after_borrower_mutation_attempt(self):
+        g = _graph()
+        c = RepresentationCache()
+        key = ("cw", graph_fingerprint(g), 64)
+        borrowed = c.get(key, lambda: ConcatenatedWindows.from_graph(g, 64))
+        for arr in (borrowed.mapper, borrowed.cw_src_index,
+                    borrowed.shards.dest_index, borrowed.shards.src_index):
+            with pytest.raises(ValueError):
+                arr[0] = arr[0] + 1
+        hit = c.get(key, lambda: pytest.fail("must be a hit"))
+        assert hit is borrowed
+        assert validate_structure(hit) == []
+
+    def test_cached_entries_pass_invariants_after_engine_runs(self):
+        # Engines only borrow: after full runs over the shared entry, the
+        # CSR and CW in the cache still satisfy every structural invariant.
+        g = _graph()
+        c = RepresentationCache()
+        cfg = RunConfig(allow_partial=True, max_iterations=10)
+        CuShaEngine("cw", vertices_per_shard=64, cache=c).run(
+            g, make_program("pr", g), config=cfg)
+        CSRProblem.build(g, make_program("cc", g), cache=c)
+        fp = graph_fingerprint(g)
+        cw = c.get(("cw", fp, 64), lambda: pytest.fail("must be a hit"))
+        csr = c.get(("csr", fp), lambda: pytest.fail("must be a hit"))
+        assert validate_structure(cw) == []
+        assert validate_structure(csr) == []
+
+    def test_borrower_graph_stays_writable(self):
+        # Freezing stops at the representation: the user's graph arrays
+        # remain theirs to mutate (which changes the fingerprint and
+        # naturally misses the cache).
+        g = _graph()
+        c = RepresentationCache()
+        c.get(("cw", graph_fingerprint(g), 64),
+              lambda: ConcatenatedWindows.from_graph(g, 64))
+        g.dst[0] = (g.dst[0] + 1) % g.num_vertices  # must not raise
 
 
 class TestCSRProblemCaching:

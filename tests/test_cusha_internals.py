@@ -4,7 +4,6 @@ propagation, the window-scan cost, and the layout of per-stage statistics."""
 import dataclasses
 
 import numpy as np
-import pytest
 
 from repro.algorithms import make_program
 from repro.frameworks.cusha import CuShaEngine, _window_rows_transactions

@@ -1,9 +1,7 @@
 """Unit tests for the Concatenated Windows representation (paper §3.2)."""
 
 import numpy as np
-import pytest
 
-from repro.graph import generators
 from repro.graph.cw import ConcatenatedWindows
 from repro.graph.shards import GShards
 

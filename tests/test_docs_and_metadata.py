@@ -16,7 +16,7 @@ class TestDocuments:
         ["README.md", "DESIGN.md", "EXPERIMENTS.md",
          "docs/modeling.md", "docs/programming_guide.md",
          "docs/tutorial.md", "docs/api.md", "docs/performance.md",
-         "docs/telemetry.md"],
+         "docs/telemetry.md", "docs/analysis.md"],
     )
     def test_document_exists_and_nonempty(self, name):
         path = ROOT / name
@@ -47,6 +47,19 @@ class TestDocuments:
                         "Figure 10", "Figure 11", "Figure 12", "Figure 13"):
             assert heading in text, heading
 
+    def test_analysis_code_table_matches_registry(self):
+        from repro.analysis import CODES
+
+        text = (ROOT / "docs" / "analysis.md").read_text()
+        table = set(re.findall(r"^\| `([LSR]\d{3})` \| `([\w-]+)` \|", text,
+                               re.MULTILINE))
+        registry = {(code, kind) for code, (kind, _msg) in CODES.items()}
+        assert table == registry
+
+    def test_analysis_doc_is_cross_linked(self):
+        assert "analysis.md" in (ROOT / "README.md").read_text()
+        assert "analysis.md" in (ROOT / "docs" / "telemetry.md").read_text()
+
     def test_readme_examples_exist(self):
         text = (ROOT / "README.md").read_text()
         for name in re.findall(r"`(\w+\.py)`", text):
@@ -75,7 +88,7 @@ class TestPackageMetadata:
     def test_version_exposed(self):
         import repro
 
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
 
     def test_all_exports_resolve(self):
         import repro
@@ -89,6 +102,7 @@ class TestPackageMetadata:
         for module_name in (
             "repro.graph", "repro.gpu", "repro.frameworks",
             "repro.vertexcentric", "repro.reference", "repro.harness",
+            "repro.analysis",
         ):
             mod = importlib.import_module(module_name)
             for name in getattr(mod, "__all__", []):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.algorithms import PROGRAM_NAMES, make_program
+from repro.algorithms import make_program
 from repro.frameworks import (
     CuShaEngine,
     MTCPUEngine,

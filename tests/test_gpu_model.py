@@ -6,10 +6,10 @@ import numpy as np
 import pytest
 
 from repro.gpu.engine import KernelCostModel
-from repro.gpu.memory import TransactionCount, contiguous_transactions
+from repro.gpu.memory import TransactionCount
 from repro.gpu.occupancy import blocks_per_sm, occupancy, shared_mem_per_block
 from repro.gpu.pcie import transfer_ms
-from repro.gpu.spec import GTX780, I7_3930K, GPUSpec, PCIeSpec
+from repro.gpu.spec import GTX780, I7_3930K, PCIeSpec
 from repro.gpu.stats import KernelStats
 from repro.gpu.warp import reduction_slots, slots_for_contiguous, slots_for_segments
 

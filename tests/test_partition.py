@@ -2,8 +2,6 @@
 
 import math
 
-import pytest
-
 import numpy as np
 
 from repro.graph import generators

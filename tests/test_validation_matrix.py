@@ -12,7 +12,7 @@ loudly.
 import numpy as np
 import pytest
 
-from repro.algorithms import PROGRAM_NAMES, default_source, make_program
+from repro.algorithms import PROGRAM_NAMES, make_program
 from repro.frameworks import CuShaEngine, MTCPUEngine, VWCEngine
 from repro.graph import generators
 from repro.vertexcentric.datatypes import UINT_INF

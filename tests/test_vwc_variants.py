@@ -2,7 +2,6 @@
 variant."""
 
 import numpy as np
-import pytest
 
 from repro.algorithms import make_program
 from repro.frameworks.csrloop import CSRProblem

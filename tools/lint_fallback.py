@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Stdlib-only fallback linter for ``make lint`` when ruff is unavailable.
+
+Implements the highest-value subset of the pyflakes ``F`` family over plain
+``ast``, so the lint gate always runs — even in environments where the
+``[lint]`` extra cannot be installed:
+
+- **unused imports** (ruff F401): a name imported at module level that is
+  never referenced and not re-exported.  ``__init__.py`` files are treated
+  as re-export surfaces and exempted; ``# noqa`` on the import line is
+  honored.
+- **duplicate definitions** (F811): a module-level function/class defined
+  twice.
+- **f-string without placeholders** (F541).
+- **assert on a non-empty tuple** (F631): always true, almost always a bug.
+
+Usage: ``python tools/lint_fallback.py <path> [<path> ...]``; exits 1 when
+any finding is reported.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+
+def _imported_names(node: ast.AST) -> list[tuple[str, int]]:
+    """(bound name, line) pairs for one import statement."""
+    out = []
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            out.append((bound, node.lineno))
+    elif isinstance(node, ast.ImportFrom):
+        if node.module == "__future__":
+            return []
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            out.append((alias.asname or alias.name, node.lineno))
+    return out
+
+
+def _used_names(tree: ast.Module) -> set[str]:
+    used: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            # ``repro.graph.csr`` used as ``repro.…`` marks ``repro`` used;
+            # ast.Name on the root covers that already.
+            pass
+    # Names re-exported through __all__ count as used.
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = [t for t in node.targets if isinstance(t, ast.Name)]
+        elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+            targets = [node.target]
+        if any(t.id == "__all__" for t in targets):
+            for const in ast.walk(node.value):
+                if isinstance(const, ast.Constant) and isinstance(const.value, str):
+                    used.add(const.value)
+    return used
+
+
+def _noqa_lines(source: str) -> set[int]:
+    return {
+        i
+        for i, line in enumerate(source.splitlines(), start=1)
+        if "# noqa" in line
+    }
+
+
+def lint_file(path: pathlib.Path) -> list[str]:
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [f"{path}:{exc.lineno}: syntax error: {exc.msg}"]
+    findings: list[str] = []
+    noqa = _noqa_lines(source)
+
+    # ---- unused imports (module level; __init__.py is a re-export surface)
+    if path.name != "__init__.py":
+        used = _used_names(tree)
+        for node in tree.body:
+            for name, lineno in _imported_names(node):
+                if lineno in noqa or name.startswith("_"):
+                    continue
+                if name not in used:
+                    findings.append(
+                        f"{path}:{lineno}: unused import {name!r} (F401)"
+                    )
+
+    # ---- duplicate module-level definitions (F811)
+    seen: dict[str, int] = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node.name in seen and node.lineno not in noqa:
+                findings.append(
+                    f"{path}:{node.lineno}: redefinition of {node.name!r} "
+                    f"from line {seen[node.name]} (F811)"
+                )
+            seen[node.name] = node.lineno
+
+    # Format specs (``f"{x:10.2f}"``) parse as nested JoinedStr nodes made
+    # of Constants only; they are not f-strings the author wrote and must
+    # not count toward F541.
+    format_specs = {
+        id(node.format_spec)
+        for node in ast.walk(tree)
+        if isinstance(node, ast.FormattedValue) and node.format_spec is not None
+    }
+    for node in ast.walk(tree):
+        # ---- f-string without any placeholder (F541)
+        if isinstance(node, ast.JoinedStr) and id(node) not in format_specs:
+            if not any(isinstance(v, ast.FormattedValue) for v in node.values):
+                if node.lineno not in noqa:
+                    findings.append(
+                        f"{path}:{node.lineno}: f-string without placeholders "
+                        f"(F541)"
+                    )
+        # ---- assert on a tuple literal (F631)
+        elif isinstance(node, ast.Assert) and isinstance(node.test, ast.Tuple):
+            if node.test.elts and node.lineno not in noqa:
+                findings.append(
+                    f"{path}:{node.lineno}: assert on a non-empty tuple is "
+                    f"always true (F631)"
+                )
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    roots = [pathlib.Path(a) for a in argv] or [pathlib.Path("src/repro")]
+    files: list[pathlib.Path] = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+        else:
+            files.append(root)
+    findings: list[str] = []
+    for f in files:
+        findings.extend(lint_file(f))
+    for line in findings:
+        print(line)
+    print(
+        f"lint_fallback: {len(files)} files, {len(findings)} finding(s)",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
