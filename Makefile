@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench perf-smoke smoke-trace report lint check ci clean
+.PHONY: test bench perf-smoke smoke-trace report lint check perfgate perfgate-rebaseline ci clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/ -q
@@ -11,11 +11,11 @@ test:
 # gate always runs (the container image has no network access).
 lint:
 	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
-		$(PYTHON) -m ruff check src/repro tools tests && \
-		$(PYTHON) -m ruff format --check src/repro tools tests; \
+		$(PYTHON) -m ruff check src/repro tools tests benchmarks && \
+		$(PYTHON) -m ruff format --check src/repro tools tests benchmarks; \
 	else \
 		echo "lint: ruff not installed -> stdlib fallback (tools/lint_fallback.py)"; \
-		$(PYTHON) tools/lint_fallback.py src/repro tools tests; \
+		$(PYTHON) tools/lint_fallback.py src/repro tools tests benchmarks; \
 	fi
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
 		$(PYTHON) -m mypy; \
@@ -30,8 +30,20 @@ check:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro check --level full
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro check --selftest
 
+# Performance gate: cost-contract + static audit + model-vs-measured drift
+# check, then re-run the perf smoke and diff it against the committed
+# baseline (benchmarks/baselines/perf_smoke.json).  Writes the
+# machine-readable report to benchmarks/results/PERFGATE_report.json.
+perfgate:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro perfgate --repeats 1
+
+# Refresh the committed baseline after an intentional performance change
+# (review the diff of benchmarks/baselines/perf_smoke.json like any code).
+perfgate-rebaseline:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro perfgate --repeats 3 --rebaseline
+
 # Full local CI chain, in the order a reviewer would want failures surfaced.
-ci: lint test smoke-trace check
+ci: lint test smoke-trace check perfgate
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -57,4 +69,5 @@ report:
 
 clean:
 	rm -rf .pytest_cache .ruff_cache .mypy_cache .hypothesis build dist src/*.egg-info
+	rm -f benchmarks/results/PERFGATE_report.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -7,7 +7,6 @@ best VWC warp size varies across graphs (no single configuration wins).
 
 import numpy as np
 
-from repro.frameworks.vwc import VIRTUAL_WARP_SIZES
 from repro.harness import experiments as E
 
 from conftest import BENCH_SCALE, once

@@ -1,7 +1,5 @@
 """Regenerates Figure 1: degree distributions of the evaluation graphs."""
 
-import numpy as np
-
 from repro.graph import suite
 from repro.graph.properties import degree_distribution
 from repro.harness import experiments as E

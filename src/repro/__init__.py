@@ -41,7 +41,7 @@ from repro.graph import CSR, ConcatenatedWindows, DiGraph, GShards, select_shard
 from repro.gpu import GTX780, I7_3930K, KernelStats
 from repro.vertexcentric import VertexProgram
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 
 def run(
@@ -73,7 +73,7 @@ def run(
     process-wide :func:`repro.cache.default_cache`, ``False`` disables it,
     and an explicit :class:`repro.cache.RepresentationCache` scopes it.
     ``validate`` gates the :mod:`repro.analysis` preflight (``"off"``,
-    ``"structure"``, or ``"full"`` — see ``docs/analysis.md``).
+    ``"structure"``, ``"full"``, or ``"perf"`` — see ``docs/analysis.md``).
 
     >>> result = repro.run(g, "bfs", engine="vwc-8", source=0)
     """

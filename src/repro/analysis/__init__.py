@@ -10,12 +10,17 @@ Three layers, each reporting typed :class:`Violation` records:
   ``S1xx``;
 - :mod:`repro.analysis.races` — simulated-race detector over the reference
   path (stage discipline of Figure 5, commutativity of section 4), codes
-  ``R2xx``.
+  ``R2xx``;
+- :mod:`repro.analysis.perf` — static performance auditor, model-vs-
+  measured drift gate, and benchmark comparator (the paper's performance
+  contract: sections 3.2-3.3, Tables 4-7), codes ``P3xx``, with the
+  contracted cost constants mirrored in :mod:`repro.analysis.budgets`.
 
 Engine wiring lives in :mod:`repro.analysis.preflight`
-(``RunConfig(validate="off"|"structure"|"full")``); deliberately broken
-fixtures proving every rule fires are in :mod:`repro.analysis.fixtures`.
-The CLI front end is ``python -m repro check``.  See ``docs/analysis.md``.
+(``RunConfig(validate="off"|"structure"|"full"|"perf")``); deliberately
+broken fixtures proving every rule fires are in
+:mod:`repro.analysis.fixtures`.  The CLI front ends are ``python -m repro
+check`` and ``python -m repro perfgate``.  See ``docs/analysis.md``.
 """
 
 from repro.analysis.invariants import (
@@ -25,6 +30,16 @@ from repro.analysis.invariants import (
     validate_structure,
 )
 from repro.analysis.lint import lint_program
+from repro.analysis.perf import (
+    DriftReport,
+    StagePrediction,
+    audit_cw,
+    compare_bench_reports,
+    cost_contract_check,
+    drift_gate,
+    perf_audit,
+    static_predictions,
+)
 from repro.analysis.preflight import (
     VALIDATE_LEVELS,
     collect_violations,
@@ -40,12 +55,20 @@ from repro.analysis.violations import CODES, ValidationError, Violation, describ
 
 __all__ = [
     "CODES",
+    "DriftReport",
+    "StagePrediction",
     "VALIDATE_LEVELS",
     "ValidationError",
     "Violation",
+    "audit_cw",
     "collect_violations",
+    "compare_bench_reports",
+    "cost_contract_check",
     "describe",
+    "drift_gate",
     "lint_program",
+    "perf_audit",
+    "static_predictions",
     "order_sensitivity_check",
     "preflight",
     "publish_violations",

@@ -1,0 +1,101 @@
+"""Contracted cost-model values and perf-gate thresholds.
+
+This module pins the *performance contract*: the instruction prices the
+cost model (:mod:`repro.frameworks.costs`) is allowed to charge, the
+static-audit thresholds used by :mod:`repro.analysis.perf`, and the
+relative regression thresholds the benchmark gate applies to
+``benchmarks/baselines/perf_smoke.json``.
+
+The split matters: :mod:`repro.frameworks.costs` is *live* code that a
+refactor may edit, while :data:`COST_CONTRACT` here is the reviewed
+mirror.  ``P310`` fires whenever the two diverge, so a pricing change
+must touch both files — one of them inside ``analysis/`` where the
+perf-contract reviewer will see it.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "COST_CONTRACT",
+    "INSTRUCTION_DRIFT_TOLERANCE",
+    "REPLAY_WARN_FRACTION",
+    "REPLAY_WARN_MIN_ROWS",
+    "STAGE_LOAD_EFFICIENCY_FLOOR",
+    "OCCUPANCY_EPSILON",
+    "PERFGATE_TIMING_THRESHOLD",
+    "PERFGATE_TIMING_METRICS",
+    "PERFGATE_EXACT_METRICS",
+    "PERFGATE_MATCH_KEYS",
+]
+
+
+#: Contracted mirror of every instruction constant in
+#: :mod:`repro.frameworks.costs`.  Keys are attribute names on that
+#: module; a live value that differs is a ``P310`` violation.
+COST_CONTRACT: dict[str, float] = {
+    "INSTR_INIT": 4.0,
+    "INSTR_COMPUTE": 12.0,
+    "INSTR_UPDATE": 6.0,
+    "INSTR_WRITEBACK": 6.0,
+    "INSTR_ATOMIC_REPLAY": 1.0,
+    "INSTR_GS_WINDOW_SCAN": 4.0,
+    "INSTR_VWC_EDGE": 12.0,
+    "INSTR_VWC_SISD": 10.0,
+    "INSTR_VWC_REDUCE": 4.0,
+}
+
+#: Relative tolerance for ``warp_instructions`` in the drift gate
+#: (``P312``).  Transaction and lane counters are integral and compared
+#: exactly; instruction totals are floats accumulated in a different
+#: order on the fast path, so they get a small relative band.
+INSTRUCTION_DRIFT_TOLERANCE: float = 0.02
+
+#: ``P305`` fires (warning) when predicted stage-2 atomic replays exceed
+#: this fraction of the fully serialized worst case ``rows * (warp-1)``.
+REPLAY_WARN_FRACTION: float = 0.9
+
+#: ``P305`` is suppressed on graphs whose stage-2 sweep has fewer warp
+#: rows than this — tiny fixtures trivially serialize.
+REPLAY_WARN_MIN_ROWS: int = 4
+
+#: ``P306`` fires (warning) when a predicted stage-level load efficiency
+#: (bytes requested / bytes transferred) drops below this floor.
+STAGE_LOAD_EFFICIENCY_FLOOR: float = 0.25
+
+#: Slack for the CW-vs-GS occupancy comparison (``P301``): CW must be at
+#: least GS occupancy minus this epsilon (floating-point guard only; the
+#: contract is CW >= GS for consistent representations).
+OCCUPANCY_EPSILON: float = 1e-9
+
+#: One-sided relative threshold for the benchmark gate: a timing metric
+#: regresses (``P320``) when ``(current - baseline) / baseline`` exceeds
+#: this value.  Improvements never fail.
+PERFGATE_TIMING_THRESHOLD: float = 0.10
+
+#: Per-engine timing metrics in ``BENCH_perf_smoke.json`` the gate
+#: thresholds.  The *minimum* over ``--repeats`` is gated, not the
+#: median: wall-clock noise on a shared machine is one-sided, so minima
+#: are the stable statistic.  ``cold_cache_s`` is excluded entirely — it
+#: measures one non-repeated cold setup and cannot carry a 10% band.
+PERFGATE_TIMING_METRICS: tuple[str, ...] = (
+    "fast_min_s",
+    "reference_min_s",
+    "warm_cache_min_s",
+)
+
+#: Per-engine metrics that must match the baseline exactly (``P320``):
+#: a change here is a behavioural regression, not noise.  Cache hits are
+#: compared per warm run (the raw counter scales with ``--repeats``).
+PERFGATE_EXACT_METRICS: tuple[str, ...] = (
+    "iterations",
+    "cache_hits_per_run",
+    "cache_misses",
+)
+
+#: Run-configuration keys that must match between baseline and current
+#: report for the comparison to be meaningful at all (``P321``).
+PERFGATE_MATCH_KEYS: tuple[str, ...] = (
+    "graph",
+    "program",
+    "max_iterations",
+)

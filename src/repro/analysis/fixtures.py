@@ -32,10 +32,13 @@ from repro.vertexcentric.program import VertexProgram
 __all__ = [
     "BROKEN_PROGRAMS",
     "CORRUPTIONS",
+    "PERF_FIXTURES",
     "BrokenProgram",
     "Corruption",
+    "PerfFixture",
     "build_corrupted",
     "fixture_graph",
+    "perf_fixture_graph",
 ]
 
 
@@ -393,6 +396,99 @@ CORRUPTIONS: dict[str, Corruption] = {
     ),
     "cw-srcindex-drift": Corruption(
         "cw", "S124", frozenset({"S124"}), _corrupt_cw_srcindex
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# Performance-contract fixtures (P3xx)
+# ----------------------------------------------------------------------
+
+def perf_fixture_graph(
+    num_vertices: int = 256, num_edges: int = 8192
+) -> DiGraph:
+    """A dense deterministic graph: wide enough windows that a scattered
+    Mapper provably exceeds the window-grouped store-transaction bound."""
+    rng = np.random.default_rng(4321)
+    src = rng.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    dst = rng.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    return DiGraph(src, dst, num_vertices, validate=False)
+
+
+def _perf_scrambled_mapper() -> list:
+    """Permute mapper and cw_src_index *jointly* (still a bijection, so
+    no S12x structural rule fires) and audit: only the scatter bound
+    P307 can catch the lost window grouping."""
+    from repro.analysis.perf import audit_cw
+    from repro.gpu.spec import GTX780
+
+    cw = ConcatenatedWindows.from_graph(perf_fixture_graph(), 128)
+    rng = np.random.default_rng(7)
+    perm = rng.permutation(cw.mapper.size)
+    cw.mapper = cw.mapper[perm]
+    cw.cw_src_index = cw.cw_src_index[perm]
+    return audit_cw(cw, vbytes=4, sbytes=0, ebytes=0, spec=GTX780,
+                    subject="fixture-scrambled-mapper")
+
+
+def _perf_oversized_shard() -> list:
+    """A shard far beyond the GTX780's 48 KB shared memory: P302."""
+    from repro.analysis.perf import audit_cw
+    from repro.gpu.spec import GTX780
+
+    cw = ConcatenatedWindows.from_graph(
+        perf_fixture_graph(16384, 4096), 16384)
+    return audit_cw(cw, vbytes=4, sbytes=0, ebytes=0, spec=GTX780,
+                    subject="fixture-oversized-shard")
+
+
+def _perf_mispriced_cost() -> list:
+    """Temporarily misprice one live cost constant: the contract mirror
+    in :mod:`repro.analysis.budgets` must notice (P310)."""
+    from repro.analysis.perf import cost_contract_check
+    from repro.frameworks import costs
+
+    original = costs.INSTR_COMPUTE
+    costs.INSTR_COMPUTE = original + 1.0
+    try:
+        return cost_contract_check()
+    finally:
+        costs.INSTR_COMPUTE = original
+
+
+def _perf_bank_conflicts() -> list:
+    """Every edge targets vertex 0 (an inward star): stage-2 atomics
+    fully serialize and the replay budget warns (P305)."""
+    from repro.analysis.perf import audit_cw
+    from repro.graph.generators import star
+    from repro.gpu.spec import GTX780
+
+    cw = ConcatenatedWindows.from_graph(star(128, outward=False), 32)
+    return audit_cw(cw, vbytes=4, sbytes=0, ebytes=0, spec=GTX780,
+                    subject="fixture-bank-conflicts")
+
+
+@dataclass(frozen=True)
+class PerfFixture:
+    """One performance-contract breakage and the P-code it must trip."""
+
+    expect: str
+    allowed: frozenset[str]
+    run: Callable[[], list]
+
+
+PERF_FIXTURES: dict[str, PerfFixture] = {
+    "perf-scrambled-mapper": PerfFixture(
+        "P307", frozenset({"P307"}), _perf_scrambled_mapper
+    ),
+    "perf-oversized-shard": PerfFixture(
+        "P302", frozenset({"P302"}), _perf_oversized_shard
+    ),
+    "perf-mispriced-cost": PerfFixture(
+        "P310", frozenset({"P310"}), _perf_mispriced_cost
+    ),
+    "perf-bank-conflicts": PerfFixture(
+        "P305", frozenset({"P305"}), _perf_bank_conflicts
     ),
 }
 

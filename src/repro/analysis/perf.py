@@ -1,0 +1,688 @@
+"""Static performance auditor, drift gate, and benchmark comparator.
+
+The paper's claims are performance *ratios* — coalesced transactions,
+full-warp CW write-back, shared-memory-bounded occupancy (Tables 4-7,
+Figures 8-13) — so this module makes the performance model itself a
+checked contract, in three layers:
+
+**Static audit** (:func:`perf_audit`)
+    Given only a graph's representations (through the same
+    ``preflight_representations()`` hooks the structural validators use),
+    derive per-stage cost bounds *without running an iteration* and
+    assert the paper-contract properties: CW write-back occupancy at
+    least G-Shards' (``P301``), shard footprint within shared memory
+    (``P302``), write-back payload equal to ``|E|`` vertex values under
+    both schemes (``P303``/``P304``), bounded bank-conflict replays and
+    load efficiencies (``P305``/``P306``), and the analytic scatter bound
+    a window-grouped Mapper guarantees (``P307``).  The cost constants in
+    :mod:`repro.frameworks.costs` are checked against their contracted
+    mirror in :mod:`repro.analysis.budgets` (``P310``).
+
+**Drift gate** (:func:`drift_gate`)
+    Price every stage independently (a per-shard mirror of the reference
+    formulas, deliberately *not* sharing code with the wave-batched fast
+    path), run the engine with the tracer on, and diff the measured
+    :class:`~repro.gpu.stats.KernelStats` span counters against the
+    predictions — exact for transaction/lane/byte counters (``P311``),
+    toleranced for instruction costs (``P312``).  This is what catches a
+    fast-path or pricing refactor that silently changes the model.
+
+**Benchmark comparator** (:func:`compare_bench_reports`)
+    Diff a fresh ``BENCH_perf_smoke.json`` against the committed baseline
+    with per-metric relative thresholds (``P320``) after verifying the
+    two runs are comparable at all — same graph, program, and per-engine
+    ``exec_path`` (``P321``).  ``python -m repro perfgate`` drives it.
+
+CuSha stage predictions here intentionally mirror the *reference*
+per-shard pricing loop using only the simple (non-segmented) primitives;
+agreement with the measured fast path therefore cross-validates the
+segmented pricing helpers in :mod:`repro.frameworks.wavebatch` as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis import budgets
+from repro.analysis.violations import Violation
+from repro.frameworks import costs
+from repro.frameworks.base import RunConfig
+from repro.frameworks.cusha import CuShaEngine
+from repro.frameworks.streamed import StreamedCuShaEngine
+from repro.frameworks.vwc import VWCEngine
+from repro.graph.cw import ConcatenatedWindows
+from repro.graph.shards import GShards
+from repro.gpu.memory import contiguous_transactions, gather_transactions
+from repro.gpu.occupancy import occupancy_report
+from repro.gpu.sharedmem import conflict_replays, replay_fraction
+from repro.gpu.stats import (COUNTER_FIELDS, KernelStats,
+                             LOAD_GRANULARITY_BYTES, STORE_GRANULARITY_BYTES,
+                             field_diffs)
+from repro.gpu.warp import slots_for_contiguous
+from repro.telemetry.tracer import Tracer
+
+__all__ = [
+    "StagePrediction",
+    "DriftReport",
+    "cost_contract_check",
+    "predict_cusha_stages",
+    "predict_streamed_chunks",
+    "static_predictions",
+    "audit_cw",
+    "perf_audit",
+    "drift_gate",
+    "compare_bench_reports",
+]
+
+
+@dataclass(frozen=True)
+class StagePrediction:
+    """Per-sweep static cost prediction for one pipeline stage.
+
+    ``stats`` is what one full sweep (every shard active) costs;
+    ``dynamic_fields`` names the counters the static model deliberately
+    does not cover (they depend on which vertices update) and which the
+    drift gate therefore skips.
+    """
+
+    stage: str
+    stats: KernelStats
+    dynamic_fields: tuple[str, ...] = ()
+
+    @property
+    def exact_fields(self) -> tuple[str, ...]:
+        return tuple(f for f in COUNTER_FIELDS if f not in self.dynamic_fields)
+
+
+@dataclass
+class DriftReport:
+    """Outcome of one :func:`drift_gate` run."""
+
+    engine: str
+    program: str
+    iterations: int
+    stages_checked: int
+    fields_checked: int
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+# ----------------------------------------------------------------------
+# Cost contract (P310)
+# ----------------------------------------------------------------------
+
+def cost_contract_check() -> list[Violation]:
+    """Diff the live :mod:`repro.frameworks.costs` constants against the
+    contracted mirror in :mod:`repro.analysis.budgets` (``P310``)."""
+    out: list[Violation] = []
+    for name, want in budgets.COST_CONTRACT.items():
+        have = getattr(costs, name, None)
+        if have is None or float(have) != float(want):
+            out.append(Violation(
+                "P310",
+                f"costs.{name} = {have!r} diverges from the contracted "
+                f"value {want!r} in analysis.budgets",
+                subject="frameworks.costs",
+            ))
+    for name in dir(costs):
+        if name.startswith("INSTR_") and name not in budgets.COST_CONTRACT:
+            out.append(Violation(
+                "P310",
+                f"costs.{name} is not covered by "
+                "analysis.budgets.COST_CONTRACT",
+                subject="frameworks.costs",
+            ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Independent per-stage predictors
+# ----------------------------------------------------------------------
+
+def predict_cusha_stages(
+    cw: ConcatenatedWindows,
+    mode: str,
+    *,
+    vbytes: int,
+    sbytes: int = 0,
+    ebytes: int = 0,
+    warp: int = 32,
+) -> dict[str, StagePrediction]:
+    """Per-sweep stage costs of the CuSha pipeline, from the arrays alone.
+
+    Mirrors the reference per-shard pricing (paper Figure 5 stages) with
+    the simple one-range primitives: per shard, stage 1/3 fetch the
+    vertex slice, stage 2 streams the SoA entry fields and pays atomic
+    bank-conflict replays, stage 4 is a warp-per-window walk (``gs``) or
+    a thread-per-CW-entry scatter through the Mapper (``cw``).
+    """
+    sh = cw.shards
+    S = sh.num_shards
+    st1, st2, st3, st4 = (KernelStats() for _ in range(4))
+    for i in range(S):
+        lo, hi = sh.vertex_range(i)
+        n_i = hi - lo
+        m_i = sh.shard_size(i)
+        o = int(sh.shard_offsets[i])
+        vv_load = contiguous_transactions(
+            n_i, vbytes, start_byte=lo * vbytes, warp_size=warp,
+            transaction_bytes=LOAD_GRANULARITY_BYTES)
+        st1.add_load(vv_load)
+        st1.add_lanes(*slots_for_contiguous(n_i, warp),
+                      instructions_per_row=costs.INSTR_INIT)
+        for b in (vbytes, 4, sbytes, ebytes):
+            if b:
+                st2.add_load(contiguous_transactions(
+                    m_i, b, start_byte=o * b, warp_size=warp,
+                    transaction_bytes=LOAD_GRANULARITY_BYTES))
+        st2.add_lanes(*slots_for_contiguous(m_i, warp),
+                      instructions_per_row=costs.INSTR_COMPUTE)
+        dest_local = sh.dest_index[o:o + m_i].astype(np.int64) - lo
+        st2.add_instructions(
+            conflict_replays(dest_local, warp_size=warp)
+            * costs.INSTR_ATOMIC_REPLAY)
+        st3.add_load(vv_load)
+        st3.add_lanes(*slots_for_contiguous(n_i, warp),
+                      instructions_per_row=costs.INSTR_UPDATE)
+        if mode == "gs":
+            starts = sh.window_offsets[:, i]
+            stops = sh.window_offsets[:, i + 1]
+            for j in np.flatnonzero(stops - starts):
+                w = int(stops[j] - starts[j])
+                s0 = int(starts[j])
+                st4.add_load(contiguous_transactions(
+                    w, 4, start_byte=s0 * 4, warp_size=warp,
+                    transaction_bytes=LOAD_GRANULARITY_BYTES))
+                st4.add_store(contiguous_transactions(
+                    w, vbytes, start_byte=s0 * vbytes, warp_size=warp,
+                    transaction_bytes=STORE_GRANULARITY_BYTES))
+                st4.add_lanes(*slots_for_contiguous(w, warp),
+                              instructions_per_row=costs.INSTR_WRITEBACK)
+            st4.add_load(contiguous_transactions(
+                S + 1, 8, warp_size=warp,
+                transaction_bytes=LOAD_GRANULARITY_BYTES))
+            st4.add_instructions(S * costs.INSTR_GS_WINDOW_SCAN)
+        else:
+            L = cw.cw_size(i)
+            cwo = int(cw.cw_offsets[i])
+            cw_read = contiguous_transactions(
+                L, 4, start_byte=cwo * 4, warp_size=warp,
+                transaction_bytes=LOAD_GRANULARITY_BYTES)
+            st4.add_load(cw_read)
+            st4.add_load(cw_read)
+            st4.add_store(gather_transactions(
+                cw.mapper[cw.cw_slice(i)], vbytes, warp_size=warp,
+                transaction_bytes=STORE_GRANULARITY_BYTES))
+            st4.add_lanes(*slots_for_contiguous(L, warp),
+                          instructions_per_row=costs.INSTR_WRITEBACK)
+    return {
+        "stage1-fetch": StagePrediction("stage1-fetch", st1),
+        "stage2-compute": StagePrediction(
+            "stage2-compute", st2, dynamic_fields=("shared_atomics",)),
+        "stage3-update": StagePrediction(
+            "stage3-update", st3,
+            dynamic_fields=("store_transactions", "store_bytes_requested")),
+        "stage4-writeback": StagePrediction("stage4-writeback", st4),
+    }
+
+
+def predict_streamed_chunks(
+    cw: ConcatenatedWindows,
+    chunks: list[tuple[int, int]],
+    *,
+    vbytes: int,
+    sbytes: int = 0,
+    ebytes: int = 0,
+    warp: int = 32,
+) -> dict[str, StagePrediction]:
+    """Per-sweep static costs of the streamed engine's compute chunks.
+
+    A chunk's kernel runs stages 1-2 for its shard range; stores and
+    atomic ops are dynamic and excluded from the exact contract.
+    """
+    sh = cw.shards
+    dynamic = ("store_transactions", "store_bytes_requested",
+               "shared_atomics")
+    out: dict[str, StagePrediction] = {}
+    for k, (a, b) in enumerate(chunks):
+        st = KernelStats()
+        for i in range(a, b):
+            lo, hi = sh.vertex_range(i)
+            n_i = hi - lo
+            m_i = sh.shard_size(i)
+            o = int(sh.shard_offsets[i])
+            st.add_load(contiguous_transactions(
+                n_i, vbytes, start_byte=lo * vbytes, warp_size=warp,
+                transaction_bytes=LOAD_GRANULARITY_BYTES))
+            st.add_lanes(*slots_for_contiguous(n_i, warp),
+                         instructions_per_row=costs.INSTR_INIT)
+            for fb in (vbytes, 4, sbytes, ebytes):
+                if fb:
+                    st.add_load(contiguous_transactions(
+                        m_i, fb, start_byte=o * fb, warp_size=warp,
+                        transaction_bytes=LOAD_GRANULARITY_BYTES))
+            st.add_lanes(*slots_for_contiguous(m_i, warp),
+                         instructions_per_row=costs.INSTR_COMPUTE)
+        name = f"chunk-{k}-compute"
+        out[name] = StagePrediction(name, st, dynamic_fields=dynamic)
+    return out
+
+
+def static_predictions(
+    engine, graph, program, config: RunConfig | None = None
+) -> dict[str, StagePrediction]:
+    """Per-sweep stage predictions for an engine's run over ``graph``.
+
+    CuSha and streamed predictions are derived independently here; VWC
+    predictions come from the engine's own static schedule export (its
+    three lockstep phases are re-emitted verbatim every iteration, so the
+    drift gate still pins the measured spans to them bit-for-bit).
+    Engines that model no GPU (mtcpu, scalar) predict nothing.
+    """
+    cfg = config or RunConfig()
+    vbytes = program.vertex_value_bytes
+    sbytes = program.static_value_bytes
+    ebytes = program.edge_value_bytes
+    if isinstance(engine, CuShaEngine):
+        (cw,) = engine.preflight_representations(graph, program, cfg)
+        return predict_cusha_stages(
+            cw, engine.mode, vbytes=vbytes, sbytes=sbytes, ebytes=ebytes,
+            warp=engine.spec.warp_size)
+    if isinstance(engine, StreamedCuShaEngine):
+        (cw,) = engine.preflight_representations(graph, program, cfg)
+        entry_bytes = 4 + vbytes + sbytes + ebytes + 4 + 4
+        chunks = engine._chunk_shards(cw, entry_bytes)
+        return predict_streamed_chunks(
+            cw, chunks, vbytes=vbytes, sbytes=sbytes, ebytes=ebytes,
+            warp=engine.spec.warp_size)
+    if isinstance(engine, VWCEngine):
+        phases = engine.predicted_stage_stats(graph, program)
+        return {k: StagePrediction(k, v) for k, v in phases.items()}
+    return {}
+
+
+# ----------------------------------------------------------------------
+# Static audit (P301-P307)
+# ----------------------------------------------------------------------
+
+def audit_cw(
+    cw: ConcatenatedWindows,
+    *,
+    vbytes: int,
+    sbytes: int = 0,
+    ebytes: int = 0,
+    spec,
+    threads_per_block: int = 512,
+    subject: str = "",
+) -> list[Violation]:
+    """Assert the paper's performance contract over one CW structure."""
+    out: list[Violation] = []
+    sh = cw.shards
+    S = sh.num_shards
+    E = cw.num_edges
+    warp = spec.warp_size
+    N = cw.vertices_per_shard
+    subject = subject or repr(cw)
+
+    # P302 — shard footprint vs shared memory.
+    rep = occupancy_report(spec, N, vbytes, threads_per_block)
+    if not rep.fits:
+        out.append(Violation(
+            "P302",
+            f"shard of {N} vertices needs {rep.shared_bytes_per_block} "
+            f"shared bytes/block; 0 blocks fit an SM "
+            f"({spec.shared_mem_per_sm_bytes} bytes, "
+            f"{threads_per_block} threads/block)",
+            subject=subject,
+        ))
+
+    win_sizes = np.diff(sh.window_offsets, axis=1)  # w_ji: row j, column i
+    col_sizes = win_sizes.sum(axis=0)  # entries written back per target shard
+    L = np.diff(cw.cw_offsets)
+
+    # P303 — both write-back schemes must store exactly |E| vertex values.
+    gs_payload = int(win_sizes.sum()) * vbytes
+    cw_payload = int(L.sum()) * vbytes
+    if not (gs_payload == cw_payload == E * vbytes):
+        out.append(Violation(
+            "P303",
+            f"stage-4 store payloads disagree: GS {gs_payload} B, "
+            f"CW {cw_payload} B, expected |E|*vbytes = {E * vbytes} B",
+            subject=subject,
+        ))
+
+    # P304 — CW lane slots must be the dense packing of the same entries
+    # the GS windows cover (L_i = sum_j w_ji), mapper covering every slot.
+    if int(cw.mapper.size) != E or not np.array_equal(L, col_sizes):
+        out.append(Violation(
+            "P304",
+            "CW write-back lane slots deviate from the dense-packing "
+            f"optimum: per-shard CW sizes {L.tolist()[:8]}... vs window "
+            f"column totals {col_sizes.tolist()[:8]}... "
+            f"(mapper covers {int(cw.mapper.size)}/{E} slots)",
+            subject=subject,
+        ))
+
+    # P301 — CW write-back occupancy must not fall below G-Shards.
+    nz = win_sizes[win_sizes > 0]
+    gs_total = int((-(-nz // warp)).sum()) * warp
+    cw_total = int((-(-L // warp)).sum()) * warp
+    occ_cw = E / cw_total if cw_total else 1.0
+    occ_gs = E / gs_total if gs_total else 1.0
+    if occ_cw < occ_gs - budgets.OCCUPANCY_EPSILON:
+        out.append(Violation(
+            "P301",
+            f"predicted CW write-back lane occupancy {occ_cw:.4f} < "
+            f"G-Shards {occ_gs:.4f} (paper claims CW >= GS)",
+            subject=subject,
+        ))
+
+    # P305 — stage-2 atomic replays vs the fully serialized worst case.
+    replays = 0
+    rows2 = 0
+    for i in range(S):
+        o = int(sh.shard_offsets[i])
+        m_i = sh.shard_size(i)
+        lo, _hi = sh.vertex_range(i)
+        dest_local = sh.dest_index[o:o + m_i].astype(np.int64) - lo
+        replays += conflict_replays(dest_local, warp_size=warp)
+        rows2 += -(-m_i // warp) if m_i else 0
+    frac = replay_fraction(replays, rows2, warp_size=warp)
+    if rows2 >= budgets.REPLAY_WARN_MIN_ROWS and \
+            frac >= budgets.REPLAY_WARN_FRACTION:
+        out.append(Violation(
+            "P305",
+            f"predicted stage-2 atomic replays at {frac:.0%} of the fully "
+            f"serialized worst case ({replays} replays over {rows2} warp "
+            "rows): destinations concentrate in few banks",
+            subject=subject,
+            severity="warning",
+        ))
+
+    # P306 / P307 need the per-stage predictions (cheap at audit sizes).
+    preds = predict_cusha_stages(
+        cw, "cw", vbytes=vbytes, sbytes=sbytes, ebytes=ebytes, warp=warp)
+    for stage in ("stage1-fetch", "stage2-compute"):
+        eff = preds[stage].stats.gld_efficiency
+        if eff < budgets.STAGE_LOAD_EFFICIENCY_FLOOR:
+            out.append(Violation(
+                "P306",
+                f"predicted {stage} load efficiency {eff:.2f} below the "
+                f"coalescing floor {budgets.STAGE_LOAD_EFFICIENCY_FLOOR}",
+                subject=subject,
+                severity="warning",
+            ))
+
+    # P307 — analytic scatter bound for a window-grouped Mapper: each
+    # nonzero window is a contiguous ascending SrcValue run costing at
+    # most ceil(bytes/128)+1 store transactions, plus at most one extra
+    # per warp row for runs split at row boundaries.
+    predicted_tx = preds["stage4-writeback"].stats.store_transactions
+    bound = int(
+        (-(-(nz * vbytes) // STORE_GRANULARITY_BYTES)).sum()
+        + nz.size
+        + (-(-L // warp)).sum()
+    )
+    if predicted_tx > bound:
+        out.append(Violation(
+            "P307",
+            f"CW write-back predicts {predicted_tx} store transactions, "
+            f"above the window-grouped Mapper bound {bound}: the mapper "
+            "scatters instead of grouping windows",
+            subject=subject,
+        ))
+    return out
+
+
+def perf_audit(
+    engine, graph, program, config: RunConfig | None = None
+) -> list[Violation]:
+    """Layer-1 static audit behind ``RunConfig(validate="perf")``.
+
+    Checks the cost contract (``P310``) and, for every CW / G-Shards
+    representation the engine is about to execute over, the structural
+    performance contract (``P301``-``P307``).  Engines that model no GPU
+    hardware only get the cost-contract check.
+    """
+    cfg = config or RunConfig()
+    out = cost_contract_check()
+    spec = getattr(engine, "spec", None)
+    if spec is None or not hasattr(spec, "warp_size"):
+        return out
+    tpb = getattr(engine, "threads_per_block", 512)
+    subject = f"{engine.name}/{program.name}"
+    for rep in engine.preflight_representations(graph, program, cfg):
+        if isinstance(rep, ConcatenatedWindows):
+            cw = rep
+        elif isinstance(rep, GShards):
+            cw = ConcatenatedWindows(rep)
+        else:
+            continue
+        out.extend(audit_cw(
+            cw,
+            vbytes=program.vertex_value_bytes,
+            sbytes=program.static_value_bytes,
+            ebytes=program.edge_value_bytes,
+            spec=spec,
+            threads_per_block=tpb,
+            subject=subject,
+        ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Drift gate (P311 / P312)
+# ----------------------------------------------------------------------
+
+def _drift_runner(engine):
+    """The engine actually run by the drift gate.
+
+    CuSha's stage-4 cost is dynamic (only updated shards write back), so
+    the gate runs the engine's existing ``always_writeback`` ablation —
+    values and iteration counts are unchanged, but every stage becomes a
+    full sweep the static model prices exactly.
+    """
+    if isinstance(engine, CuShaEngine) and not engine.always_writeback:
+        return CuShaEngine(
+            engine.mode,
+            vertices_per_shard=engine.vertices_per_shard,
+            spec=engine.spec,
+            pcie=engine.pcie,
+            resident_blocks=engine.resident_blocks,
+            threads_per_block=engine.threads_per_block,
+            sync_mode=engine.sync_mode,
+            always_writeback=True,
+            cache=engine.cache,
+        )
+    return engine
+
+
+def _compare(
+    pred: StagePrediction,
+    got: KernelStats,
+    *,
+    scale: int,
+    subject: str,
+    what: str,
+) -> tuple[list[Violation], int]:
+    """Exact + toleranced comparison of one stage; returns (violations,
+    number of fields checked)."""
+    vios: list[Violation] = []
+    exact = pred.exact_fields
+    for f, (want, g) in field_diffs(pred.stats, got, exact,
+                                    scale=scale).items():
+        vios.append(Violation(
+            "P311",
+            f"{pred.stage}: {what} {f} = {g} != predicted {want} "
+            f"({scale}x per-sweep)",
+            subject=subject,
+        ))
+    want_instr = pred.stats.warp_instructions * scale
+    tol = budgets.INSTRUCTION_DRIFT_TOLERANCE * max(1.0, abs(want_instr))
+    if abs(got.warp_instructions - want_instr) > tol:
+        vios.append(Violation(
+            "P312",
+            f"{pred.stage}: {what} warp_instructions = "
+            f"{got.warp_instructions:.1f} drifts beyond "
+            f"{budgets.INSTRUCTION_DRIFT_TOLERANCE:.0%} from predicted "
+            f"{want_instr:.1f}",
+            subject=subject,
+        ))
+    return vios, len(exact) + 1
+
+
+def drift_gate(
+    engine, graph, program, *, max_iterations: int = 16, metrics=None
+) -> DriftReport:
+    """Layer-2 model-vs-measured check for one engine/program/graph.
+
+    Diffs (a) the engine's own static-stats export and (b) the traced
+    per-stage span counters of a real run against the independent
+    predictions.  Exact counters must match bit-for-bit over however
+    many iterations ran; instruction totals get the budgeted tolerance.
+    """
+    subject = f"{engine.name}/{program.name}"
+    preds = static_predictions(engine, graph, program)
+    exports = engine.predicted_stage_stats(graph, program)
+    vios: list[Violation] = []
+    fields_checked = 0
+
+    # (a) engine's static export vs independent predictions.  When the
+    # prediction *is* the export (VWC), the self-comparison is skipped.
+    for stage, pred in preds.items():
+        exp = exports.get(stage)
+        if exp is None:
+            vios.append(Violation(
+                "P311",
+                f"engine exports no static stats for predicted stage "
+                f"{stage}",
+                subject=subject,
+            ))
+            continue
+        if exp is pred.stats:
+            continue
+        v, n = _compare(pred, exp, scale=1, subject=subject,
+                        what="exported")
+        vios.extend(v)
+        fields_checked += n
+
+    # (b) traced run vs predictions.
+    tracer = Tracer()
+    runner = _drift_runner(engine)
+    result = runner.run(graph, program, config=RunConfig(
+        max_iterations=max_iterations,
+        allow_partial=True,
+        collect_traces=False,
+        tracer=tracer,
+        exec_path="fast",
+    ))
+    iterations = result.iterations
+    measured: dict[str, KernelStats] = {}
+    for span in tracer.find(kind="stage"):
+        st = span.kernel_stats()
+        if span.name in measured:
+            measured[span.name] += st
+        else:
+            measured[span.name] = st
+    stages_checked = 0
+    for stage, pred in preds.items():
+        got = measured.get(stage)
+        if got is None:
+            vios.append(Violation(
+                "P311",
+                f"run emitted no '{stage}' stage spans to check",
+                subject=subject,
+            ))
+            continue
+        stages_checked += 1
+        v, n = _compare(pred, got, scale=iterations, subject=subject,
+                        what="measured")
+        vios.extend(v)
+        fields_checked += n
+
+    report = DriftReport(
+        engine=engine.name,
+        program=program.name,
+        iterations=iterations,
+        stages_checked=stages_checked,
+        fields_checked=fields_checked,
+        violations=vios,
+    )
+    if metrics is not None:
+        metrics.counter("analysis.perf.stages_checked").inc(stages_checked)
+        metrics.counter("analysis.perf.fields_checked").inc(fields_checked)
+        metrics.counter("analysis.perf.drift_violations").inc(len(vios))
+        metrics.gauge(
+            f"analysis.perf.iterations.{engine.name}").set(iterations)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Benchmark comparator (P320 / P321)
+# ----------------------------------------------------------------------
+
+def compare_bench_reports(baseline: dict, current: dict) -> list[Violation]:
+    """Diff a fresh perf_smoke report against the committed baseline.
+
+    ``P321`` when the runs are not comparable (different graph, program,
+    engine set, or per-engine ``exec_path``); ``P320`` when an exact
+    metric changed or a timing metric regressed beyond its one-sided
+    relative threshold.  Improvements never fail.
+    """
+    out: list[Violation] = []
+    for key in budgets.PERFGATE_MATCH_KEYS:
+        if baseline.get(key) != current.get(key):
+            out.append(Violation(
+                "P321",
+                f"run configuration '{key}' differs: baseline "
+                f"{baseline.get(key)!r} vs current {current.get(key)!r}",
+                subject="perfgate",
+            ))
+    bengines = baseline.get("engines", {})
+    cengines = current.get("engines", {})
+    if set(bengines) != set(cengines):
+        out.append(Violation(
+            "P321",
+            f"engine sets differ: baseline {sorted(bengines)} vs "
+            f"current {sorted(cengines)}",
+            subject="perfgate",
+        ))
+    thr = budgets.PERFGATE_TIMING_THRESHOLD
+    for ek in sorted(set(bengines) & set(cengines)):
+        b, c = bengines[ek], cengines[ek]
+        for pk in ("exec_path", "reference_exec_path"):
+            if b.get(pk) != c.get(pk):
+                out.append(Violation(
+                    "P321",
+                    f"{ek}: {pk} differs (baseline {b.get(pk)!r} vs "
+                    f"current {c.get(pk)!r}); refusing to compare "
+                    "timings across execution paths",
+                    subject="perfgate",
+                ))
+        for mk in budgets.PERFGATE_EXACT_METRICS:
+            if b.get(mk) != c.get(mk):
+                out.append(Violation(
+                    "P320",
+                    f"{ek}: exact metric {mk} changed from {b.get(mk)!r} "
+                    f"to {c.get(mk)!r}",
+                    subject="perfgate",
+                ))
+        for mk in budgets.PERFGATE_TIMING_METRICS:
+            bv, cv = b.get(mk), c.get(mk)
+            if not isinstance(bv, (int, float)) or \
+                    not isinstance(cv, (int, float)) or bv <= 0:
+                continue
+            rel = (cv - bv) / bv
+            if rel > thr:
+                out.append(Violation(
+                    "P320",
+                    f"{ek}: {mk} regressed {rel:+.1%} "
+                    f"({bv:.4f}s -> {cv:.4f}s), threshold +{thr:.0%}",
+                    subject="perfgate",
+                ))
+    return out

@@ -13,6 +13,11 @@
     instrumented reference iterations plus one permuted-edge-order diff.
     This executes the scalar device functions edge by edge in Python, so
     it is intended for small graphs (tests, CI gates, ``repro check``).
+``"perf"``
+    The ``"structure"`` checks plus the static performance auditor
+    (:mod:`repro.analysis.perf`): cost-contract, occupancy, write-back,
+    and coalescing assertions derived from the representations without
+    running an iteration (``P3xx`` codes).
 
 All violations are published to the run's tracer metrics under
 ``analysis.violations`` (total, split by severity, and one counter per
@@ -30,7 +35,7 @@ from repro.analysis.violations import ValidationError, Violation
 
 __all__ = ["VALIDATE_LEVELS", "collect_violations", "preflight", "publish_violations"]
 
-VALIDATE_LEVELS = ("off", "structure", "full")
+VALIDATE_LEVELS = ("off", "structure", "full", "perf")
 
 #: iteration bounds for the (expensive) dynamic checks under ``"full"``
 _RACE_ITERATIONS = 2
@@ -50,6 +55,12 @@ def collect_violations(engine, graph, program, config) -> list[Violation]:
         out.extend(
             order_sensitivity_check(graph, program, iterations=_RACE_ITERATIONS)
         )
+    if config.validate == "perf":
+        # Imported here: the perf auditor pulls in the engine layer, which
+        # the lint/invariant levels do not need.
+        from repro.analysis.perf import perf_audit
+
+        out.extend(perf_audit(engine, graph, program, config))
     return out
 
 

@@ -18,6 +18,12 @@ Code namespaces
 ``R2xx``
     Dynamic findings from the simulated-race detector (stage discipline of
     Figure 5 and the commutativity requirement of section 4).
+``P3xx``
+    Performance-contract findings from :mod:`repro.analysis.perf` and
+    :mod:`repro.analysis.budgets`: static per-stage cost bounds derived
+    from the representations (``P301``–``P307``), model-vs-measured drift
+    (``P310``–``P312``), and the benchmark regression gate
+    (``P320``–``P321``).
 """
 
 from __future__ import annotations
@@ -131,6 +137,74 @@ CODES: dict[str, tuple[str, str]] = {
         "cw_src_index disagrees with the shard SrcIndex column reached "
         "through the Mapper",
     ),
+    # ---- performance auditor (perf.py / budgets.py) -------------------
+    "P301": (
+        "perf-cw-occupancy-below-gs",
+        "predicted CW write-back warp lane occupancy falls below G-Shards "
+        "on the same graph, inverting the paper's full-warp write-back "
+        "claim (section 3.2, Figure 8)",
+    ),
+    "P302": (
+        "perf-sharedmem-exceeded",
+        "a shard's shared-memory block footprint exceeds the device limit: "
+        "zero blocks fit on an SM, so the kernel cannot launch as "
+        "configured (section 4, 'Selecting shard size')",
+    ),
+    "P303": (
+        "perf-writeback-payload-mismatch",
+        "predicted stage-4 store payloads differ between G-Shards and CW: "
+        "both write-back schemes must store exactly |E| vertex values per "
+        "full sweep",
+    ),
+    "P304": (
+        "perf-writeback-occupancy",
+        "CW write-back lane slots deviate from the dense-packing optimum "
+        "ceil(L_i / warp) per shard that contiguous CW entries guarantee",
+    ),
+    "P305": (
+        "perf-bank-conflict-replays",
+        "predicted shared-memory atomic replays approach the fully "
+        "serialized worst case: stage-2 destinations concentrate in few "
+        "banks (lock-contention hazard, paper section 4)",
+    ),
+    "P306": (
+        "perf-uncoalesced-stage",
+        "a predicted stage load efficiency falls below the coalescing "
+        "floor the contiguous shard layout is supposed to guarantee "
+        "(Table 2 contract)",
+    ),
+    "P307": (
+        "perf-cw-writeback-scatter",
+        "CW write-back store transactions exceed the analytic scatter "
+        "bound a window-grouped Mapper guarantees: the mapper no longer "
+        "groups windows contiguously",
+    ),
+    "P310": (
+        "perf-cost-contract",
+        "a frameworks.costs instruction constant diverges from the "
+        "contracted value in analysis.budgets (mispriced cost model)",
+    ),
+    "P311": (
+        "perf-drift-transactions",
+        "measured per-stage transaction / lane counters diverge from the "
+        "static predictions (exact contract)",
+    ),
+    "P312": (
+        "perf-drift-instructions",
+        "measured warp-instruction counts drift beyond tolerance from the "
+        "static predictions",
+    ),
+    "P320": (
+        "perf-regression",
+        "a benchmark metric regressed beyond its relative threshold "
+        "against the committed perf_smoke baseline",
+    ),
+    "P321": (
+        "perf-baseline-mismatch",
+        "the benchmark run configuration (exec_path, graph shape, engine "
+        "set) does not match the committed baseline, so the comparison "
+        "would be apples-to-oranges",
+    ),
     # ---- simulated-race detector (races.py) --------------------------
     "R201": (
         "race-vertexvalues-write",
@@ -192,6 +266,17 @@ class Violation:
         """Stable kind slug for the code (``"unknown"`` if unregistered)."""
         entry = CODES.get(self.code)
         return entry[0] if entry else "unknown"
+
+    def to_dict(self) -> dict[str, str]:
+        """JSON-ready record (``repro check --format json``, perfgate)."""
+        return {
+            "code": self.code,
+            "kind": self.kind,
+            "severity": self.severity,
+            "subject": self.subject,
+            "location": self.location,
+            "message": self.message,
+        }
 
     def __str__(self) -> str:
         where = f" [{self.location}]" if self.location else ""

@@ -68,9 +68,10 @@ class RunConfig:
     ``validate`` gates the :mod:`repro.analysis` preflight: ``"off"`` (the
     default) skips it entirely, ``"structure"`` lints the program and
     structurally validates the representations the engine will execute
-    over, ``"full"`` additionally runs the simulated-race detector (see
-    ``docs/analysis.md`` for the overhead of each level).  Error
-    violations abort the run with
+    over, ``"full"`` additionally runs the simulated-race detector, and
+    ``"perf"`` runs the structural checks plus the static performance
+    auditor (``P3xx`` codes; see ``docs/analysis.md`` for the overhead of
+    each level).  Error violations abort the run with
     :class:`~repro.analysis.violations.ValidationError` before any engine
     state is touched.
     """
@@ -85,8 +86,10 @@ class RunConfig:
     def __post_init__(self) -> None:
         if self.exec_path not in ("fast", "reference"):
             raise ValueError("exec_path must be 'fast' or 'reference'")
-        if self.validate not in ("off", "structure", "full"):
-            raise ValueError("validate must be 'off', 'structure', or 'full'")
+        if self.validate not in ("off", "structure", "full", "perf"):
+            raise ValueError(
+                "validate must be 'off', 'structure', 'full', or 'perf'"
+            )
 
     def with_tracer(self, tracer) -> "RunConfig":
         return replace(self, tracer=tracer)
@@ -113,6 +116,16 @@ class RunResult:
     stages populate it; keys are engine-specific stage names).  Kept for
     compatibility — the tracer's ``stage`` spans carry the same breakdown
     plus per-iteration resolution and standalone modeled times."""
+    exec_path: str = ""
+    """The execution path this run actually used (``config.exec_path``
+    for dual-path engines, ``"reference"`` for single-path ones), so
+    downstream comparisons — the ``perfgate`` baseline check above all —
+    never diff a fast run against a reference one."""
+    cache_hits: int = 0
+    cache_misses: int = 0
+    """Representation-cache hit/miss deltas attributable to this run
+    (both 0 when no cache was configured).  Recorded unconditionally —
+    unlike the ``cache.*`` metrics, which need a live tracer."""
 
     @property
     def total_ms(self) -> float:
@@ -228,6 +241,19 @@ class Engine(ABC):
         duplicates the build).  The default reports none.
         """
         return ()
+
+    def predicted_stage_stats(
+        self, graph: DiGraph, program: VertexProgram
+    ) -> dict[str, KernelStats]:
+        """Static per-sweep hardware stats, keyed by stage-span name.
+
+        The contract: for every returned stage, one iteration's traced
+        ``stage`` span must carry exactly these stats on the counters the
+        static model covers (the perf auditor's drift gate enforces it).
+        Engines that model no GPU hardware return an empty mapping — the
+        default.
+        """
+        return {}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"

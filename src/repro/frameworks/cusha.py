@@ -207,6 +207,42 @@ class CuShaEngine(Engine):
             cw = ConcatenatedWindows.from_graph(graph, N)
         return (cw,)
 
+    def predicted_stage_stats(
+        self, graph: DiGraph, program: VertexProgram
+    ) -> dict[str, KernelStats]:
+        """Static per-sweep stats of the four pipeline stages, from the
+        same cached bundle the fast path executes with.  Stage 4 is the
+        full-sweep cost (every shard writing back)."""
+        N = self._choose_shard_size(graph, program)
+        vbytes = program.vertex_value_bytes
+        sbytes = program.static_value_bytes
+        ebytes = program.edge_value_bytes
+        warp = self.spec.warp_size
+        cache = resolve_cache(self.cache)
+        if cache is not None:
+            fp = graph_fingerprint(graph)
+            cw = cache.get(
+                ("cw", fp, N),
+                lambda: ConcatenatedWindows.from_graph(graph, N),
+            )
+            bundle = cache.get(
+                ("cusha-stats", fp, self.mode, N, warp, vbytes, sbytes, ebytes),
+                lambda: cusha_static_bundle(
+                    cw, self.mode, warp, vbytes, sbytes, ebytes
+                ),
+            )
+        else:
+            cw = ConcatenatedWindows.from_graph(graph, N)
+            bundle = cusha_static_bundle(
+                cw, self.mode, warp, vbytes, sbytes, ebytes
+            )
+        return {
+            "stage1-fetch": bundle.base1.copy(),
+            "stage2-compute": bundle.base2.copy(),
+            "stage3-update": bundle.base3.copy(),
+            "stage4-writeback": stats_from_row(bundle.stage4.sum(axis=0)),
+        }
+
     def _wave_size(self, shared_bytes: int) -> int:
         if self.sync_mode == "async":
             return 1
@@ -250,6 +286,7 @@ class CuShaEngine(Engine):
         warp = self.spec.warp_size
 
         cache = resolve_cache(self.cache)
+        cache_hits = cache_misses = 0
         if cache is not None:
             hits0, misses0 = cache.counters()
             fp = graph_fingerprint(graph)
@@ -263,10 +300,11 @@ class CuShaEngine(Engine):
                     cw, self.mode, warp, vbytes, sbytes, ebytes
                 ),
             )
+            hits1, misses1 = cache.counters()
+            cache_hits, cache_misses = hits1 - hits0, misses1 - misses0
             if trace_on:
-                hits1, misses1 = cache.counters()
-                tracer.metrics.counter("cache.hits").inc(hits1 - hits0)
-                tracer.metrics.counter("cache.misses").inc(misses1 - misses0)
+                tracer.metrics.counter("cache.hits").inc(cache_hits)
+                tracer.metrics.counter("cache.misses").inc(cache_misses)
         else:
             cw = ConcatenatedWindows.from_graph(graph, N)
             bundle = cusha_static_bundle(
@@ -476,6 +514,9 @@ class CuShaEngine(Engine):
             traces=traces,
             num_edges=graph.num_edges,
             stage_stats=stage_stats,
+            exec_path="fast",
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
         )
 
     # ------------------------------------------------------------------
@@ -769,4 +810,5 @@ class CuShaEngine(Engine):
             traces=traces,
             num_edges=graph.num_edges,
             stage_stats=stage_stats,
+            exec_path="reference",
         )

@@ -90,6 +90,13 @@ class MTCPUEngine(Engine):
             csr = CSR.from_graph(graph)
         return (csr,)
 
+    def predicted_stage_stats(
+        self, graph: DiGraph, program: VertexProgram
+    ) -> dict[str, KernelStats]:
+        """The CPU baseline emits no GPU kernel stats: nothing to
+        predict (its time model is analytic, not counter-driven)."""
+        return {}
+
     # ------------------------------------------------------------------
     def _run(
         self, graph: DiGraph, program: VertexProgram, config: RunConfig
@@ -106,10 +113,17 @@ class MTCPUEngine(Engine):
             num_edges=graph.num_edges,
             threads=self.threads,
         ) as run_span:
-            problem = CSRProblem.build(
-                graph, program,
-                cache=False if config.exec_path == "reference" else self.cache,
+            cache_opt = (
+                False if config.exec_path == "reference" else self.cache
             )
+            cache = resolve_cache(cache_opt)
+            cache_hits = cache_misses = 0
+            if cache is not None:
+                hits0, misses0 = cache.counters()
+            problem = CSRProblem.build(graph, program, cache=cache_opt)
+            if cache is not None:
+                hits1, misses1 = cache.counters()
+                cache_hits, cache_misses = hits1 - hits0, misses1 - misses0
             chunk = max(1, -(-graph.num_vertices // self.threads))
             iter_ms = self._iteration_ms(graph, program)
 
@@ -175,4 +189,7 @@ class MTCPUEngine(Engine):
             stats=KernelStats(),  # no GPU profiler metrics for CPU runs
             traces=traces,
             num_edges=graph.num_edges,
+            exec_path=config.exec_path,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
         )

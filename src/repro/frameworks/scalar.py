@@ -50,6 +50,12 @@ class ScalarReferenceEngine(Engine):
         """The G-Shards structure the reference loop walks."""
         return (GShards(graph, self.vertices_per_shard),)
 
+    def predicted_stage_stats(
+        self, graph: DiGraph, program: VertexProgram
+    ) -> dict[str, KernelStats]:
+        """The oracle models no hardware: nothing to predict."""
+        return {}
+
     def _run(
         self, graph: DiGraph, program: VertexProgram, config: RunConfig
     ) -> RunResult:
@@ -152,4 +158,7 @@ class ScalarReferenceEngine(Engine):
             stats=KernelStats(),
             traces=traces,
             num_edges=graph.num_edges,
+            # The oracle has a single (reference-shaped) loop; it never
+            # consults config.exec_path or the representation cache.
+            exec_path="reference",
         )

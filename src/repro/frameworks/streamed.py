@@ -140,6 +140,43 @@ class StreamedCuShaEngine(Engine):
             cw = ConcatenatedWindows.from_graph(graph, N)
         return (cw,)
 
+    def predicted_stage_stats(
+        self, graph: DiGraph, program: VertexProgram
+    ) -> dict[str, KernelStats]:
+        """Static per-sweep stats of every compute chunk plus the
+        full-sweep write-back, from the same cached bundle the fast path
+        executes with."""
+        (cw,) = self.preflight_representations(
+            graph, program, RunConfig()
+        )
+        vbytes = program.vertex_value_bytes
+        sbytes = program.static_value_bytes
+        ebytes = program.edge_value_bytes
+        warp = self.spec.warp_size
+        entry_bytes = 4 + vbytes + sbytes + ebytes + 4 + 4
+        cache = resolve_cache(self.cache)
+        N = cw.vertices_per_shard
+        if cache is not None:
+            chunks, bundle = cache.get(
+                ("streamed-stats", graph_fingerprint(graph), N, warp,
+                 vbytes, sbytes, ebytes, self.device_memory_bytes),
+                lambda: (
+                    lambda ch: (ch, streamed_static_bundle(
+                        cw, ch, warp, vbytes, sbytes, ebytes))
+                )(self._chunk_shards(cw, entry_bytes)),
+            )
+        else:
+            chunks = self._chunk_shards(cw, entry_bytes)
+            bundle = streamed_static_bundle(
+                cw, chunks, warp, vbytes, sbytes, ebytes
+            )
+        out = {
+            f"chunk-{k}-compute": stats_from_row(bundle.chunk_static[k])
+            for k in range(len(chunks))
+        }
+        out["writeback"] = stats_from_row(bundle.writeback.sum(axis=0))
+        return out
+
     # ------------------------------------------------------------------
     def _run(
         self, graph: DiGraph, program: VertexProgram, config: RunConfig
@@ -180,6 +217,7 @@ class StreamedCuShaEngine(Engine):
         entry_bytes = 4 + vbytes + sbytes + ebytes + 4 + 4  # + mapper slot
 
         cache = resolve_cache(self.cache)
+        cache_hits = cache_misses = 0
         if cache is not None:
             hits0, misses0 = cache.counters()
             fp = graph_fingerprint(graph)
@@ -195,10 +233,11 @@ class StreamedCuShaEngine(Engine):
                         cw, ch, warp, vbytes, sbytes, ebytes))
                 )(self._chunk_shards(cw, entry_bytes)),
             )
+            hits1, misses1 = cache.counters()
+            cache_hits, cache_misses = hits1 - hits0, misses1 - misses0
             if trace_on:
-                hits1, misses1 = cache.counters()
-                tracer.metrics.counter("cache.hits").inc(hits1 - hits0)
-                tracer.metrics.counter("cache.misses").inc(misses1 - misses0)
+                tracer.metrics.counter("cache.hits").inc(cache_hits)
+                tracer.metrics.counter("cache.misses").inc(cache_misses)
         else:
             cw = ConcatenatedWindows.from_graph(graph, N)
             chunks = self._chunk_shards(cw, entry_bytes)
@@ -413,6 +452,9 @@ class StreamedCuShaEngine(Engine):
             stats=total_stats,
             traces=traces,
             num_edges=graph.num_edges,
+            exec_path="fast",
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
         )
         # Extra reporting: how much the overlap saved.
         result.unoverlapped_ms = unoverlapped_ms  # type: ignore[attr-defined]
@@ -636,6 +678,7 @@ class StreamedCuShaEngine(Engine):
             stats=total_stats,
             traces=traces,
             num_edges=graph.num_edges,
+            exec_path="reference",
         )
         # Extra reporting: how much the overlap saved.
         result.unoverlapped_ms = unoverlapped_ms  # type: ignore[attr-defined]

@@ -258,6 +258,15 @@ class VWCEngine(Engine):
             csr = CSR.from_graph(graph)
         return (csr,)
 
+    def predicted_stage_stats(
+        self, graph: DiGraph, program: VertexProgram
+    ) -> dict[str, KernelStats]:
+        """The static lockstep-schedule phases (``sisd``, ``edge-loop``,
+        ``reduction``) one iteration re-emits verbatim; the conditional
+        ``stores`` phase is dynamic and deliberately absent."""
+        problem = CSRProblem.build(graph, program, cache=self.cache)
+        return self._static_stat_phases(problem)
+
     # ------------------------------------------------------------------
     def _run(
         self, graph: DiGraph, program: VertexProgram, config: RunConfig
@@ -286,6 +295,7 @@ class VWCEngine(Engine):
         # equivalence baseline free of memoization.
         cache_opt = False if config.exec_path == "reference" else self.cache
         cache = resolve_cache(cache_opt)
+        cache_hits = cache_misses = 0
         if cache is not None:
             hits0, misses0 = cache.counters()
         problem = CSRProblem.build(graph, program, cache=cache_opt)
@@ -300,10 +310,11 @@ class VWCEngine(Engine):
                  vbytes_, sbytes_, ebytes_),
                 lambda: self._static_stat_phases(problem),
             )
+            hits1, misses1 = cache.counters()
+            cache_hits, cache_misses = hits1 - hits0, misses1 - misses0
             if trace_on:
-                hits1, misses1 = cache.counters()
-                tracer.metrics.counter("cache.hits").inc(hits1 - hits0)
-                tracer.metrics.counter("cache.misses").inc(misses1 - misses0)
+                tracer.metrics.counter("cache.hits").inc(cache_hits)
+                tracer.metrics.counter("cache.misses").inc(cache_misses)
         else:
             phases = self._static_stat_phases(problem)
         static_stats = KernelStats()
@@ -455,4 +466,7 @@ class VWCEngine(Engine):
             traces=traces,
             num_edges=graph.num_edges,
             stage_stats=stage_stats,
+            exec_path=config.exec_path,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
         )

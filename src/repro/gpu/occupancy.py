@@ -9,9 +9,17 @@ that into the resident-warp ratio the profiler reports.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.gpu.spec import GPUSpec
 
-__all__ = ["blocks_per_sm", "occupancy", "shared_mem_per_block"]
+__all__ = [
+    "OccupancyReport",
+    "blocks_per_sm",
+    "occupancy",
+    "occupancy_report",
+    "shared_mem_per_block",
+]
 
 
 def shared_mem_per_block(
@@ -43,3 +51,36 @@ def occupancy(
     blocks = blocks_per_sm(spec, shared_bytes_per_block, threads_per_block)
     warps_per_block = -(-threads_per_block // spec.warp_size)
     return min(1.0, blocks * warps_per_block / spec.max_warps_per_sm)
+
+
+@dataclass(frozen=True)
+class OccupancyReport:
+    """Static occupancy prediction for one shard-size configuration.
+
+    ``fits`` is False when zero blocks co-reside on an SM — the kernel
+    cannot launch as configured (``P302`` in the perf auditor).
+    """
+
+    shared_bytes_per_block: int
+    blocks_per_sm: int
+    occupancy: float
+
+    @property
+    def fits(self) -> bool:
+        return self.blocks_per_sm > 0
+
+
+def occupancy_report(
+    spec: GPUSpec,
+    vertices_per_shard: int,
+    vertex_value_bytes: int,
+    threads_per_block: int,
+) -> OccupancyReport:
+    """Predict a CuSha block's occupancy from its shard configuration
+    alone — the static side of the section-4 shard-size selection."""
+    shared = shared_mem_per_block(vertices_per_shard, vertex_value_bytes)
+    return OccupancyReport(
+        shared_bytes_per_block=shared,
+        blocks_per_sm=blocks_per_sm(spec, shared, threads_per_block),
+        occupancy=occupancy(spec, shared, threads_per_block),
+    )

@@ -21,6 +21,7 @@ __all__ = [
     "conflict_replays",
     "conflict_replays_segmented",
     "bank_multiplicity_histogram",
+    "replay_fraction",
 ]
 
 
@@ -134,3 +135,17 @@ def bank_multiplicity_histogram(
     rows = bank.reshape(-1, warp_size)
     mult = _row_max_multiplicity(rows)
     return np.bincount(mult, minlength=warp_size + 1).astype(np.int64)
+
+
+def replay_fraction(
+    replays: int, rows: int, *, warp_size: int = 32
+) -> float:
+    """Replays as a fraction of the fully serialized worst case.
+
+    The worst a warp-row can do is ``warp_size - 1`` replay rounds (all
+    lanes on one bank); ``1.0`` means every row serializes completely.
+    Used by the perf auditor's ``P305`` lock-contention warning.
+    """
+    if rows <= 0 or warp_size <= 1:
+        return 0.0
+    return replays / (rows * (warp_size - 1))

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 from repro.gpu.memory import TransactionCount
 
-__all__ = ["KernelStats"]
+__all__ = ["KernelStats", "COUNTER_FIELDS", "field_diffs"]
 
 
 LOAD_GRANULARITY_BYTES = 32
@@ -159,3 +159,41 @@ class KernelStats:
 
     def copy(self) -> "KernelStats":
         return self + KernelStats()
+
+
+#: Counter fields the static perf auditor can predict and compare.
+#: ``warp_instructions`` is deliberately excluded: instruction totals are
+#: floats accumulated in path-dependent order and get a toleranced
+#: comparison instead; ``kernel_launches`` is an execution artifact.
+COUNTER_FIELDS: tuple[str, ...] = (
+    "load_transactions",
+    "load_bytes_requested",
+    "store_transactions",
+    "store_bytes_requested",
+    "active_lane_slots",
+    "total_lane_slots",
+    "shared_atomics",
+    "global_atomics",
+)
+
+
+def field_diffs(
+    predicted: "KernelStats",
+    measured: "KernelStats",
+    fields: tuple[str, ...] = COUNTER_FIELDS,
+    *,
+    scale: int = 1,
+) -> dict[str, tuple[float, float]]:
+    """Fields where ``predicted * scale`` and ``measured`` disagree.
+
+    Returns ``{field: (expected, measured)}`` for every mismatch; empty
+    dict means the prediction holds exactly.  ``scale`` repeats the
+    per-sweep prediction over that many iterations.
+    """
+    out: dict[str, tuple[float, float]] = {}
+    for f in fields:
+        want = getattr(predicted, f) * scale
+        got = getattr(measured, f)
+        if want != got:
+            out[f] = (want, got)
+    return out

@@ -17,7 +17,12 @@ Metric names are dotted, ``<namespace>.<quantity>``:
   ``engine.shared_atomics``, ``engine.global_atomics``, and the
   per-iteration histogram ``engine.updated_vertices``);
 - ``cusha.*`` / ``vwc.*`` / ``csr.*`` / ``streamed.*`` — engine-specific
-  extras (wave size and count, chunk counts, reduction ops).
+  extras (wave size and count, chunk counts, reduction ops);
+- ``analysis.violations*`` — preflight validation outcomes (total, per
+  severity, per violation kind);
+- ``analysis.perf.*`` — drift-gate outcomes (``stages_checked``,
+  ``fields_checked``, ``drift_violations`` counters and the
+  ``analysis.perf.iterations.<engine>`` gauges).
 """
 
 from __future__ import annotations

@@ -1,0 +1,200 @@
+"""Performance-contract tests (`repro.analysis.perf`): the cost-contract
+mirror, the static audit, the model-vs-measured drift gate, the broken
+perf fixtures, and the ``validate="perf"`` engine wiring."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.algorithms import make_program
+from repro.analysis.fixtures import PERF_FIXTURES
+from repro.analysis.perf import (cost_contract_check, drift_gate, perf_audit,
+                                 static_predictions)
+from repro.frameworks.cusha import CuShaEngine
+from repro.frameworks.streamed import StreamedCuShaEngine
+from repro.frameworks.vwc import VWCEngine
+from repro.graph.generators import erdos_renyi, random_weights, rmat
+
+# The engines whose hardware model the perf contract covers.  The
+# streamed budget is tiny on purpose: the drift gate must hold across
+# multi-chunk schedules, not just the single-chunk degenerate case.
+ENGINE_FACTORIES = {
+    "cusha-gs": lambda: CuShaEngine("gs"),
+    "cusha-cw": lambda: CuShaEngine("cw"),
+    "cusha-streamed": lambda: StreamedCuShaEngine(device_memory_bytes=8192),
+    "vwc-4": lambda: VWCEngine(4),
+}
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_weights(rmat(96, 700, seed=3), seed=4)
+
+
+class TestCostContract:
+    def test_live_constants_match_contract(self):
+        assert cost_contract_check() == []
+
+    def test_mispriced_constant_fires_exactly_p310(self, monkeypatch):
+        from repro.frameworks import costs
+
+        monkeypatch.setattr(costs, "INSTR_COMPUTE", costs.INSTR_COMPUTE + 1.0)
+        violations = cost_contract_check()
+        assert {v.code for v in violations} == {"P310"}
+        assert len(violations) == 1
+        assert "INSTR_COMPUTE" in violations[0].message
+
+    def test_uncontracted_constant_fires_p310(self, monkeypatch):
+        from repro.frameworks import costs
+
+        monkeypatch.setattr(costs, "INSTR_SURPRISE", 3.0, raising=False)
+        assert {v.code for v in cost_contract_check()} == {"P310"}
+
+
+class TestStaticAudit:
+    @pytest.mark.parametrize("engine_key", sorted(ENGINE_FACTORIES))
+    def test_audit_clean_on_bundled_representations(self, engine_key, graph):
+        engine = ENGINE_FACTORIES[engine_key]()
+        program = make_program("pr", graph)
+        errors = [v for v in perf_audit(engine, graph, program)
+                  if v.severity == "error"]
+        assert errors == [], [str(v) for v in errors]
+
+    def test_audit_covers_cpu_engines_with_contract_only(self, graph):
+        from repro.frameworks import make_engine
+
+        program = make_program("pr", graph)
+        assert perf_audit(make_engine("scalar"), graph, program) == []
+
+
+class TestPerfFixtures:
+    @pytest.mark.parametrize("name", sorted(PERF_FIXTURES))
+    def test_fixture_fires_exactly_its_code(self, name):
+        pf = PERF_FIXTURES[name]
+        codes = {v.code for v in pf.run()}
+        assert pf.expect in codes, (name, sorted(codes))
+        assert codes <= pf.allowed, (name, sorted(codes))
+
+
+class TestDriftGate:
+    @pytest.mark.parametrize("engine_key", sorted(ENGINE_FACTORIES))
+    def test_measured_counters_match_predictions(self, engine_key, graph):
+        engine = ENGINE_FACTORIES[engine_key]()
+        program = make_program("pr", graph)
+        report = drift_gate(engine, graph, program, max_iterations=8)
+        assert report.ok, [str(v) for v in report.violations]
+        assert report.stages_checked > 0
+        assert report.fields_checked > 0
+        assert report.iterations > 0
+
+    @pytest.mark.parametrize("prog", ["bfs", "sssp", "cc"])
+    def test_drift_holds_across_programs(self, prog, graph):
+        kwargs = {"source": 0} if prog in ("bfs", "sssp") else {}
+        program = make_program(prog, graph, **kwargs)
+        report = drift_gate(CuShaEngine("cw"), graph, program,
+                            max_iterations=8)
+        assert report.ok, [str(v) for v in report.violations]
+
+    def test_cpu_engines_predict_nothing(self, graph):
+        from repro.frameworks import make_engine
+
+        program = make_program("pr", graph)
+        assert static_predictions(make_engine("mtcpu"), graph, program) == {}
+        report = drift_gate(make_engine("scalar"), graph, program,
+                            max_iterations=4)
+        assert report.ok and report.stages_checked == 0
+
+    def test_drift_publishes_metrics(self, graph):
+        from repro.telemetry.tracer import Tracer
+
+        tracer = Tracer()
+        program = make_program("pr", graph)
+        report = drift_gate(CuShaEngine("gs"), graph, program,
+                            max_iterations=6, metrics=tracer.metrics)
+        m = tracer.metrics.as_dict()
+        assert m["analysis.perf.stages_checked"]["value"] == \
+            report.stages_checked
+        assert m["analysis.perf.drift_violations"]["value"] == 0
+        assert m["analysis.perf.iterations.cusha-gs"]["value"] == \
+            report.iterations
+
+    def test_erdos_renyi_graph_also_exact(self):
+        g = random_weights(erdos_renyi(50, 400, seed=5), seed=6)
+        report = drift_gate(StreamedCuShaEngine(device_memory_bytes=8192),
+                            g, make_program("pr", g), max_iterations=6)
+        assert report.ok, [str(v) for v in report.violations]
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        num_vertices=st.integers(24, 72),
+        num_edges=st.integers(48, 320),
+        seed=st.integers(0, 2**16),
+        engine_key=st.sampled_from(sorted(ENGINE_FACTORIES)),
+    )
+    def test_property_static_equals_measured(self, num_vertices, num_edges,
+                                             seed, engine_key):
+        g = random_weights(rmat(num_vertices, num_edges, seed=seed),
+                           seed=seed + 1)
+        engine = ENGINE_FACTORIES[engine_key]()
+        report = drift_gate(engine, g, make_program("pr", g),
+                            max_iterations=4)
+        assert report.ok, [str(v) for v in report.violations]
+
+
+class TestValidatePerfLevel:
+    def test_perf_level_is_bit_identical_to_off(self, graph):
+        off = repro.run(graph, "cc", engine="cusha-cw", validate="off")
+        checked = repro.run(graph, "cc", engine="cusha-cw", validate="perf")
+        assert off.values.tobytes() == checked.values.tobytes()
+        assert off.iterations == checked.iterations
+        assert off.stats == checked.stats
+
+    def test_perf_level_passes_on_every_gate_engine(self, graph):
+        for key in ("cusha-gs", "cusha-cw", "vwc-8"):
+            result = repro.run(graph, "pr", engine=key, validate="perf",
+                               max_iterations=50, allow_partial=True)
+            assert result.iterations > 0
+
+    def test_perf_level_aborts_on_mispriced_cost(self, graph, monkeypatch):
+        from repro.analysis import ValidationError
+        from repro.frameworks import costs
+
+        monkeypatch.setattr(costs, "INSTR_UPDATE", costs.INSTR_UPDATE + 2.0)
+        with pytest.raises(ValidationError) as exc:
+            repro.run(graph, "cc", engine="cusha-cw", validate="perf")
+        assert any(v.code == "P310" for v in exc.value.violations)
+
+
+class TestRunResultPerfFields:
+    """Satellite contract: every run records enough provenance that the
+    perfgate can refuse incomparable diffs (fast vs. reference, cold vs.
+    warm cache)."""
+
+    def test_exec_path_recorded(self, graph):
+        fast = repro.run(graph, "cc", engine="cusha-cw")
+        ref = repro.run(graph, "cc", engine="cusha-cw",
+                        exec_path="reference")
+        assert fast.exec_path == "fast"
+        assert ref.exec_path == "reference"
+
+    @pytest.mark.parametrize("engine_key", ["cusha-gs", "cusha-streamed",
+                                            "vwc-8", "mtcpu", "scalar"])
+    def test_exec_path_recorded_on_every_engine(self, engine_key, graph):
+        result = repro.run(graph, "cc", engine=engine_key)
+        assert result.exec_path in ("fast", "reference")
+
+    def test_cache_counters_recorded(self, graph):
+        from repro.cache import RepresentationCache
+
+        cache = RepresentationCache()
+        first = repro.run(graph, "cc", engine="cusha-cw", cache=cache)
+        second = repro.run(graph, "pr", engine="cusha-cw", cache=cache,
+                           max_iterations=50, allow_partial=True)
+        assert first.cache_misses > 0
+        assert second.cache_hits > 0
+
+    def test_cache_counters_zero_when_disabled(self, graph):
+        result = repro.run(graph, "cc", engine="cusha-cw", cache=False)
+        assert result.cache_hits == 0
+        assert result.cache_misses == 0

@@ -51,7 +51,7 @@ class TestDocuments:
         from repro.analysis import CODES
 
         text = (ROOT / "docs" / "analysis.md").read_text()
-        table = set(re.findall(r"^\| `([LSR]\d{3})` \| `([\w-]+)` \|", text,
+        table = set(re.findall(r"^\| `([LSRP]\d{3})` \| `([\w-]+)` \|", text,
                                re.MULTILINE))
         registry = {(code, kind) for code, (kind, _msg) in CODES.items()}
         assert table == registry
@@ -88,7 +88,7 @@ class TestPackageMetadata:
     def test_version_exposed(self):
         import repro
 
-        assert repro.__version__ == "1.3.0"
+        assert repro.__version__ == "1.4.0"
 
     def test_all_exports_resolve(self):
         import repro

@@ -15,7 +15,9 @@ Implements the highest-value subset of the pyflakes ``F`` family over plain
 - **assert on a non-empty tuple** (F631): always true, almost always a bug.
 
 Usage: ``python tools/lint_fallback.py <path> [<path> ...]``; exits 1 when
-any finding is reported.
+any finding is reported.  With no paths it checks the same roots the
+``make lint`` gate does: ``src/repro``, ``tools``, ``tests``, and
+``benchmarks``.
 """
 
 from __future__ import annotations
@@ -133,7 +135,10 @@ def lint_file(path: pathlib.Path) -> list[str]:
 
 
 def main(argv: list[str]) -> int:
-    roots = [pathlib.Path(a) for a in argv] or [pathlib.Path("src/repro")]
+    roots = [pathlib.Path(a) for a in argv] or [
+        pathlib.Path("src/repro"), pathlib.Path("tools"),
+        pathlib.Path("tests"), pathlib.Path("benchmarks"),
+    ]
     files: list[pathlib.Path] = []
     for root in roots:
         if root.is_dir():
