@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench perf-smoke smoke-trace report lint check perfgate perfgate-rebaseline ci clean
+.PHONY: test bench perf-smoke smoke-trace report lint check chaos-smoke perfgate perfgate-rebaseline ci clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/ -q
@@ -30,6 +30,12 @@ check:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro check --level full
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro check --selftest
 
+# Chaos smoke: the seeded deterministic fault campaign — every fault class
+# against every chaos engine, each run asserting recovery (or graceful
+# degradation) to bit-identical golden values.  See docs/resilience.md.
+chaos-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro chaos --seed 0 --campaign smoke
+
 # Performance gate: cost-contract + static audit + model-vs-measured drift
 # check, then re-run the perf smoke and diff it against the committed
 # baseline (benchmarks/baselines/perf_smoke.json).  Writes the
@@ -43,7 +49,7 @@ perfgate-rebaseline:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro perfgate --repeats 3 --rebaseline
 
 # Full local CI chain, in the order a reviewer would want failures surfaced.
-ci: lint test smoke-trace check perfgate
+ci: lint test smoke-trace check chaos-smoke perfgate
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -13,7 +13,10 @@ This package reproduces *CuSha: Vertex-Centric Graph Processing on GPUs*
   that compute real vertex values while accounting simulated hardware
   activity (:mod:`repro.frameworks`);
 - an **experiment harness** regenerating every table and figure of the
-  paper's evaluation (:mod:`repro.harness`).
+  paper's evaluation (:mod:`repro.harness`);
+- a **resilience subsystem** — deterministic fault injection,
+  checkpoint/restore, retry with backoff, and a graceful-degradation
+  ladder (:mod:`repro.resilience`, see ``docs/resilience.md``).
 
 Quickstart
 ----------
@@ -41,7 +44,7 @@ from repro.graph import CSR, ConcatenatedWindows, DiGraph, GShards, select_shard
 from repro.gpu import GTX780, I7_3930K, KernelStats
 from repro.vertexcentric import VertexProgram
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 
 def run(
@@ -56,6 +59,7 @@ def run(
     exec_path: str = "fast",
     validate: str = "off",
     cache=None,
+    faults=None,
     **engine_opts,
 ) -> RunResult:
     """One-call façade: run ``program_name`` on ``graph`` with ``engine``.
@@ -74,15 +78,19 @@ def run(
     and an explicit :class:`repro.cache.RepresentationCache` scopes it.
     ``validate`` gates the :mod:`repro.analysis` preflight (``"off"``,
     ``"structure"``, ``"full"``, or ``"perf"`` — see ``docs/analysis.md``).
+    ``faults`` arms a :class:`repro.resilience.FaultPlan` at the engine's
+    fault-hook sites (``None``, the default, is the zero-overhead no-op —
+    see ``docs/resilience.md``).
 
     >>> result = repro.run(g, "bfs", engine="vwc-8", source=0)
     """
     prog_kwargs = {} if source is None else {"source": source}
     program = make_program(program_name, graph, **prog_kwargs)
     eng = make_engine(engine, cache=cache, **engine_opts)
+    config_kwargs = {} if faults is None else {"faults": faults}
     config = RunConfig(
         max_iterations=max_iterations, allow_partial=allow_partial,
-        exec_path=exec_path, validate=validate,
+        exec_path=exec_path, validate=validate, **config_kwargs,
     )
     if tracer is not None:
         config = config.with_tracer(tracer)

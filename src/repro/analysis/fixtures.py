@@ -33,9 +33,11 @@ __all__ = [
     "BROKEN_PROGRAMS",
     "CORRUPTIONS",
     "PERF_FIXTURES",
+    "RESILIENCE_FIXTURES",
     "BrokenProgram",
     "Corruption",
     "PerfFixture",
+    "ResilienceFixture",
     "build_corrupted",
     "fixture_graph",
     "perf_fixture_graph",
@@ -489,6 +491,121 @@ PERF_FIXTURES: dict[str, PerfFixture] = {
     ),
     "perf-bank-conflicts": PerfFixture(
         "P305", frozenset({"P305"}), _perf_bank_conflicts
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# Resilience fixtures (R3xx detections / F4xx recoveries)
+# ----------------------------------------------------------------------
+
+def _resilient_codes(fault_kind: str, **kwargs) -> list:
+    """Run one fault through the supervisor on the fixture graph and
+    return the violations it recorded.  Imported lazily: the resilience
+    subsystem depends on the frameworks layer, which :mod:`repro.analysis`
+    must not pull in at import time."""
+    from repro.resilience import FaultPlan, FaultSpec, ResilientRunner
+
+    spec = FaultSpec(kind=fault_kind, **kwargs.pop("spec_kwargs", {}))
+    plan = FaultPlan([spec], seed=0)
+    runner = ResilientRunner("cusha-cw", checkpoint_every=2, **kwargs)
+    outcome = runner.run(
+        fixture_graph(), _resilience_program(), faults=plan,
+        max_iterations=50, allow_partial=True, collect_traces=False,
+    )
+    return outcome.violations
+
+
+def _resilience_program():
+    from repro.algorithms import make_program
+
+    return make_program("bfs", fixture_graph())
+
+
+def _res_transfer() -> list:
+    return _resilient_codes("transfer")
+
+
+def _res_kernel_abort() -> list:
+    return _resilient_codes("kernel-abort")
+
+
+def _res_values_bitflip() -> list:
+    return _resilient_codes("bitflip-values")
+
+
+def _res_rep_bitflip() -> list:
+    return _resilient_codes("bitflip-representation")
+
+
+def _res_oom() -> list:
+    # Persistent and engine-pinned: fires on both cusha-cw rungs (F404),
+    # clears when the ladder switches engines (F405).
+    return _resilient_codes(
+        "sharedmem-oom", spec_kwargs={"engine": "cusha-cw", "count": None}
+    )
+
+
+def _res_ckpt_mismatch() -> list:
+    """Tamper with a stored snapshot directly: restore must fire R305
+    and fall back (here, to a cold restart)."""
+    from repro.resilience import Checkpoint, CheckpointStore
+
+    store = CheckpointStore(run_id="fixture")
+    values = np.zeros(8, dtype=np.float64)
+    ckpt = store.save(3, values)
+    store._cache.put(
+        store._key(3),
+        Checkpoint(iteration=3, values=ckpt.values, digest="0" * 32),
+    )
+    restored, violations = store.restore()
+    assert restored is None
+    return violations
+
+
+def _res_unrecovered() -> list:
+    """A persistent kernel abort matching every engine exhausts the
+    whole ladder: retries, both degradation kinds, then F406."""
+    from repro.resilience import RetryPolicy
+
+    return _resilient_codes(
+        "kernel-abort",
+        spec_kwargs={"count": None},
+        retry=RetryPolicy(max_retries=1),
+    )
+
+
+@dataclass(frozen=True)
+class ResilienceFixture:
+    """One injected fault and the detection/recovery code it must fire."""
+
+    expect: str
+    allowed: frozenset[str]
+    run: Callable[[], list]
+
+
+RESILIENCE_FIXTURES: dict[str, ResilienceFixture] = {
+    "resilience-transfer": ResilienceFixture(
+        "R301", frozenset({"R301", "F401"}), _res_transfer
+    ),
+    "resilience-kernel-abort": ResilienceFixture(
+        "F402", frozenset({"R302", "F402"}), _res_kernel_abort
+    ),
+    "resilience-values-bitflip": ResilienceFixture(
+        "R303", frozenset({"R303", "F402"}), _res_values_bitflip
+    ),
+    "resilience-rep-bitflip": ResilienceFixture(
+        "R304", frozenset({"R304", "F403", "S122"}), _res_rep_bitflip
+    ),
+    "resilience-oom-degrades": ResilienceFixture(
+        "F405", frozenset({"R306", "F404", "F405"}), _res_oom
+    ),
+    "resilience-ckpt-mismatch": ResilienceFixture(
+        "R305", frozenset({"R305"}), _res_ckpt_mismatch
+    ),
+    "resilience-unrecovered": ResilienceFixture(
+        "F406", frozenset({"R302", "F402", "F404", "F405", "F406"}),
+        _res_unrecovered,
     ),
 }
 

@@ -24,6 +24,16 @@ Code namespaces
     from the representations (``P301``–``P307``), model-vs-measured drift
     (``P310``–``P312``), and the benchmark regression gate
     (``P320``–``P321``).
+``R3xx``
+    Fault *detections* from :mod:`repro.resilience`: a simulated GPU fault
+    (transfer error, kernel abort, bit-flip, shared-memory OOM) or a
+    checkpoint-integrity failure was observed.  Recorded as warnings when
+    the run subsequently recovers.
+``F4xx``
+    Fault *recovery actions* the resilience policy engine took — retry,
+    checkpoint restore, representation rebuild, degradation — plus the
+    terminal ``F406`` (error) when the whole degradation ladder was
+    exhausted.
 """
 
 from __future__ import annotations
@@ -226,6 +236,68 @@ CODES: dict[str, tuple[str, str]] = {
         "race-static-write",
         "a device function mutated read-only static or edge content "
         "(StaticVertexValue / EdgeValue records are immutable)",
+    ),
+    # ---- resilience: fault detections (resilience/) -------------------
+    "R301": (
+        "fault-transfer",
+        "a (simulated) transient PCIe transfer error was detected on a "
+        "bulk h2d/d2h copy before any device state changed",
+    ),
+    "R302": (
+        "fault-kernel-abort",
+        "a (simulated) kernel abort fired in one of the four CuSha "
+        "pipeline stages, discarding the in-flight iteration",
+    ),
+    "R303": (
+        "fault-values-corruption",
+        "a (simulated) uncorrectable ECC bit-flip was detected in the "
+        "device VertexValues array",
+    ),
+    "R304": (
+        "fault-representation-corruption",
+        "the device copy of a shard/CW/CSR representation failed the "
+        "structural validators after a (simulated) bit-flip",
+    ),
+    "R305": (
+        "checkpoint-digest-mismatch",
+        "a checkpoint snapshot failed its blake2b digest on restore and "
+        "was discarded in favor of an older one (or a cold restart)",
+    ),
+    "R306": (
+        "fault-sharedmem-oom",
+        "a (simulated) shared-memory allocation failure prevented the "
+        "kernel launch (persistent: retrying the same config cannot help)",
+    ),
+    # ---- resilience: recovery actions (resilience/) -------------------
+    "F401": (
+        "recovery-retried",
+        "a transient fault was cleared by a bounded retry after a "
+        "deterministic exponential model-clock backoff",
+    ),
+    "F402": (
+        "recovery-restored",
+        "execution was rolled back to the last digest-valid checkpoint "
+        "and replayed from that iteration",
+    ),
+    "F403": (
+        "recovery-representation-rebuilt",
+        "a corrupted device representation was discarded and rebuilt/"
+        "re-transferred from the intact host copy",
+    ),
+    "F404": (
+        "recovery-exec-path-degraded",
+        "the run degraded from the fast execution path to the reference "
+        "path on the same engine (first rung of the ladder)",
+    ),
+    "F405": (
+        "recovery-engine-degraded",
+        "the run fell back to the next engine on the degradation ladder "
+        "(cusha-cw -> cusha-gs -> vwc -> mtcpu)",
+    ),
+    "F406": (
+        "recovery-exhausted",
+        "every rung of the degradation ladder failed; the run returned "
+        "the last checkpointed state with completed=False",
     ),
 }
 

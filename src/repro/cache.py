@@ -140,6 +140,36 @@ class RepresentationCache:
                 self._store.popitem(last=False)
         return value
 
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached artifact for ``key`` without building on a miss.
+
+        A present entry counts as a hit and is promoted to most-recently
+        used (so checkpoint reads participate in LRU ordering exactly like
+        representation lookups); an absent one returns ``default`` without
+        touching the miss counter — the caller decides what a miss means.
+        """
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+                self.hits += 1
+                return self._store[key]
+            return default
+
+    def put(self, key: Hashable, value: Any) -> Any:
+        """Insert (or overwrite) ``key`` directly, freezing like :meth:`get`.
+
+        The checkpoint store uses this to publish snapshots it has already
+        built; overwriting is allowed because a re-saved checkpoint for the
+        same ``(run, iteration)`` is by construction the same state.
+        """
+        _freeze_arrays(value)
+        with self._lock:
+            self._store[key] = value
+            self._store.move_to_end(key)
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+        return value
+
     def counters(self) -> tuple[int, int]:
         """Current ``(hits, misses)`` snapshot (for per-run deltas)."""
         with self._lock:

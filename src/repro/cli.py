@@ -31,6 +31,12 @@ Commands
     ``--current``) perf-smoke report against the committed baseline.
     Writes a machine-readable report next to the benchmark results.
 
+``chaos``
+    Sweep a deterministic :mod:`repro.resilience` fault campaign — every
+    fault class against every chaos engine — and assert each run either
+    recovers or degrades down the ladder, ending bit-identical to a
+    fault-free golden run.  See ``docs/resilience.md``.
+
 Both gates share the exit-code convention: **0** — every check passed;
 **1** — at least one error-severity violation (the gate failed); **2** —
 the gate could not run at all (usage error, missing baseline file).
@@ -62,7 +68,7 @@ from repro.graph import generators, suite
 from repro.graph.csr import CSR
 from repro.graph.cw import ConcatenatedWindows
 from repro.graph.digraph import DiGraph
-from repro.graph.io import load_edge_list, load_npz
+from repro.graph.io import GraphFormatError, load_edge_list, load_npz
 from repro.graph.partition import select_shard_size
 from repro.graph.properties import window_size_stats
 from repro.graph.shards import GShards
@@ -202,6 +208,24 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip the static audit + drift layer")
     perf.add_argument("--skip-bench", action="store_true",
                       help="skip the benchmark layer (static + drift only)")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="sweep a deterministic fault campaign and assert every run "
+        "recovers (or degrades) to golden reference values",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="campaign seed (graph, fault sites, everything)")
+    chaos.add_argument("--campaign", default="smoke",
+                       choices=("smoke", "full"),
+                       help="smoke (CI gate) or full (extra seeds)")
+    chaos.add_argument("--engine", action="append", default=None,
+                       help="restrict the sweep to this engine (repeatable; "
+                       "default: all chaos engines)")
+    chaos.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="text (default) or a machine-readable JSON report on stdout",
+    )
     return parser
 
 
@@ -222,9 +246,15 @@ def _load_graph(args) -> DiGraph:
     if args.graph:
         return suite.load(args.graph, args.scale)
     if args.edges:
-        return load_edge_list(args.edges)
+        try:
+            return load_edge_list(args.edges)
+        except GraphFormatError as exc:
+            raise SystemExit(f"bad edge list: {exc}") from exc
     if args.npz:
-        return load_npz(args.npz)
+        try:
+            return load_npz(args.npz)
+        except GraphFormatError as exc:
+            raise SystemExit(f"bad NPZ graph: {exc}") from exc
     v, e = (int(x) for x in args.rmat.lower().split("x"))
     return generators.random_weights(
         generators.rmat(v, e, seed=args.seed), seed=args.seed + 1
@@ -522,8 +552,8 @@ def _check_selftest(echo=print):
     """
     from repro.analysis import lint_program, race_check, validate_structure
     from repro.analysis.fixtures import (BROKEN_PROGRAMS, CORRUPTIONS,
-                                         PERF_FIXTURES, build_corrupted,
-                                         fixture_graph)
+                                         PERF_FIXTURES, RESILIENCE_FIXTURES,
+                                         build_corrupted, fixture_graph)
 
     g = fixture_graph()
     failed = 0
@@ -554,7 +584,21 @@ def _check_selftest(echo=print):
               {v.code for v in validate_structure(rep)})
     for name, pf in PERF_FIXTURES.items():
         judge(name, pf.expect, pf.allowed, {v.code for v in pf.run()})
-    total = len(BROKEN_PROGRAMS) + len(CORRUPTIONS) + len(PERF_FIXTURES)
+    for name, rf in RESILIENCE_FIXTURES.items():
+        codes = [v.code for v in rf.run()]
+        judge(name, rf.expect, rf.allowed, set(codes))
+        if codes.count(rf.expect) != 1:
+            failed += 1
+            failures.append({
+                "fixture": name, "expected": rf.expect,
+                "fired": sorted(codes),
+                "error": f"expected exactly one {rf.expect}, "
+                         f"got {codes.count(rf.expect)}",
+            })
+            echo(f"  selftest FAIL {name}: {rf.expect} fired "
+                 f"{codes.count(rf.expect)} times (want exactly 1)")
+    total = (len(BROKEN_PROGRAMS) + len(CORRUPTIONS) + len(PERF_FIXTURES)
+             + len(RESILIENCE_FIXTURES))
     return failed, total, fired_total, failures
 
 
@@ -726,6 +770,41 @@ def _cmd_perfgate(args) -> int:
     return 1 if errors else 0
 
 
+def _cmd_chaos(args) -> int:
+    import json
+
+    from repro.resilience import CHAOS_ENGINES, run_campaign
+
+    engines = tuple(args.engine) if args.engine else None
+    if engines:
+        unknown = [e for e in engines if e not in CHAOS_ENGINES]
+        if unknown:
+            raise SystemExit(
+                f"unknown chaos engine(s) {unknown}: expected a subset of "
+                f"{CHAOS_ENGINES}"
+            )
+    report = run_campaign(args.campaign, seed=args.seed, engines=engines)
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0 if report.passed else 1
+    print(f"campaign: {report.campaign} (seed {report.seed}, "
+          f"{report.program} on {report.graph})")
+    for r in report.runs:
+        status = "ok  " if r.ok else "FAIL"
+        extra = (
+            f"degraded -> {r.engine_final}/{r.exec_path_final}"
+            if r.degraded else
+            f"recovered (retries {r.retries}, backoff {r.backoff_ms:g} ms)"
+        )
+        print(f"  {status} {r.engine:15s} {r.fault:25s} "
+              f"fired {r.fired}  {extra}  codes {','.join(r.codes)}")
+    total = len(report.runs)
+    good = sum(r.ok for r in report.runs)
+    print(f"result  : {'PASS' if report.passed else 'FAIL'} — "
+          f"{good}/{total} runs recovered or degraded to golden values")
+    return 0 if report.passed else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -741,6 +820,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_check(args)
         if args.command == "perfgate":
             return _cmd_perfgate(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
     except BrokenPipeError:  # e.g. `python -m repro ... | head`
         return 0
     raise SystemExit(2)  # pragma: no cover - argparse guards this

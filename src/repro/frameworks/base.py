@@ -31,6 +31,8 @@ from repro.vertexcentric.program import VertexProgram
 
 __all__ = [
     "IterationTrace",
+    "FaultHooks",
+    "NULL_FAULTS",
     "RunConfig",
     "RunResult",
     "Engine",
@@ -40,6 +42,58 @@ __all__ = [
 
 class ConvergenceError(RuntimeError):
     """Raised when an engine exhausts ``max_iterations`` without converging."""
+
+
+class FaultHooks:
+    """Fault-injection hook points engines call at fixed sites.
+
+    This base class is the zero-overhead no-op: every hook returns
+    immediately and ``active`` is ``False``, so the default
+    :data:`NULL_FAULTS` adds one attribute read per site and nothing else.
+    :class:`repro.resilience.FaultPlan` subclasses it to fire simulated GPU
+    faults (raising :class:`repro.resilience.InjectedFault` subclasses) at
+    deterministic, seed-driven points.
+
+    The hook sites are the contract that keeps fault injection identical
+    across the ``fast`` and ``reference`` execution paths: engines call
+    hooks only at per-launch, per-transfer, and per-iteration boundaries —
+    never inside per-wave or per-shard inner loops — so both paths reach
+    exactly the same ``(engine, kind, site, iteration)`` fault sites.
+
+    Hooks:
+
+    - :meth:`launch` — once per run, before the first kernel launch, with
+      the requested shared-memory footprint (simulated shared-memory OOM).
+    - :meth:`transfer` — around each bulk PCIe direction, ``which`` in
+      ``("h2d", "d2h")`` (transient transfer faults).
+    - :meth:`kernel` — at the top of each iteration, before any stage runs
+      (kernel aborts; ``exec_path`` lets a fault target only one path).
+    - :meth:`values` — at the end of each iteration with the live
+      VertexValues array (simulated uncorrectable ECC bit-flips).
+    - :meth:`representations` — once per run from :meth:`Engine.run`,
+      before :meth:`Engine._run` (bit-flips in the device copy of a
+      shard/CW/CSR representation).
+    """
+
+    active: bool = False
+
+    def launch(self, engine: str, shared_bytes: int, limit_bytes: int) -> None:
+        """Hook before the first kernel launch of a run."""
+
+    def transfer(self, engine: str, which: str) -> None:
+        """Hook before a bulk host-device transfer (``h2d`` or ``d2h``)."""
+
+    def kernel(self, engine: str, iteration: int, exec_path: str) -> None:
+        """Hook at the top of iteration ``iteration`` (1-based, absolute)."""
+
+    def values(self, engine: str, iteration: int, values: np.ndarray) -> None:
+        """Hook after iteration ``iteration`` with the live VertexValues."""
+
+    def representations(self, engine, graph, program, config) -> None:
+        """Hook over the representations a run is about to execute."""
+
+
+NULL_FAULTS = FaultHooks()
 
 
 @dataclass(frozen=True)
@@ -74,6 +128,17 @@ class RunConfig:
     each level).  Error violations abort the run with
     :class:`~repro.analysis.violations.ValidationError` before any engine
     state is touched.
+
+    ``faults`` defaults to the no-op :data:`NULL_FAULTS`; pass a
+    :class:`repro.resilience.FaultPlan` to arm deterministic fault
+    injection at the :class:`FaultHooks` sites.
+
+    ``resume_values`` / ``start_iteration`` warm-start an engine from a
+    checkpoint: the engine copies ``resume_values`` instead of calling
+    ``program.initial_values`` and numbers iterations from
+    ``start_iteration + 1`` (absolute numbering, so fault sites and traces
+    line up with an uninterrupted run).  ``max_iterations`` stays the
+    *absolute* cap; a segmented supervisor raises it per segment.
     """
 
     max_iterations: int = 10_000
@@ -82,6 +147,11 @@ class RunConfig:
     tracer: object = NULL_TRACER
     exec_path: str = "fast"
     validate: str = "off"
+    faults: FaultHooks = field(default=NULL_FAULTS, compare=False)
+    resume_values: np.ndarray | None = field(
+        default=None, compare=False, repr=False
+    )
+    start_iteration: int = 0
 
     def __post_init__(self) -> None:
         if self.exec_path not in ("fast", "reference"):
@@ -90,9 +160,33 @@ class RunConfig:
             raise ValueError(
                 "validate must be 'off', 'structure', 'full', or 'perf'"
             )
+        if self.start_iteration < 0:
+            raise ValueError("start_iteration must be >= 0")
+        if self.start_iteration >= self.max_iterations:
+            raise ValueError(
+                "start_iteration must be below max_iterations "
+                f"({self.start_iteration} >= {self.max_iterations})"
+            )
+        if self.resume_values is None and self.start_iteration:
+            raise ValueError(
+                "start_iteration requires resume_values (the checkpointed "
+                "VertexValues to warm-start from)"
+            )
 
     def with_tracer(self, tracer) -> "RunConfig":
         return replace(self, tracer=tracer)
+
+    def initial_values(self, graph: DiGraph, program: VertexProgram):
+        """The VertexValues an engine starts from under this config.
+
+        A fresh run gets ``program.initial_values(graph)``; a warm-started
+        run gets a private mutable copy of ``resume_values`` (checkpoint
+        snapshots are frozen in the cache, so engines must never write
+        through the original).
+        """
+        if self.resume_values is None:
+            return program.initial_values(graph)
+        return np.array(self.resume_values, copy=True)
 
 
 @dataclass
@@ -126,6 +220,14 @@ class RunResult:
     """Representation-cache hit/miss deltas attributable to this run
     (both 0 when no cache was configured).  Recorded unconditionally —
     unlike the ``cache.*`` metrics, which need a live tracer."""
+    completed: bool = True
+    """``False`` when the run was cut short mid-stream — e.g. the
+    resilience supervisor exhausted its degradation ladder and returned
+    the last checkpointed state.  In that case :attr:`iterations` is the
+    *partial* count actually reflected in :attr:`values` (never a stale
+    pre-abort number) and :attr:`converged` is ``False``.  Engines that
+    finish their loop normally — converged, or capped with
+    ``allow_partial`` — report ``True``."""
 
     @property
     def total_ms(self) -> float:
@@ -216,12 +318,22 @@ class Engine(ABC):
             config = RunConfig()
         if tracer is not None:
             config = config.with_tracer(tracer)
+        if config.resume_values is not None and (
+            len(config.resume_values) != graph.num_vertices
+        ):
+            raise ValueError(
+                "resume_values has "
+                f"{len(config.resume_values)} entries for a graph with "
+                f"{graph.num_vertices} vertices"
+            )
         if config.validate != "off":
             # Imported here: repro.analysis depends on the graph and
             # vertexcentric layers, and must stay optional on the hot path.
             from repro.analysis.preflight import preflight
 
             preflight(self, graph, program, config)
+        if config.faults.active:
+            config.faults.representations(self, graph, program, config)
         return self._run(graph, program, config)
 
     @abstractmethod

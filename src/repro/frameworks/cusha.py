@@ -315,7 +315,7 @@ class CuShaEngine(Engine):
         n = graph.num_vertices
 
         # ----- device arrays -------------------------------------------------
-        vertex_values = program.initial_values(graph)
+        vertex_values = config.initial_values(graph, program)
         static_all = program.static_values(graph)
         src_value = vertex_values[sh.src_index].copy()
         src_static = None if static_all is None else static_all[sh.src_index]
@@ -328,6 +328,11 @@ class CuShaEngine(Engine):
 
         shared_bytes = shared_mem_per_block(N, vbytes)
         occ = occupancy(self.spec, shared_bytes, self.threads_per_block)
+        faults = config.faults
+        if faults.active:
+            faults.launch(
+                self.name, shared_bytes, self.spec.shared_mem_per_sm_bytes
+            )
 
         # ----- transfers (Figure 10) -----------------------------------------
         rep_bytes = (
@@ -337,6 +342,8 @@ class CuShaEngine(Engine):
         )
         h2d_ms = transfer_ms(rep_bytes, self.pcie)
         d2h_ms = transfer_ms(graph.num_vertices * vbytes, self.pcie)
+        if faults.active:
+            faults.transfer(self.name, "h2d")
         tracer.emit(
             "h2d", "transfer", model_start_ms=0.0, model_ms=h2d_ms,
             bytes=rep_bytes,
@@ -365,9 +372,11 @@ class CuShaEngine(Engine):
         traces: list[IterationTrace] = []
         kernel_ms = 0.0
         converged = False
-        iterations = 0
+        iterations = config.start_iteration
 
-        for iteration in range(1, max_iterations + 1):
+        for iteration in range(config.start_iteration + 1, max_iterations + 1):
+            if faults.active:
+                faults.kernel(self.name, iteration, config.exec_path)
             iter_start_ms = h2d_ms + kernel_ms
             with tracer.span(
                 f"iter-{iteration}", "iteration", model_start_ms=iter_start_ms
@@ -470,6 +479,8 @@ class CuShaEngine(Engine):
                             stats=sstats,
                             iteration=iteration,
                         )
+            if faults.active:
+                faults.values(self.name, iteration, vertex_values)
             if updated_total == 0:
                 converged = True
                 break
@@ -479,6 +490,8 @@ class CuShaEngine(Engine):
                 f"{self.name}/{program.name} did not converge in "
                 f"{max_iterations} iterations"
             )
+        if faults.active:
+            faults.transfer(self.name, "d2h")
         tracer.emit(
             "d2h", "transfer", model_start_ms=h2d_ms + kernel_ms,
             model_ms=d2h_ms, bytes=graph.num_vertices * vbytes,
@@ -486,7 +499,9 @@ class CuShaEngine(Engine):
         if trace_on:
             m = tracer.metrics
             publish_kernel_stats(m, total_stats)
-            m.counter("engine.iterations").inc(iterations)
+            m.counter("engine.iterations").inc(
+                iterations - config.start_iteration
+            )
             m.gauge("cusha.num_shards").set(S)
             m.gauge("cusha.vertices_per_shard").set(N)
             m.gauge("cusha.wave_size").set(wave_size)
@@ -494,10 +509,11 @@ class CuShaEngine(Engine):
             run_span.model_ms = h2d_ms + kernel_ms + d2h_ms
             run_span.attrs["iterations"] = iterations
             run_span.attrs["converged"] = converged
+        executed = iterations - config.start_iteration
         stage_stats = {
-            "stage1-fetch": _scaled(base1, iterations),
-            "stage2-compute": _scaled(base2, iterations) + stage2_dynamic,
-            "stage3-update": _scaled(base3, iterations) + stage3_dynamic,
+            "stage1-fetch": _scaled(base1, executed),
+            "stage2-compute": _scaled(base2, executed) + stage2_dynamic,
+            "stage3-update": _scaled(base3, executed) + stage3_dynamic,
             "stage4-writeback": stats_from_row(stage4_total_row),
         }
         return RunResult(
@@ -537,7 +553,7 @@ class CuShaEngine(Engine):
         warp = self.spec.warp_size
 
         # ----- device arrays -------------------------------------------------
-        vertex_values = program.initial_values(graph)
+        vertex_values = config.initial_values(graph, program)
         static_all = program.static_values(graph)
         src_value = vertex_values[sh.src_index].copy()
         src_static = None if static_all is None else static_all[sh.src_index]
@@ -639,6 +655,11 @@ class CuShaEngine(Engine):
 
         shared_bytes = shared_mem_per_block(N, vbytes)
         occ = occupancy(self.spec, shared_bytes, self.threads_per_block)
+        faults = config.faults
+        if faults.active:
+            faults.launch(
+                self.name, shared_bytes, self.spec.shared_mem_per_sm_bytes
+            )
 
         # ----- transfers (Figure 10) -----------------------------------------
         rep_bytes = (
@@ -648,6 +669,8 @@ class CuShaEngine(Engine):
         )
         h2d_ms = transfer_ms(rep_bytes, self.pcie)
         d2h_ms = transfer_ms(graph.num_vertices * vbytes, self.pcie)
+        if faults.active:
+            faults.transfer(self.name, "h2d")
         tracer.emit(
             "h2d", "transfer", model_start_ms=0.0, model_ms=h2d_ms,
             bytes=rep_bytes,
@@ -661,7 +684,7 @@ class CuShaEngine(Engine):
         traces: list[IterationTrace] = []
         kernel_ms = 0.0
         converged = False
-        iterations = 0
+        iterations = config.start_iteration
 
         # Shards execute in waves of concurrently resident blocks; a shard's
         # write-back becomes visible to other shards only at its wave
@@ -671,7 +694,9 @@ class CuShaEngine(Engine):
         wave_size = min(self._wave_size(shared_bytes), S)
 
         trace_on = tracer.enabled
-        for iteration in range(1, max_iterations + 1):
+        for iteration in range(config.start_iteration + 1, max_iterations + 1):
+            if faults.active:
+                faults.kernel(self.name, iteration, config.exec_path)
             iter_start_ms = h2d_ms + kernel_ms
             with tracer.span(
                 f"iter-{iteration}", "iteration", model_start_ms=iter_start_ms
@@ -766,6 +791,8 @@ class CuShaEngine(Engine):
                             stats=sstats,
                             iteration=iteration,
                         )
+            if faults.active:
+                faults.values(self.name, iteration, vertex_values)
             if updated_total == 0:
                 converged = True
                 break
@@ -775,6 +802,8 @@ class CuShaEngine(Engine):
                 f"{self.name}/{program.name} did not converge in "
                 f"{max_iterations} iterations"
             )
+        if faults.active:
+            faults.transfer(self.name, "d2h")
         tracer.emit(
             "d2h", "transfer", model_start_ms=h2d_ms + kernel_ms,
             model_ms=d2h_ms, bytes=graph.num_vertices * vbytes,
@@ -782,7 +811,9 @@ class CuShaEngine(Engine):
         if trace_on:
             m = tracer.metrics
             publish_kernel_stats(m, total_stats)
-            m.counter("engine.iterations").inc(iterations)
+            m.counter("engine.iterations").inc(
+                iterations - config.start_iteration
+            )
             m.gauge("cusha.num_shards").set(S)
             m.gauge("cusha.vertices_per_shard").set(N)
             m.gauge("cusha.wave_size").set(wave_size)
@@ -790,10 +821,11 @@ class CuShaEngine(Engine):
             run_span.model_ms = h2d_ms + kernel_ms + d2h_ms
             run_span.attrs["iterations"] = iterations
             run_span.attrs["converged"] = converged
+        executed = iterations - config.start_iteration
         stage_stats = {
-            "stage1-fetch": _scaled(base1, iterations),
-            "stage2-compute": _scaled(base2, iterations) + stage2_dynamic,
-            "stage3-update": _scaled(base3, iterations) + stage3_dynamic,
+            "stage1-fetch": _scaled(base1, executed),
+            "stage2-compute": _scaled(base2, executed) + stage2_dynamic,
+            "stage3-update": _scaled(base3, executed) + stage3_dynamic,
             "stage4-writeback": stage4_total,
         }
         return RunResult(

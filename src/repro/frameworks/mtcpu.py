@@ -124,14 +124,21 @@ class MTCPUEngine(Engine):
             if cache is not None:
                 hits1, misses1 = cache.counters()
                 cache_hits, cache_misses = hits1 - hits0, misses1 - misses0
+            if config.resume_values is not None:
+                problem.vertex_values = config.initial_values(graph, program)
             chunk = max(1, -(-graph.num_vertices // self.threads))
             iter_ms = self._iteration_ms(graph, program)
 
+            faults = config.faults
             traces: list[IterationTrace] = []
             kernel_ms = 0.0
             converged = False
-            iterations = 0
-            for iteration in range(1, max_iterations + 1):
+            iterations = config.start_iteration
+            for iteration in range(
+                config.start_iteration + 1, max_iterations + 1
+            ):
+                if faults.active:
+                    faults.kernel(self.name, iteration, config.exec_path)
                 with tracer.span(
                     f"iter-{iteration}", "iteration", model_start_ms=kernel_ms
                 ) as it_span:
@@ -155,6 +162,8 @@ class MTCPUEngine(Engine):
                         tracer.metrics.histogram(
                             "engine.updated_vertices"
                         ).observe(int(updated_idx.size))
+                if faults.active:
+                    faults.values(self.name, iteration, problem.vertex_values)
                 if updated_idx.size == 0:
                     converged = True
                     break
@@ -165,7 +174,9 @@ class MTCPUEngine(Engine):
                 )
             if trace_on:
                 m = tracer.metrics
-                m.counter("engine.iterations").inc(iterations)
+                m.counter("engine.iterations").inc(
+                    iterations - config.start_iteration
+                )
                 m.gauge("mtcpu.threads").set(self.threads)
                 m.gauge("mtcpu.chunk_vertices").set(chunk)
                 run_span.model_ms = kernel_ms

@@ -76,17 +76,20 @@ class ScalarReferenceEngine(Engine):
         max_iterations = config.max_iterations
         tracer = config.tracer
         sh = GShards(graph, self.vertices_per_shard)
-        vertex_values = program.initial_values(graph)
+        vertex_values = config.initial_values(graph, program)
         static_all = program.static_values(graph)
         ev = program.edge_values(graph)
         edge_vals = None if ev is None else ev[sh.edge_positions]
         src_value = vertex_values[sh.src_index].copy()
         src_static = None if static_all is None else static_all[sh.src_index]
 
+        faults = config.faults
         traces: list[IterationTrace] = []
         converged = False
-        iterations = 0
-        for iteration in range(1, max_iterations + 1):
+        iterations = config.start_iteration
+        for iteration in range(config.start_iteration + 1, max_iterations + 1):
+            if faults.active:
+                faults.kernel(self.name, iteration, "reference")
             updated_total = 0
             for i in range(sh.num_shards):
                 lo, hi = sh.vertex_range(i)
@@ -133,6 +136,8 @@ class ScalarReferenceEngine(Engine):
                 tracer.metrics.histogram(
                     "engine.updated_vertices"
                 ).observe(updated_total)
+            if faults.active:
+                faults.values(self.name, iteration, vertex_values)
             if updated_total == 0:
                 converged = True
                 break
@@ -142,7 +147,9 @@ class ScalarReferenceEngine(Engine):
                 f"{max_iterations} iterations"
             )
         if tracer.enabled:
-            tracer.metrics.counter("engine.iterations").inc(iterations)
+            tracer.metrics.counter("engine.iterations").inc(
+                iterations - config.start_iteration
+            )
             run_span.attrs["iterations"] = iterations
             run_span.attrs["converged"] = converged
         return RunResult(

@@ -249,7 +249,7 @@ class StreamedCuShaEngine(Engine):
         C = len(chunks)
 
         # Host-side state (the "disk" copy); device residency is modeled.
-        vertex_values = program.initial_values(graph)
+        vertex_values = config.initial_values(graph, program)
         static_all = program.static_values(graph)
         src_value = vertex_values[sh.src_index].copy()
         src_static = None if static_all is None else static_all[sh.src_index]
@@ -277,6 +277,10 @@ class StreamedCuShaEngine(Engine):
             graph.num_vertices * (vbytes + sbytes), self.pcie
         )
         d2h_ms = transfer_ms(graph.num_vertices * vbytes, self.pcie)
+        faults = config.faults
+        if faults.active:
+            faults.launch(self.name, 0, self.device_memory_bytes)
+            faults.transfer(self.name, "h2d")
         tracer.emit(
             "h2d", "transfer", model_start_ms=0.0, model_ms=h2d_fixed_ms,
             bytes=graph.num_vertices * (vbytes + sbytes), resident=True,
@@ -290,9 +294,11 @@ class StreamedCuShaEngine(Engine):
         kernel_ms = 0.0
         unoverlapped_ms = 0.0
         converged = False
-        iterations = 0
+        iterations = config.start_iteration
 
-        for iteration in range(1, max_iterations + 1):
+        for iteration in range(config.start_iteration + 1, max_iterations + 1):
+            if faults.active:
+                faults.kernel(self.name, iteration, config.exec_path)
             iter_start_ms = h2d_fixed_ms + kernel_ms
             with tracer.span(
                 f"iter-{iteration}", "iteration", model_start_ms=iter_start_ms
@@ -414,6 +420,8 @@ class StreamedCuShaEngine(Engine):
                     tracer.metrics.histogram(
                         "engine.updated_vertices"
                     ).observe(updated_total)
+            if faults.active:
+                faults.values(self.name, iteration, vertex_values)
             if updated_total == 0:
                 converged = True
                 break
@@ -423,6 +431,8 @@ class StreamedCuShaEngine(Engine):
                 f"{self.name}/{program.name} did not converge in "
                 f"{max_iterations} iterations"
             )
+        if faults.active:
+            faults.transfer(self.name, "d2h")
         tracer.emit(
             "d2h", "transfer", model_start_ms=h2d_fixed_ms + kernel_ms,
             model_ms=d2h_ms, bytes=graph.num_vertices * vbytes,
@@ -430,7 +440,9 @@ class StreamedCuShaEngine(Engine):
         if trace_on:
             m = tracer.metrics
             publish_kernel_stats(m, total_stats)
-            m.counter("engine.iterations").inc(iterations)
+            m.counter("engine.iterations").inc(
+                iterations - config.start_iteration
+            )
             m.gauge("streamed.num_chunks").set(C)
             m.gauge("streamed.device_memory_bytes").set(self.device_memory_bytes)
             m.counter("streamed.overlap_saved_ms").inc(
@@ -488,7 +500,7 @@ class StreamedCuShaEngine(Engine):
         chunks = self._chunk_shards(cw, entry_bytes)
 
         # Host-side state (the "disk" copy); device residency is modeled.
-        vertex_values = program.initial_values(graph)
+        vertex_values = config.initial_values(graph, program)
         static_all = program.static_values(graph)
         src_value = vertex_values[sh.src_index].copy()
         src_static = None if static_all is None else static_all[sh.src_index]
@@ -551,6 +563,10 @@ class StreamedCuShaEngine(Engine):
             graph.num_vertices * (vbytes + sbytes), self.pcie
         )
         d2h_ms = transfer_ms(graph.num_vertices * vbytes, self.pcie)
+        faults = config.faults
+        if faults.active:
+            faults.launch(self.name, 0, self.device_memory_bytes)
+            faults.transfer(self.name, "h2d")
         tracer.emit(
             "h2d", "transfer", model_start_ms=0.0, model_ms=h2d_fixed_ms,
             bytes=graph.num_vertices * (vbytes + sbytes), resident=True,
@@ -561,9 +577,11 @@ class StreamedCuShaEngine(Engine):
         kernel_ms = 0.0
         unoverlapped_ms = 0.0
         converged = False
-        iterations = 0
+        iterations = config.start_iteration
 
-        for iteration in range(1, max_iterations + 1):
+        for iteration in range(config.start_iteration + 1, max_iterations + 1):
+            if faults.active:
+                faults.kernel(self.name, iteration, config.exec_path)
             iter_start_ms = h2d_fixed_ms + kernel_ms
             with tracer.span(
                 f"iter-{iteration}", "iteration", model_start_ms=iter_start_ms
@@ -640,6 +658,8 @@ class StreamedCuShaEngine(Engine):
                     tracer.metrics.histogram(
                         "engine.updated_vertices"
                     ).observe(updated_total)
+            if faults.active:
+                faults.values(self.name, iteration, vertex_values)
             if updated_total == 0:
                 converged = True
                 break
@@ -649,6 +669,8 @@ class StreamedCuShaEngine(Engine):
                 f"{self.name}/{program.name} did not converge in "
                 f"{max_iterations} iterations"
             )
+        if faults.active:
+            faults.transfer(self.name, "d2h")
         tracer.emit(
             "d2h", "transfer", model_start_ms=h2d_fixed_ms + kernel_ms,
             model_ms=d2h_ms, bytes=graph.num_vertices * vbytes,
@@ -656,7 +678,9 @@ class StreamedCuShaEngine(Engine):
         if trace_on:
             m = tracer.metrics
             publish_kernel_stats(m, total_stats)
-            m.counter("engine.iterations").inc(iterations)
+            m.counter("engine.iterations").inc(
+                iterations - config.start_iteration
+            )
             m.gauge("streamed.num_chunks").set(len(chunks))
             m.gauge("streamed.device_memory_bytes").set(self.device_memory_bytes)
             m.counter("streamed.overlap_saved_ms").inc(

@@ -326,9 +326,18 @@ class VWCEngine(Engine):
         vpw = self.spec.warp_size // self.virtual_warp_size
         n = graph.num_vertices
 
+        if config.resume_values is not None:
+            # CSRProblem.build initialized fresh values; warm-start from the
+            # checkpoint instead (copied — snapshots are frozen).
+            problem.vertex_values = np.array(config.resume_values, copy=True)
+
         rep_bytes = problem.csr.memory_bytes(vbytes, ebytes, sbytes)
         h2d_ms = transfer_ms(rep_bytes, self.pcie)
         d2h_ms = transfer_ms(n * vbytes, self.pcie)
+        faults = config.faults
+        if faults.active:
+            faults.launch(self.name, 0, 0)
+            faults.transfer(self.name, "h2d")
         tracer.emit(
             "h2d", "transfer", model_start_ms=0.0, model_ms=h2d_ms,
             bytes=rep_bytes,
@@ -347,10 +356,12 @@ class VWCEngine(Engine):
         traces: list[IterationTrace] = []
         kernel_ms = 0.0
         converged = False
-        iterations = 0
+        iterations = config.start_iteration
         upd_mask = np.zeros(n, dtype=bool)
 
-        for iteration in range(1, max_iterations + 1):
+        for iteration in range(config.start_iteration + 1, max_iterations + 1):
+            if faults.active:
+                faults.kernel(self.name, iteration, config.exec_path)
             iter_start_ms = h2d_ms + kernel_ms
             with tracer.span(
                 f"iter-{iteration}", "iteration", model_start_ms=iter_start_ms
@@ -414,6 +425,8 @@ class VWCEngine(Engine):
                         stats=stores_iter,
                         iteration=iteration,
                     )
+            if faults.active:
+                faults.values(self.name, iteration, problem.vertex_values)
             if updated_idx.size == 0:
                 converged = True
                 break
@@ -423,6 +436,8 @@ class VWCEngine(Engine):
                 f"{self.name}/{program.name} did not converge in "
                 f"{max_iterations} iterations"
             )
+        if faults.active:
+            faults.transfer(self.name, "d2h")
         tracer.emit(
             "d2h", "transfer", model_start_ms=h2d_ms + kernel_ms,
             model_ms=d2h_ms, bytes=n * vbytes,
@@ -430,7 +445,9 @@ class VWCEngine(Engine):
         if trace_on:
             m = tracer.metrics
             publish_kernel_stats(m, total_stats)
-            m.counter("engine.iterations").inc(iterations)
+            m.counter("engine.iterations").inc(
+                iterations - config.start_iteration
+            )
             m.gauge("vwc.virtual_warp_size").set(self.virtual_warp_size)
             m.gauge("vwc.chunk_vertices").set(self.chunk_vertices)
             run_span.model_ms = h2d_ms + kernel_ms + d2h_ms
@@ -449,7 +466,8 @@ class VWCEngine(Engine):
             return out
 
         stage_stats = {
-            name: scaled(s, iterations) for name, s in phases.items()
+            name: scaled(s, iterations - config.start_iteration)
+            for name, s in phases.items()
         }
         stage_stats["stores"] = store_dynamic
         return RunResult(

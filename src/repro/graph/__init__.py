@@ -23,6 +23,7 @@ from repro.graph.digraph import DiGraph
 from repro.graph.csr import CSR
 from repro.graph.shards import GShards
 from repro.graph.cw import ConcatenatedWindows
+from repro.graph.io import GraphFormatError
 from repro.graph.partition import ShardingPlan, select_shard_size
 
 __all__ = [
@@ -30,6 +31,7 @@ __all__ = [
     "CSR",
     "GShards",
     "ConcatenatedWindows",
+    "GraphFormatError",
     "ShardingPlan",
     "select_shard_size",
 ]

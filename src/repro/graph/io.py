@@ -5,18 +5,113 @@ by ``src<TAB>dst`` rows).  :func:`load_edge_list` reads that format (with an
 optional third weight column); :func:`save_edge_list` writes it.  The NPZ
 format (:func:`save_npz` / :func:`load_npz`) round-trips a
 :class:`~repro.graph.digraph.DiGraph` losslessly and quickly.
+
+Malformed input raises :class:`GraphFormatError` carrying the offending
+path and 1-based line number — never a bare NumPy ``ValueError`` or
+``IndexError`` from deep inside a parser.
 """
 
 from __future__ import annotations
 
+import math
 import os
-from typing import IO
+from typing import IO, Iterable
 
 import numpy as np
 
 from repro.graph.digraph import DiGraph
 
-__all__ = ["load_edge_list", "save_edge_list", "save_npz", "load_npz"]
+__all__ = [
+    "GraphFormatError",
+    "load_edge_list",
+    "save_edge_list",
+    "save_npz",
+    "load_npz",
+]
+
+
+class GraphFormatError(ValueError):
+    """A graph input file is malformed.
+
+    Attributes
+    ----------
+    path:
+        The input path (or ``"<stream>"`` for file objects).
+    line:
+        1-based number of the offending line, or ``None`` for file-level
+        problems (e.g. a missing NPZ member).
+    """
+
+    def __init__(
+        self, message: str, *, path: str = "<stream>", line: int | None = None
+    ) -> None:
+        where = path if line is None else f"{path}:{line}"
+        super().__init__(f"{where}: {message}")
+        self.path = path
+        self.line = line
+
+
+def _parse_lines(
+    lines: Iterable[str], comments: str, path: str
+) -> tuple[list[int], list[int], list[float], bool]:
+    """Parse ``src dst [weight]`` rows with per-line error reporting."""
+    src: list[int] = []
+    dst: list[int] = []
+    weights: list[float] = []
+    columns: int | None = None
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or (comments and line.startswith(comments)):
+            continue
+        parts = line.split()
+        if len(parts) not in (2, 3):
+            raise GraphFormatError(
+                f"expected 2 or 3 whitespace-separated columns "
+                f"(src dst [weight]), found {len(parts)}: {line!r}",
+                path=path, line=lineno,
+            )
+        if columns is None:
+            columns = len(parts)
+        elif len(parts) != columns:
+            raise GraphFormatError(
+                f"inconsistent column count: this row has {len(parts)} "
+                f"columns but earlier rows have {columns}",
+                path=path, line=lineno,
+            )
+        try:
+            u, v = float(parts[0]), float(parts[1])
+        except ValueError:
+            raise GraphFormatError(
+                f"non-numeric vertex id in row {line!r}",
+                path=path, line=lineno,
+            ) from None
+        if not (u.is_integer() and v.is_integer()):
+            raise GraphFormatError(
+                f"vertex ids must be integers, got {parts[0]!r} {parts[1]!r}",
+                path=path, line=lineno,
+            )
+        if u < 0 or v < 0:
+            raise GraphFormatError(
+                f"negative vertex id in row {line!r}",
+                path=path, line=lineno,
+            )
+        if len(parts) == 3:
+            try:
+                w = float(parts[2])
+            except ValueError:
+                raise GraphFormatError(
+                    f"non-numeric edge weight {parts[2]!r}",
+                    path=path, line=lineno,
+                ) from None
+            if not math.isfinite(w):
+                raise GraphFormatError(
+                    f"non-finite edge weight {parts[2]!r}",
+                    path=path, line=lineno,
+                )
+            weights.append(w)
+        src.append(int(u))
+        dst.append(int(v))
+    return src, dst, weights, columns == 3
 
 
 def load_edge_list(
@@ -29,26 +124,30 @@ def load_edge_list(
 
     Rows are whitespace-separated ``src dst [weight]``; lines starting with
     ``comments`` are skipped.  When ``num_vertices`` is omitted it is
-    inferred from the maximum vertex id.
+    inferred from the maximum vertex id.  Truncated or garbage rows raise
+    :class:`GraphFormatError` with the offending line number.
     """
-    import warnings
-
-    with warnings.catch_warnings():
-        # Empty edge lists are legal inputs; numpy warns about them.
-        warnings.simplefilter("ignore", UserWarning)
-        data = np.loadtxt(path, comments=comments, ndmin=2, dtype=np.float64)
-    if data.size == 0:
+    if hasattr(path, "read"):
+        label = getattr(path, "name", "<stream>")
+        src, dst, weights, weighted = _parse_lines(path, comments, str(label))
+    else:
+        label = os.fspath(path)
+        with open(label, "r", encoding="utf-8") as fh:
+            src, dst, weights, weighted = _parse_lines(fh, comments, label)
+    if not src:
         return DiGraph.empty(num_vertices or 0)
-    if data.shape[1] not in (2, 3):
-        raise ValueError(
-            f"edge list must have 2 or 3 columns, found {data.shape[1]}"
-        )
-    src = data[:, 0].astype(np.int64)
-    dst = data[:, 1].astype(np.int64)
-    weights = data[:, 2] if data.shape[1] == 3 else None
+    src_arr = np.asarray(src, dtype=np.int64)
+    dst_arr = np.asarray(dst, dtype=np.int64)
+    weight_arr = np.asarray(weights, dtype=np.float64) if weighted else None
     if num_vertices is None:
-        num_vertices = int(max(src.max(), dst.max()) + 1)
-    return DiGraph(src, dst, num_vertices, weights)
+        num_vertices = int(max(src_arr.max(), dst_arr.max()) + 1)
+    elif int(max(src_arr.max(), dst_arr.max())) >= num_vertices:
+        raise GraphFormatError(
+            f"vertex id {int(max(src_arr.max(), dst_arr.max()))} is out of "
+            f"range for num_vertices={num_vertices}",
+            path=str(label),
+        )
+    return DiGraph(src_arr, dst_arr, num_vertices, weight_arr)
 
 
 def save_edge_list(
@@ -99,8 +198,19 @@ def save_npz(graph: DiGraph, path: str | os.PathLike[str]) -> None:
 
 
 def load_npz(path: str | os.PathLike[str]) -> DiGraph:
-    """Load a graph written by :func:`save_npz`."""
+    """Load a graph written by :func:`save_npz`.
+
+    A file missing the required members (``src``, ``dst``,
+    ``num_vertices``) raises :class:`GraphFormatError` naming the member
+    instead of a bare ``KeyError``.
+    """
     with np.load(path) as data:
+        for member in ("src", "dst", "num_vertices"):
+            if member not in data:
+                raise GraphFormatError(
+                    f"NPZ graph file is missing the {member!r} array",
+                    path=os.fspath(path),
+                )
         weights = data["weights"] if "weights" in data else None
         return DiGraph(
             data["src"], data["dst"], int(data["num_vertices"]), weights

@@ -1,0 +1,64 @@
+"""Resilience subsystem: deterministic fault injection, checkpoint/restore,
+retry with backoff, and the graceful-degradation ladder.
+
+Layout:
+
+- :mod:`repro.resilience.faults` — seed-driven :class:`FaultPlan` firing
+  simulated GPU faults (PCIe transfer errors, kernel aborts, bit-flips,
+  shared-memory OOM) at the :class:`~repro.frameworks.base.FaultHooks`
+  sites engines expose.
+- :mod:`repro.resilience.checkpoint` — digest-validated VertexValues
+  snapshots (:class:`CheckpointStore`) backed by the representation cache.
+- :mod:`repro.resilience.policy` — :class:`RetryPolicy` (deterministic
+  model-clock backoff) and the engine degradation ladder.
+- :mod:`repro.resilience.runner` — :class:`ResilientRunner`, the
+  checkpointed supervisor mapping detections (``R3xx``) to recoveries
+  (``F4xx``).
+- :mod:`repro.resilience.chaos` — campaign harness behind
+  ``python -m repro chaos``.
+
+See ``docs/resilience.md`` for the fault model and the code tables.
+"""
+
+from repro.resilience.chaos import (CAMPAIGNS, CHAOS_ENGINES, ChaosReport,
+                                    ChaosRun, build_plan, run_campaign)
+from repro.resilience.checkpoint import (Checkpoint, CheckpointStore,
+                                         values_digest)
+from repro.resilience.faults import (CUSHA_STAGES, FAULT_CLASSES, NULL_FAULTS,
+                                     FaultPlan, FaultSpec, InjectedFault,
+                                     KernelAbortFault, MemoryCorruptionFault,
+                                     RepresentationCorruptionFault,
+                                     SharedMemOOMFault, TransferFault)
+from repro.resilience.policy import (DEFAULT_ENGINE_LADDER, RetryPolicy,
+                                     degradation_steps)
+from repro.resilience.runner import (RecoveryEvent, ResilientResult,
+                                     ResilientRunner)
+
+__all__ = [
+    "CAMPAIGNS",
+    "CHAOS_ENGINES",
+    "CUSHA_STAGES",
+    "Checkpoint",
+    "CheckpointStore",
+    "ChaosReport",
+    "ChaosRun",
+    "DEFAULT_ENGINE_LADDER",
+    "FAULT_CLASSES",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "KernelAbortFault",
+    "MemoryCorruptionFault",
+    "NULL_FAULTS",
+    "RecoveryEvent",
+    "RepresentationCorruptionFault",
+    "ResilientResult",
+    "ResilientRunner",
+    "RetryPolicy",
+    "SharedMemOOMFault",
+    "TransferFault",
+    "build_plan",
+    "degradation_steps",
+    "run_campaign",
+    "values_digest",
+]

@@ -45,10 +45,13 @@ __all__ = [
     "stats_from_dict",
 ]
 
-SPAN_KINDS = ("run", "iteration", "stage", "transfer")
+SPAN_KINDS = ("run", "iteration", "stage", "transfer", "resilience")
 """The typed span vocabulary.  ``run`` wraps one engine invocation,
 ``iteration`` one fixpoint iteration, ``stage`` one pipeline stage or
-phase within an iteration, ``transfer`` one host-device copy."""
+phase within an iteration, ``transfer`` one host-device copy, and
+``resilience`` one supervisor transition (fault detection, retry,
+checkpoint restore, degradation) recorded by
+:class:`repro.resilience.ResilientRunner`."""
 
 
 def stats_to_dict(stats: KernelStats) -> dict:

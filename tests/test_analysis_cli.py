@@ -111,5 +111,5 @@ class TestCheckCommand:
         rc = main(["check", "--selftest"])
         out = capsys.readouterr().out
         assert rc == 0
-        assert "28/28 fixtures fire" in out
-        assert "28 distinct violation codes" in out
+        assert "35/35 fixtures fire" in out
+        assert "40 distinct violation codes" in out

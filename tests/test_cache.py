@@ -257,3 +257,86 @@ class TestFacade:
                        max_iterations=40)
         assert r1.values.tobytes() == r2.values.tobytes()
         assert r1.stats == r2.stats
+
+
+class TestPeekAndPut:
+    def test_put_then_peek_round_trips(self):
+        c = RepresentationCache(max_entries=4)
+        arr = np.arange(8)
+        c.put("k", arr)
+        assert c.peek("k") is arr
+        assert c.hits == 1
+
+    def test_peek_miss_returns_default_without_counting(self):
+        c = RepresentationCache(max_entries=4)
+        assert c.peek("absent") is None
+        assert c.peek("absent", default=42) == 42
+        assert c.misses == 0  # peek is non-inserting and miss-silent
+
+    def test_put_freezes_arrays(self):
+        c = RepresentationCache(max_entries=4)
+        arr = np.arange(8)
+        c.put("k", arr)
+        with pytest.raises((ValueError, RuntimeError)):
+            arr[0] = 99
+
+    def test_put_overwrite_keeps_single_entry(self):
+        c = RepresentationCache(max_entries=4)
+        c.put("k", np.arange(3))
+        c.put("k", np.arange(5))
+        assert len(c.peek("k")) == 5
+
+    def test_peek_refreshes_lru_order(self):
+        c = RepresentationCache(max_entries=2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.peek("a")          # refresh: "b" becomes the LRU victim
+        c.put("c", 3)
+        assert c.peek("a") == 1
+        assert c.peek("b") is None
+
+
+class TestCheckpointPressure:
+    """Checkpoints and representations sharing one cache under LRU."""
+
+    def test_lru_order_preserved_with_mixed_entries(self):
+        from repro.resilience import CheckpointStore
+
+        c = RepresentationCache(max_entries=3)
+        c.put(("rep", "csr"), np.arange(4))
+        store = CheckpointStore(cache=c, run_id="t")
+        store.save(1, np.zeros(4))
+        store.save(2, np.ones(4))
+        # Touch the representation: the oldest *checkpoint* must evict next.
+        assert c.peek(("rep", "csr")) is not None
+        store.save(3, np.full(4, 2.0))
+        assert c.peek(("rep", "csr")) is not None      # survived
+        ckpt, bad = store.restore()
+        assert ckpt is not None and ckpt.iteration == 3
+        assert not bad
+
+    def test_restore_skips_evicted_checkpoints_silently(self):
+        from repro.resilience import CheckpointStore
+
+        c = RepresentationCache(max_entries=1)
+        store = CheckpointStore(cache=c, run_id="t")
+        store.save(1, np.zeros(4))
+        store.save(2, np.ones(4))                      # evicts iteration 1
+        ckpt, bad = store.restore()
+        assert ckpt is not None and ckpt.iteration == 2
+        assert not bad
+        assert store.iterations == (1, 2)              # history remembers both
+
+    def test_restore_after_mutation_fires_digest_mismatch(self):
+        from repro.resilience import Checkpoint, CheckpointStore
+
+        store = CheckpointStore(run_id="t")
+        good = store.save(1, np.zeros(4))
+        tampered = Checkpoint(
+            iteration=2, values=np.ones(4), digest=good.digest
+        )
+        store._cache.put(store._key(2), tampered)
+        store._iterations.append(2)
+        ckpt, bad = store.restore()
+        assert ckpt is not None and ckpt.iteration == 1   # fell back
+        assert [v.code for v in bad] == ["R305"]

@@ -16,7 +16,7 @@ class TestDocuments:
         ["README.md", "DESIGN.md", "EXPERIMENTS.md",
          "docs/modeling.md", "docs/programming_guide.md",
          "docs/tutorial.md", "docs/api.md", "docs/performance.md",
-         "docs/telemetry.md", "docs/analysis.md"],
+         "docs/telemetry.md", "docs/analysis.md", "docs/resilience.md"],
     )
     def test_document_exists_and_nonempty(self, name):
         path = ROOT / name
@@ -51,7 +51,7 @@ class TestDocuments:
         from repro.analysis import CODES
 
         text = (ROOT / "docs" / "analysis.md").read_text()
-        table = set(re.findall(r"^\| `([LSRP]\d{3})` \| `([\w-]+)` \|", text,
+        table = set(re.findall(r"^\| `([LSRPF]\d{3})` \| `([\w-]+)` \|", text,
                                re.MULTILINE))
         registry = {(code, kind) for code, (kind, _msg) in CODES.items()}
         assert table == registry
@@ -59,6 +59,11 @@ class TestDocuments:
     def test_analysis_doc_is_cross_linked(self):
         assert "analysis.md" in (ROOT / "README.md").read_text()
         assert "analysis.md" in (ROOT / "docs" / "telemetry.md").read_text()
+
+    def test_resilience_doc_is_cross_linked(self):
+        assert "resilience.md" in (ROOT / "README.md").read_text()
+        assert "resilience.md" in (ROOT / "docs" / "telemetry.md").read_text()
+        assert "resilience.md" in (ROOT / "docs" / "analysis.md").read_text()
 
     def test_readme_examples_exist(self):
         text = (ROOT / "README.md").read_text()
@@ -88,7 +93,7 @@ class TestPackageMetadata:
     def test_version_exposed(self):
         import repro
 
-        assert repro.__version__ == "1.4.0"
+        assert repro.__version__ == "1.5.0"
 
     def test_all_exports_resolve(self):
         import repro
@@ -102,7 +107,7 @@ class TestPackageMetadata:
         for module_name in (
             "repro.graph", "repro.gpu", "repro.frameworks",
             "repro.vertexcentric", "repro.reference", "repro.harness",
-            "repro.analysis",
+            "repro.analysis", "repro.resilience",
         ):
             mod = importlib.import_module(module_name)
             for name in getattr(mod, "__all__", []):
