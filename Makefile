@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench perf-smoke smoke-trace report lint check chaos-smoke perfgate perfgate-rebaseline ci clean
+.PHONY: test bench perf-smoke smoke-trace serve-smoke report lint check chaos-smoke perfgate perfgate-rebaseline ci clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/ -q
@@ -36,20 +36,27 @@ check:
 chaos-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro chaos --seed 0 --campaign smoke
 
+# Service smoke: exercise the repro.service job scheduler end to end —
+# submit/poll/cancel lifecycle, same-graph batching (bit-exact vs solo
+# runs), tenant quotas, and load-shedding.  See docs/service.md.
+serve-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro serve --smoke
+
 # Performance gate: cost-contract + static audit + model-vs-measured drift
-# check, then re-run the perf smoke and diff it against the committed
-# baseline (benchmarks/baselines/perf_smoke.json).  Writes the
-# machine-readable report to benchmarks/results/PERFGATE_report.json.
+# check, then re-run the perf smoke AND the service batching benchmark and
+# diff both against their committed baselines
+# (benchmarks/baselines/perf_smoke.json, benchmarks/baselines/service.json).
+# Writes the machine-readable report to benchmarks/results/PERFGATE_report.json.
 perfgate:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro perfgate --repeats 1
 
-# Refresh the committed baseline after an intentional performance change
-# (review the diff of benchmarks/baselines/perf_smoke.json like any code).
+# Refresh the committed baselines after an intentional performance change
+# (review the diffs of benchmarks/baselines/*.json like any code).
 perfgate-rebaseline:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro perfgate --repeats 3 --rebaseline
 
 # Full local CI chain, in the order a reviewer would want failures surfaced.
-ci: lint test smoke-trace check chaos-smoke perfgate
+ci: lint test smoke-trace check serve-smoke chaos-smoke perfgate
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only

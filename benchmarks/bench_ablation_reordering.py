@@ -18,6 +18,7 @@ from repro.frameworks.cusha import CuShaEngine
 from repro.frameworks.vwc import VWCEngine
 from repro.graph import reorder
 from repro.harness.tables import format_table
+from repro.frameworks.base import RunConfig
 
 from conftest import once
 
@@ -34,18 +35,14 @@ def bench_ablation_reordering(benchmark, runner, emit):
         rows = []
         for label, graph in variants:
             p = make_program("pr", graph)
-            res = VWCEngine(8, spec=runner.spec).run(
-                graph, p, max_iterations=400, allow_partial=True
-            )
+            res = VWCEngine(8, spec=runner.spec).run(graph, p, config=RunConfig(max_iterations=400, allow_partial=True))
             rows.append(
                 (f"VWC-CSR / {label}",
                  f"{res.stats.gld_efficiency:.1%}",
                  f"{1e3 * res.kernel_time_ms / res.iterations:.1f}")
             )
         p = make_program("pr", g)
-        res = CuShaEngine("cw", spec=runner.spec).run(
-            g, p, max_iterations=400, allow_partial=True
-        )
+        res = CuShaEngine("cw", spec=runner.spec).run(g, p, config=RunConfig(max_iterations=400, allow_partial=True))
         rows.append(
             ("CuSha-CW / original", f"{res.stats.gld_efficiency:.1%}",
              f"{1e3 * res.kernel_time_ms / res.iterations:.1f}")

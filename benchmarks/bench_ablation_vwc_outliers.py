@@ -13,6 +13,7 @@ from repro.algorithms import make_program
 from repro.frameworks.cusha import CuShaEngine
 from repro.frameworks.vwc import VWCEngine
 from repro.harness.tables import format_table
+from repro.frameworks.base import RunConfig
 
 from conftest import once
 
@@ -31,7 +32,7 @@ def bench_ablation_vwc_outliers(benchmark, runner, emit):
                     address_dilation=runner.scale,
                     defer_outliers=deferred,
                 )
-                res = eng.run(g, p, max_iterations=400, allow_partial=True)
+                res = eng.run(g, p, config=RunConfig(max_iterations=400, allow_partial=True))
                 results[(w, deferred)] = res
                 rows.append(
                     (
@@ -40,9 +41,7 @@ def bench_ablation_vwc_outliers(benchmark, runner, emit):
                         f"{res.stats.warp_execution_efficiency:.1%}",
                     )
                 )
-        cusha = CuShaEngine("cw", spec=runner.spec).run(
-            g, p, max_iterations=400, allow_partial=True
-        )
+        cusha = CuShaEngine("cw", spec=runner.spec).run(g, p, config=RunConfig(max_iterations=400, allow_partial=True))
         rows.append(
             ("cusha-cw", f"{cusha.kernel_time_ms:.3f}",
              f"{cusha.stats.warp_execution_efficiency:.1%}")

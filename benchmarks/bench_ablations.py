@@ -15,6 +15,7 @@ from repro.algorithms import make_program
 from repro.frameworks.cusha import CuShaEngine
 from repro.gpu.memory import contiguous_transactions, strided_transactions
 from repro.harness.tables import format_table
+from repro.frameworks.base import RunConfig
 
 from conftest import once
 
@@ -26,7 +27,7 @@ def bench_ablation_conditional_writeback(benchmark, runner, emit):
         rows = []
         for flag in (False, True):
             eng = CuShaEngine("cw", spec=runner.spec, always_writeback=flag)
-            r = eng.run(g, p, max_iterations=400, allow_partial=True)
+            r = eng.run(g, p, config=RunConfig(max_iterations=400, allow_partial=True))
             rows.append(
                 ("conditional" if not flag else "always",
                  f"{r.kernel_time_ms:.3f}", r.iterations,
@@ -53,7 +54,7 @@ def bench_ablation_sync_mode(benchmark, runner, emit):
         rows = []
         for mode in ("wave", "async", "bsp"):
             eng = CuShaEngine("cw", spec=runner.spec, sync_mode=mode)
-            r = eng.run(g, p, max_iterations=600, allow_partial=True)
+            r = eng.run(g, p, config=RunConfig(max_iterations=600, allow_partial=True))
             rows.append((mode, r.iterations, f"{r.kernel_time_ms:.3f}",
                          f"{float(np.mean(r.values['rank'])):.4f}"))
         return rows

@@ -1,0 +1,191 @@
+"""Service-layer throughput: batched same-graph queries vs. one-at-a-time.
+
+Fixed workload: ``SOURCES`` SSSP queries over one R-MAT graph, executed
+two ways — sequentially (one ``Engine.run`` per source, warm shared
+cache: the best a client can do without the service) and through
+``Service.run_batch``, which coalesces them into one multi-source run.
+The batched values are asserted bit-identical to the sequential ones
+before any timing is reported.
+
+Two families of numbers come out, mirroring the perf contract's split:
+
+- **Modeled device time** (deterministic): the summed per-query
+  ``kernel + h2d + d2h`` model milliseconds.  Batching amortizes the
+  representation transfer and the per-iteration fixed stage costs across
+  every query in the batch, so ``model_speedup`` is the service's
+  throughput contract — perfgate fails (P322) if it drops below
+  ``SERVICE_MIN_BATCH_SPEEDUP``.
+- **Wall-clock minima** (noisy): ``sequential_wall_min_s`` /
+  ``batched_wall_min_s`` over ``--repeats``, drift-gated against the
+  committed baseline with the usual timing threshold (P323).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--repeats N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.algorithms import make_program
+from repro.cache import RepresentationCache
+from repro.frameworks import RunConfig, make_engine
+from repro.graph.generators import random_weights, rmat
+from repro.service import JobRequest, Service, TenantQuota
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+# Fixed workload: a mid-size R-MAT and a full default batch of sources.
+# Coalescing pays off most where per-run fixed costs (representation
+# transfer, per-iteration launches) rival per-edge work — the same regime
+# a real multi-tenant front end over one hot graph lives in.
+GRAPH_VERTICES = 2_000
+GRAPH_EDGES = 8_000
+GRAPH_SEED = 13
+PROGRAM = "sssp"
+FIELD = "dist"
+ENGINE = "cusha-cw"
+SOURCES = 32
+SOURCE_SEED = 7
+MAX_ITERATIONS = 100
+
+
+def _model_ms(results) -> float:
+    """Summed modeled device milliseconds across per-query results."""
+    return sum(r.kernel_time_ms + r.h2d_ms + r.d2h_ms for r in results)
+
+
+def run_bench(repeats: int = 3, echo=print) -> dict:
+    """Run the throughput comparison and return the report dict.
+
+    ``python -m repro perfgate`` imports and calls this in-process so the
+    gate and the standalone script can never disagree on the workload.
+    """
+    graph = random_weights(
+        rmat(GRAPH_VERTICES, GRAPH_EDGES, seed=GRAPH_SEED), seed=GRAPH_SEED)
+    rng = np.random.default_rng(SOURCE_SEED)
+    sources = sorted(int(s) for s in rng.choice(
+        GRAPH_VERTICES, size=SOURCES, replace=False))
+    config = RunConfig(max_iterations=MAX_ITERATIONS, allow_partial=True)
+
+    # One shared warm cache for both sides: the comparison is about
+    # execution strategy, not representation reuse (both sides get that).
+    cache = RepresentationCache()
+    make_engine(ENGINE, cache=cache).run(
+        graph, make_program(PROGRAM, graph, source=sources[0]), config=config)
+
+    def run_sequential():
+        out = []
+        t0 = time.perf_counter()
+        for s in sources:
+            eng = make_engine(ENGINE, cache=cache)
+            prog = make_program(PROGRAM, graph, source=s)
+            out.append(eng.run(graph, prog, config=config))
+        return time.perf_counter() - t0, out
+
+    requests = [
+        JobRequest(graph, PROGRAM, source=s, engine=ENGINE, config=config)
+        for s in sources
+    ]
+    # The default tenant quota caps in-flight jobs at 8, which would also
+    # cap batch formation; this tenant's throughput is the whole point.
+    service = Service(
+        workers=1, cache=cache, max_batch=SOURCES,
+        default_quota=TenantQuota(max_pending=None, max_inflight=None),
+    )
+
+    def run_batched():
+        # run_batch(), spelled out so the handles stay visible: the batch
+        # is only a batch if the scheduler actually coalesced it.
+        t0 = time.perf_counter()
+        service.pause()
+        try:
+            handles = [service.submit(r) for r in requests]
+        finally:
+            service.resume()
+        out = [h.result() for h in handles]
+        dt = time.perf_counter() - t0
+        assert all(h.batched_with == SOURCES for h in handles)
+        return dt, out
+
+    seq_wall, batch_wall = [], []
+    seq_results = batch_results = None
+    try:
+        for _ in range(repeats):
+            dt, seq_results = run_sequential()
+            seq_wall.append(dt)
+            dt, batch_results = run_batched()
+            batch_wall.append(dt)
+    finally:
+        service.close()
+    for seq, batched in zip(seq_results, batch_results):
+        assert np.array_equal(
+            seq.field_values(FIELD), batched.field_values(FIELD))
+
+    seq_model_ms = _model_ms(seq_results)
+    batch_model_ms = _model_ms(batch_results)
+    seq_min = min(seq_wall)
+    batch_min = min(batch_wall)
+
+    report = {
+        "graph": {"vertices": GRAPH_VERTICES, "edges": GRAPH_EDGES,
+                  "seed": GRAPH_SEED, "generator": "rmat"},
+        "program": PROGRAM,
+        "engine": ENGINE,
+        "sources": SOURCES,
+        "max_iterations": MAX_ITERATIONS,
+        "repeats": repeats,
+        "service": {
+            "batched_with": SOURCES,
+            "iterations": batch_results[0].iterations,
+            # Deterministic model throughput (the P322 contract).
+            "sequential_model_ms": round(seq_model_ms, 4),
+            "batched_model_ms": round(batch_model_ms, 4),
+            "model_speedup": round(seq_model_ms / batch_model_ms, 2),
+            "sequential_model_qps": round(
+                SOURCES / (seq_model_ms / 1e3), 1),
+            "batched_model_qps": round(
+                SOURCES / (batch_model_ms / 1e3), 1),
+            # Wall-clock minima (the P323 drift gate); minima because
+            # shared-machine noise is one-sided.
+            "sequential_wall_min_s": round(seq_min, 4),
+            "batched_wall_min_s": round(batch_min, 4),
+            "sequential_wall_qps": round(SOURCES / seq_min, 1),
+            "batched_wall_qps": round(SOURCES / batch_min, 1),
+        },
+    }
+    row = report["service"]
+    echo(f"service  model: seq={row['sequential_model_ms']:.2f}ms "
+         f"batched={row['batched_model_ms']:.2f}ms "
+         f"speedup={row['model_speedup']}x "
+         f"({row['batched_model_qps']:.0f} qps modeled)")
+    echo(f"service  wall:  seq={row['sequential_wall_min_s']:.3f}s "
+         f"batched={row['batched_wall_min_s']:.3f}s "
+         f"({row['batched_wall_qps']:.0f} qps)")
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="samples per strategy (minima reported)")
+    parser.add_argument("--out", default=str(RESULTS / "BENCH_service.json"),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    report = run_bench(repeats=args.repeats)
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,7 @@ PageRank on the LiveJournal analog).
 from repro.algorithms import make_program
 from repro.frameworks.cusha import CuShaEngine
 from repro.harness import experiments as E
+from repro.frameworks.base import RunConfig
 
 from conftest import once
 
@@ -38,7 +39,7 @@ def bench_cusha_cw_pagerank_run(benchmark, runner):
     p = make_program("pr", g)
     eng = CuShaEngine("cw", spec=runner.spec)
     benchmark.pedantic(
-        lambda: eng.run(g, p, max_iterations=400, allow_partial=True),
+        lambda: eng.run(g, p, config=RunConfig(max_iterations=400, allow_partial=True)),
         rounds=2,
         iterations=1,
     )

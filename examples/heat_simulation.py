@@ -14,6 +14,7 @@ import numpy as np
 from repro import CuShaEngine
 from repro.algorithms.hs import HeatSimulation
 from repro.graph import generators
+from repro.frameworks.base import RunConfig
 
 
 class HotCornerHS(HeatSimulation):
@@ -46,7 +47,7 @@ def main() -> None:
     graph = generators.grid2d(rows, cols)
     program = HotCornerHS(rows, cols)
 
-    result = CuShaEngine("cw").run(graph, program, max_iterations=20_000)
+    result = CuShaEngine("cw").run(graph, program, config=RunConfig(max_iterations=20_000))
     q = result.field_values("q").reshape(rows, cols)
 
     print(f"mesh: {rows}x{cols}; converged in {result.iterations} iterations "

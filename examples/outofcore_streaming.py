@@ -15,6 +15,7 @@ import numpy as np
 from repro import CuShaEngine, make_program
 from repro.frameworks import StreamedCuShaEngine
 from repro.graph import generators
+from repro.frameworks.base import RunConfig
 
 
 def main() -> None:
@@ -22,7 +23,7 @@ def main() -> None:
         generators.rmat(50_000, 500_000, seed=31), seed=32
     )
     program = make_program("pr", graph)
-    resident = CuShaEngine("cw").run(graph, program, max_iterations=2000)
+    resident = CuShaEngine("cw").run(graph, program, config=RunConfig(max_iterations=2000))
     print(f"graph: {graph}")
     print(
         f"fully resident: rep {resident.representation_bytes / 1e6:.1f} MB, "
@@ -37,7 +38,7 @@ def main() -> None:
             device_memory_bytes=int(budget_mb * 1024 * 1024)
         )
         prog = make_program("pr", graph)
-        res = engine.run(graph, prog, max_iterations=2000)
+        res = engine.run(graph, prog, config=RunConfig(max_iterations=2000))
         # Different visibility schedules stop within the program tolerance
         # of the same fixpoint.
         assert np.allclose(

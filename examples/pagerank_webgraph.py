@@ -14,6 +14,7 @@ import numpy as np
 from repro import CuShaEngine, MTCPUEngine, VWCEngine, make_program
 from repro.graph import suite
 from repro.reference.golden import pagerank_fixpoint
+from repro.frameworks.base import RunConfig
 
 
 def main() -> None:
@@ -21,7 +22,7 @@ def main() -> None:
     print(f"web graph: {graph}")
 
     program = make_program("pr", graph, damping=0.85, tolerance=1e-5)
-    cusha = CuShaEngine("cw").run(graph, program, max_iterations=5000)
+    cusha = CuShaEngine("cw").run(graph, program, config=RunConfig(max_iterations=5000))
     ranks = cusha.field_values("rank")
 
     # Exact fixpoint check (the asynchronous iteration must land on the
@@ -38,13 +39,13 @@ def main() -> None:
 
     print("\nbaselines:")
     for w in (2, 4, 8, 16, 32):
-        res = VWCEngine(w).run(graph, program, max_iterations=5000)
+        res = VWCEngine(w).run(graph, program, config=RunConfig(max_iterations=5000))
         print(
             f"  VWC-CSR vw={w:2d}: {res.total_ms:8.2f} ms "
             f"({res.total_ms / cusha.total_ms:.2f}x slower)"
         )
     for t in (1, 12):
-        res = MTCPUEngine(t).run(graph, program, max_iterations=5000)
+        res = MTCPUEngine(t).run(graph, program, config=RunConfig(max_iterations=5000))
         print(
             f"  MTCPU {t:3d} thr : {res.total_ms:8.2f} ms "
             f"({res.total_ms / cusha.total_ms:.2f}x slower)"

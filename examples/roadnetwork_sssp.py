@@ -15,6 +15,7 @@ from repro import CuShaEngine, make_program
 from repro.graph import generators
 from repro.graph.shards import GShards
 from repro.graph.properties import window_size_stats
+from repro.frameworks.base import RunConfig
 
 
 def main() -> None:
@@ -39,9 +40,7 @@ def main() -> None:
         row = [f"{n:>6}", f"{stats['mean']:8.1f}"]
         wees = []
         for mode in ("gs", "cw"):
-            res = CuShaEngine(mode, vertices_per_shard=n).run(
-                g, program, max_iterations=2000
-            )
+            res = CuShaEngine(mode, vertices_per_shard=n).run(g, program, config=RunConfig(max_iterations=2000))
             row.append(f"{res.kernel_time_ms:9.3f}")
             wees.append(f"{res.stats.warp_execution_efficiency:7.1%}")
         print(" ".join(row + wees))

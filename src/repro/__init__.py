@@ -16,7 +16,13 @@ This package reproduces *CuSha: Vertex-Centric Graph Processing on GPUs*
   paper's evaluation (:mod:`repro.harness`);
 - a **resilience subsystem** — deterministic fault injection,
   checkpoint/restore, retry with backoff, and a graceful-degradation
-  ladder (:mod:`repro.resilience`, see ``docs/resilience.md``).
+  ladder (:mod:`repro.resilience`, see ``docs/resilience.md``);
+- a **multi-tenant service layer** — an async job scheduler with
+  per-tenant quotas that coalesces same-graph traversal queries into
+  bit-exact multi-source batches (:mod:`repro.service`, see
+  ``docs/service.md``);
+- a **consolidated exception hierarchy** rooted at
+  :class:`repro.errors.ReproError` (:mod:`repro.errors`).
 
 Quickstart
 ----------
@@ -30,6 +36,16 @@ True
 
 from repro.algorithms import PROGRAM_NAMES, default_source, make_program
 from repro.cache import RepresentationCache, default_cache, graph_fingerprint
+from repro.errors import (
+    ConvergenceError,
+    EngineKeyError,
+    GraphFormatError,
+    InjectedFault,
+    JobCancelledError,
+    QuotaExceededError,
+    ReproError,
+    ValidationError,
+)
 from repro.frameworks import (
     CuShaEngine,
     MTCPUEngine,
@@ -42,9 +58,13 @@ from repro.frameworks import (
 )
 from repro.graph import CSR, ConcatenatedWindows, DiGraph, GShards, select_shard_size
 from repro.gpu import GTX780, I7_3930K, KernelStats
+from repro.service import JobHandle, JobRequest, JobStatus, Service, TenantQuota
 from repro.vertexcentric import VertexProgram
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
+
+
+_UNSET = object()
 
 
 def run(
@@ -53,13 +73,14 @@ def run(
     *,
     engine: str = "cusha-cw",
     source: int | None = None,
-    max_iterations: int = 10_000,
-    allow_partial: bool = False,
-    tracer=None,
-    exec_path: str = "fast",
-    validate: str = "off",
+    config: RunConfig | None = None,
+    max_iterations=_UNSET,
+    allow_partial=_UNSET,
+    tracer=_UNSET,
+    exec_path=_UNSET,
+    validate=_UNSET,
     cache=None,
-    faults=None,
+    faults=_UNSET,
     **engine_opts,
 ) -> RunResult:
     """One-call façade: run ``program_name`` on ``graph`` with ``engine``.
@@ -70,12 +91,21 @@ def run(
     ``source`` seeds the traversal programs (BFS/SSSP/SSWP); ``tracer``
     attaches a :class:`repro.telemetry.Tracer` for structured tracing.
 
+    ``config=RunConfig(...)`` passes a prebuilt run configuration straight
+    through to :meth:`Engine.run` — the same parameter name
+    :meth:`Engine.run`, :meth:`repro.resilience.ResilientRunner.run`, and
+    :meth:`repro.service.Service.submit` use.  It cannot be combined with
+    the loose convenience keywords below (``TypeError`` if you try);
+    without it, the loose keywords are folded into a ``RunConfig``:
+
     ``exec_path`` selects the wave-batched vectorized core (``"fast"``,
     default) or the per-shard reference loop (``"reference"``); the two are
     equivalence-gated to identical results (see ``docs/performance.md``).
     ``cache`` controls the cross-run representation memo: ``None`` uses the
     process-wide :func:`repro.cache.default_cache`, ``False`` disables it,
-    and an explicit :class:`repro.cache.RepresentationCache` scopes it.
+    and an explicit :class:`repro.cache.RepresentationCache` scopes it
+    (``cache`` is an engine-factory option, so it composes with
+    ``config=``).
     ``validate`` gates the :mod:`repro.analysis` preflight (``"off"``,
     ``"structure"``, ``"full"``, or ``"perf"`` — see ``docs/analysis.md``).
     ``faults`` arms a :class:`repro.resilience.FaultPlan` at the engine's
@@ -83,17 +113,39 @@ def run(
     see ``docs/resilience.md``).
 
     >>> result = repro.run(g, "bfs", engine="vwc-8", source=0)
+    >>> result = repro.run(g, "bfs", config=RunConfig(max_iterations=50,
+    ...                                               allow_partial=True))
     """
+    loose = {
+        name: value
+        for name, value in (
+            ("max_iterations", max_iterations),
+            ("allow_partial", allow_partial),
+            ("tracer", tracer),
+            ("exec_path", exec_path),
+            ("validate", validate),
+            ("faults", faults),
+        )
+        if value is not _UNSET
+    }
+    if config is not None and loose:
+        raise TypeError(
+            "repro.run() got both config=RunConfig(...) and the loose "
+            f"keyword(s) {', '.join(sorted(loose))}; put those settings "
+            "inside the RunConfig"
+        )
     prog_kwargs = {} if source is None else {"source": source}
     program = make_program(program_name, graph, **prog_kwargs)
     eng = make_engine(engine, cache=cache, **engine_opts)
-    config_kwargs = {} if faults is None else {"faults": faults}
-    config = RunConfig(
-        max_iterations=max_iterations, allow_partial=allow_partial,
-        exec_path=exec_path, validate=validate, **config_kwargs,
-    )
-    if tracer is not None:
-        config = config.with_tracer(tracer)
+    if config is None:
+        loose_faults = loose.pop("faults", None)
+        loose_tracer = loose.pop("tracer", None)
+        config = RunConfig(
+            **loose,
+            **({} if loose_faults is None else {"faults": loose_faults}),
+        )
+        if loose_tracer is not None:
+            config = config.with_tracer(loose_tracer)
     return eng.run(graph, program, config=config)
 
 
@@ -122,5 +174,18 @@ __all__ = [
     "KernelStats",
     "GTX780",
     "I7_3930K",
+    "Service",
+    "JobRequest",
+    "JobHandle",
+    "JobStatus",
+    "TenantQuota",
+    "ReproError",
+    "ConvergenceError",
+    "EngineKeyError",
+    "GraphFormatError",
+    "ValidationError",
+    "InjectedFault",
+    "QuotaExceededError",
+    "JobCancelledError",
     "__version__",
 ]

@@ -26,6 +26,10 @@ __all__ = [
     "PERFGATE_TIMING_METRICS",
     "PERFGATE_EXACT_METRICS",
     "PERFGATE_MATCH_KEYS",
+    "SERVICE_MIN_BATCH_SPEEDUP",
+    "SERVICE_TIMING_METRICS",
+    "SERVICE_EXACT_METRICS",
+    "SERVICE_MATCH_KEYS",
 ]
 
 
@@ -97,5 +101,44 @@ PERFGATE_EXACT_METRICS: tuple[str, ...] = (
 PERFGATE_MATCH_KEYS: tuple[str, ...] = (
     "graph",
     "program",
+    "max_iterations",
+)
+
+#: Contracted floor on the service layer's batched-vs-sequential modeled
+#: throughput ratio (``model_speedup`` in ``BENCH_service.json``).
+#: Coalescing K same-graph traversal queries into one multi-source run
+#: must stay at least this many times cheaper in modeled device time
+#: than running them one at a time; ``P322`` fires below the floor.
+#: The ratio is computed from deterministic cost-model output, so it
+#: carries no noise band.
+SERVICE_MIN_BATCH_SPEEDUP: float = 2.0
+
+#: Wall-clock metrics in ``BENCH_service.json`` the gate thresholds
+#: against the committed service baseline (``P323``), minima over
+#: ``--repeats`` with the same one-sided
+#: :data:`PERFGATE_TIMING_THRESHOLD` band as the smoke gate.
+SERVICE_TIMING_METRICS: tuple[str, ...] = (
+    "sequential_wall_min_s",
+    "batched_wall_min_s",
+)
+
+#: ``BENCH_service.json`` metrics that must match the service baseline
+#: exactly (``P323``): all are derived from deterministic cost-model
+#: output or iteration counts, so any change is behavioural.
+SERVICE_EXACT_METRICS: tuple[str, ...] = (
+    "iterations",
+    "batched_with",
+    "sequential_model_ms",
+    "batched_model_ms",
+    "model_speedup",
+)
+
+#: Keys that must match between the service baseline and the current
+#: ``BENCH_service.json`` for the comparison to mean anything (``P321``).
+SERVICE_MATCH_KEYS: tuple[str, ...] = (
+    "graph",
+    "program",
+    "engine",
+    "sources",
     "max_iterations",
 )

@@ -74,6 +74,8 @@ __all__ = [
     "perf_audit",
     "drift_gate",
     "compare_bench_reports",
+    "check_service_contract",
+    "compare_service_reports",
 ]
 
 
@@ -685,4 +687,79 @@ def compare_bench_reports(baseline: dict, current: dict) -> list[Violation]:
                     f"({bv:.4f}s -> {cv:.4f}s), threshold +{thr:.0%}",
                     subject="perfgate",
                 ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Service throughput gate (P322 / P323)
+# ----------------------------------------------------------------------
+
+def check_service_contract(report: dict) -> list[Violation]:
+    """Check a fresh ``BENCH_service.json`` against the absolute contract.
+
+    ``P322`` when the batched-vs-sequential modeled throughput ratio
+    falls below :data:`~repro.analysis.budgets.SERVICE_MIN_BATCH_SPEEDUP`
+    (or is missing).  This needs no baseline: the ratio is computed from
+    deterministic cost-model output, so the floor is a property of the
+    checkout itself.
+    """
+    floor = budgets.SERVICE_MIN_BATCH_SPEEDUP
+    speedup = report.get("service", {}).get("model_speedup")
+    if not isinstance(speedup, (int, float)):
+        return [Violation(
+            "P322",
+            "BENCH_service.json carries no service.model_speedup; the "
+            "batching contract cannot be checked",
+            subject="service",
+        )]
+    if speedup < floor:
+        return [Violation(
+            "P322",
+            f"batched multi-source execution is only {speedup:.2f}x the "
+            f"sequential modeled throughput (contract floor {floor:.1f}x)",
+            subject="service",
+        )]
+    return []
+
+
+def compare_service_reports(baseline: dict, current: dict) -> list[Violation]:
+    """Diff a fresh service report against the committed service baseline.
+
+    ``P321`` when the workloads are not comparable; ``P323`` when a
+    deterministic metric changed or a wall-clock metric regressed beyond
+    the one-sided threshold.  Improvements never fail.
+    """
+    out: list[Violation] = []
+    for key in budgets.SERVICE_MATCH_KEYS:
+        if baseline.get(key) != current.get(key):
+            out.append(Violation(
+                "P321",
+                f"service workload '{key}' differs: baseline "
+                f"{baseline.get(key)!r} vs current {current.get(key)!r}",
+                subject="service",
+            ))
+    b = baseline.get("service", {})
+    c = current.get("service", {})
+    for mk in budgets.SERVICE_EXACT_METRICS:
+        if b.get(mk) != c.get(mk):
+            out.append(Violation(
+                "P323",
+                f"service: exact metric {mk} changed from {b.get(mk)!r} "
+                f"to {c.get(mk)!r}",
+                subject="service",
+            ))
+    thr = budgets.PERFGATE_TIMING_THRESHOLD
+    for mk in budgets.SERVICE_TIMING_METRICS:
+        bv, cv = b.get(mk), c.get(mk)
+        if not isinstance(bv, (int, float)) or \
+                not isinstance(cv, (int, float)) or bv <= 0:
+            continue
+        rel = (cv - bv) / bv
+        if rel > thr:
+            out.append(Violation(
+                "P323",
+                f"service: {mk} regressed {rel:+.1%} "
+                f"({bv:.4f}s -> {cv:.4f}s), threshold +{thr:.0%}",
+                subject="service",
+            ))
     return out

@@ -22,8 +22,8 @@ Code namespaces
     Performance-contract findings from :mod:`repro.analysis.perf` and
     :mod:`repro.analysis.budgets`: static per-stage cost bounds derived
     from the representations (``P301``–``P307``), model-vs-measured drift
-    (``P310``–``P312``), and the benchmark regression gate
-    (``P320``–``P321``).
+    (``P310``–``P312``), and the benchmark regression gates
+    (``P320``–``P323``) covering the perf smoke and the service layer.
 ``R3xx``
     Fault *detections* from :mod:`repro.resilience`: a simulated GPU fault
     (transfer error, kernel abort, bit-flip, shared-memory OOM) or a
@@ -215,6 +215,18 @@ CODES: dict[str, tuple[str, str]] = {
         "set) does not match the committed baseline, so the comparison "
         "would be apples-to-oranges",
     ),
+    "P322": (
+        "service-batch-speedup",
+        "the service layer's batched multi-source execution fell below "
+        "its contracted modeled-throughput advantage over sequential "
+        "execution (SERVICE_MIN_BATCH_SPEEDUP)",
+    ),
+    "P323": (
+        "service-perf-regression",
+        "a BENCH_service.json metric regressed against the committed "
+        "service baseline (wall-clock minimum beyond threshold, or a "
+        "deterministic metric changed)",
+    ),
     # ---- simulated-race detector (races.py) --------------------------
     "R201": (
         "race-vertexvalues-write",
@@ -356,12 +368,6 @@ class Violation:
         return f"{self.code} ({self.kind}){subj} {self.message}{where}"
 
 
-class ValidationError(RuntimeError):
-    """Raised when a validation-enabled run surfaces error violations."""
-
-    def __init__(self, violations: list[Violation]) -> None:
-        self.violations = list(violations)
-        lines = "\n".join(f"  - {v}" for v in self.violations)
-        super().__init__(
-            f"{len(self.violations)} analysis violation(s):\n{lines}"
-        )
+# Defined in the consolidated exception module; re-exported here because
+# this is the import path the analysis layer has always published.
+from repro.errors import ValidationError  # noqa: E402

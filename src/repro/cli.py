@@ -27,8 +27,10 @@ Commands
 ``perfgate``
     Run the :mod:`repro.analysis.perf` performance gate: the cost-contract
     check, the static audit plus model-vs-measured drift gate over the
-    gate engines, and the benchmark regression diff of a fresh (or
-    ``--current``) perf-smoke report against the committed baseline.
+    gate engines, the benchmark regression diff of a fresh (or
+    ``--current``) perf-smoke report against the committed baseline, and
+    the service-layer throughput gate (batching contract ``P322`` plus the
+    ``BENCH_service.json`` diff against its own baseline, ``P323``).
     Writes a machine-readable report next to the benchmark results.
 
 ``chaos``
@@ -37,9 +39,18 @@ Commands
     recovers or degrades down the ladder, ending bit-identical to a
     fault-free golden run.  See ``docs/resilience.md``.
 
-Both gates share the exit-code convention: **0** — every check passed;
+``serve``
+    Exercise the :mod:`repro.service` layer end to end on a deterministic
+    synthetic workload: async submit/poll/cancel lifecycle, same-graph
+    query coalescing checked bit-exact against solo runs, per-tenant
+    quota rejection and cost-budget load-shedding.  The CI smoke
+    (``make serve-smoke``).  See ``docs/service.md``.
+
+All gates share the exit-code convention: **0** — every check passed;
 **1** — at least one error-severity violation (the gate failed); **2** —
 the gate could not run at all (usage error, missing baseline file).
+Uncaught :class:`repro.errors.ReproError` subclasses also exit **2**:
+they mean the request was unserviceable, not that a gate failed.
 
 Examples
 --------
@@ -53,6 +64,7 @@ Examples
     python -m repro check --program bfs --level full --selftest
     python -m repro perfgate --repeats 1
     python -m repro perfgate --rebaseline
+    python -m repro serve --smoke
 """
 
 from __future__ import annotations
@@ -64,11 +76,12 @@ import sys
 import numpy as np
 
 from repro.algorithms import PROGRAM_NAMES, make_program
+from repro.errors import ReproError
 from repro.graph import generators, suite
 from repro.graph.csr import CSR
 from repro.graph.cw import ConcatenatedWindows
 from repro.graph.digraph import DiGraph
-from repro.graph.io import GraphFormatError, load_edge_list, load_npz
+from repro.graph.io import load_edge_list, load_npz
 from repro.graph.partition import select_shard_size
 from repro.graph.properties import window_size_stats
 from repro.graph.shards import GShards
@@ -208,6 +221,33 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip the static audit + drift layer")
     perf.add_argument("--skip-bench", action="store_true",
                       help="skip the benchmark layer (static + drift only)")
+    perf.add_argument(
+        "--service-baseline", default="benchmarks/baselines/service.json",
+        help="committed service-throughput baseline to diff against",
+    )
+    perf.add_argument("--skip-service", action="store_true",
+                      help="skip the service-layer throughput gate")
+
+    serve = sub.add_parser(
+        "serve",
+        help="exercise the repro.service layer (async lifecycle, "
+        "coalescing, quotas) on a deterministic workload",
+    )
+    serve.add_argument("--smoke", action="store_true",
+                       help="explicit alias for the default smoke workload")
+    serve.add_argument("--engine", default="cusha-cw",
+                       help="engine the smoke queries run on")
+    serve.add_argument("--program", default="sssp",
+                       choices=("bfs", "sssp", "sswp"),
+                       help="traversal program for the coalescing check")
+    serve.add_argument("--sources", type=int, default=8,
+                       help="coalesced queries per batch")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="service worker threads")
+    serve.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="text (default) or a machine-readable JSON report on stdout",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -243,32 +283,38 @@ def _add_graph_args(p: argparse.ArgumentParser) -> None:
 
 
 def _load_graph(args) -> DiGraph:
+    # A malformed graph file raises GraphFormatError, which main()
+    # reports with exit code 2 (unserviceable request) — the message
+    # already carries path:line context.
     if args.graph:
         return suite.load(args.graph, args.scale)
     if args.edges:
-        try:
-            return load_edge_list(args.edges)
-        except GraphFormatError as exc:
-            raise SystemExit(f"bad edge list: {exc}") from exc
+        return load_edge_list(args.edges)
     if args.npz:
-        try:
-            return load_npz(args.npz)
-        except GraphFormatError as exc:
-            raise SystemExit(f"bad NPZ graph: {exc}") from exc
-    v, e = (int(x) for x in args.rmat.lower().split("x"))
+        return load_npz(args.npz)
+    try:
+        v, e = (int(x) for x in args.rmat.lower().split("x"))
+    except ValueError:
+        from repro.errors import GraphFormatError
+
+        raise GraphFormatError(
+            f"bad --rmat size {args.rmat!r}; expected VxE, e.g. 4096x32768",
+            path="<args>",
+        ) from None
     return generators.random_weights(
         generators.rmat(v, e, seed=args.seed), seed=args.seed + 1
     )
 
 
 def _make_engine(key: str, shard_size: int | None):
-    """CLI wrapper over :func:`repro.frameworks.make_engine`."""
-    from repro.frameworks import EngineKeyError, make_engine
+    """CLI wrapper over :func:`repro.frameworks.make_engine`.
 
-    try:
-        return make_engine(key, shard_size=shard_size)
-    except EngineKeyError as exc:
-        raise SystemExit(f"unknown engine {key!r}") from exc
+    An unknown key raises :class:`~repro.errors.EngineKeyError`, which
+    ``main()`` reports with exit code 2 (unserviceable request).
+    """
+    from repro.frameworks import make_engine
+
+    return make_engine(key, shard_size=shard_size)
 
 
 def _cmd_run(args) -> int:
@@ -607,27 +653,28 @@ _PERFGATE_RMAT = (512, 4096)
 _PERFGATE_PROGRAM = "pr"
 
 
-def _load_bench_module():
-    """Import ``benchmarks/bench_perf_smoke.py`` in-process (the
+def _load_bench_module(name: str = "bench_perf_smoke"):
+    """Import a ``benchmarks/<name>.py`` script in-process (the
     benchmarks directory is not a package)."""
     import importlib.util
 
     path = (pathlib.Path(__file__).resolve().parents[2]
-            / "benchmarks" / "bench_perf_smoke.py")
-    spec = importlib.util.spec_from_file_location("bench_perf_smoke", path)
+            / "benchmarks" / f"{name}.py")
+    spec = importlib.util.spec_from_file_location(name, path)
     mod = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(mod)
     return mod
 
 
-def _timing_only(violations) -> bool:
+def _timing_only(violations, code="P320", metrics=None) -> bool:
     """True when every benchmark violation is a thresholded timing
     regression (the only kind machine noise can produce)."""
     from repro.analysis import budgets
 
+    if metrics is None:
+        metrics = budgets.PERFGATE_TIMING_METRICS
     return all(
-        v.code == "P320" and any(m in v.message
-                                 for m in budgets.PERFGATE_TIMING_METRICS)
+        v.code == code and any(m in v.message for m in metrics)
         for v in violations
     )
 
@@ -654,10 +701,29 @@ def _merge_bench(a: dict, b: dict, fold) -> dict:
     return out
 
 
+def _merge_service(a: dict, b: dict, fold) -> dict:
+    """Service-report analog of :func:`_merge_bench`: fold wall-clock
+    minima, keep deterministic metrics from ``a``."""
+    import copy
+
+    from repro.analysis import budgets
+
+    out = copy.deepcopy(a)
+    row = out.get("service", {})
+    other = b.get("service", {})
+    for mk in budgets.SERVICE_TIMING_METRICS:
+        x, y = row.get(mk), other.get(mk)
+        if isinstance(x, (int, float)) and isinstance(y, (int, float)):
+            row[mk] = fold(x, y)
+    return out
+
+
 def _cmd_perfgate(args) -> int:
     import json
 
-    from repro.analysis.perf import (compare_bench_reports,
+    from repro.analysis.perf import (check_service_contract,
+                                     compare_bench_reports,
+                                     compare_service_reports,
                                      cost_contract_check, drift_gate,
                                      perf_audit)
     from repro.frameworks import make_engine
@@ -736,6 +802,58 @@ def _cmd_perfgate(args) -> int:
             violations += bench_v
             compared = True
 
+    # Layer 4: service-throughput gate — the absolute batching contract
+    # (P322) plus the regression diff against the service baseline (P323).
+    # ``--current`` gates a pre-recorded perf-smoke file without running
+    # anything live, so the (live-only) service bench is skipped with it.
+    service_baseline_path = pathlib.Path(args.service_baseline)
+    service_current = None
+    service_compared = False
+    if not args.skip_service and args.current is None:
+        from repro.analysis import budgets
+
+        sbench = _load_bench_module("bench_service")
+        echo(f"service : running throughput bench ({args.repeats} repeat(s))")
+        service_current = sbench.run_bench(repeats=args.repeats, echo=echo)
+        violations += check_service_contract(service_current)
+        if args.rebaseline:
+            echo("rebase  : re-measuring service bench for a reproducible "
+                 "baseline")
+            again = sbench.run_bench(repeats=args.repeats, echo=echo)
+            service_current = _merge_service(service_current, again, max)
+            service_baseline_path.parent.mkdir(parents=True, exist_ok=True)
+            service_baseline_path.write_text(
+                json.dumps(service_current, indent=2) + "\n",
+                encoding="utf-8")
+            echo(f"rebase  : wrote {service_baseline_path}")
+        elif not service_baseline_path.exists():
+            print(f"perfgate: service baseline {service_baseline_path} "
+                  "missing (run `make perfgate-rebaseline`)",
+                  file=sys.stderr)
+            return 2
+        else:
+            sbaseline = json.loads(service_baseline_path.read_text())
+            service_v = compare_service_reports(sbaseline, service_current)
+            attempt = 0
+            while attempt < 2 and service_v and _timing_only(
+                    service_v, "P323", budgets.SERVICE_TIMING_METRICS):
+                attempt += 1
+                echo("service : timing regression — re-measuring to rule "
+                     "out machine noise")
+                again = sbench.run_bench(
+                    repeats=args.repeats * (attempt + 1), echo=echo)
+                service_current = _merge_service(
+                    service_current, again, min)
+                service_v = compare_service_reports(
+                    sbaseline, service_current)
+            violations += service_v
+            service_compared = True
+        # The gated numbers double as the current BENCH artifact.
+        sbench_out = sbench.RESULTS / "BENCH_service.json"
+        sbench_out.parent.mkdir(parents=True, exist_ok=True)
+        sbench_out.write_text(
+            json.dumps(service_current, indent=2) + "\n", encoding="utf-8")
+
     errors = sum(v.severity == "error" for v in violations)
     warnings = sum(v.severity == "warning" for v in violations)
     report = {
@@ -753,6 +871,9 @@ def _cmd_perfgate(args) -> int:
         ],
         "baseline": str(baseline_path) if compared else None,
         "bench": current,
+        "service_baseline": (
+            str(service_baseline_path) if service_compared else None),
+        "service_bench": service_current,
         "metrics": {k: m for k, m in tracer.metrics.as_dict().items()
                     if k.startswith("analysis.perf.")},
     }
@@ -768,6 +889,137 @@ def _cmd_perfgate(args) -> int:
     if as_json:
         print(json.dumps(report, indent=2))
     return 1 if errors else 0
+
+
+def _cmd_serve(args) -> int:
+    """Deterministic end-to-end exercise of the service layer."""
+    import json
+
+    from repro.cache import RepresentationCache
+    from repro.errors import JobCancelledError, QuotaExceededError
+    from repro.frameworks import RunConfig, make_engine
+    from repro.service import JobRequest, JobStatus, Service, TenantQuota
+    from repro.telemetry.tracer import Tracer
+
+    as_json = args.format == "json"
+    checks: list[dict] = []
+
+    def check(name: str, ok: bool, detail: str = "") -> None:
+        checks.append({"name": name, "ok": bool(ok), "detail": detail})
+        if not as_json:
+            print(f"  {'ok  ' if ok else 'FAIL'} {name:28s} {detail}")
+
+    field = {"bfs": "level", "sssp": "dist", "sswp": "bwidth"}[args.program]
+    graph = generators.random_weights(
+        generators.rmat(1_500, 6_000, seed=5), seed=6)
+    sources = sorted(
+        int(s) for s in np.random.default_rng(5).choice(
+            graph.num_vertices, size=max(2, args.sources), replace=False))
+    config = RunConfig(max_iterations=100, allow_partial=True)
+
+    # Golden solo runs: what every query must be bit-identical to.
+    cache = RepresentationCache()
+    golden = {}
+    for s in sources:
+        res = make_engine(args.engine, cache=cache).run(
+            graph, make_program(args.program, graph, source=s),
+            config=config)
+        golden[s] = res.field_values(field)
+
+    tracer = Tracer()
+    quotas = {
+        "metered": TenantQuota(cost_budget=1.0),     # sheds immediately
+        "capped": TenantQuota(max_pending=2),        # rejects the 3rd
+    }
+    with Service(workers=args.workers, cache=cache, tracer=tracer,
+                 max_batch=len(sources), quotas=quotas,
+                 default_quota=TenantQuota(max_pending=None,
+                                           max_inflight=None)) as svc:
+        # Async lifecycle: pause so the whole batch is visible at once,
+        # cancel one query while queued, coalesce the rest.
+        svc.pause()
+        reqs = [JobRequest(graph, args.program, source=s,
+                           engine=args.engine, config=config)
+                for s in sources]
+        handles = [svc.submit(r) for r in reqs]
+        check("pending-while-paused",
+              all(h.poll() == JobStatus.PENDING for h in handles),
+              f"{len(handles)} jobs queued")
+        victim = handles[-1]
+        check("cancel-queued", victim.cancel(),
+              f"{victim.job_id} cancelled before running")
+        svc.resume()
+        results = [h.result(timeout=60) for h in handles[:-1]]
+        try:
+            victim.result()
+            cancelled_raises = False
+        except JobCancelledError:
+            cancelled_raises = True
+        check("cancelled-raises", cancelled_raises,
+              "result() raises JobCancelledError")
+        check("coalesced",
+              all(h.batched_with == len(sources) - 1
+                  for h in handles[:-1]),
+              f"{len(sources) - 1} queries in one multi-source run")
+        check("bit-exact",
+              all(np.array_equal(r.field_values(field), golden[s])
+                  for r, s in zip(results, sources[:-1])),
+              f"{args.program} values match solo runs per source")
+
+        # Load-shedding: a tenant over its cost budget still gets exact
+        # values, on a degraded engine.
+        shed_handle = svc.submit(JobRequest(
+            graph, args.program, source=sources[0], engine=args.engine,
+            tenant="metered", config=config))
+        shed_result = shed_handle.result(timeout=60)
+        check("load-shed", shed_handle.shed,
+              "over-budget tenant shed down the ladder")
+        check("shed-bit-exact",
+              np.array_equal(shed_result.field_values(field),
+                             golden[sources[0]]),
+              "degraded engine, identical values")
+
+        # Hard backpressure: pending-queue quota rejects at submit.
+        svc.pause()
+        capped = [svc.submit(JobRequest(
+            graph, args.program, source=sources[0], engine=args.engine,
+            tenant="capped", config=config)) for _ in range(2)]
+        try:
+            svc.submit(JobRequest(
+                graph, args.program, source=sources[0],
+                engine=args.engine, tenant="capped", config=config))
+            rejected = False
+        except QuotaExceededError as exc:
+            rejected = exc.reason == "max_pending"
+        check("quota-reject", rejected,
+              "3rd pending job refused (max_pending=2)")
+        svc.resume()
+        for h in capped:
+            h.result(timeout=60)
+        svc.drain()
+        stats = svc.stats()
+
+    kinds = {s.kind for s in tracer.spans}
+    counters = tracer.metrics.as_dict()
+    check("telemetry",
+          "service" in kinds
+          and counters.get("service.coalesced", {}).get("value", 0) >= 1,
+          "service spans + coalescing counters emitted")
+
+    ok = all(c["ok"] for c in checks)
+    if as_json:
+        print(json.dumps({
+            "command": "serve", "ok": ok, "engine": args.engine,
+            "program": args.program, "sources": len(sources),
+            "checks": checks, "stats": stats,
+        }, indent=2))
+    else:
+        good = sum(c["ok"] for c in checks)
+        print(f"result  : {'PASS' if ok else 'FAIL'} — "
+              f"{good}/{len(checks)} service checks "
+              f"({stats['submitted']} jobs, "
+              f"cache hits {stats['cache']['hits']})")
+    return 0 if ok else 1
 
 
 def _cmd_chaos(args) -> int:
@@ -820,10 +1072,19 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_check(args)
         if args.command == "perfgate":
             return _cmd_perfgate(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "chaos":
             return _cmd_chaos(args)
     except BrokenPipeError:  # e.g. `python -m repro ... | head`
         return 0
+    except ReproError as exc:
+        # The documented mapping (docs/service.md): a repro-defined error
+        # means the request was unserviceable — unknown engine, malformed
+        # graph, quota refusal — which is "could not run" (2), not a
+        # failed gate (1).
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
     raise SystemExit(2)  # pragma: no cover - argparse guards this
 
 

@@ -1,0 +1,193 @@
+"""Consolidated exception hierarchy: every ``repro``-defined error type.
+
+This module is the single place exception *types* are defined; subsystem
+modules (:mod:`repro.frameworks`, :mod:`repro.graph.io`,
+:mod:`repro.analysis.violations`, :mod:`repro.resilience.faults`,
+:mod:`repro.service`) re-export the names they historically owned, so old
+import paths keep working while ``except repro.errors.ReproError`` catches
+everything the package raises on purpose.
+
+Hierarchy
+---------
+Every class derives from :class:`ReproError`.  Classes that predate the
+consolidation also keep their original builtin base (``KeyError``,
+``ValueError``, ``RuntimeError``) so existing ``except`` clauses — and the
+semantics of e.g. ``dict``-style lookup failures — are unchanged::
+
+    ReproError (Exception)
+    ├── ConvergenceError        (also RuntimeError)   engine hit max_iterations
+    ├── EngineKeyError          (also KeyError)       unknown make_engine key
+    ├── GraphFormatError        (also ValueError)     unreadable graph file
+    ├── ValidationError         (also RuntimeError)   analysis preflight errors
+    ├── InjectedFault           (also RuntimeError)   simulated GPU faults
+    │   ├── TransferFault
+    │   ├── KernelAbortFault
+    │   ├── MemoryCorruptionFault
+    │   ├── RepresentationCorruptionFault
+    │   └── SharedMemOOMFault
+    ├── QuotaExceededError                            service admission refused
+    └── JobCancelledError                             service job was cancelled
+
+CLI exit codes
+--------------
+``python -m repro`` maps exceptions onto its documented exit-code
+convention (see ``docs/service.md``): **0** — success; **1** — a gate or
+check failed (violations, mismatched results); **2** — the command could
+not run at all.  Uncaught :class:`ReproError` subclasses are reported as
+exit code **2**: they mean the *request* was unserviceable (unknown engine
+key, malformed graph file, quota refusal), not that a gate evaluated to
+failure.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConvergenceError",
+    "EngineKeyError",
+    "GraphFormatError",
+    "ValidationError",
+    "InjectedFault",
+    "TransferFault",
+    "KernelAbortFault",
+    "MemoryCorruptionFault",
+    "RepresentationCorruptionFault",
+    "SharedMemOOMFault",
+    "QuotaExceededError",
+    "JobCancelledError",
+]
+
+
+class ReproError(Exception):
+    """Common base of every exception ``repro`` raises deliberately."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """Raised when an engine exhausts ``max_iterations`` without converging."""
+
+
+class EngineKeyError(ReproError, KeyError):
+    """Raised for engine keys no registered builder recognizes."""
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s its argument, which turns a multi-word
+        # diagnostic into a quoted blob; show the message verbatim instead.
+        return self.args[0] if self.args else ""
+
+
+class GraphFormatError(ReproError, ValueError):
+    """Raised when a graph file cannot be parsed.
+
+    Carries ``path`` and the 1-based ``line`` the problem was found on
+    (``line`` is ``None`` for file-level problems such as a missing NPZ
+    member).
+    """
+
+    def __init__(
+        self, message: str, *, path: str = "<stream>", line: int | None = None
+    ) -> None:
+        where = path if line is None else f"{path}:{line}"
+        super().__init__(f"{where}: {message}")
+        self.path = path
+        self.line = line
+
+
+class ValidationError(ReproError, RuntimeError):
+    """Raised when a validation-enabled run surfaces error violations."""
+
+    def __init__(self, violations: list) -> None:
+        self.violations = list(violations)
+        lines = "\n".join(f"  - {v}" for v in self.violations)
+        super().__init__(
+            f"{len(self.violations)} analysis violation(s):\n{lines}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Simulated faults (repro.resilience)
+# ----------------------------------------------------------------------
+
+class InjectedFault(ReproError, RuntimeError):
+    """Base of all simulated faults fired by a
+    :class:`repro.resilience.FaultPlan`.
+
+    Attributes
+    ----------
+    kind:
+        The :data:`repro.resilience.faults.FAULT_CLASSES` entry that fired.
+    engine:
+        Engine name at the fault site.
+    site:
+        Site label — transfer direction, stage name, or array attribute.
+    iteration:
+        Absolute iteration number at the site (0 for pre-loop sites).
+    iterations_completed:
+        Iterations whose results are still trustworthy: the supervisor can
+        report this as the partial count instead of a stale number.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str,
+        engine: str,
+        site: str = "",
+        iteration: int = 0,
+        iterations_completed: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.engine = engine
+        self.site = site
+        self.iteration = iteration
+        self.iterations_completed = iterations_completed
+
+
+class TransferFault(InjectedFault):
+    """Transient PCIe transfer error (retriable)."""
+
+
+class KernelAbortFault(InjectedFault):
+    """Kernel abort in a CuSha pipeline stage (restore + replay)."""
+
+
+class MemoryCorruptionFault(InjectedFault):
+    """Detected uncorrectable ECC bit-flip in VertexValues."""
+
+
+class RepresentationCorruptionFault(InjectedFault):
+    """Device representation failed structural validation after a flip."""
+
+    def __init__(self, message: str, *, violations=(), **kwargs) -> None:
+        super().__init__(message, **kwargs)
+        self.violations = tuple(violations)
+
+
+class SharedMemOOMFault(InjectedFault):
+    """Shared-memory allocation failure at launch (persistent)."""
+
+
+# ----------------------------------------------------------------------
+# Service layer (repro.service)
+# ----------------------------------------------------------------------
+
+class QuotaExceededError(ReproError):
+    """Admission control refused a job at submit time.
+
+    ``tenant`` names the quota that was exhausted and ``reason`` says
+    which limit (pending depth, in-flight count, or model-cost budget).
+    """
+
+    def __init__(self, message: str, *, tenant: str = "", reason: str = "") -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.reason = reason
+
+
+class JobCancelledError(ReproError):
+    """Raised by ``JobHandle.result()`` when the job was cancelled."""
+
+    def __init__(self, message: str, *, job_id: str = "") -> None:
+        super().__init__(message)
+        self.job_id = job_id

@@ -30,6 +30,7 @@ Engines are usually instantiated through the registry factory::
     result = engine.run(graph, program, config=RunConfig(max_iterations=100))
 """
 
+from repro.errors import ConvergenceError
 from repro.frameworks.base import (Engine, IterationTrace, RunConfig,
                                    RunResult)
 from repro.frameworks.cusha import CuShaEngine
@@ -54,4 +55,5 @@ __all__ = [
     "engine_keys",
     "register_engine",
     "EngineKeyError",
+    "ConvergenceError",
 ]

@@ -9,21 +9,21 @@ against golden references in the test-suite) and the paper's performance
 quantities (times, efficiencies, TEPS).
 
 The driver contract is ``engine.run(graph, program, config=RunConfig(...))``.
-The historical keyword arguments (``max_iterations=``, ``allow_partial=``,
-``collect_traces=``) still work through a deprecation shim on
-:meth:`Engine.run` that maps them onto a :class:`RunConfig` and warns;
-engines themselves implement :meth:`Engine._run` and only ever see the
-config object.
+The PR-1 deprecation shim that accepted loose keyword arguments
+(``max_iterations=``, ``allow_partial=``, ``collect_traces=``) is retired:
+passing them now raises a :class:`TypeError` pointing at
+:class:`RunConfig`.  Engines themselves implement :meth:`Engine._run` and
+only ever see the config object.
 """
 
 from __future__ import annotations
 
-import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.errors import ConvergenceError
 from repro.graph.digraph import DiGraph
 from repro.gpu.stats import KernelStats
 from repro.telemetry.tracer import NULL_TRACER
@@ -38,10 +38,6 @@ __all__ = [
     "Engine",
     "ConvergenceError",
 ]
-
-
-class ConvergenceError(RuntimeError):
-    """Raised when an engine exhausts ``max_iterations`` without converging."""
 
 
 class FaultHooks:
@@ -257,17 +253,14 @@ class RunResult:
         return self.values[name]
 
 
-_LEGACY_SENTINEL = object()
-
-
 class Engine(ABC):
     """Common driver contract.
 
     :meth:`run` must execute ``program`` on ``graph`` until the program
     reports no updates (or ``config.max_iterations`` is hit, raising
     :class:`ConvergenceError` unless ``config.allow_partial``).  Subclasses
-    implement :meth:`_run`; the public :meth:`run` normalizes the legacy
-    keyword arguments into a :class:`RunConfig`.
+    implement :meth:`_run`; the public :meth:`run` accepts only a
+    normalized :class:`RunConfig`.
     """
 
     name: str = "engine"
@@ -279,42 +272,23 @@ class Engine(ABC):
         *,
         config: RunConfig | None = None,
         tracer=None,
-        max_iterations=_LEGACY_SENTINEL,
-        allow_partial=_LEGACY_SENTINEL,
-        collect_traces=_LEGACY_SENTINEL,
+        **legacy,
     ) -> RunResult:
         """Execute ``program`` to convergence and return the result.
 
         Pass settings via ``config=RunConfig(...)``.  ``tracer=`` is an
-        accepted shorthand for ``config=RunConfig(tracer=...)``.  The old
-        ``max_iterations=`` / ``allow_partial=`` / ``collect_traces=``
-        keywords still work but emit a :class:`DeprecationWarning`; they
-        cannot be combined with ``config=``.
+        accepted shorthand for ``config=RunConfig(tracer=...)``.  The PR-1
+        loose keywords (``max_iterations=`` and friends) are gone; passing
+        any unknown keyword raises :class:`TypeError` naming the fix.
         """
-        legacy = {
-            name: value
-            for name, value in (
-                ("max_iterations", max_iterations),
-                ("allow_partial", allow_partial),
-                ("collect_traces", collect_traces),
-            )
-            if value is not _LEGACY_SENTINEL
-        }
         if legacy:
-            if config is not None:
-                raise TypeError(
-                    "pass either config=RunConfig(...) or the legacy keywords "
-                    f"({', '.join(sorted(legacy))}), not both"
-                )
-            warnings.warn(
-                "Engine.run(max_iterations=..., allow_partial=..., "
-                "collect_traces=...) is deprecated; pass "
-                "config=RunConfig(...) instead",
-                DeprecationWarning,
-                stacklevel=2,
+            raise TypeError(
+                f"Engine.run() got unexpected keyword argument(s) "
+                f"{', '.join(sorted(legacy))}; the legacy loose-kwargs form "
+                "was removed — pass config=RunConfig("
+                f"{', '.join(f'{k}=...' for k in sorted(legacy))}) instead"
             )
-            config = RunConfig(**legacy)
-        elif config is None:
+        if config is None:
             config = RunConfig()
         if tracer is not None:
             config = config.with_tracer(tracer)

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.errors import EngineKeyError
 from repro.frameworks.base import Engine
 from repro.frameworks.cusha import CuShaEngine
 from repro.frameworks.mtcpu import MTCPU_THREAD_COUNTS, MTCPUEngine
@@ -45,10 +46,6 @@ from repro.frameworks.streamed import StreamedCuShaEngine
 from repro.frameworks.vwc import VIRTUAL_WARP_SIZES, VWCEngine
 
 __all__ = ["make_engine", "engine_keys", "register_engine", "EngineKeyError"]
-
-
-class EngineKeyError(KeyError):
-    """Raised for keys no registered builder recognizes."""
 
 
 def _pick(opts: dict, *names, default=None):

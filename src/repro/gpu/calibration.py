@@ -20,6 +20,7 @@ import dataclasses
 from dataclasses import dataclass
 
 from repro.algorithms import make_program
+from repro.frameworks.base import RunConfig
 from repro.frameworks.cusha import CuShaEngine
 from repro.frameworks.vwc import VWCEngine
 from repro.gpu.spec import GTX780, GPUSpec
@@ -58,11 +59,15 @@ def _speedup(graph, program_name: str, spec: GPUSpec,
              *, vwc_size: int, max_iterations: int) -> float:
     p1 = make_program(program_name, graph)
     cw = CuShaEngine("cw", spec=spec).run(
-        graph, p1, max_iterations=max_iterations, allow_partial=True
+        graph, p1, config=RunConfig(
+            max_iterations=max_iterations, allow_partial=True
+        )
     )
     p2 = make_program(program_name, graph)
     vwc = VWCEngine(vwc_size, spec=spec).run(
-        graph, p2, max_iterations=max_iterations, allow_partial=True
+        graph, p2, config=RunConfig(
+            max_iterations=max_iterations, allow_partial=True
+        )
     )
     return vwc.kernel_time_ms / cw.kernel_time_ms
 

@@ -19,6 +19,7 @@ from typing import IO, Iterable
 
 import numpy as np
 
+from repro.errors import GraphFormatError
 from repro.graph.digraph import DiGraph
 
 __all__ = [
@@ -28,27 +29,6 @@ __all__ = [
     "save_npz",
     "load_npz",
 ]
-
-
-class GraphFormatError(ValueError):
-    """A graph input file is malformed.
-
-    Attributes
-    ----------
-    path:
-        The input path (or ``"<stream>"`` for file objects).
-    line:
-        1-based number of the offending line, or ``None`` for file-level
-        problems (e.g. a missing NPZ member).
-    """
-
-    def __init__(
-        self, message: str, *, path: str = "<stream>", line: int | None = None
-    ) -> None:
-        where = path if line is None else f"{path}:{line}"
-        super().__init__(f"{where}: {message}")
-        self.path = path
-        self.line = line
 
 
 def _parse_lines(

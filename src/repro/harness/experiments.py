@@ -14,6 +14,7 @@ import math
 import numpy as np
 
 from repro.algorithms import PROGRAM_NAMES, make_program
+from repro.frameworks.base import RunConfig
 from repro.frameworks.cusha import CuShaEngine
 from repro.frameworks.vwc import VWCEngine, VIRTUAL_WARP_SIZES
 from repro.graph import generators, suite
@@ -758,7 +759,9 @@ def fig12_sensitivity(
             for mode in ("gs", "cw"):
                 eng = CuShaEngine(mode, vertices_per_shard=n, spec=spec)
                 res = eng.run(
-                    g, prog, max_iterations=max_iterations, allow_partial=True
+                    g, prog, config=RunConfig(
+                        max_iterations=max_iterations, allow_partial=True
+                    )
                 )
                 # Kernel time only: at full scale the paper's totals are
                 # kernel-dominated, while at 1/scale the one-time H2D copy
@@ -798,12 +801,16 @@ def fig13_speedups(
         g = rmat_graph(e, v, scale)
         prog = make_program("sssp", g)
         cw = CuShaEngine("cw", vertices_per_shard=n3k, spec=spec).run(
-            g, prog, max_iterations=max_iterations, allow_partial=True
+            g, prog, config=RunConfig(
+                max_iterations=max_iterations, allow_partial=True
+            )
         )
         out[f"{e}_{v}"] = {}
         for w in VIRTUAL_WARP_SIZES:
             vwc = VWCEngine(w, spec=spec, address_dilation=scale).run(
-                g, prog, max_iterations=max_iterations, allow_partial=True
+                g, prog, config=RunConfig(
+                    max_iterations=max_iterations, allow_partial=True
+                )
             )
             # Kernel time only — same rationale as fig12_sensitivity.
             out[f"{e}_{v}"][w] = vwc.kernel_time_ms / cw.kernel_time_ms

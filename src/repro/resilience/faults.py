@@ -84,64 +84,13 @@ _REP_TARGETS: dict[str, str] = {
 }
 
 
-class InjectedFault(RuntimeError):
-    """Base of all simulated faults fired by a :class:`FaultPlan`.
-
-    Attributes
-    ----------
-    kind:
-        The :data:`FAULT_CLASSES` entry that fired.
-    engine:
-        Engine name at the fault site.
-    site:
-        Site label — transfer direction, stage name, or array attribute.
-    iteration:
-        Absolute iteration number at the site (0 for pre-loop sites).
-    iterations_completed:
-        Iterations whose results are still trustworthy: the supervisor can
-        report this as the partial count instead of a stale number.
-    """
-
-    def __init__(
-        self,
-        message: str,
-        *,
-        kind: str,
-        engine: str,
-        site: str = "",
-        iteration: int = 0,
-        iterations_completed: int = 0,
-    ) -> None:
-        super().__init__(message)
-        self.kind = kind
-        self.engine = engine
-        self.site = site
-        self.iteration = iteration
-        self.iterations_completed = iterations_completed
-
-
-class TransferFault(InjectedFault):
-    """Transient PCIe transfer error (retriable)."""
-
-
-class KernelAbortFault(InjectedFault):
-    """Kernel abort in a CuSha pipeline stage (restore + replay)."""
-
-
-class MemoryCorruptionFault(InjectedFault):
-    """Detected uncorrectable ECC bit-flip in VertexValues."""
-
-
-class RepresentationCorruptionFault(InjectedFault):
-    """Device representation failed structural validation after a flip."""
-
-    def __init__(self, message: str, *, violations=(), **kwargs) -> None:
-        super().__init__(message, **kwargs)
-        self.violations = tuple(violations)
-
-
-class SharedMemOOMFault(InjectedFault):
-    """Shared-memory allocation failure at launch (persistent)."""
+# The fault exception types live in the consolidated exception module
+# (repro.errors); these re-exports keep the import path this subsystem has
+# always published.
+from repro.errors import (InjectedFault, KernelAbortFault,  # noqa: E402
+                          MemoryCorruptionFault,
+                          RepresentationCorruptionFault, SharedMemOOMFault,
+                          TransferFault)
 
 
 @dataclass

@@ -153,18 +153,61 @@ class ResilientRunner:
         self.checkpoint_cache = checkpoint_cache
         self.engine_opts = engine_opts
 
+    _UNSET = object()
+
     # ------------------------------------------------------------------
     def run(
         self,
         graph,
         program,
         *,
-        faults=NULL_FAULTS,
-        max_iterations: int = 10_000,
-        allow_partial: bool = False,
-        collect_traces: bool = True,
-        tracer=None,
+        config: RunConfig | None = None,
+        faults=_UNSET,
+        max_iterations=_UNSET,
+        allow_partial=_UNSET,
+        collect_traces=_UNSET,
+        tracer=_UNSET,
     ) -> ResilientResult:
+        """Supervised run; returns a :class:`ResilientResult`.
+
+        Settings can be passed either as ``config=RunConfig(...)`` — the
+        same parameter name :meth:`Engine.run` and ``Service.submit`` use —
+        or as the loose convenience keywords, but not both (``TypeError``).
+        The supervisor owns segmentation, so ``config.exec_path`` /
+        ``resume_values`` / ``start_iteration`` are ignored: the
+        degradation ladder decides the execution path per rung, and
+        checkpoints drive warm starts.
+        """
+        _UNSET = ResilientRunner._UNSET
+        loose = {
+            name: value
+            for name, value in (
+                ("faults", faults),
+                ("max_iterations", max_iterations),
+                ("allow_partial", allow_partial),
+                ("collect_traces", collect_traces),
+                ("tracer", tracer),
+            )
+            if value is not _UNSET
+        }
+        if config is not None and loose:
+            raise TypeError(
+                "ResilientRunner.run() got both config=RunConfig(...) and "
+                f"the loose keyword(s) {', '.join(sorted(loose))}; put "
+                "those settings inside the RunConfig"
+            )
+        if config is not None:
+            faults = config.faults
+            max_iterations = config.max_iterations
+            allow_partial = config.allow_partial
+            collect_traces = config.collect_traces
+            tracer = config.tracer
+        else:
+            faults = loose.get("faults", NULL_FAULTS)
+            max_iterations = loose.get("max_iterations", 10_000)
+            allow_partial = loose.get("allow_partial", False)
+            collect_traces = loose.get("collect_traces", True)
+            tracer = loose.get("tracer")
         tracer = NULL_TRACER if tracer is None else tracer
         metrics = tracer.metrics
         steps = degradation_steps(self.engine, self.ladder)

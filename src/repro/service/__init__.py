@@ -1,0 +1,51 @@
+"""Multi-tenant graph-analytics service layer (``docs/service.md``).
+
+A long-lived front end over the engines: clients submit queries
+(:class:`JobRequest`) and get :class:`JobHandle`\\ s back; a worker pool
+executes them concurrently over a shared representation cache, coalescing
+pending same-graph traversal queries (BFS/SSSP/SSWP from different
+sources) into single multi-source engine runs that are bit-exact versus
+running each query alone.  Admission control prices every request with
+the static cost model and enforces per-tenant quotas, shedding over-budget
+tenants onto the resilience degradation ladder instead of failing them.
+
+Layout: :mod:`~repro.service.api` (requests, handles, ``Service``),
+:mod:`~repro.service.scheduler` (worker pool, deterministic batch
+formation), :mod:`~repro.service.batching` (the multi-source program and
+batch keys), :mod:`~repro.service.quotas` (pricing and the ledger).
+"""
+
+from repro.service.api import JobHandle, JobRequest, JobStatus, Service
+from repro.service.batching import (
+    TRAVERSAL_SPECS,
+    MultiSourceTraversal,
+    TraversalSpec,
+    batch_key,
+    batchable,
+    split_batch_result,
+    weights_digest,
+)
+from repro.service.quotas import (
+    DEFAULT_QUOTA,
+    QuotaLedger,
+    TenantQuota,
+    job_cost,
+)
+
+__all__ = [
+    "Service",
+    "JobRequest",
+    "JobHandle",
+    "JobStatus",
+    "TenantQuota",
+    "QuotaLedger",
+    "DEFAULT_QUOTA",
+    "job_cost",
+    "TraversalSpec",
+    "TRAVERSAL_SPECS",
+    "MultiSourceTraversal",
+    "batchable",
+    "batch_key",
+    "weights_digest",
+    "split_batch_result",
+]

@@ -1,0 +1,306 @@
+"""The multi-tenant graph-analytics service: requests, handles, Service.
+
+``Service`` turns the one-shot ``repro.run`` façade into a long-lived,
+concurrent request API over shared state: one representation cache warms
+every engine, one scheduler coalesces same-graph traversal queries into
+multi-source batches (``batching.py``), and one quota ledger prices and
+admits every request (``quotas.py``).
+
+Quickstart
+----------
+>>> from repro.service import JobRequest, Service
+>>> with Service(workers=2) as svc:
+...     handles = [svc.submit(JobRequest(g, "bfs", source=s))
+...                for s in (0, 7, 42)]
+...     results = [h.result() for h in handles]
+
+The asynchronous path is ``submit -> poll -> result`` (or ``cancel``);
+``run_batch`` is the synchronous convenience that submits a whole list,
+coalesces maximally (the scheduler is paused while the list enqueues, so
+batch formation sees every request), and returns results in request
+order.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.cache import RepresentationCache
+from repro.frameworks.base import RunConfig, RunResult
+from repro.graph.digraph import DiGraph
+from repro.service import scheduler as _sched
+from repro.service.quotas import DEFAULT_QUOTA, QuotaLedger, TenantQuota, job_cost
+from repro.service.scheduler import Job, Scheduler
+
+__all__ = ["JobRequest", "JobStatus", "JobHandle", "Service"]
+
+
+class JobStatus:
+    """Job lifecycle states (string constants, not an enum, so handles
+    compare naturally against literals in user code and JSON)."""
+
+    PENDING = _sched.PENDING
+    RUNNING = _sched.RUNNING
+    DONE = _sched.DONE
+    FAILED = _sched.FAILED
+    CANCELLED = _sched.CANCELLED
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One query: a program over a graph, from a tenant, on an engine.
+
+    ``config=RunConfig(...)`` is the same parameter name and object
+    :meth:`Engine.run`, :func:`repro.run`, and
+    :meth:`~repro.resilience.ResilientRunner.run` accept; ``None`` means
+    the defaults.  ``engine_opts`` go to
+    :func:`~repro.frameworks.make_engine` (e.g. ``shard_size``).
+    """
+
+    graph: DiGraph
+    program: str
+    source: int | None = None
+    engine: str = "cusha-cw"
+    tenant: str = "default"
+    config: RunConfig | None = None
+    engine_opts: dict = field(default_factory=dict)
+
+
+class JobHandle:
+    """The caller's view of one submitted job."""
+
+    def __init__(self, job: Job, service: "Service") -> None:
+        self._job = job
+        self._service = service
+
+    @property
+    def job_id(self) -> str:
+        return self._job.id
+
+    @property
+    def shed(self) -> bool:
+        """Was this job load-shed to a degraded engine at admission?"""
+        return self._job.shed
+
+    @property
+    def batched_with(self) -> int:
+        """Size of the coalesced group that served this job (1 = alone;
+        0 until the job has run)."""
+        return self._job.batched_with
+
+    def poll(self) -> str:
+        """Current :class:`JobStatus` value, without blocking."""
+        return self._job.status
+
+    def result(self, timeout: float | None = None) -> RunResult:
+        """Block until the job finishes and return its :class:`RunResult`.
+
+        Raises the job's failure (including
+        :class:`~repro.errors.JobCancelledError` for cancelled jobs), or
+        :class:`TimeoutError` if ``timeout`` elapses first.
+        """
+        if not self._job.done.wait(timeout):
+            raise TimeoutError(
+                f"{self.job_id} still {self._job.status} after {timeout}s"
+            )
+        if self._job.error is not None:
+            raise self._job.error
+        return self._job.result
+
+    def cancel(self) -> bool:
+        """Cancel if still queued.  Running/finished jobs return False."""
+        return self._service._scheduler.cancel(self._job)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"JobHandle({self.job_id}, {self._job.status})"
+
+
+class Service:
+    """Async job scheduler over shared representations (module docstring).
+
+    Parameters
+    ----------
+    workers:
+        Executor threads.  Batches and independent jobs run concurrently;
+        values never depend on scheduling (engines are bit-deterministic).
+    quotas:
+        Per-tenant :class:`~repro.service.quotas.TenantQuota` overrides;
+        tenants not listed get ``default_quota``.
+    default_quota:
+        Applied to unknown tenants (64 pending, 8 in-flight, no budget).
+    cache:
+        A :class:`~repro.cache.RepresentationCache` shared by every job's
+        engine, so concurrent queries over the same graph build its
+        representations once.  ``None`` creates a private cache.
+    tracer:
+        Optional :class:`~repro.telemetry.Tracer`; the service emits
+        ``service``-kind spans and ``service.*`` metrics.
+    max_batch:
+        Coalescing cap per engine run (columns widen the value struct, so
+        unbounded batches would trade latency for memory).
+    shed_rung:
+        How far down the degradation ladder load-shed jobs start
+        (1 = first different engine).
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        quotas: dict[str, TenantQuota] | None = None,
+        default_quota: TenantQuota = DEFAULT_QUOTA,
+        cache: RepresentationCache | None = None,
+        tracer=None,
+        max_batch: int = 32,
+        shed_rung: int = 1,
+        shed_ladder=None,
+    ) -> None:
+        self.cache = cache if cache is not None else RepresentationCache()
+        self.ledger = QuotaLedger(quotas, default=default_quota)
+        self.tracer = tracer
+        self._scheduler = Scheduler(
+            self.ledger, workers=workers, max_batch=max_batch,
+            tracer=tracer, shed_rung=shed_rung, shed_ladder=shed_ladder,
+        )
+        self._jobs: dict[str, JobHandle] = {}
+        self._jobs_lock = threading.Lock()
+        self._submitted = 0
+
+    # -- request API ----------------------------------------------------
+    def submit(self, request: JobRequest) -> JobHandle:
+        """Admit one request and enqueue it; returns immediately.
+
+        Raises :class:`~repro.errors.QuotaExceededError` when the
+        tenant's pending queue is full.  A tenant over its cost budget
+        still gets a handle, flagged ``shed`` — the job runs on a
+        degraded engine with bit-identical values.
+        """
+        if not isinstance(request, JobRequest):
+            raise TypeError(
+                f"submit() takes a JobRequest, got {type(request).__name__}"
+            )
+        engine_opts = dict(request.engine_opts)
+        engine_opts.setdefault("cache", self.cache)
+        request = JobRequest(
+            graph=request.graph, program=request.program,
+            source=request.source, engine=request.engine,
+            tenant=request.tenant, config=request.config,
+            engine_opts=engine_opts,
+        )
+        from repro.frameworks.registry import make_engine
+
+        probe = make_engine(request.engine, **engine_opts)
+        prog_kwargs = {} if request.source is None else {
+            "source": request.source
+        }
+        from repro.algorithms import make_program
+
+        program = make_program(request.program, request.graph, **prog_kwargs)
+        cost = job_cost(probe, request.graph, program)
+        shed = self.ledger.admit(request.tenant, cost)
+        job = Job(request, cost, shed)
+        handle = JobHandle(job, self)
+        with self._jobs_lock:
+            self._jobs[job.id] = handle
+            self._submitted += 1
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(
+                "service-submit", "service", job_id=job.id,
+                tenant=request.tenant, program=request.program,
+                engine=request.engine, cost=cost, shed=shed,
+            )
+            self.tracer.metrics.counter("service.submitted").inc()
+        self._scheduler.enqueue(job)
+        return handle
+
+    def poll(self, handle: "JobHandle | str") -> str:
+        """Status of a job, by handle or job id."""
+        return self._resolve(handle).poll()
+
+    def result(
+        self, handle: "JobHandle | str", timeout: float | None = None
+    ) -> RunResult:
+        """Wait for a job (by handle or id) and return its result."""
+        return self._resolve(handle).result(timeout)
+
+    def cancel(self, handle: "JobHandle | str") -> bool:
+        """Cancel a queued job (by handle or id)."""
+        return self._resolve(handle).cancel()
+
+    def _resolve(self, handle: "JobHandle | str") -> JobHandle:
+        if isinstance(handle, JobHandle):
+            return handle
+        with self._jobs_lock:
+            try:
+                return self._jobs[handle]
+            except KeyError:
+                raise KeyError(f"unknown job id {handle!r}") from None
+
+    # -- synchronous convenience ----------------------------------------
+    def run_batch(self, requests: Iterable[JobRequest]) -> list[RunResult]:
+        """Submit ``requests`` together and wait for all of them.
+
+        The scheduler is paused while the list enqueues, so coalescing
+        sees every request at once (maximum batching); results come back
+        in request order.  The first failed job's exception propagates;
+        cancelled jobs cannot occur (nothing else holds the handles).
+        """
+        requests = list(requests)
+        self._scheduler.pause()
+        handles: list[JobHandle] = []
+        try:
+            for request in requests:
+                handles.append(self.submit(request))
+        finally:
+            self._scheduler.resume()
+        return [h.result() for h in handles]
+
+    # -- lifecycle ------------------------------------------------------
+    def pause(self) -> None:
+        """Stop dispatching; queued jobs wait, running jobs finish."""
+        self._scheduler.pause()
+
+    def resume(self) -> None:
+        self._scheduler.resume()
+
+    def drain(self) -> None:
+        """Block until every submitted job has finished."""
+        self._scheduler.drain()
+
+    def close(self) -> None:
+        """Drain, then shut down the worker threads.  Idempotent."""
+        self._scheduler.close()
+
+    def __enter__(self) -> "Service":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- introspection --------------------------------------------------
+    def stats(self) -> dict:
+        """Snapshot: global counters, queue depth, per-tenant ledger."""
+        done = cancelled = failed = 0
+        with self._jobs_lock:
+            for handle in self._jobs.values():
+                status = handle.poll()
+                if status == JobStatus.DONE:
+                    done += 1
+                elif status == JobStatus.CANCELLED:
+                    cancelled += 1
+                elif status == JobStatus.FAILED:
+                    failed += 1
+            submitted = self._submitted
+        return {
+            "submitted": submitted,
+            "done": done,
+            "cancelled": cancelled,
+            "failed": failed,
+            "queued": self._scheduler.queue_depth(),
+            "cache": {
+                "hits": self.cache.hits, "misses": self.cache.misses,
+            },
+            "tenants": self.ledger.stats(),
+        }

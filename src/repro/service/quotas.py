@@ -1,0 +1,162 @@
+"""Admission control: per-tenant quotas and model-cost accounting.
+
+The service prices every request with the same static cost model the
+perf auditor trusts (:meth:`Engine.predicted_stage_stats`): the predicted
+warp instructions of one full sweep, falling back to ``|E|`` for engines
+that model no hardware.  Against that price each tenant holds a
+:class:`TenantQuota`:
+
+``max_pending``
+    Hard backpressure: a tenant whose queue is already this deep gets a
+    :class:`~repro.errors.QuotaExceededError` at ``submit`` time.
+``max_inflight``
+    Scheduler-side fairness: at most this many of a tenant's jobs execute
+    concurrently; excess jobs wait in the queue (not an error).
+``cost_budget``
+    Soft load-shedding threshold on the tenant's cumulative model cost.
+    Jobs submitted past it are still admitted but **shed**: executed on a
+    degraded rung of the resilience ladder (see
+    :mod:`repro.resilience.policy`) via :class:`ResilientRunner`, trading
+    modeled latency for the premium engine's capacity.  Values are
+    unaffected — every rung computes bit-identical results.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import QuotaExceededError
+
+__all__ = ["TenantQuota", "QuotaLedger", "job_cost", "DEFAULT_QUOTA"]
+
+
+def job_cost(engine, graph, program) -> float:
+    """Model cost of one request: predicted warp instructions per sweep.
+
+    Engines that model no hardware (``scalar``) predict no stages; ``|E|``
+    stands in so every job still has a nonzero, size-proportional price.
+    """
+    stages = engine.predicted_stage_stats(graph, program)
+    total = sum(s.warp_instructions for s in stages.values())
+    return float(total) if total > 0 else float(max(graph.num_edges, 1))
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant limits (see module docstring for each knob's semantics).
+
+    ``None`` disables a limit.
+    """
+
+    max_pending: int | None = 64
+    max_inflight: int | None = 8
+    cost_budget: float | None = None
+
+
+DEFAULT_QUOTA = TenantQuota()
+
+
+@dataclass
+class _TenantState:
+    pending: int = 0
+    inflight: int = 0
+    cost_spent: float = 0.0
+    shed: int = 0
+    rejected: int = 0
+    completed: int = 0
+
+
+class QuotaLedger:
+    """Thread-safe admission/accounting state for all tenants."""
+
+    def __init__(
+        self, quotas: dict[str, TenantQuota] | None = None,
+        default: TenantQuota = DEFAULT_QUOTA,
+    ) -> None:
+        self._quotas = dict(quotas or {})
+        self._default = default
+        self._state: dict[str, _TenantState] = {}
+        self._lock = threading.Lock()
+
+    def quota(self, tenant: str) -> TenantQuota:
+        return self._quotas.get(tenant, self._default)
+
+    def _tenant(self, tenant: str) -> _TenantState:
+        return self._state.setdefault(tenant, _TenantState())
+
+    # -- submit-time ----------------------------------------------------
+    def admit(self, tenant: str, cost: float) -> bool:
+        """Admit one request, charging ``cost`` to the tenant.
+
+        Returns ``True`` when the job should be **shed** to a degraded
+        engine (cost budget exhausted).  Raises
+        :class:`~repro.errors.QuotaExceededError` when the pending queue
+        is full — the one hard rejection.
+        """
+        quota = self.quota(tenant)
+        with self._lock:
+            state = self._tenant(tenant)
+            if (
+                quota.max_pending is not None
+                and state.pending >= quota.max_pending
+            ):
+                state.rejected += 1
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} has {state.pending} pending jobs "
+                    f"(max_pending={quota.max_pending})",
+                    tenant=tenant, reason="max_pending",
+                )
+            shed = (
+                quota.cost_budget is not None
+                and state.cost_spent + cost > quota.cost_budget
+            )
+            state.pending += 1
+            state.cost_spent += cost
+            if shed:
+                state.shed += 1
+            return shed
+
+    def cancel(self, tenant: str, cost: float) -> None:
+        """Return a cancelled job's pending slot and refund its cost."""
+        with self._lock:
+            state = self._tenant(tenant)
+            state.pending -= 1
+            state.cost_spent -= cost
+
+    # -- scheduler-side -------------------------------------------------
+    def may_start(self, tenant: str) -> bool:
+        """Is the tenant below its in-flight cap right now?"""
+        quota = self.quota(tenant)
+        if quota.max_inflight is None:
+            return True
+        with self._lock:
+            return self._tenant(tenant).inflight < quota.max_inflight
+
+    def start(self, tenant: str) -> None:
+        with self._lock:
+            state = self._tenant(tenant)
+            state.pending -= 1
+            state.inflight += 1
+
+    def finish(self, tenant: str) -> None:
+        with self._lock:
+            state = self._tenant(tenant)
+            state.inflight -= 1
+            state.completed += 1
+
+    # -- introspection --------------------------------------------------
+    def stats(self) -> dict[str, dict[str, float]]:
+        """Per-tenant snapshot (pending/inflight/cost/shed/rejected)."""
+        with self._lock:
+            return {
+                tenant: {
+                    "pending": s.pending,
+                    "inflight": s.inflight,
+                    "cost_spent": s.cost_spent,
+                    "shed": s.shed,
+                    "rejected": s.rejected,
+                    "completed": s.completed,
+                }
+                for tenant, s in self._state.items()
+            }

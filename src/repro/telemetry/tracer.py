@@ -45,13 +45,16 @@ __all__ = [
     "stats_from_dict",
 ]
 
-SPAN_KINDS = ("run", "iteration", "stage", "transfer", "resilience")
+SPAN_KINDS = ("run", "iteration", "stage", "transfer", "resilience",
+              "service")
 """The typed span vocabulary.  ``run`` wraps one engine invocation,
 ``iteration`` one fixpoint iteration, ``stage`` one pipeline stage or
-phase within an iteration, ``transfer`` one host-device copy, and
+phase within an iteration, ``transfer`` one host-device copy,
 ``resilience`` one supervisor transition (fault detection, retry,
 checkpoint restore, degradation) recorded by
-:class:`repro.resilience.ResilientRunner`."""
+:class:`repro.resilience.ResilientRunner`, and ``service`` one scheduler
+event (job admission, batch execution, shed, cancellation) recorded by
+:class:`repro.service.Service`."""
 
 
 def stats_to_dict(stats: KernelStats) -> dict:

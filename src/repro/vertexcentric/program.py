@@ -169,6 +169,20 @@ def apply_reductions(
     for field, contrib in msgs.items():
         op = program.reduce_ops[field]
         values = contrib if mask is None else contrib[mask]
-        _UFUNCS[op].at(local[field], dest_idx, values)
+        target = local[field]
+        if target.ndim == 2 and target.flags.c_contiguous:
+            # Subarray fields (shape ``(n, K)``, e.g. the service layer's
+            # multi-source batches): ``ufunc.at`` has no fast inner loop
+            # for row indexing, so expand to flat element indices and use
+            # the contiguous 1-D path — same elements, same commutative
+            # op, several times faster.
+            k = target.shape[1]
+            flat_idx = (dest_idx[:, None] * k + np.arange(k)).ravel()
+            _UFUNCS[op].at(
+                target.reshape(-1), flat_idx,
+                np.ascontiguousarray(values).reshape(-1),
+            )
+        else:
+            _UFUNCS[op].at(target, dest_idx, values)
         ops += int(values.size)
     return ops

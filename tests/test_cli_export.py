@@ -58,9 +58,12 @@ class TestCLIRun:
                    "--engine", "cusha-streamed"])
         assert rc == 0
 
-    def test_unknown_engine_exits(self):
-        with pytest.raises(SystemExit):
-            main(["run", "bfs", "--rmat", "60x200", "--engine", "thrust"])
+    def test_unknown_engine_exits(self, capsys):
+        # uncaught ReproError (EngineKeyError) -> exit code 2
+        assert main(
+            ["run", "bfs", "--rmat", "60x200", "--engine", "thrust"]
+        ) == 2
+        assert "repro: " in capsys.readouterr().err
 
     def test_requires_graph_source(self):
         with pytest.raises(SystemExit):

@@ -8,6 +8,7 @@ import numpy as np
 from repro.algorithms import make_program
 from repro.frameworks.cusha import CuShaEngine, _window_rows_transactions
 from repro.gpu.spec import GTX780
+from repro.frameworks.base import RunConfig
 from tests.conftest import random_graph
 
 
@@ -129,16 +130,12 @@ class TestStatsComposition:
     def test_cs_double_atomics(self):
         g = random_graph(12, n=80, m=300, symmetric=True)
         p = make_program("cs", g, sources=((0, 1.0),))
-        res = CuShaEngine("cw", vertices_per_shard=32).run(
-            g, p, max_iterations=5000
-        )
+        res = CuShaEngine("cw", vertices_per_shard=32).run(g, p, config=RunConfig(max_iterations=5000))
         assert res.stats.shared_atomics == 2 * g.num_edges * res.iterations
 
     def test_static_values_loaded_for_pr_only(self):
         g = random_graph(13, n=200, m=800, weighted=False)
-        pr = CuShaEngine("cw", vertices_per_shard=32).run(
-            g, make_program("pr", g), max_iterations=2000
-        )
+        pr = CuShaEngine("cw", vertices_per_shard=32).run(g, make_program("pr", g), config=RunConfig(max_iterations=2000))
         cc = CuShaEngine("cw", vertices_per_shard=32).run(
             g, make_program("cc", g)
         )

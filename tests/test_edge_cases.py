@@ -11,6 +11,7 @@ from repro.graph.cw import ConcatenatedWindows
 from repro.graph.digraph import DiGraph
 from repro.graph.shards import GShards
 from repro.vertexcentric.datatypes import UINT_INF
+from repro.frameworks.base import RunConfig
 
 
 def tiny(name):
@@ -53,9 +54,7 @@ class TestSingleVertexAndIsolated:
         if name == "cs":
             kwargs["sources"] = ((0, 1.0),)
         p = make_program(name, g, **kwargs)
-        res = CuShaEngine("cw", vertices_per_shard=4).run(
-            g, p, max_iterations=50, allow_partial=True
-        )
+        res = CuShaEngine("cw", vertices_per_shard=4).run(g, p, config=RunConfig(max_iterations=50, allow_partial=True))
         assert res.values.shape == (1,)
 
     def test_isolated_vertices_keep_initial_values(self):
@@ -180,15 +179,13 @@ class TestNumericRobustness:
     def test_pr_dangling_vertices_get_base_rank(self):
         g = DiGraph.from_edges([(0, 1)], num_vertices=3)
         p = make_program("pr", g, tolerance=1e-7)
-        res = VWCEngine(8).run(g, p, max_iterations=10_000)
+        res = VWCEngine(8).run(g, p, config=RunConfig(max_iterations=10_000))
         # Vertex 2 has no in-edges: rank = 1 - d.
         assert res.values["rank"][2] == pytest.approx(0.15, abs=1e-4)
 
     def test_nn_saturation_does_not_diverge(self):
         g = generators.random_weights(generators.complete(30), seed=3)
         p = make_program("nn", g, tolerance=1e-4)
-        res = CuShaEngine("cw", vertices_per_shard=8).run(
-            g, p, max_iterations=20_000, allow_partial=True
-        )
+        res = CuShaEngine("cw", vertices_per_shard=8).run(g, p, config=RunConfig(max_iterations=20_000, allow_partial=True))
         assert np.isfinite(res.values["x"]).all()
         assert (np.abs(res.values["x"]) <= 1.0).all()

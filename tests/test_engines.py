@@ -11,6 +11,7 @@ from repro.frameworks import (
     VWCEngine,
 )
 from repro.frameworks.base import ConvergenceError
+from repro.frameworks.base import RunConfig
 from tests.conftest import random_graph
 
 
@@ -58,16 +59,12 @@ class TestConvergenceContract:
         g = random_graph(0, n=40, m=150)
         p = make_program("sssp", g)
         with pytest.raises(ConvergenceError):
-            CuShaEngine("cw", vertices_per_shard=16).run(
-                g, p, max_iterations=1
-            )
+            CuShaEngine("cw", vertices_per_shard=16).run(g, p, config=RunConfig(max_iterations=1))
 
     def test_allow_partial_returns_unconverged(self):
         g = random_graph(0, n=40, m=150)
         p = make_program("sssp", g)
-        res = CuShaEngine("cw", vertices_per_shard=16).run(
-            g, p, max_iterations=1, allow_partial=True
-        )
+        res = CuShaEngine("cw", vertices_per_shard=16).run(g, p, config=RunConfig(max_iterations=1, allow_partial=True))
         assert not res.converged
         assert res.iterations == 1
 
@@ -110,9 +107,7 @@ class TestRunResult:
         assert cum[-1] == pytest.approx(res.kernel_time_ms)
 
     def test_collect_traces_off(self, rmat_small):
-        res = CuShaEngine("cw").run(
-            rmat_small, make_program("bfs", rmat_small), collect_traces=False
-        )
+        res = CuShaEngine("cw").run(rmat_small, make_program("bfs", rmat_small), config=RunConfig(collect_traces=False))
         assert res.traces == []
         assert res.iterations > 0
 

@@ -11,6 +11,7 @@ from repro.algorithms.extensions import (
 from repro.frameworks import CuShaEngine, ScalarReferenceEngine, VWCEngine
 from repro.reference import golden
 from repro.vertexcentric.datatypes import UINT_INF
+from repro.frameworks.base import RunConfig
 from tests.conftest import random_graph
 
 
@@ -67,18 +68,14 @@ class TestDirichletHeat:
     def test_boundary_never_moves(self):
         g = random_graph(4, n=60, m=240, symmetric=True)
         p = DirichletHeat(((0, 100.0), (59, 0.0)), tolerance=1e-4)
-        res = CuShaEngine("cw", vertices_per_shard=16).run(
-            g, p, max_iterations=50_000
-        )
+        res = CuShaEngine("cw", vertices_per_shard=16).run(g, p, config=RunConfig(max_iterations=50_000))
         assert res.values["q"][0] == pytest.approx(100.0)
         assert res.values["q"][59] == pytest.approx(0.0)
 
     def test_interior_between_boundary_values(self):
         g = random_graph(5, n=60, m=240, symmetric=True)
         p = DirichletHeat(((0, 100.0), (59, 0.0)), tolerance=1e-4)
-        res = CuShaEngine("cw", vertices_per_shard=16).run(
-            g, p, max_iterations=50_000
-        )
+        res = CuShaEngine("cw", vertices_per_shard=16).run(g, p, config=RunConfig(max_iterations=50_000))
         q = res.values["q"]
         assert (q >= -1e-3).all() and (q <= 100.0 + 1e-3).all()
 
@@ -89,9 +86,7 @@ class TestDirichletHeat:
 
         g = generators.grid2d(1, 11)  # a path of 11 vertices, bidirectional
         p = DirichletHeat(((0, 0.0), (10, 100.0)), tolerance=1e-6)
-        res = CuShaEngine("cw", vertices_per_shard=4).run(
-            g, p, max_iterations=100_000
-        )
+        res = CuShaEngine("cw", vertices_per_shard=4).run(g, p, config=RunConfig(max_iterations=100_000))
         expected = np.linspace(0, 100, 11)
         assert np.allclose(res.values["q"], expected, atol=0.3)
 
@@ -103,12 +98,8 @@ class TestDirichletHeat:
         g = random_graph(6, n=30, m=120, symmetric=True)
         p1 = DirichletHeat(((0, 10.0),), tolerance=1e-3)
         p2 = DirichletHeat(((0, 10.0),), tolerance=1e-3)
-        fast = CuShaEngine("gs", vertices_per_shard=8).run(
-            g, p1, max_iterations=50_000
-        )
-        ref = ScalarReferenceEngine(vertices_per_shard=8).run(
-            g, p2, max_iterations=50_000
-        )
+        fast = CuShaEngine("gs", vertices_per_shard=8).run(g, p1, config=RunConfig(max_iterations=50_000))
+        ref = ScalarReferenceEngine(vertices_per_shard=8).run(g, p2, config=RunConfig(max_iterations=50_000))
         assert np.allclose(fast.values["q"], ref.values["q"], atol=2e-2)
 
 

@@ -13,6 +13,7 @@ from repro.algorithms import make_program
 from repro.frameworks import CuShaEngine, MTCPUEngine, VWCEngine
 from repro.reference import golden
 from repro.vertexcentric.datatypes import UINT_INF
+from repro.frameworks.base import RunConfig
 from tests.conftest import random_graph
 
 ENGINES = [
@@ -85,7 +86,7 @@ def test_cc_on_directed_graph_matches_ancestor_labels(seed):
 def test_pagerank_matches_linear_solve(engine):
     g = random_graph(3, n=60, m=400, weighted=False)
     p = make_program("pr", g, tolerance=1e-6)
-    res = engine.run(g, p, max_iterations=20_000)
+    res = engine.run(g, p, config=RunConfig(max_iterations=20_000))
     expected = golden.pagerank_fixpoint(g, damping=0.85)
     assert np.allclose(res.values["rank"], expected, atol=5e-4)
 
@@ -95,7 +96,7 @@ def test_circuit_matches_linear_solve(engine):
     g = random_graph(4, n=50, m=90, symmetric=True)
     sources = ((0, 1.0), (g.num_vertices - 1, 0.0))
     p = make_program("cs", g, sources=sources, tolerance=1e-7)
-    res = engine.run(g, p, max_iterations=50_000)
+    res = engine.run(g, p, config=RunConfig(max_iterations=50_000))
     cond = p.edge_values(g)["g"].astype(np.float64)
     expected = golden.circuit_voltages(g, cond, sources)
     assert np.allclose(res.values["v"], expected, atol=1e-3)
@@ -105,7 +106,7 @@ def test_circuit_matches_linear_solve(engine):
 def test_circuit_sources_never_move(engine):
     g = random_graph(5, n=40, m=80, symmetric=True)
     p = make_program("cs", g, sources=((3, 2.5),), tolerance=1e-6)
-    res = engine.run(g, p, max_iterations=50_000)
+    res = engine.run(g, p, config=RunConfig(max_iterations=50_000))
     assert res.values["v"][3] == pytest.approx(2.5)
     assert res.values["gsum_or_a"][3] == pytest.approx(1.0)
 
@@ -114,7 +115,7 @@ def test_circuit_sources_never_move(engine):
 def test_heat_converges_toward_consensus(engine):
     g = random_graph(6, n=50, m=100, symmetric=True)
     p = make_program("hs", g, tolerance=1e-3)
-    res = engine.run(g, p, max_iterations=50_000)
+    res = engine.run(g, p, config=RunConfig(max_iterations=50_000))
     q0 = p.initial_values(g)["q"].astype(np.float64)
     q = res.values["q"].astype(np.float64)
     # Diffusion is a contraction: final temperatures stay inside the initial
@@ -133,7 +134,7 @@ def test_heat_converges_toward_consensus(engine):
 def test_nn_fixpoint_self_consistent(engine):
     g = random_graph(7, n=50, m=200)
     p = make_program("nn", g, tolerance=1e-5)
-    res = engine.run(g, p, max_iterations=50_000)
+    res = engine.run(g, p, config=RunConfig(max_iterations=50_000))
     x = res.values["x"].astype(np.float64)
     w = p.edge_values(g)["weight"].astype(np.float64)
     acc = np.zeros(g.num_vertices)

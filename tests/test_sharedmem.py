@@ -102,12 +102,13 @@ class TestStageStats:
 
     def test_stage2_dominates_load_traffic(self):
         from repro.algorithms import make_program
+        from repro.frameworks import RunConfig
         from repro.frameworks.cusha import CuShaEngine
         from tests.conftest import random_graph
 
         g = random_graph(1, n=300, m=3000)
         res = CuShaEngine("cw", vertices_per_shard=64).run(
-            g, make_program("pr", g), max_iterations=2000
+            g, make_program("pr", g), config=RunConfig(max_iterations=2000)
         )
         loads = {
             k: s.load_bytes_moved for k, s in res.stage_stats.items()

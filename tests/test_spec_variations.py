@@ -9,6 +9,7 @@ import pytest
 from repro.algorithms import make_program
 from repro.frameworks import CuShaEngine, VWCEngine
 from repro.gpu.spec import GTX780, PCIeSpec
+from repro.frameworks.base import RunConfig
 from tests.conftest import random_graph
 
 
@@ -20,9 +21,7 @@ def workload():
 
 def run_cusha(g, spec=GTX780, pcie=None, **kw):
     p = make_program("pr", g)
-    return CuShaEngine("cw", spec=spec, pcie=pcie, **kw).run(
-        g, p, max_iterations=1000
-    )
+    return CuShaEngine("cw", spec=spec, pcie=pcie, **kw).run(g, p, config=RunConfig(max_iterations=1000))
 
 
 class TestMonotonicity:
@@ -67,13 +66,9 @@ class TestMonotonicity:
         """Doubling dilation scatters gathers further: more transactions,
         same requested bytes, longer simulated time."""
         p = make_program("pr", workload)
-        near = VWCEngine(8, address_dilation=1).run(
-            workload, p, max_iterations=1000
-        )
+        near = VWCEngine(8, address_dilation=1).run(workload, p, config=RunConfig(max_iterations=1000))
         p2 = make_program("pr", workload)
-        far = VWCEngine(8, address_dilation=128).run(
-            workload, p2, max_iterations=1000
-        )
+        far = VWCEngine(8, address_dilation=128).run(workload, p2, config=RunConfig(max_iterations=1000))
         assert far.stats.load_transactions > near.stats.load_transactions
         assert (
             far.stats.load_bytes_requested == near.stats.load_bytes_requested

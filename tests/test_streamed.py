@@ -6,6 +6,7 @@ import pytest
 from repro.algorithms import make_program
 from repro.frameworks import CuShaEngine, StreamedCuShaEngine
 from repro.gpu.spec import PCIeSpec
+from repro.frameworks.base import RunConfig
 from tests.conftest import random_graph
 
 
@@ -18,13 +19,11 @@ class TestCorrectness:
     @pytest.mark.parametrize("name", ["bfs", "sssp", "cc", "pr"])
     def test_matches_resident_engine(self, graph, name):
         p = make_program(name, graph)
-        resident = CuShaEngine("cw", vertices_per_shard=32).run(
-            graph, p, max_iterations=5000
-        )
+        resident = CuShaEngine("cw", vertices_per_shard=32).run(graph, p, config=RunConfig(max_iterations=5000))
         p2 = make_program(name, graph)
         streamed = StreamedCuShaEngine(
             device_memory_bytes=16 * 1024, vertices_per_shard=32
-        ).run(graph, p2, max_iterations=5000)
+        ).run(graph, p2, config=RunConfig(max_iterations=5000))
         for f in resident.values.dtype.names:
             assert np.allclose(
                 resident.values[f].astype(np.float64),
@@ -56,7 +55,7 @@ class TestOverlapModel:
         p = make_program("pr", graph)
         res = StreamedCuShaEngine(
             device_memory_bytes=16 * 1024, vertices_per_shard=32
-        ).run(graph, p, max_iterations=2000)
+        ).run(graph, p, config=RunConfig(max_iterations=2000))
         assert res.kernel_time_ms <= res.unoverlapped_ms
 
     def test_overlap_saving_grows_with_transfer_cost(self, graph):
@@ -70,7 +69,7 @@ class TestOverlapModel:
                 device_memory_bytes=16 * 1024,
                 vertices_per_shard=32,
                 pcie=pcie,
-            ).run(graph, p, max_iterations=2000)
+            ).run(graph, p, config=RunConfig(max_iterations=2000))
             savings.append(res.unoverlapped_ms - res.kernel_time_ms)
             assert res.kernel_time_ms <= res.unoverlapped_ms
         assert savings[1] > savings[0]

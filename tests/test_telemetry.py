@@ -357,18 +357,17 @@ class TestExporters:
 
 # ---------------------------------------------------------------------------
 class TestRunConfigAPI:
-    def test_legacy_kwargs_warn_but_work(self):
+    def test_legacy_kwargs_raise_typeerror(self):
         g = small_graph()
         p = make_program("bfs", g, source=0)
-        with pytest.warns(DeprecationWarning):
-            res = CuShaEngine("cw").run(g, p, max_iterations=5,
-                                        allow_partial=True)
-        assert res.iterations <= 5
+        with pytest.raises(TypeError, match="RunConfig"):
+            CuShaEngine("cw").run(g, p, max_iterations=5,
+                                  allow_partial=True)
 
-    def test_config_and_legacy_conflict(self):
+    def test_legacy_kwargs_rejected_alongside_config(self):
         g = small_graph()
         p = make_program("bfs", g, source=0)
-        with pytest.raises(TypeError):
+        with pytest.raises(TypeError, match="max_iterations"):
             CuShaEngine("cw").run(
                 g, p, config=RunConfig(), max_iterations=5
             )

@@ -16,6 +16,7 @@ from repro.algorithms import PROGRAM_NAMES, make_program
 from repro.frameworks import CuShaEngine, MTCPUEngine, VWCEngine
 from repro.graph import generators
 from repro.vertexcentric.datatypes import UINT_INF
+from repro.frameworks.base import RunConfig
 
 
 def _rmat():
@@ -164,6 +165,6 @@ def test_fixpoint_conditions(graph_kind, engine_key, prog_name):
     g = GRAPHS[graph_kind]()
     p = make_program(prog_name, g)
     engine = ENGINES[engine_key]()
-    res = engine.run(g, p, max_iterations=60_000)
+    res = engine.run(g, p, config=RunConfig(max_iterations=60_000))
     assert res.converged
     VALIDATORS[prog_name](g, p, res.values)
