@@ -25,3 +25,18 @@ def bench_fig7(benchmark, runner, emit):
         # Every trace ends with a zero-update (convergence-detection) pass.
         for pts in engines.values():
             assert pts[-1][1] == 0
+    # Work-efficiency column: the same runs under frontier="sparse",
+    # recording per-iteration frontier size and active-shard count.
+    frontier = E.fig7_frontier_traces(runner)
+    for gname, engines in frontier.items():
+        for ekey, row in engines.items():
+            pts = row["points"]
+            # Same iteration count and frontier-size curve as the dense run
+            # (sparse is bit-exact, so Figure 7's series are unchanged).
+            dense = [u for _, u in data[gname][ekey]]
+            assert [f for _, f, _ in pts] == dense, (gname, ekey)
+            # Every iteration that ran had at least one scheduled sweep
+            # (a mark-free iteration can only follow the zero-update
+            # convergence pass, which already ends the run).
+            assert all(s >= 1 for _, _, s in pts), (gname, ekey)
+            assert row["edges_processed"] > 0, (gname, ekey)

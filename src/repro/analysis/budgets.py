@@ -30,6 +30,11 @@ __all__ = [
     "SERVICE_TIMING_METRICS",
     "SERVICE_EXACT_METRICS",
     "SERVICE_MATCH_KEYS",
+    "FRONTIER_MIN_MODEL_SAVINGS",
+    "FRONTIER_MIN_SKIP_FRACTION",
+    "FRONTIER_TIMING_METRICS",
+    "FRONTIER_EXACT_METRICS",
+    "FRONTIER_MATCH_KEYS",
 ]
 
 
@@ -140,5 +145,52 @@ SERVICE_MATCH_KEYS: tuple[str, ...] = (
     "program",
     "engine",
     "sources",
+    "max_iterations",
+)
+
+#: Contracted floor on frontier-mode work efficiency (``P324``): on the
+#: road-network fixture's *tail* iterations (after the BFS frontier
+#: peaks), ``frontier="sparse"`` must price at least this many times
+#: fewer modeled warp instructions than the full sweep.  The ratio is
+#: exact cost-model output (skipped shards charge zero), so it carries
+#: no noise band — the tail of a road-network traversal is precisely
+#: where shard-sweep skipping must pay off.
+FRONTIER_MIN_MODEL_SAVINGS: float = 5.0
+
+#: Contracted floor on the fraction of shard-sweeps skipped over the
+#: whole road-network BFS run (``P324``).
+FRONTIER_MIN_SKIP_FRACTION: float = 0.8
+
+#: Wall-clock metrics in ``BENCH_frontier.json`` the gate thresholds
+#: against the committed frontier baseline (``P325``), minima over
+#: ``--repeats`` with the usual one-sided
+#: :data:`PERFGATE_TIMING_THRESHOLD` band.
+FRONTIER_TIMING_METRICS: tuple[str, ...] = (
+    "full_wall_min_s",
+    "sparse_wall_min_s",
+)
+
+#: ``BENCH_frontier.json`` metrics that must match the frontier baseline
+#: exactly (``P325``): all derived from deterministic cost-model output,
+#: frontier counters, or iteration counts, so any change is behavioural.
+FRONTIER_EXACT_METRICS: tuple[str, ...] = (
+    "iterations",
+    "peak_iteration",
+    "edges_processed",
+    "shards_skipped",
+    "skip_fraction",
+    "tail_model_savings",
+    "full_model_ms",
+    "sparse_model_ms",
+    "model_speedup",
+)
+
+#: Keys that must match between the frontier baseline and the current
+#: ``BENCH_frontier.json`` for the comparison to mean anything
+#: (``P321``).
+FRONTIER_MATCH_KEYS: tuple[str, ...] = (
+    "graph",
+    "program",
+    "engine",
     "max_iterations",
 )

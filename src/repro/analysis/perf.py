@@ -13,8 +13,12 @@ checked contract, in three layers:
     least G-Shards' (``P301``), shard footprint within shared memory
     (``P302``), write-back payload equal to ``|E|`` vertex values under
     both schemes (``P303``/``P304``), bounded bank-conflict replays and
-    load efficiencies (``P305``/``P306``), and the analytic scatter bound
-    a window-grouped Mapper guarantees (``P307``).  The cost constants in
+    load efficiencies (``P305``/``P306``), the analytic scatter bound
+    a window-grouped Mapper guarantees (``P307``), and frontier-gated
+    sweep pricing — the per-shard stats rows a ``frontier="sparse"``
+    iteration charges must reproduce the full-sweep prediction exactly
+    when every shard is active, so skipping a quiescent shard subtracts
+    exactly that shard's cost (``P308``).  The cost constants in
     :mod:`repro.frameworks.costs` are checked against their contracted
     mirror in :mod:`repro.analysis.budgets` (``P310``).
 
@@ -31,7 +35,14 @@ checked contract, in three layers:
     Diff a fresh ``BENCH_perf_smoke.json`` against the committed baseline
     with per-metric relative thresholds (``P320``) after verifying the
     two runs are comparable at all — same graph, program, and per-engine
-    ``exec_path`` (``P321``).  ``python -m repro perfgate`` drives it.
+    ``exec_path`` (``P321``).  The service-throughput gate holds the
+    batching contract (``P322``) and drifts ``BENCH_service.json``
+    against its baseline (``P323``); the frontier gate holds the
+    work-efficiency contract — sparse tail iterations must price at
+    least :data:`~repro.analysis.budgets.FRONTIER_MIN_MODEL_SAVINGS`
+    times fewer modeled warp instructions than the full sweep (``P324``)
+    — and drifts ``BENCH_frontier.json`` against its baseline
+    (``P325``).  ``python -m repro perfgate`` drives all of it.
 
 CuSha stage predictions here intentionally mirror the *reference*
 per-shard pricing loop using only the simple (non-segmented) primitives;
@@ -76,6 +87,8 @@ __all__ = [
     "compare_bench_reports",
     "check_service_contract",
     "compare_service_reports",
+    "check_frontier_contract",
+    "compare_frontier_reports",
 ]
 
 
@@ -309,7 +322,7 @@ def static_predictions(
 
 
 # ----------------------------------------------------------------------
-# Static audit (P301-P307)
+# Static audit (P301-P308)
 # ----------------------------------------------------------------------
 
 def audit_cw(
@@ -438,6 +451,36 @@ def audit_cw(
             "scatters instead of grouping windows",
             subject=subject,
         ))
+
+    # P308 — frontier-gated sweep pricing.  A frontier="sparse" iteration
+    # charges the row sums of the per-shard static matrices over the
+    # shards it actually processes; with every shard active those sums
+    # must reproduce this module's independent full-sweep prediction
+    # field-for-field, so skipping a quiescent shard subtracts exactly
+    # that shard's cost and an all-active sparse sweep prices identically
+    # to frontier="off".
+    from repro.frameworks.wavebatch import cusha_static_bundle, stats_from_row
+    for mode in ("cw", "gs"):
+        bundle = cusha_static_bundle(cw, mode, warp, vbytes, sbytes, ebytes)
+        mode_preds = preds if mode == "cw" else predict_cusha_stages(
+            cw, mode, vbytes=vbytes, sbytes=sbytes, ebytes=ebytes, warp=warp)
+        for mat, key in (
+            (bundle.stage1, "stage1-fetch"),
+            (bundle.stage2, "stage2-compute"),
+            (bundle.stage3, "stage3-update"),
+            (bundle.stage4, "stage4-writeback"),
+        ):
+            summed = stats_from_row(mat.sum(axis=0))
+            bad = field_diffs(summed, mode_preds[key].stats)
+            if bad:
+                out.append(Violation(
+                    "P308",
+                    f"frontier per-shard pricing for {mode}/{key} does "
+                    "not sum to the full-sweep prediction: "
+                    + ", ".join(f"{f}: {a} != {b}"
+                                for f, (a, b) in sorted(bad.items())),
+                    subject=subject,
+                ))
     return out
 
 
@@ -448,7 +491,7 @@ def perf_audit(
 
     Checks the cost contract (``P310``) and, for every CW / G-Shards
     representation the engine is about to execute over, the structural
-    performance contract (``P301``-``P307``).  Engines that model no GPU
+    performance contract (``P301``-``P308``).  Engines that model no GPU
     hardware only get the cost-contract check.
     """
     cfg = config or RunConfig()
@@ -761,5 +804,104 @@ def compare_service_reports(baseline: dict, current: dict) -> list[Violation]:
                 f"service: {mk} regressed {rel:+.1%} "
                 f"({bv:.4f}s -> {cv:.4f}s), threshold +{thr:.0%}",
                 subject="service",
+            ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Frontier work-efficiency gate (P324 / P325)
+# ----------------------------------------------------------------------
+
+def check_frontier_contract(report: dict) -> list[Violation]:
+    """Check a fresh ``BENCH_frontier.json`` against the absolute contract.
+
+    ``P324`` when sparse execution's modeled warp instructions on the
+    road-network fixture's tail iterations are not at least
+    :data:`~repro.analysis.budgets.FRONTIER_MIN_MODEL_SAVINGS` times
+    cheaper than the full sweep's, when the run skips fewer than
+    :data:`~repro.analysis.budgets.FRONTIER_MIN_SKIP_FRACTION` of its
+    shard-sweeps, or when the bench could not certify sparse results
+    bit-identical to ``frontier="off"``.  All three are deterministic
+    cost-model / equivalence facts, so no baseline and no noise band
+    are involved.
+    """
+    row = report.get("frontier", {})
+    out: list[Violation] = []
+    if row.get("bit_exact") is not True:
+        out.append(Violation(
+            "P324",
+            "BENCH_frontier.json does not certify sparse results "
+            "bit-identical to the full sweep (bit_exact "
+            f"{row.get('bit_exact')!r})",
+            subject="frontier",
+        ))
+    savings = row.get("tail_model_savings")
+    floor = budgets.FRONTIER_MIN_MODEL_SAVINGS
+    if not isinstance(savings, (int, float)):
+        out.append(Violation(
+            "P324",
+            "BENCH_frontier.json carries no frontier.tail_model_savings; "
+            "the work-efficiency contract cannot be checked",
+            subject="frontier",
+        ))
+    elif savings < floor:
+        out.append(Violation(
+            "P324",
+            f"sparse tail iterations price only {savings:.2f}x fewer "
+            f"modeled warp instructions than the full sweep "
+            f"(contract floor {floor:.1f}x)",
+            subject="frontier",
+        ))
+    skip = row.get("skip_fraction")
+    skip_floor = budgets.FRONTIER_MIN_SKIP_FRACTION
+    if not isinstance(skip, (int, float)) or skip < skip_floor:
+        out.append(Violation(
+            "P324",
+            f"sparse run skipped {skip!r} of its shard-sweeps, below "
+            f"the contract floor {skip_floor:.0%}",
+            subject="frontier",
+        ))
+    return out
+
+
+def compare_frontier_reports(baseline: dict, current: dict) -> list[Violation]:
+    """Diff a fresh frontier report against the committed baseline.
+
+    ``P321`` when the workloads are not comparable; ``P325`` when a
+    deterministic metric changed or a wall-clock metric regressed beyond
+    the one-sided threshold.  Improvements never fail.
+    """
+    out: list[Violation] = []
+    for key in budgets.FRONTIER_MATCH_KEYS:
+        if baseline.get(key) != current.get(key):
+            out.append(Violation(
+                "P321",
+                f"frontier workload '{key}' differs: baseline "
+                f"{baseline.get(key)!r} vs current {current.get(key)!r}",
+                subject="frontier",
+            ))
+    b = baseline.get("frontier", {})
+    c = current.get("frontier", {})
+    for mk in budgets.FRONTIER_EXACT_METRICS:
+        if b.get(mk) != c.get(mk):
+            out.append(Violation(
+                "P325",
+                f"frontier: exact metric {mk} changed from {b.get(mk)!r} "
+                f"to {c.get(mk)!r}",
+                subject="frontier",
+            ))
+    thr = budgets.PERFGATE_TIMING_THRESHOLD
+    for mk in budgets.FRONTIER_TIMING_METRICS:
+        bv, cv = b.get(mk), c.get(mk)
+        if not isinstance(bv, (int, float)) or \
+                not isinstance(cv, (int, float)) or bv <= 0:
+            continue
+        rel = (cv - bv) / bv
+        if rel > thr:
+            out.append(Violation(
+                "P325",
+                f"frontier: {mk} regressed {rel:+.1%} "
+                f"({bv:.4f}s -> {cv:.4f}s), threshold +{thr:.0%}",
+                subject="frontier",
             ))
     return out

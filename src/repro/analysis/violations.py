@@ -189,6 +189,12 @@ CODES: dict[str, tuple[str, str]] = {
         "bound a window-grouped Mapper guarantees: the mapper no longer "
         "groups windows contiguously",
     ),
+    "P308": (
+        "perf-frontier-decomposition",
+        "the per-shard static cost matrices do not row-sum exactly to "
+        "the full-sweep prediction, so frontier-gated sparse sweeps "
+        "would mis-price skipped shards",
+    ),
     "P310": (
         "perf-cost-contract",
         "a frameworks.costs instruction constant diverges from the "
@@ -225,6 +231,19 @@ CODES: dict[str, tuple[str, str]] = {
         "service-perf-regression",
         "a BENCH_service.json metric regressed against the committed "
         "service baseline (wall-clock minimum beyond threshold, or a "
+        "deterministic metric changed)",
+    ),
+    "P324": (
+        "frontier-work-efficiency",
+        "frontier-gated sparse execution fell below its contracted "
+        "work-efficiency floors on the road-network BFS fixture "
+        "(tail model savings, shard-sweep skip fraction, or certified "
+        "bit-exactness)",
+    ),
+    "P325": (
+        "frontier-perf-regression",
+        "a BENCH_frontier.json metric regressed against the committed "
+        "frontier baseline (wall-clock minimum beyond threshold, or a "
         "deterministic metric changed)",
     ),
     # ---- simulated-race detector (races.py) --------------------------

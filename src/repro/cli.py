@@ -30,7 +30,9 @@ Commands
     gate engines, the benchmark regression diff of a fresh (or
     ``--current``) perf-smoke report against the committed baseline, and
     the service-layer throughput gate (batching contract ``P322`` plus the
-    ``BENCH_service.json`` diff against its own baseline, ``P323``).
+    ``BENCH_service.json`` diff against its own baseline, ``P323``), and
+    the frontier work-efficiency gate (sparse-sweep contract ``P324`` plus
+    the ``BENCH_frontier.json`` diff against its baseline, ``P325``).
     Writes a machine-readable report next to the benchmark results.
 
 ``chaos``
@@ -227,6 +229,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     perf.add_argument("--skip-service", action="store_true",
                       help="skip the service-layer throughput gate")
+    perf.add_argument(
+        "--frontier-baseline", default="benchmarks/baselines/frontier.json",
+        help="committed frontier work-efficiency baseline to diff against",
+    )
+    perf.add_argument("--skip-frontier", action="store_true",
+                      help="skip the frontier work-efficiency gate")
 
     serve = sub.add_parser(
         "serve",
@@ -701,28 +709,43 @@ def _merge_bench(a: dict, b: dict, fold) -> dict:
     return out
 
 
-def _merge_service(a: dict, b: dict, fold) -> dict:
-    """Service-report analog of :func:`_merge_bench`: fold wall-clock
-    minima, keep deterministic metrics from ``a``."""
+def _merge_section(a: dict, b: dict, fold, section: str,
+                   metrics: tuple) -> dict:
+    """Single-section analog of :func:`_merge_bench`: fold the section's
+    wall-clock minima, keep deterministic metrics from ``a``."""
     import copy
 
-    from repro.analysis import budgets
-
     out = copy.deepcopy(a)
-    row = out.get("service", {})
-    other = b.get("service", {})
-    for mk in budgets.SERVICE_TIMING_METRICS:
+    row = out.get(section, {})
+    other = b.get(section, {})
+    for mk in metrics:
         x, y = row.get(mk), other.get(mk)
         if isinstance(x, (int, float)) and isinstance(y, (int, float)):
             row[mk] = fold(x, y)
     return out
 
 
+def _merge_service(a: dict, b: dict, fold) -> dict:
+    from repro.analysis import budgets
+
+    return _merge_section(a, b, fold, "service",
+                          budgets.SERVICE_TIMING_METRICS)
+
+
+def _merge_frontier(a: dict, b: dict, fold) -> dict:
+    from repro.analysis import budgets
+
+    return _merge_section(a, b, fold, "frontier",
+                          budgets.FRONTIER_TIMING_METRICS)
+
+
 def _cmd_perfgate(args) -> int:
     import json
 
-    from repro.analysis.perf import (check_service_contract,
+    from repro.analysis.perf import (check_frontier_contract,
+                                     check_service_contract,
                                      compare_bench_reports,
+                                     compare_frontier_reports,
                                      compare_service_reports,
                                      cost_contract_check, drift_gate,
                                      perf_audit)
@@ -854,6 +877,59 @@ def _cmd_perfgate(args) -> int:
         sbench_out.write_text(
             json.dumps(service_current, indent=2) + "\n", encoding="utf-8")
 
+    # Layer 5: frontier work-efficiency gate — the absolute sparse-sweep
+    # contract (P324) plus the regression diff against the frontier
+    # baseline (P325).  Like the service gate, it only runs live, so
+    # ``--current`` skips it.
+    frontier_baseline_path = pathlib.Path(args.frontier_baseline)
+    frontier_current = None
+    frontier_compared = False
+    if not args.skip_frontier and args.current is None:
+        from repro.analysis import budgets
+
+        fbench = _load_bench_module("bench_frontier")
+        echo(f"frontier: running work-efficiency bench "
+             f"({args.repeats} repeat(s))")
+        frontier_current = fbench.run_bench(repeats=args.repeats, echo=echo)
+        violations += check_frontier_contract(frontier_current)
+        if args.rebaseline:
+            echo("rebase  : re-measuring frontier bench for a "
+                 "reproducible baseline")
+            again = fbench.run_bench(repeats=args.repeats, echo=echo)
+            frontier_current = _merge_frontier(frontier_current, again, max)
+            frontier_baseline_path.parent.mkdir(parents=True, exist_ok=True)
+            frontier_baseline_path.write_text(
+                json.dumps(frontier_current, indent=2) + "\n",
+                encoding="utf-8")
+            echo(f"rebase  : wrote {frontier_baseline_path}")
+        elif not frontier_baseline_path.exists():
+            print(f"perfgate: frontier baseline {frontier_baseline_path} "
+                  "missing (run `make perfgate-rebaseline`)",
+                  file=sys.stderr)
+            return 2
+        else:
+            fbaseline = json.loads(frontier_baseline_path.read_text())
+            frontier_v = compare_frontier_reports(
+                fbaseline, frontier_current)
+            attempt = 0
+            while attempt < 2 and frontier_v and _timing_only(
+                    frontier_v, "P325", budgets.FRONTIER_TIMING_METRICS):
+                attempt += 1
+                echo("frontier: timing regression — re-measuring to rule "
+                     "out machine noise")
+                again = fbench.run_bench(
+                    repeats=args.repeats * (attempt + 1), echo=echo)
+                frontier_current = _merge_frontier(
+                    frontier_current, again, min)
+                frontier_v = compare_frontier_reports(
+                    fbaseline, frontier_current)
+            violations += frontier_v
+            frontier_compared = True
+        fbench_out = fbench.RESULTS / "BENCH_frontier.json"
+        fbench_out.parent.mkdir(parents=True, exist_ok=True)
+        fbench_out.write_text(
+            json.dumps(frontier_current, indent=2) + "\n", encoding="utf-8")
+
     errors = sum(v.severity == "error" for v in violations)
     warnings = sum(v.severity == "warning" for v in violations)
     report = {
@@ -874,6 +950,9 @@ def _cmd_perfgate(args) -> int:
         "service_baseline": (
             str(service_baseline_path) if service_compared else None),
         "service_bench": service_current,
+        "frontier_baseline": (
+            str(frontier_baseline_path) if frontier_compared else None),
+        "frontier_bench": frontier_current,
         "metrics": {k: m for k, m in tracer.metrics.as_dict().items()
                     if k.startswith("analysis.perf.")},
     }

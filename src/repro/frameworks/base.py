@@ -100,6 +100,11 @@ class IterationTrace:
     updated_vertices: int
     time_ms: float
     cumulative_time_ms: float
+    active_shards: int = 0
+    """Shards (chunks for VWC) the iteration actually processed.  Only
+    populated under a frontier mode (``0`` when ``frontier="off"``, where
+    every iteration sweeps all shards), so historical traces are
+    unchanged."""
 
 
 @dataclass(frozen=True)
@@ -135,6 +140,19 @@ class RunConfig:
     ``start_iteration + 1`` (absolute numbering, so fault sites and traces
     line up with an uninterrupted run).  ``max_iterations`` stays the
     *absolute* cap; a segmented supervisor raises it per segment.
+
+    ``frontier`` selects work-efficient sweeps: ``"off"`` (the default)
+    runs the historical full sweep every iteration; ``"sparse"`` keeps a
+    per-shard/per-chunk dirty bitmap and skips quiescent shards entirely
+    (bit-exact values, traces, and iteration counts — only the modeled
+    hardware work shrinks); ``"auto"`` additionally picks a push (sparse
+    gather) or pull (dense sweep) direction each iteration from the
+    frontier-size × average-degree heuristic.  Engines without shard
+    structure (``scalar``, ``mtcpu``) treat any mode as ``"off"``.
+    ``resume_frontier`` carries the checkpointed updated-vertex mask of
+    the last executed iteration so a segmented frontier run rebuilds the
+    exact dirty set a continuous run would hold (see
+    ``repro.frameworks.frontier.resume_dirty``).
     """
 
     max_iterations: int = 10_000
@@ -148,10 +166,21 @@ class RunConfig:
         default=None, compare=False, repr=False
     )
     start_iteration: int = 0
+    frontier: str = "off"
+    resume_frontier: np.ndarray | None = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.exec_path not in ("fast", "reference"):
             raise ValueError("exec_path must be 'fast' or 'reference'")
+        if self.frontier not in ("off", "sparse", "auto"):
+            raise ValueError("frontier must be 'off', 'sparse', or 'auto'")
+        if self.resume_frontier is not None and self.resume_values is None:
+            raise ValueError(
+                "resume_frontier requires resume_values (the frontier mask "
+                "only makes sense relative to a checkpointed state)"
+            )
         if self.validate not in ("off", "structure", "full", "perf"):
             raise ValueError(
                 "validate must be 'off', 'structure', 'full', or 'perf'"
@@ -224,6 +253,22 @@ class RunResult:
     pre-abort number) and :attr:`converged` is ``False``.  Engines that
     finish their loop normally — converged, or capped with
     ``allow_partial`` — report ``True``."""
+    edges_processed: int = 0
+    """Exact count of shard/chunk entries the frontier-gated sweeps
+    actually processed, summed over the run.  ``0`` when
+    ``frontier="off"`` (the full sweep does not count, keeping legacy
+    results byte-identical); surfaced as the ``frontier.edges_processed``
+    metric."""
+    shards_skipped: int = 0
+    """Exact count of shard-sweeps (chunk-sweeps for VWC) skipped because
+    the shard was quiescent, summed over the run.  ``0`` when
+    ``frontier="off"``; surfaced as ``frontier.shards_skipped``."""
+    frontier_mask: np.ndarray | None = None
+    """``(num_vertices,)`` bool mask of vertices updated by the *last
+    executed iteration* when a frontier mode is active (``None`` under
+    ``frontier="off"``).  This is the checkpoint payload that lets a
+    segmented frontier run resume bit-identically — see
+    ``RunConfig.resume_frontier``."""
 
     @property
     def total_ms(self) -> float:
@@ -298,6 +343,14 @@ class Engine(ABC):
             raise ValueError(
                 "resume_values has "
                 f"{len(config.resume_values)} entries for a graph with "
+                f"{graph.num_vertices} vertices"
+            )
+        if config.resume_frontier is not None and (
+            len(config.resume_frontier) != graph.num_vertices
+        ):
+            raise ValueError(
+                "resume_frontier has "
+                f"{len(config.resume_frontier)} entries for a graph with "
                 f"{graph.num_vertices} vertices"
             )
         if config.validate != "off":

@@ -90,7 +90,7 @@ def run_chunk(problem: CSRProblem, a: int, b: int) -> tuple[np.ndarray, int]:
             None if problem.edge_values is None else problem.edge_values[lo:hi],
             vv[dests],
         )
-        ops = apply_reductions(prog, local, dests - a, msgs, mask)
+        ops, _ = apply_reductions(prog, local, dests - a, msgs, mask)
     final, upd = prog.apply(local, old)
     idx = a + np.flatnonzero(upd)
     if idx.size:

@@ -50,6 +50,8 @@ from repro.cache import graph_fingerprint, resolve_cache
 from repro.frameworks import costs
 from repro.frameworks.base import (ConvergenceError, Engine, IterationTrace,
                                    RunConfig, RunResult)
+from repro.frameworks.frontier import (ShardFrontier, choose_direction,
+                                       vertex_influence_csr)
 from repro.frameworks.wavebatch import (add_row_into, cusha_static_bundle,
                                         multi_arange, stats_from_row,
                                         STAT_FIELDS)
@@ -364,11 +366,44 @@ class CuShaEngine(Engine):
             ee = int(sh.shard_offsets[b])
             waves.append((a, b, vlo, vhi, eo, ee, dest_global[eo:ee] - vlo))
 
+        # ----- frontier state -------------------------------------------------
+        frontier_on = config.frontier != "off"
+        frontier = None
+        last_mask = None
+        st1m = st2m = st3m = None
+        full1 = full2 = full3 = None
+        entries_per_shard = None
+        total_entries = 0
+        if frontier_on:
+            if cache is not None:
+                infl = cache.get(
+                    ("frontier", fp, N),
+                    lambda: vertex_influence_csr(graph.src, graph.dst, n, N, S),
+                )
+            else:
+                infl = vertex_influence_csr(graph.src, graph.dst, n, N, S)
+            frontier = ShardFrontier(
+                S, N, infl[0], infl[1],
+                resume=config.resume_frontier,
+                flush_pos=np.arange(S, dtype=np.int64) // wave_size,
+            )
+            last_mask = np.zeros(n, dtype=bool)
+            st1m, st2m, st3m = bundle.stage1, bundle.stage2, bundle.stage3
+            full1 = st1m.sum(axis=0)
+            full2 = st2m.sum(axis=0)
+            full3 = st3m.sum(axis=0)
+            entries_per_shard = np.diff(sh.shard_offsets)
+            total_entries = int(sh.shard_offsets[-1])
+
         # ----- iterate --------------------------------------------------------
         total_stats = KernelStats()
         stage3_dynamic = KernelStats()
         stage2_dynamic = KernelStats()
         stage4_total_row = np.zeros(len(STAT_FIELDS), dtype=np.float64)
+        nf = len(STAT_FIELDS)
+        s1_total = np.zeros(nf, dtype=np.float64)
+        s2_total = np.zeros(nf, dtype=np.float64)
+        s3_total = np.zeros(nf, dtype=np.float64)
         traces: list[IterationTrace] = []
         kernel_ms = 0.0
         converged = False
@@ -381,7 +416,34 @@ class CuShaEngine(Engine):
             with tracer.span(
                 f"iter-{iteration}", "iteration", model_start_ms=iter_start_ms
             ) as it_span:
-                iter_stats = base.copy()
+                push = False
+                direction = None
+                track = False
+                active_vertices = 0
+                processed_shards = 0
+                if frontier_on:
+                    program.begin_iteration(iteration)
+                    if config.frontier == "auto":
+                        active_edges = int(
+                            entries_per_shard[frontier.dirty].sum()
+                        )
+                        direction = choose_direction(
+                            active_edges, total_entries
+                        )
+                    else:
+                        direction = "push"
+                    push = direction == "push"
+                    track = trace_on
+                    last_mask[:] = False
+                if push:
+                    iter_stats = KernelStats()
+                    s1_row = np.zeros(nf, dtype=np.float64)
+                    s2_row = np.zeros(nf, dtype=np.float64)
+                    s3_row = np.zeros(nf, dtype=np.float64)
+                else:
+                    iter_stats = base.copy()
+                    if frontier_on:
+                        s1_row, s2_row, s3_row = full1, full2, full3
                 iter_stats.kernel_launches = 1
                 if trace_on:
                     dyn2 = KernelStats()
@@ -390,15 +452,73 @@ class CuShaEngine(Engine):
                 updated_shard_count = 0
                 st4_row = np.zeros(len(STAT_FIELDS), dtype=np.float64)
                 for a, b, vlo, vhi, eo, ee, dest_local in waves:
-                    old = vertex_values[vlo:vhi]
-                    local = program.init_local(old)
-                    msgs, mask = program.messages(
-                        src_value[eo:ee],
-                        None if src_static is None else src_static[eo:ee],
-                        None if edge_vals is None else edge_vals[eo:ee],
-                        old[dest_local],
-                    )
-                    ops = apply_reductions(program, local, dest_local, msgs, mask)
+                    sparse = False
+                    act = None
+                    if push:
+                        act = frontier.active(a, b)
+                        frontier.shards_skipped += (b - a) - act.size
+                        if act.size == 0:
+                            continue
+                        frontier.clear(act)
+                        processed_shards += act.size
+                        sparse = act.size < b - a
+                        if not sparse:
+                            s1_row += st1m[a:b].sum(axis=0)
+                            s2_row += st2m[a:b].sum(axis=0)
+                            s3_row += st3m[a:b].sum(axis=0)
+                    elif frontier_on:  # pull: dense sweep, clear everything
+                        frontier.dirty[a:b] = False
+                        processed_shards += b - a
+                    if sparse:
+                        # Frontier gather: pack the active shards' vertex
+                        # slices and entry ranges, rebase destinations into
+                        # the packed coordinate space, and run the same
+                        # kernels over the subset.
+                        v_lo = act * N
+                        v_hi = np.minimum(v_lo + N, n)
+                        v_cnt = v_hi - v_lo
+                        v_idx = multi_arange(v_lo, v_hi)
+                        e_lo = sh.shard_offsets[act]
+                        e_hi = sh.shard_offsets[act + 1]
+                        e_idx = multi_arange(e_lo, e_hi)
+                        packed_off = np.zeros(act.size + 1, dtype=np.int64)
+                        np.cumsum(v_cnt, out=packed_off[1:])
+                        dest_sub = dest_global[e_idx] - np.repeat(
+                            v_lo - packed_off[:-1], e_hi - e_lo
+                        )
+                        frontier.edges_processed += int(e_idx.size)
+                        s1_row += st1m[act].sum(axis=0)
+                        s2_row += st2m[act].sum(axis=0)
+                        s3_row += st3m[act].sum(axis=0)
+                        old = vertex_values[v_idx]
+                        local = program.init_local(old)
+                        msgs, mask = program.messages(
+                            src_value[e_idx],
+                            None if src_static is None else src_static[e_idx],
+                            None if edge_vals is None else edge_vals[e_idx],
+                            old[dest_sub],
+                        )
+                        ops, changed = apply_reductions(
+                            program, local, dest_sub, msgs, mask,
+                            track_changed=track,
+                        )
+                    else:
+                        if frontier_on:
+                            frontier.edges_processed += ee - eo
+                        old = vertex_values[vlo:vhi]
+                        local = program.init_local(old)
+                        msgs, mask = program.messages(
+                            src_value[eo:ee],
+                            None if src_static is None else src_static[eo:ee],
+                            None if edge_vals is None else edge_vals[eo:ee],
+                            old[dest_local],
+                        )
+                        ops, changed = apply_reductions(
+                            program, local, dest_local, msgs, mask,
+                            track_changed=track,
+                        )
+                    if track and changed is not None:
+                        active_vertices += int(changed.sum())
                     iter_stats.add_atomics(shared=ops)
                     stage2_dynamic.add_atomics(shared=ops)
                     if trace_on:
@@ -406,15 +526,35 @@ class CuShaEngine(Engine):
                     final, upd = program.apply(local, old)
                     n_upd = int(upd.sum())
                     wave_shards = _EMPTY_SHARDS
+                    idx = None
                     if n_upd:
-                        idx = vlo + np.flatnonzero(upd)
-                        vertex_values[idx] = final[upd]
-                        # Per-shard store pricing: segment the updated
-                        # indices by owning shard so warp rows never span
-                        # shard boundaries (as in the reference loop).
-                        counts = np.bincount(idx // N - a, minlength=b - a)
-                        seg = np.zeros(b - a + 1, dtype=np.int64)
-                        np.cumsum(counts, out=seg[1:])
+                        if sparse:
+                            pos = np.flatnonzero(upd)
+                            idx = v_idx[pos]
+                            vertex_values[idx] = final[upd]
+                            # Per-shard store pricing over the packed
+                            # segments (warp rows never span shards).
+                            seg_of = (
+                                np.searchsorted(
+                                    packed_off, pos, side="right"
+                                ) - 1
+                            )
+                            counts = np.bincount(
+                                seg_of, minlength=act.size
+                            )
+                            seg = np.zeros(act.size + 1, dtype=np.int64)
+                            np.cumsum(counts, out=seg[1:])
+                            wave_shards = act[np.flatnonzero(counts)]
+                        else:
+                            idx = vlo + np.flatnonzero(upd)
+                            vertex_values[idx] = final[upd]
+                            # Per-shard store pricing: segment the updated
+                            # indices by owning shard so warp rows never span
+                            # shard boundaries (as in the reference loop).
+                            counts = np.bincount(idx // N - a, minlength=b - a)
+                            seg = np.zeros(b - a + 1, dtype=np.int64)
+                            np.cumsum(counts, out=seg[1:])
+                            wave_shards = a + np.flatnonzero(counts)
                         store_tc = gather_transactions_segmented(
                             idx, vbytes, seg, warp_size=warp,
                             transaction_bytes=STORE_GRANULARITY_BYTES)
@@ -423,9 +563,12 @@ class CuShaEngine(Engine):
                         if trace_on:
                             dyn3.add_store(store_tc)
                         updated_total += n_upd
-                        wave_shards = a + np.flatnonzero(counts)
+                        if frontier_on:
+                            last_mask[idx] = True
                     if self.always_writeback:
-                        wave_shards = np.arange(a, b, dtype=np.int64)
+                        wave_shards = (
+                            act if sparse else np.arange(a, b, dtype=np.int64)
+                        )
                     if wave_shards.size:
                         updated_shard_count += wave_shards.size
                         st4_row += st4_mat[wave_shards].sum(axis=0)
@@ -446,27 +589,53 @@ class CuShaEngine(Engine):
                             src_value[cw.mapper[pos]] = vertex_values[
                                 cw.cw_src_index[pos]
                             ]
+                    if frontier_on and idx is not None:
+                        # Wave-boundary frontier marking: the updaters' own
+                        # shards plus everything they influence (visible to
+                        # other shards only now that write-back ran).
+                        frontier.mark(idx)
+                if push:
+                    add_row_into(iter_stats, s1_row + s2_row + s3_row)
                 add_row_into(iter_stats, st4_row)
                 stage4_total_row += st4_row
+                if frontier_on:
+                    s1_total += s1_row
+                    s2_total += s2_row
+                    s3_total += s3_row
                 t_ms = self.cost_model.time_ms(iter_stats, occupancy=occ)
                 kernel_ms += t_ms
                 total_stats += iter_stats
                 iterations = iteration
                 if config.collect_traces:
                     traces.append(
-                        IterationTrace(iteration, updated_total, t_ms, kernel_ms)
+                        IterationTrace(
+                            iteration, updated_total, t_ms, kernel_ms,
+                            processed_shards,
+                        )
                     )
                 if trace_on:
                     it_span.model_ms = t_ms
                     it_span.attrs["updated_vertices"] = updated_total
                     it_span.attrs["updated_shards"] = updated_shard_count
+                    if frontier_on:
+                        it_span.attrs["frontier_direction"] = direction
+                        it_span.attrs["active_shards"] = processed_shards
+                        it_span.attrs["active_vertices"] = active_vertices
                     tracer.metrics.histogram(
                         "engine.updated_vertices"
                     ).observe(updated_total)
+                    if frontier_on:
+                        span1 = stats_from_row(s1_row)
+                        span2 = stats_from_row(s2_row) + dyn2
+                        span3 = stats_from_row(s3_row) + dyn3
+                    else:
+                        span1 = base1.copy()
+                        span2 = base2 + dyn2
+                        span3 = base3 + dyn3
                     for sname, sstats in (
-                        ("stage1-fetch", base1.copy()),
-                        ("stage2-compute", base2 + dyn2),
-                        ("stage3-update", base3 + dyn3),
+                        ("stage1-fetch", span1),
+                        ("stage2-compute", span2),
+                        ("stage3-update", span3),
                         ("stage4-writeback", stats_from_row(st4_row)),
                     ):
                         tracer.emit(
@@ -506,16 +675,33 @@ class CuShaEngine(Engine):
             m.gauge("cusha.vertices_per_shard").set(N)
             m.gauge("cusha.wave_size").set(wave_size)
             m.gauge("cusha.waves_per_iteration").set(-(-S // wave_size))
+            if frontier_on:
+                m.counter("frontier.edges_processed").inc(
+                    frontier.edges_processed
+                )
+                m.counter("frontier.shards_skipped").inc(
+                    frontier.shards_skipped
+                )
             run_span.model_ms = h2d_ms + kernel_ms + d2h_ms
             run_span.attrs["iterations"] = iterations
             run_span.attrs["converged"] = converged
+            if frontier_on:
+                run_span.attrs["frontier"] = config.frontier
         executed = iterations - config.start_iteration
-        stage_stats = {
-            "stage1-fetch": _scaled(base1, executed),
-            "stage2-compute": _scaled(base2, executed) + stage2_dynamic,
-            "stage3-update": _scaled(base3, executed) + stage3_dynamic,
-            "stage4-writeback": stats_from_row(stage4_total_row),
-        }
+        if frontier_on:
+            stage_stats = {
+                "stage1-fetch": stats_from_row(s1_total),
+                "stage2-compute": stats_from_row(s2_total) + stage2_dynamic,
+                "stage3-update": stats_from_row(s3_total) + stage3_dynamic,
+                "stage4-writeback": stats_from_row(stage4_total_row),
+            }
+        else:
+            stage_stats = {
+                "stage1-fetch": _scaled(base1, executed),
+                "stage2-compute": _scaled(base2, executed) + stage2_dynamic,
+                "stage3-update": _scaled(base3, executed) + stage3_dynamic,
+                "stage4-writeback": stats_from_row(stage4_total_row),
+            }
         return RunResult(
             engine=self.name,
             program=program.name,
@@ -533,6 +719,9 @@ class CuShaEngine(Engine):
             exec_path="fast",
             cache_hits=cache_hits,
             cache_misses=cache_misses,
+            edges_processed=0 if frontier is None else frontier.edges_processed,
+            shards_skipped=0 if frontier is None else frontier.shards_skipped,
+            frontier_mask=None if last_mask is None else last_mask.copy(),
         )
 
     # ------------------------------------------------------------------
@@ -561,9 +750,11 @@ class CuShaEngine(Engine):
         edge_vals = None if ev is None else ev[sh.edge_positions]
 
         # ----- static per-iteration hardware stats (split per stage) ---------
-        base1 = KernelStats()
-        base2 = KernelStats()
-        base3 = KernelStats()
+        # Per-shard resolution throughout (frontier-gated iterations charge
+        # only the shards they process); aggregates are exact sums.
+        stage1 = [KernelStats() for _ in range(S)]
+        stage2 = [KernelStats() for _ in range(S)]
+        stage3 = [KernelStats() for _ in range(S)]
         stage4 = [KernelStats() for _ in range(S)]
         # Loop invariants of the iteration loop, computed once: vertex
         # ranges, entry slices, rebased destination indices, CW slices.
@@ -576,41 +767,42 @@ class CuShaEngine(Engine):
             sl_i = slice(o, o + m_i)
             dest_local = sh.dest_index[sl_i].astype(np.int64) - lo
             shard_meta.append((lo, hi, sl_i, dest_local, cw.cw_slice(i)))
+            st1, st2, st3 = stage1[i], stage2[i], stage3[i]
             # Stage 1: coalesced VertexValues fetch.
-            base1.add_load(
+            st1.add_load(
                 contiguous_transactions(n_i, vbytes, start_byte=lo * vbytes,
                                         warp_size=warp,
                                         transaction_bytes=LOAD_GRANULARITY_BYTES)
             )
-            base1.add_lanes(*slots_for_contiguous(n_i, warp),
-                            instructions_per_row=costs.INSTR_INIT)
+            st1.add_lanes(*slots_for_contiguous(n_i, warp),
+                          instructions_per_row=costs.INSTR_INIT)
             # Stage 2: coalesced shard-entry loads (SoA field arrays).
             for b in (vbytes, 4):  # SrcValue, DestIndex
-                base2.add_load(contiguous_transactions(
+                st2.add_load(contiguous_transactions(
                     m_i, b, start_byte=o * b, warp_size=warp,
                     transaction_bytes=LOAD_GRANULARITY_BYTES))
             if sbytes:
-                base2.add_load(contiguous_transactions(
+                st2.add_load(contiguous_transactions(
                     m_i, sbytes, start_byte=o * sbytes, warp_size=warp,
                     transaction_bytes=LOAD_GRANULARITY_BYTES))
             if ebytes:
-                base2.add_load(contiguous_transactions(
+                st2.add_load(contiguous_transactions(
                     m_i, ebytes, start_byte=o * ebytes, warp_size=warp,
                     transaction_bytes=LOAD_GRANULARITY_BYTES))
-            base2.add_lanes(*slots_for_contiguous(m_i, warp),
-                            instructions_per_row=costs.INSTR_COMPUTE)
+            st2.add_lanes(*slots_for_contiguous(m_i, warp),
+                          instructions_per_row=costs.INSTR_COMPUTE)
             # Shared-memory atomic bank conflicts: destination indices that
             # collide modulo the bank count serialize within a warp round.
             replays = conflict_replays(dest_local, warp_size=warp)
-            base2.add_instructions(replays * costs.INSTR_ATOMIC_REPLAY)
+            st2.add_instructions(replays * costs.INSTR_ATOMIC_REPLAY)
             # Stage 3: coalesced VertexValues read (stores are dynamic).
-            base3.add_load(
+            st3.add_load(
                 contiguous_transactions(n_i, vbytes, start_byte=lo * vbytes,
                                         warp_size=warp,
                                         transaction_bytes=LOAD_GRANULARITY_BYTES)
             )
-            base3.add_lanes(*slots_for_contiguous(n_i, warp),
-                            instructions_per_row=costs.INSTR_UPDATE)
+            st3.add_lanes(*slots_for_contiguous(n_i, warp),
+                          instructions_per_row=costs.INSTR_UPDATE)
             # Stage 4 (charged only on iterations where the shard updates).
             st4 = stage4[i]
             if self.mode == "gs":
@@ -651,6 +843,9 @@ class CuShaEngine(Engine):
                     transaction_bytes=STORE_GRANULARITY_BYTES))
                 st4.add_lanes(*slots_for_contiguous(L, warp),
                               instructions_per_row=costs.INSTR_WRITEBACK)
+        base1 = sum(stage1, KernelStats())
+        base2 = sum(stage2, KernelStats())
+        base3 = sum(stage3, KernelStats())
         base = base1 + base2 + base3
 
         shared_bytes = shared_mem_per_block(N, vbytes)
@@ -693,6 +888,27 @@ class CuShaEngine(Engine):
         # the single-version CSR baselines, paper Figure 7).
         wave_size = min(self._wave_size(shared_bytes), S)
 
+        # ----- frontier state -------------------------------------------------
+        frontier_on = config.frontier != "off"
+        frontier = None
+        last_mask = None
+        entries_per_shard = None
+        total_entries = 0
+        stage1_run = KernelStats()
+        stage2_run = KernelStats()
+        stage3_run = KernelStats()
+        if frontier_on:
+            n = graph.num_vertices
+            infl = vertex_influence_csr(graph.src, graph.dst, n, N, S)
+            frontier = ShardFrontier(
+                S, N, infl[0], infl[1],
+                resume=config.resume_frontier,
+                flush_pos=np.arange(S, dtype=np.int64) // wave_size,
+            )
+            last_mask = np.zeros(n, dtype=bool)
+            entries_per_shard = np.diff(sh.shard_offsets)
+            total_entries = int(sh.shard_offsets[-1])
+
         trace_on = tracer.enabled
         for iteration in range(config.start_iteration + 1, max_iterations + 1):
             if faults.active:
@@ -701,7 +917,37 @@ class CuShaEngine(Engine):
             with tracer.span(
                 f"iter-{iteration}", "iteration", model_start_ms=iter_start_ms
             ) as it_span:
-                iter_stats = base.copy()
+                push = False
+                direction = None
+                track = False
+                active_vertices = 0
+                processed_shards = 0
+                if frontier_on:
+                    program.begin_iteration(iteration)
+                    if config.frontier == "auto":
+                        active_edges = int(
+                            entries_per_shard[frontier.dirty].sum()
+                        )
+                        direction = choose_direction(
+                            active_edges, total_entries
+                        )
+                    else:
+                        direction = "push"
+                    push = direction == "push"
+                    track = trace_on
+                    last_mask[:] = False
+                if push:
+                    iter_stats = KernelStats()
+                    s1_it = KernelStats()
+                    s2_it = KernelStats()
+                    s3_it = KernelStats()
+                elif frontier_on:
+                    iter_stats = base.copy()
+                    s1_it = base1.copy()
+                    s2_it = base2.copy()
+                    s3_it = base3.copy()
+                else:
+                    iter_stats = base.copy()
                 iter_stats.kernel_launches = 1
                 if trace_on:
                     # Per-iteration dynamic deltas, tracked only when a real
@@ -712,39 +958,65 @@ class CuShaEngine(Engine):
                 updated_total = 0
                 updated_shards: list[int] = []
                 pending_writeback: list[int] = []
+                wave_upd: list[np.ndarray] = []
                 for i in range(S):
-                    lo, hi, sl, dest_local, _csl = shard_meta[i]
-                    old = vertex_values[lo:hi]
-                    local = program.init_local(old)
-                    msgs, mask = program.messages(
-                        src_value[sl],
-                        None if src_static is None else src_static[sl],
-                        None if edge_vals is None else edge_vals[sl],
-                        old[dest_local],
-                    )
-                    ops = apply_reductions(program, local, dest_local, msgs, mask)
-                    iter_stats.add_atomics(shared=ops)
-                    stage2_dynamic.add_atomics(shared=ops)
-                    if trace_on:
-                        dyn2.add_atomics(shared=ops)
-                    final, upd = program.apply(local, old)
-                    n_upd = int(upd.sum())
-                    if n_upd:
-                        idx = lo + np.flatnonzero(upd)
-                        vertex_values[idx] = final[upd]
-                        store_tc = gather_transactions(
-                            idx, vbytes, warp_size=warp,
-                            transaction_bytes=STORE_GRANULARITY_BYTES)
-                        iter_stats.add_store(store_tc)
-                        stage3_dynamic.add_store(store_tc)
+                    skip = push and not frontier.dirty[i]
+                    if skip:
+                        frontier.shards_skipped += 1
+                    else:
+                        if frontier_on:
+                            frontier.dirty[i] = False
+                            frontier.edges_processed += int(
+                                entries_per_shard[i]
+                            )
+                            processed_shards += 1
+                            if push:
+                                s1_it += stage1[i]
+                                s2_it += stage2[i]
+                                s3_it += stage3[i]
+                                iter_stats += stage1[i]
+                                iter_stats += stage2[i]
+                                iter_stats += stage3[i]
+                        lo, hi, sl, dest_local, _csl = shard_meta[i]
+                        old = vertex_values[lo:hi]
+                        local = program.init_local(old)
+                        msgs, mask = program.messages(
+                            src_value[sl],
+                            None if src_static is None else src_static[sl],
+                            None if edge_vals is None else edge_vals[sl],
+                            old[dest_local],
+                        )
+                        ops, changed = apply_reductions(
+                            program, local, dest_local, msgs, mask,
+                            track_changed=track,
+                        )
+                        if track and changed is not None:
+                            active_vertices += int(changed.sum())
+                        iter_stats.add_atomics(shared=ops)
+                        stage2_dynamic.add_atomics(shared=ops)
                         if trace_on:
-                            dyn3.add_store(store_tc)
-                        updated_total += n_upd
-                        updated_shards.append(i)
-                        pending_writeback.append(i)
-                    elif self.always_writeback:
-                        updated_shards.append(i)
-                        pending_writeback.append(i)
+                            dyn2.add_atomics(shared=ops)
+                        final, upd = program.apply(local, old)
+                        n_upd = int(upd.sum())
+                        if n_upd:
+                            idx = lo + np.flatnonzero(upd)
+                            vertex_values[idx] = final[upd]
+                            store_tc = gather_transactions(
+                                idx, vbytes, warp_size=warp,
+                                transaction_bytes=STORE_GRANULARITY_BYTES)
+                            iter_stats.add_store(store_tc)
+                            stage3_dynamic.add_store(store_tc)
+                            if trace_on:
+                                dyn3.add_store(store_tc)
+                            updated_total += n_upd
+                            updated_shards.append(i)
+                            pending_writeback.append(i)
+                            if frontier_on:
+                                last_mask[idx] = True
+                                wave_upd.append(idx)
+                        elif self.always_writeback:
+                            updated_shards.append(i)
+                            pending_writeback.append(i)
                     if (i + 1) % wave_size == 0 or i == S - 1:
                         for j in pending_writeback:
                             csl = shard_meta[j][4]
@@ -752,33 +1024,57 @@ class CuShaEngine(Engine):
                                 cw.cw_src_index[csl]
                             ]
                         pending_writeback.clear()
+                        if frontier_on and wave_upd:
+                            # Wave-boundary frontier marking, in lockstep
+                            # with write-back visibility.
+                            frontier.mark(np.concatenate(wave_upd))
+                            wave_upd.clear()
                 for i in updated_shards:
                     iter_stats += stage4[i]
                     stage4_total += stage4[i]
                     if trace_on:
                         st4_iter += stage4[i]
+                if frontier_on:
+                    stage1_run += s1_it
+                    stage2_run += s2_it
+                    stage3_run += s3_it
                 t_ms = self.cost_model.time_ms(iter_stats, occupancy=occ)
                 kernel_ms += t_ms
                 total_stats += iter_stats
                 iterations = iteration
                 if config.collect_traces:
                     traces.append(
-                        IterationTrace(iteration, updated_total, t_ms, kernel_ms)
+                        IterationTrace(
+                            iteration, updated_total, t_ms, kernel_ms,
+                            processed_shards,
+                        )
                     )
                 if trace_on:
                     it_span.model_ms = t_ms
                     it_span.attrs["updated_vertices"] = updated_total
                     it_span.attrs["updated_shards"] = len(updated_shards)
+                    if frontier_on:
+                        it_span.attrs["frontier_direction"] = direction
+                        it_span.attrs["active_shards"] = processed_shards
+                        it_span.attrs["active_vertices"] = active_vertices
                     tracer.metrics.histogram(
                         "engine.updated_vertices"
                     ).observe(updated_total)
                     # Stage spans: the stage's stats delta this iteration plus
                     # its standalone modeled cost (no launch overhead — the
                     # per-stage stats carry kernel_launches=0).
+                    if frontier_on:
+                        span1 = s1_it.copy()
+                        span2 = s2_it + dyn2
+                        span3 = s3_it + dyn3
+                    else:
+                        span1 = base1.copy()
+                        span2 = base2 + dyn2
+                        span3 = base3 + dyn3
                     for sname, sstats in (
-                        ("stage1-fetch", base1.copy()),
-                        ("stage2-compute", base2 + dyn2),
-                        ("stage3-update", base3 + dyn3),
+                        ("stage1-fetch", span1),
+                        ("stage2-compute", span2),
+                        ("stage3-update", span3),
                         ("stage4-writeback", st4_iter),
                     ):
                         tracer.emit(
@@ -818,16 +1114,33 @@ class CuShaEngine(Engine):
             m.gauge("cusha.vertices_per_shard").set(N)
             m.gauge("cusha.wave_size").set(wave_size)
             m.gauge("cusha.waves_per_iteration").set(-(-S // wave_size))
+            if frontier_on:
+                m.counter("frontier.edges_processed").inc(
+                    frontier.edges_processed
+                )
+                m.counter("frontier.shards_skipped").inc(
+                    frontier.shards_skipped
+                )
             run_span.model_ms = h2d_ms + kernel_ms + d2h_ms
             run_span.attrs["iterations"] = iterations
             run_span.attrs["converged"] = converged
+            if frontier_on:
+                run_span.attrs["frontier"] = config.frontier
         executed = iterations - config.start_iteration
-        stage_stats = {
-            "stage1-fetch": _scaled(base1, executed),
-            "stage2-compute": _scaled(base2, executed) + stage2_dynamic,
-            "stage3-update": _scaled(base3, executed) + stage3_dynamic,
-            "stage4-writeback": stage4_total,
-        }
+        if frontier_on:
+            stage_stats = {
+                "stage1-fetch": stage1_run,
+                "stage2-compute": stage2_run + stage2_dynamic,
+                "stage3-update": stage3_run + stage3_dynamic,
+                "stage4-writeback": stage4_total,
+            }
+        else:
+            stage_stats = {
+                "stage1-fetch": _scaled(base1, executed),
+                "stage2-compute": _scaled(base2, executed) + stage2_dynamic,
+                "stage3-update": _scaled(base3, executed) + stage3_dynamic,
+                "stage4-writeback": stage4_total,
+            }
         return RunResult(
             engine=self.name,
             program=program.name,
@@ -843,4 +1156,7 @@ class CuShaEngine(Engine):
             num_edges=graph.num_edges,
             stage_stats=stage_stats,
             exec_path="reference",
+            edges_processed=0 if frontier is None else frontier.edges_processed,
+            shards_skipped=0 if frontier is None else frontier.shards_skipped,
+            frontier_mask=None if last_mask is None else last_mask.copy(),
         )

@@ -42,6 +42,8 @@ from repro.cache import graph_fingerprint, resolve_cache
 from repro.frameworks.base import (ConvergenceError, Engine, IterationTrace,
                                    RunConfig, RunResult)
 from repro.frameworks.cusha import CuShaEngine
+from repro.frameworks.frontier import (ShardFrontier, choose_direction,
+                                       vertex_influence_csr)
 from repro.frameworks.wavebatch import (multi_arange, stats_from_row,
                                         streamed_static_bundle)
 from repro.graph.cw import ConcatenatedWindows
@@ -271,6 +273,32 @@ class StreamedCuShaEngine(Engine):
             np.array([b - a for a, b in chunks], dtype=np.int64),
         )
         chunk_byte_sizes = chunk_entry_sizes * entry_bytes
+        shard_entry_sizes = np.diff(sh.shard_offsets)
+        shard_byte_sizes = shard_entry_sizes * entry_bytes
+        total_entries = int(sh.shard_offsets[-1])
+        n = graph.num_vertices
+        shard_static = bundle.shard_static
+
+        # ----- frontier state ------------------------------------------------
+        frontier_on = config.frontier != "off"
+        frontier = None
+        last_mask = None
+        if frontier_on:
+            if cache is not None:
+                infl = cache.get(
+                    ("frontier", fp, N),
+                    lambda: vertex_influence_csr(graph.src, graph.dst, n, N, S),
+                )
+            else:
+                infl = vertex_influence_csr(graph.src, graph.dst, n, N, S)
+            # Write-back runs once per iteration after every chunk (BSP
+            # across chunks), so all marks survive: flush_pos == 0.
+            frontier = ShardFrontier(
+                S, N, infl[0], infl[1],
+                resume=config.resume_frontier,
+                flush_pos=np.zeros(S, dtype=np.int64),
+            )
+            last_mask = np.zeros(n, dtype=bool)
 
         # Transfers: VertexValues resident once, chunks stream per iteration.
         h2d_fixed_ms = transfer_ms(
@@ -303,28 +331,98 @@ class StreamedCuShaEngine(Engine):
             with tracer.span(
                 f"iter-{iteration}", "iteration", model_start_ms=iter_start_ms
             ) as it_span:
-                # One vectorized step over every entry: shards only read
-                # their own vertex slice pre-update and write-back is
-                # deferred to the iteration boundary, so the concatenated
-                # evaluation is bit-identical to the per-chunk loop.
-                local = program.init_local(vertex_values)
-                msgs, mask = program.messages(
-                    src_value, src_static, edge_vals,
-                    vertex_values[dest_global],
-                )
-                ops_total = apply_reductions(
-                    program, local, dest_global, msgs, mask
-                )
-                n_fields = len(msgs)
-                if mask is None:
-                    masked_per_chunk = chunk_entry_sizes
-                else:
-                    masked_per_chunk = np.bincount(
-                        entry_chunk[mask], minlength=C
+                push = False
+                direction = None
+                track = False
+                active_vertices = 0
+                active_shard_count = 0
+                if frontier_on:
+                    program.begin_iteration(iteration)
+                    if config.frontier == "auto":
+                        direction = choose_direction(
+                            int(shard_entry_sizes[frontier.dirty].sum()),
+                            total_entries,
+                        )
+                    else:
+                        direction = "push"
+                    push = direction == "push"
+                    track = trace_on
+                    last_mask[:] = False
+                if push:
+                    act = frontier.active(0, S)
+                    frontier.shards_skipped += S - act.size
+                    frontier.clear(act)
+                    active_shard_count = int(act.size)
+                    frontier.edges_processed += int(
+                        shard_entry_sizes[act].sum()
                     )
+                    # Frontier gather: pack the active shards' vertex
+                    # slices and entry ranges, rebase destinations into
+                    # the packed coordinate space, and run the same
+                    # whole-iteration step over the subset (every shard
+                    # owns its destination slice, so the gather is closed).
+                    v_lo = act * N
+                    v_hi = np.minimum(v_lo + N, n)
+                    v_idx = multi_arange(v_lo, v_hi)
+                    e_idx = multi_arange(
+                        sh.shard_offsets[act], sh.shard_offsets[act + 1]
+                    )
+                    packed_off = np.zeros(act.size + 1, dtype=np.int64)
+                    np.cumsum(v_hi - v_lo, out=packed_off[1:])
+                    dest_sub = dest_global[e_idx] - np.repeat(
+                        v_lo - packed_off[:-1], shard_entry_sizes[act]
+                    )
+                    old = vertex_values[v_idx]
+                    local = program.init_local(old)
+                    msgs, mask = program.messages(
+                        src_value[e_idx],
+                        None if src_static is None else src_static[e_idx],
+                        None if edge_vals is None else edge_vals[e_idx],
+                        old[dest_sub],
+                    )
+                    ops_total, changed = apply_reductions(
+                        program, local, dest_sub, msgs, mask,
+                        track_changed=track,
+                    )
+                    ec = entry_chunk[e_idx]
+                    if mask is None:
+                        masked_per_chunk = np.bincount(ec, minlength=C)
+                    else:
+                        masked_per_chunk = np.bincount(ec[mask], minlength=C)
+                else:
+                    if frontier_on:  # pull: dense sweep over everything
+                        frontier.dirty[:] = False
+                        active_shard_count = S
+                        frontier.edges_processed += total_entries
+                    # One vectorized step over every entry: shards only read
+                    # their own vertex slice pre-update and write-back is
+                    # deferred to the iteration boundary, so the concatenated
+                    # evaluation is bit-identical to the per-chunk loop.
+                    local = program.init_local(vertex_values)
+                    msgs, mask = program.messages(
+                        src_value, src_static, edge_vals,
+                        vertex_values[dest_global],
+                    )
+                    ops_total, changed = apply_reductions(
+                        program, local, dest_global, msgs, mask,
+                        track_changed=track,
+                    )
+                    if mask is None:
+                        masked_per_chunk = chunk_entry_sizes
+                    else:
+                        masked_per_chunk = np.bincount(
+                            entry_chunk[mask], minlength=C
+                        )
+                if track and changed is not None:
+                    active_vertices = int(changed.sum())
+                n_fields = len(msgs)
                 ops_per_chunk = masked_per_chunk * n_fields
-                final, upd = program.apply(local, vertex_values)
-                idx = np.flatnonzero(upd)
+                if push:
+                    final, upd = program.apply(local, old)
+                    idx = v_idx[np.flatnonzero(upd)]
+                else:
+                    final, upd = program.apply(local, vertex_values)
+                    idx = np.flatnonzero(upd)
                 updated_total = int(idx.size)
                 store_tx_chunk = np.zeros(C, dtype=np.float64)
                 store_bytes_chunk = np.zeros(C, dtype=np.float64)
@@ -349,16 +447,42 @@ class StreamedCuShaEngine(Engine):
                 else:
                     upd_shards = np.empty(0, dtype=np.int64)
 
+                if push:
+                    # Only the active shards stream in, and chunks with no
+                    # active shard launch no kernel and transfer nothing.
+                    chunk_rows = np.zeros(
+                        (C, shard_static.shape[1]), dtype=np.float64
+                    )
+                    np.add.at(chunk_rows, shard_chunk[act], shard_static[act])
+                    chunk_act_bytes = np.zeros(C, dtype=np.int64)
+                    np.add.at(
+                        chunk_act_bytes, shard_chunk[act], shard_byte_sizes[act]
+                    )
+                    iter_tt = [
+                        transfer_ms(int(bb), self.pcie) if bb else 0.0
+                        for bb in chunk_act_bytes
+                    ]
+                    iter_bytes = chunk_act_bytes
+                    run_chunks = np.flatnonzero(
+                        np.bincount(shard_chunk[act], minlength=C)
+                    ).tolist()
+                else:
+                    chunk_rows = chunk_static
+                    iter_tt = transfer_times
+                    iter_bytes = chunk_byte_sizes
+                    run_chunks = list(range(C))
                 iter_stats = KernelStats()
-                iter_stats.kernel_launches = C
+                iter_stats.kernel_launches = len(run_chunks)
                 compute_times: list[float] = []
-                for k in range(C):
-                    row = chunk_static[k].copy()
+                chunk_tt: list[float] = []
+                for k in run_chunks:
+                    row = chunk_rows[k].copy()
                     row[2] += store_tx_chunk[k]
                     row[3] += store_bytes_chunk[k]
                     row[7] += ops_per_chunk[k]
                     stats = stats_from_row(row)
                     compute_times.append(self.cost_model.time_ms(stats))
+                    chunk_tt.append(iter_tt[k])
                     iter_stats += stats
                     if trace_on:
                         tracer.emit(
@@ -370,8 +494,8 @@ class StreamedCuShaEngine(Engine):
                         tracer.emit(
                             f"chunk-{k}-h2d", "transfer",
                             model_start_ms=iter_start_ms,
-                            model_ms=transfer_times[k],
-                            bytes=int(chunk_byte_sizes[k]),
+                            model_ms=iter_tt[k],
+                            bytes=int(iter_bytes[k]),
                             iteration=iteration, chunk=k,
                         )
                 assert ops_total == int(ops_per_chunk.sum())
@@ -392,14 +516,20 @@ class StreamedCuShaEngine(Engine):
                     wb_stats = KernelStats()
                 wb_ms = self.cost_model.time_ms(wb_stats)
                 iter_stats += wb_stats
+                if frontier_on:
+                    # Iteration-end flush: src_value now carries the new
+                    # values, so mark the updaters' shards and everything
+                    # they influence (all marks survive under BSP).
+                    last_mask[idx] = True
+                    frontier.mark(idx)
 
                 # Overlap model: chunk k+1's H2D hides under chunk k's
                 # compute.
-                pipelined = transfer_times[0]
+                pipelined = chunk_tt[0] if chunk_tt else 0.0
                 for k, comp in enumerate(compute_times):
-                    incoming = transfer_times[k + 1] if k + 1 < C else 0.0
+                    incoming = chunk_tt[k + 1] if k + 1 < len(chunk_tt) else 0.0
                     pipelined += max(comp, incoming)
-                serial = sum(compute_times) + sum(transfer_times)
+                serial = sum(compute_times) + sum(chunk_tt)
                 t_ms = pipelined + wb_ms
                 kernel_ms += t_ms
                 unoverlapped_ms += serial + wb_ms
@@ -407,7 +537,10 @@ class StreamedCuShaEngine(Engine):
                 iterations = iteration
                 if config.collect_traces:
                     traces.append(
-                        IterationTrace(iteration, updated_total, t_ms, kernel_ms)
+                        IterationTrace(
+                            iteration, updated_total, t_ms, kernel_ms,
+                            active_shard_count,
+                        )
                     )
                 if trace_on:
                     tracer.emit(
@@ -417,6 +550,10 @@ class StreamedCuShaEngine(Engine):
                     it_span.model_ms = t_ms
                     it_span.attrs["updated_vertices"] = updated_total
                     it_span.attrs["overlap_saved_ms"] = serial - pipelined
+                    if frontier_on:
+                        it_span.attrs["frontier_direction"] = direction
+                        it_span.attrs["active_shards"] = active_shard_count
+                        it_span.attrs["active_vertices"] = active_vertices
                     tracer.metrics.histogram(
                         "engine.updated_vertices"
                     ).observe(updated_total)
@@ -448,9 +585,18 @@ class StreamedCuShaEngine(Engine):
             m.counter("streamed.overlap_saved_ms").inc(
                 max(0.0, unoverlapped_ms - kernel_ms)
             )
+            if frontier_on:
+                m.counter("frontier.edges_processed").inc(
+                    frontier.edges_processed
+                )
+                m.counter("frontier.shards_skipped").inc(
+                    frontier.shards_skipped
+                )
             run_span.model_ms = h2d_fixed_ms + kernel_ms + d2h_ms
             run_span.attrs["iterations"] = iterations
             run_span.attrs["converged"] = converged
+            if frontier_on:
+                run_span.attrs["frontier"] = config.frontier
         result = RunResult(
             engine=self.name,
             program=program.name,
@@ -467,6 +613,9 @@ class StreamedCuShaEngine(Engine):
             exec_path="fast",
             cache_hits=cache_hits,
             cache_misses=cache_misses,
+            edges_processed=0 if frontier is None else frontier.edges_processed,
+            shards_skipped=0 if frontier is None else frontier.shards_skipped,
+            frontier_mask=None if last_mask is None else last_mask.copy(),
         )
         # Extra reporting: how much the overlap saved.
         result.unoverlapped_ms = unoverlapped_ms  # type: ignore[attr-defined]
@@ -498,6 +647,24 @@ class StreamedCuShaEngine(Engine):
         warp = self.spec.warp_size
         entry_bytes = 4 + vbytes + sbytes + ebytes + 4 + 4  # + mapper slot
         chunks = self._chunk_shards(cw, entry_bytes)
+        n = graph.num_vertices
+        shard_entry_sizes = np.diff(sh.shard_offsets)
+        total_entries = int(sh.shard_offsets[-1])
+
+        # ----- frontier state ------------------------------------------------
+        frontier_on = config.frontier != "off"
+        frontier = None
+        last_mask = None
+        if frontier_on:
+            infl = vertex_influence_csr(graph.src, graph.dst, n, N, S)
+            # Write-back runs once per iteration after every chunk (BSP
+            # across chunks), so all marks survive: flush_pos == 0.
+            frontier = ShardFrontier(
+                S, N, infl[0], infl[1],
+                resume=config.resume_frontier,
+                flush_pos=np.zeros(S, dtype=np.int64),
+            )
+            last_mask = np.zeros(n, dtype=bool)
 
         # Host-side state (the "disk" copy); device residency is modeled.
         vertex_values = config.initial_values(graph, program)
@@ -512,13 +679,27 @@ class StreamedCuShaEngine(Engine):
             hi = int(sh.shard_offsets[c[1]])
             return (hi - lo) * entry_bytes
 
-        def chunk_compute(c: tuple[int, int]) -> tuple[KernelStats, int, list[int]]:
-            """Execute stages 1-3 for every shard in the chunk; returns the
-            chunk's kernel stats, updated-vertex count, and updated shards."""
+        def chunk_compute(
+            c: tuple[int, int], push: bool = False, track: bool = False
+        ) -> tuple[KernelStats, int, list[int], list[np.ndarray], int, int]:
+            """Execute stages 1-3 for every (frontier-active) shard in the
+            chunk; returns the chunk's kernel stats, updated-vertex count,
+            updated shards, updated vertex indices, processed-shard count,
+            and changed-vertex count."""
             stats = KernelStats()
             updated = 0
             upd_shards: list[int] = []
+            upd_idx: list[np.ndarray] = []
+            act_count = 0
+            changed_count = 0
             for i in range(*c):
+                if push and not frontier.dirty[i]:
+                    frontier.shards_skipped += 1
+                    continue
+                if frontier_on:
+                    frontier.dirty[i] = False
+                    frontier.edges_processed += int(shard_entry_sizes[i])
+                act_count += 1
                 lo, hi = sh.vertex_range(i)
                 o = int(sh.shard_offsets[i])
                 m_i = sh.shard_size(i)
@@ -532,7 +713,11 @@ class StreamedCuShaEngine(Engine):
                     None if edge_vals is None else edge_vals[sl],
                     old[dest_local],
                 )
-                ops = apply_reductions(program, local, dest_local, msgs, mask)
+                ops, changed = apply_reductions(
+                    program, local, dest_local, msgs, mask, track_changed=track
+                )
+                if track and changed is not None:
+                    changed_count += int(changed.sum())
                 stats.add_atomics(shared=ops)
                 n_i = hi - lo
                 stats.add_load(contiguous_transactions(
@@ -556,7 +741,8 @@ class StreamedCuShaEngine(Engine):
                         transaction_bytes=STORE_GRANULARITY_BYTES))
                     updated += n_upd
                     upd_shards.append(i)
-            return stats, updated, upd_shards
+                    upd_idx.append(idx)
+            return stats, updated, upd_shards, upd_idx, act_count, changed_count
 
         # Transfers: VertexValues resident once, chunks stream per iteration.
         h2d_fixed_ms = transfer_ms(
@@ -586,19 +772,56 @@ class StreamedCuShaEngine(Engine):
             with tracer.span(
                 f"iter-{iteration}", "iteration", model_start_ms=iter_start_ms
             ) as it_span:
+                push = False
+                direction = None
+                track = False
+                active_vertices = 0
+                active_shard_count = 0
+                if frontier_on:
+                    program.begin_iteration(iteration)
+                    if config.frontier == "auto":
+                        direction = choose_direction(
+                            int(shard_entry_sizes[frontier.dirty].sum()),
+                            total_entries,
+                        )
+                    else:
+                        direction = "push"
+                    push = direction == "push"
+                    track = trace_on
+                    last_mask[:] = False
                 updated_total = 0
                 updated_shards_all: list[int] = []
+                upd_idx_all: list[np.ndarray] = []
                 compute_times: list[float] = []
-                transfer_times = [
-                    transfer_ms(chunk_bytes(c), self.pcie) for c in chunks
-                ]
+                chunk_tt: list[float] = []
+                launches = 0
                 iter_stats = KernelStats()
-                iter_stats.kernel_launches = len(chunks)
                 for k, c in enumerate(chunks):
-                    stats, updated, upd_shards = chunk_compute(c)
+                    if push:
+                        act_bits = frontier.dirty[c[0]:c[1]]
+                        if not act_bits.any():
+                            # Quiescent chunk: no kernel launch and no H2D
+                            # transfer at all.
+                            frontier.shards_skipped += c[1] - c[0]
+                            continue
+                        cb = int(
+                            shard_entry_sizes[c[0]:c[1]][act_bits].sum()
+                        ) * entry_bytes
+                    else:
+                        cb = chunk_bytes(c)
+                    tr = transfer_ms(cb, self.pcie)
+                    stats, updated, upd_shards, upd_idx, act_count, ch_count = (
+                        chunk_compute(c, push, track)
+                    )
+                    launches += 1
+                    if frontier_on:
+                        active_shard_count += act_count
+                    active_vertices += ch_count
                     updated_total += updated
                     updated_shards_all.extend(upd_shards)
+                    upd_idx_all.extend(upd_idx)
                     compute_times.append(self.cost_model.time_ms(stats))
+                    chunk_tt.append(tr)
                     iter_stats += stats
                     if trace_on:
                         tracer.emit(
@@ -610,9 +833,10 @@ class StreamedCuShaEngine(Engine):
                         tracer.emit(
                             f"chunk-{k}-h2d", "transfer",
                             model_start_ms=iter_start_ms,
-                            model_ms=transfer_times[k],
-                            bytes=chunk_bytes(c), iteration=iteration, chunk=k,
+                            model_ms=tr,
+                            bytes=cb, iteration=iteration, chunk=k,
                         )
+                iter_stats.kernel_launches = launches
                 # Write-back (CW) is applied once per iteration after all
                 # chunks ran: cross-chunk staging semantics (BSP across chunks).
                 wb_stats = KernelStats()
@@ -631,13 +855,20 @@ class StreamedCuShaEngine(Engine):
                                        instructions_per_row=costs.INSTR_WRITEBACK)
                 wb_ms = self.cost_model.time_ms(wb_stats)
                 iter_stats += wb_stats
+                if frontier_on and upd_idx_all:
+                    # Iteration-end flush: src_value now carries the new
+                    # values, so mark the updaters' shards and everything
+                    # they influence (all marks survive under BSP).
+                    all_idx = np.concatenate(upd_idx_all)
+                    last_mask[all_idx] = True
+                    frontier.mark(all_idx)
 
                 # Overlap model: chunk k+1's H2D hides under chunk k's compute.
-                pipelined = transfer_times[0]
+                pipelined = chunk_tt[0] if chunk_tt else 0.0
                 for k, comp in enumerate(compute_times):
-                    incoming = transfer_times[k + 1] if k + 1 < len(chunks) else 0.0
+                    incoming = chunk_tt[k + 1] if k + 1 < len(chunk_tt) else 0.0
                     pipelined += max(comp, incoming)
-                serial = sum(compute_times) + sum(transfer_times)
+                serial = sum(compute_times) + sum(chunk_tt)
                 t_ms = pipelined + wb_ms
                 kernel_ms += t_ms
                 unoverlapped_ms += serial + wb_ms
@@ -645,7 +876,10 @@ class StreamedCuShaEngine(Engine):
                 iterations = iteration
                 if config.collect_traces:
                     traces.append(
-                        IterationTrace(iteration, updated_total, t_ms, kernel_ms)
+                        IterationTrace(
+                            iteration, updated_total, t_ms, kernel_ms,
+                            active_shard_count,
+                        )
                     )
                 if trace_on:
                     tracer.emit(
@@ -655,6 +889,10 @@ class StreamedCuShaEngine(Engine):
                     it_span.model_ms = t_ms
                     it_span.attrs["updated_vertices"] = updated_total
                     it_span.attrs["overlap_saved_ms"] = serial - pipelined
+                    if frontier_on:
+                        it_span.attrs["frontier_direction"] = direction
+                        it_span.attrs["active_shards"] = active_shard_count
+                        it_span.attrs["active_vertices"] = active_vertices
                     tracer.metrics.histogram(
                         "engine.updated_vertices"
                     ).observe(updated_total)
@@ -686,9 +924,18 @@ class StreamedCuShaEngine(Engine):
             m.counter("streamed.overlap_saved_ms").inc(
                 max(0.0, unoverlapped_ms - kernel_ms)
             )
+            if frontier_on:
+                m.counter("frontier.edges_processed").inc(
+                    frontier.edges_processed
+                )
+                m.counter("frontier.shards_skipped").inc(
+                    frontier.shards_skipped
+                )
             run_span.model_ms = h2d_fixed_ms + kernel_ms + d2h_ms
             run_span.attrs["iterations"] = iterations
             run_span.attrs["converged"] = converged
+            if frontier_on:
+                run_span.attrs["frontier"] = config.frontier
         result = RunResult(
             engine=self.name,
             program=program.name,
@@ -703,6 +950,9 @@ class StreamedCuShaEngine(Engine):
             traces=traces,
             num_edges=graph.num_edges,
             exec_path="reference",
+            edges_processed=0 if frontier is None else frontier.edges_processed,
+            shards_skipped=0 if frontier is None else frontier.shards_skipped,
+            frontier_mask=None if last_mask is None else last_mask.copy(),
         )
         # Extra reporting: how much the overlap saved.
         result.unoverlapped_ms = unoverlapped_ms  # type: ignore[attr-defined]

@@ -24,7 +24,9 @@ from repro.cache import graph_fingerprint, resolve_cache
 from repro.frameworks import costs
 from repro.frameworks.base import (ConvergenceError, Engine, IterationTrace,
                                    RunConfig, RunResult)
-from repro.frameworks.csrloop import CSRProblem, iterate_chunks
+from repro.frameworks.csrloop import CSRProblem, iterate_chunks, run_chunk
+from repro.frameworks.frontier import (ShardFrontier, choose_direction,
+                                       resume_dirty, vertex_influence_csr)
 from repro.graph.csr import CSR
 from repro.graph.digraph import DiGraph
 from repro.gpu.engine import KernelCostModel
@@ -106,7 +108,14 @@ class VWCEngine(Engine):
             total += s
         return total
 
-    def _static_stat_phases(self, problem: CSRProblem) -> dict[str, KernelStats]:
+    def _static_stat_phases(
+        self, problem: CSRProblem, lo: int = 0, hi: int | None = None
+    ) -> dict[str, KernelStats]:
+        """Price the lockstep schedule for vertices ``[lo, hi)`` (defaults to
+        the whole graph).  A range restriction prices a frontier-gated chunk:
+        when ``lo`` is a multiple of ``warp / virtual_warp_size`` the chunk's
+        physical-warp rows are the same rows a full sweep would form, so the
+        per-chunk phases sum exactly to the full-sweep phases."""
         spec = self.spec
         warp = spec.warp_size
         vw = self.virtual_warp_size
@@ -116,9 +125,11 @@ class VWCEngine(Engine):
         sbytes = prog.static_value_bytes
         ebytes = prog.edge_value_bytes
         csr = problem.csr
-        n = csr.num_vertices
-        deg = np.diff(csr.in_edge_idxs)
-        offs = csr.in_edge_idxs[:-1]
+        if hi is None:
+            hi = csr.num_vertices
+        n = hi - lo
+        deg = np.diff(csr.in_edge_idxs[lo:hi + 1])
+        offs = csr.in_edge_idxs[lo:hi]
 
         sisd = KernelStats()
         edges = KernelStats()
@@ -129,11 +140,14 @@ class VWCEngine(Engine):
         # The vpw active lanes of a physical warp touch consecutive vertices,
         # so grouping rows by vpw consecutive elements prices it exactly.
         sector = LOAD_GRANULARITY_BYTES
-        sisd.add_load(contiguous_transactions(n, 4, warp_size=vpw,
+        sisd.add_load(contiguous_transactions(n, 4, start_byte=lo * 4,
+                                              warp_size=vpw,
                                               transaction_bytes=sector))
-        sisd.add_load(contiguous_transactions(n, 4, warp_size=vpw,
+        sisd.add_load(contiguous_transactions(n, 4, start_byte=lo * 4,
+                                              warp_size=vpw,
                                               transaction_bytes=sector))
-        sisd.add_load(contiguous_transactions(n, vbytes, warp_size=vpw,
+        sisd.add_load(contiguous_transactions(n, vbytes, start_byte=lo * vbytes,
+                                              warp_size=vpw,
                                               transaction_bytes=sector))
         num_warps = -(-n // vpw)
         sisd.add_lanes(n, num_warps * warp,
@@ -242,6 +256,18 @@ class VWCEngine(Engine):
             stats.add_lanes(n_active, rows * warp,
                             instructions_per_row=costs.INSTR_VWC_EDGE)
 
+    def _chunk_static_phases(
+        self, problem: CSRProblem, chunk_size: int
+    ) -> list[dict[str, KernelStats]]:
+        """Per-chunk lockstep pricing for frontier-gated iterations: element
+        ``c`` prices the three static phases of vertices
+        ``[c * chunk_size, (c + 1) * chunk_size)`` alone."""
+        n = problem.csr.num_vertices
+        return [
+            self._static_stat_phases(problem, a, min(a + chunk_size, n))
+            for a in range(0, n, chunk_size)
+        ]
+
     # ------------------------------------------------------------------
     def preflight_representations(
         self, graph: DiGraph, program: VertexProgram, config: RunConfig
@@ -331,6 +357,55 @@ class VWCEngine(Engine):
             # checkpoint instead (copied — snapshots are frozen).
             problem.vertex_values = np.array(config.resume_values, copy=True)
 
+        # ----- frontier state ------------------------------------------------
+        # The scheduling unit is the Gauss-Seidel vertex chunk: updates land
+        # live at each chunk's end, so marks flush immediately
+        # (flush_pos == chunk index).
+        chunk_size = self.chunk_vertices
+        num_chunks = -(-n // chunk_size)
+        frontier_on = config.frontier != "off"
+        frontier = None
+        last_mask = None
+        chunk_phase_list = None
+        chunk_flush_pos = None
+        chunk_edge_counts = None
+        total_in_edges = int(problem.csr.in_edge_idxs[-1])
+        if frontier_on:
+            if cache is not None:
+                fp2 = graph_fingerprint(graph)
+                infl = cache.get(
+                    ("frontier", fp2, chunk_size),
+                    lambda: vertex_influence_csr(
+                        graph.src, graph.dst, n, chunk_size, num_chunks
+                    ),
+                )
+                chunk_phase_list = cache.get(
+                    ("vwc-chunk-stats", fp2, self.virtual_warp_size,
+                     self.address_dilation, self.defer_outliers,
+                     self.outlier_factor, self.spec.warp_size,
+                     vbytes_, sbytes_, ebytes_, chunk_size),
+                    lambda: self._chunk_static_phases(problem, chunk_size),
+                )
+            else:
+                infl = vertex_influence_csr(
+                    graph.src, graph.dst, n, chunk_size, num_chunks
+                )
+                chunk_phase_list = self._chunk_static_phases(
+                    problem, chunk_size
+                )
+            chunk_flush_pos = np.arange(num_chunks, dtype=np.int64)
+            frontier = ShardFrontier(
+                num_chunks, chunk_size, infl[0], infl[1],
+                resume=config.resume_frontier,
+                flush_pos=chunk_flush_pos,
+            )
+            last_mask = np.zeros(n, dtype=bool)
+            bounds = np.minimum(
+                np.arange(num_chunks + 1, dtype=np.int64) * chunk_size, n
+            )
+            chunk_edge_counts = np.diff(problem.csr.in_edge_idxs[bounds])
+            phase_totals = {name: KernelStats() for name in phases}
+
         rep_bytes = problem.csr.memory_bytes(vbytes, ebytes, sbytes)
         h2d_ms = transfer_ms(rep_bytes, self.pcie)
         d2h_ms = transfer_ms(n * vbytes, self.pcie)
@@ -366,13 +441,78 @@ class VWCEngine(Engine):
             with tracer.span(
                 f"iter-{iteration}", "iteration", model_start_ms=iter_start_ms
             ) as it_span:
-                updated_idx, _ops = iterate_chunks(
-                    problem,
-                    self.chunk_vertices,
-                    metrics=tracer.metrics if trace_on else None,
-                )
-                iter_stats = static_stats.copy()
-                iter_stats.kernel_launches = 1
+                push = False
+                direction = None
+                active_chunk_count = 0
+                if frontier_on:
+                    program.begin_iteration(iteration)
+                    if config.frontier == "auto":
+                        direction = choose_direction(
+                            int(chunk_edge_counts[frontier.dirty].sum()),
+                            total_in_edges,
+                        )
+                    else:
+                        direction = "push"
+                    push = direction == "push"
+                    last_mask[:] = False
+                if push:
+                    # Frontier-gated Gauss-Seidel: only dirty chunks run.
+                    # Marks land immediately after each chunk (its updates
+                    # are live), so a mark into a later chunk schedules it
+                    # within this very iteration — exactly the full sweep's
+                    # visibility — while marks into earlier chunks survive
+                    # to the next iteration.
+                    iter_phases = {name: KernelStats() for name in phases}
+                    updated_parts: list[np.ndarray] = []
+                    for c in range(num_chunks):
+                        if not frontier.dirty[c]:
+                            frontier.shards_skipped += 1
+                            continue
+                        frontier.dirty[c] = False
+                        frontier.edges_processed += int(chunk_edge_counts[c])
+                        active_chunk_count += 1
+                        a = c * chunk_size
+                        idx, _ops = run_chunk(
+                            problem, a, min(a + chunk_size, n)
+                        )
+                        for pname, pstats in chunk_phase_list[c].items():
+                            iter_phases[pname] += pstats
+                        if idx.size:
+                            updated_parts.append(idx)
+                            last_mask[idx] = True
+                            frontier.mark(idx)
+                    if updated_parts:
+                        updated_idx = np.concatenate(updated_parts)
+                    else:
+                        updated_idx = np.empty(0, dtype=np.int64)
+                    iter_stats = KernelStats()
+                    for pstats in iter_phases.values():
+                        iter_stats += pstats
+                    iter_stats.kernel_launches = 1 if active_chunk_count else 0
+                else:
+                    updated_idx, _ops = iterate_chunks(
+                        problem,
+                        self.chunk_vertices,
+                        metrics=tracer.metrics if trace_on else None,
+                    )
+                    iter_stats = static_stats.copy()
+                    iter_stats.kernel_launches = 1
+                    if frontier_on:  # pull: dense sweep over every chunk
+                        iter_phases = phases
+                        active_chunk_count = num_chunks
+                        frontier.edges_processed += total_in_edges
+                        last_mask[updated_idx] = True
+                        # The exact end-of-iteration bitmap a gated sweep
+                        # would leave behind (live marks minus the clears of
+                        # later-processed chunks).
+                        frontier.dirty = resume_dirty(
+                            last_mask, chunk_size, num_chunks,
+                            frontier.indptr, frontier.targets,
+                            chunk_flush_pos,
+                        )
+                if frontier_on:
+                    for pname, pstats in iter_phases.items():
+                        phase_totals[pname] += pstats
                 if trace_on:
                     stores_iter = KernelStats()
                 if updated_idx.size:
@@ -397,21 +537,29 @@ class VWCEngine(Engine):
                 if config.collect_traces:
                     traces.append(
                         IterationTrace(
-                            iteration, int(updated_idx.size), t_ms, kernel_ms
+                            iteration, int(updated_idx.size), t_ms, kernel_ms,
+                            active_chunk_count,
                         )
                     )
                 if trace_on:
                     it_span.model_ms = t_ms
                     it_span.attrs["updated_vertices"] = int(updated_idx.size)
+                    if frontier_on:
+                        it_span.attrs["frontier_direction"] = direction
+                        it_span.attrs["active_shards"] = active_chunk_count
                     tracer.metrics.histogram(
                         "engine.updated_vertices"
                     ).observe(int(updated_idx.size))
-                    for pname, pstats in phases.items():
+                    emit_phases = iter_phases if frontier_on else phases
+                    for pname, pstats in emit_phases.items():
                         tracer.emit(
                             pname,
                             "stage",
                             model_start_ms=iter_start_ms,
-                            model_ms=phase_ms[pname],
+                            model_ms=(
+                                self.cost_model.time_ms(pstats, occupancy=1.0)
+                                if frontier_on else phase_ms[pname]
+                            ),
                             stats=pstats,
                             iteration=iteration,
                         )
@@ -450,9 +598,18 @@ class VWCEngine(Engine):
             )
             m.gauge("vwc.virtual_warp_size").set(self.virtual_warp_size)
             m.gauge("vwc.chunk_vertices").set(self.chunk_vertices)
+            if frontier_on:
+                m.counter("frontier.edges_processed").inc(
+                    frontier.edges_processed
+                )
+                m.counter("frontier.shards_skipped").inc(
+                    frontier.shards_skipped
+                )
             run_span.model_ms = h2d_ms + kernel_ms + d2h_ms
             run_span.attrs["iterations"] = iterations
             run_span.attrs["converged"] = converged
+            if frontier_on:
+                run_span.attrs["frontier"] = config.frontier
 
         def scaled(s: KernelStats, k: int) -> KernelStats:
             out = KernelStats()
@@ -465,10 +622,13 @@ class VWCEngine(Engine):
             out.warp_instructions = s.warp_instructions * k
             return out
 
-        stage_stats = {
-            name: scaled(s, iterations - config.start_iteration)
-            for name, s in phases.items()
-        }
+        if frontier_on:
+            stage_stats = dict(phase_totals)
+        else:
+            stage_stats = {
+                name: scaled(s, iterations - config.start_iteration)
+                for name, s in phases.items()
+            }
         stage_stats["stores"] = store_dynamic
         return RunResult(
             engine=self.name,
@@ -487,4 +647,7 @@ class VWCEngine(Engine):
             exec_path=config.exec_path,
             cache_hits=cache_hits,
             cache_misses=cache_misses,
+            edges_processed=0 if frontier is None else frontier.edges_processed,
+            shards_skipped=0 if frontier is None else frontier.shards_skipped,
+            frontier_mask=None if last_mask is None else last_mask.copy(),
         )

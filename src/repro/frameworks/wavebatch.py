@@ -156,20 +156,30 @@ def window_rows_grouped(
 @dataclass
 class CuShaStaticBundle:
     """Everything the CuSha fast path precomputes once per (graph, N, mode,
-    program layout): the per-iteration base stats of stages 1-3 and the
-    per-shard stage-4 stats matrix."""
+    program layout): the per-iteration base stats of stages 1-3 (both as
+    aggregates and as per-shard matrices — frontier-gated sweeps charge row
+    sums over the shards actually processed) and the per-shard stage-4
+    stats matrix."""
 
     base1: KernelStats
     base2: KernelStats
     base3: KernelStats
+    stage1: np.ndarray  # (S, len(STAT_FIELDS)) float64
+    stage2: np.ndarray  # (S, len(STAT_FIELDS)) float64
+    stage3: np.ndarray  # (S, len(STAT_FIELDS)) float64
     stage4: np.ndarray  # (S, len(STAT_FIELDS)) float64
     dest_global: np.ndarray  # dest_index as int64 (shared, read-only)
 
 
-def _stage_base_stats(
+def _stage_base_matrices(
     sh, warp: int, vbytes: int, sbytes: int, ebytes: int
-) -> tuple[KernelStats, KernelStats, KernelStats]:
-    """Stages 1-3 static stats, vectorized over all shards."""
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stages 1-3 per-shard static stats matrices, vectorized over shards.
+
+    Every entry is integer-valued, so the aggregate stats (``base1`` etc.)
+    are exact row sums of these matrices — the frontier-gated partial sums
+    and the historical full-sweep aggregates can never drift apart.
+    """
     n = sh.num_vertices
     N = sh.vertices_per_shard
     S = sh.num_shards
@@ -177,42 +187,44 @@ def _stage_base_stats(
     n_arr = np.minimum(lo_arr + N, n) - lo_arr
     m_arr = np.diff(sh.shard_offsets)
     o_arr = sh.shard_offsets[:-1]
+    n_rows = -(-n_arr // warp)
+    m_rows = -(-m_arr // warp)
 
-    base1 = KernelStats()
-    base1.add_load(contiguous_transactions_segmented(
+    st1 = np.zeros((S, len(STAT_FIELDS)), dtype=np.float64)
+    _, tx = contiguous_transactions_segmented(
         n_arr, vbytes, start_bytes=lo_arr * vbytes, warp_size=warp,
-        transaction_bytes=LOAD_GRANULARITY_BYTES))
-    base1.add_lanes(*contiguous_slots(n_arr, warp),
-                    instructions_per_row=costs.INSTR_INIT)
+        transaction_bytes=LOAD_GRANULARITY_BYTES, per_segment=True)
+    st1[:, 0] = tx
+    st1[:, 1] = n_arr * vbytes
+    st1[:, 4] = n_arr
+    st1[:, 5] = n_rows * warp
+    st1[:, 6] = n_rows * costs.INSTR_INIT
 
-    base2 = KernelStats()
-    for b in (vbytes, 4):  # SrcValue, DestIndex
-        base2.add_load(contiguous_transactions_segmented(
+    st2 = np.zeros((S, len(STAT_FIELDS)), dtype=np.float64)
+    for b in filter(None, (vbytes, 4, sbytes, ebytes)):
+        # SrcValue, DestIndex, then the optional static / edge fields.
+        _, tx = contiguous_transactions_segmented(
             m_arr, b, start_bytes=o_arr * b, warp_size=warp,
-            transaction_bytes=LOAD_GRANULARITY_BYTES))
-    if sbytes:
-        base2.add_load(contiguous_transactions_segmented(
-            m_arr, sbytes, start_bytes=o_arr * sbytes, warp_size=warp,
-            transaction_bytes=LOAD_GRANULARITY_BYTES))
-    if ebytes:
-        base2.add_load(contiguous_transactions_segmented(
-            m_arr, ebytes, start_bytes=o_arr * ebytes, warp_size=warp,
-            transaction_bytes=LOAD_GRANULARITY_BYTES))
-    base2.add_lanes(*contiguous_slots(m_arr, warp),
-                    instructions_per_row=costs.INSTR_COMPUTE)
+            transaction_bytes=LOAD_GRANULARITY_BYTES, per_segment=True)
+        st2[:, 0] += tx
+        st2[:, 1] += m_arr * b
+    st2[:, 4] = m_arr
+    st2[:, 5] = m_rows * warp
     dest_rel = sh.dest_index.astype(np.int64) - np.repeat(lo_arr, m_arr)
-    replays = conflict_replays_segmented(
-        dest_rel, sh.shard_offsets, warp_size=warp
+    _, replays = conflict_replays_segmented(
+        dest_rel, sh.shard_offsets, warp_size=warp, per_segment=True
     )
-    base2.add_instructions(replays * costs.INSTR_ATOMIC_REPLAY)
+    st2[:, 6] = (
+        m_rows * costs.INSTR_COMPUTE + replays * costs.INSTR_ATOMIC_REPLAY
+    )
 
-    base3 = KernelStats()
-    base3.add_load(contiguous_transactions_segmented(
-        n_arr, vbytes, start_bytes=lo_arr * vbytes, warp_size=warp,
-        transaction_bytes=LOAD_GRANULARITY_BYTES))
-    base3.add_lanes(*contiguous_slots(n_arr, warp),
-                    instructions_per_row=costs.INSTR_UPDATE)
-    return base1, base2, base3
+    st3 = np.zeros((S, len(STAT_FIELDS)), dtype=np.float64)
+    st3[:, 0] = st1[:, 0]
+    st3[:, 1] = st1[:, 1]
+    st3[:, 4] = n_arr
+    st3[:, 5] = n_rows * warp
+    st3[:, 6] = n_rows * costs.INSTR_UPDATE
+    return st1, st2, st3
 
 
 def _stage4_matrix_cw(cw, warp: int, vbytes: int) -> np.ndarray:
@@ -282,15 +294,18 @@ def cusha_static_bundle(
 ) -> CuShaStaticBundle:
     """The whole static-stats setup of ``CuShaEngine`` in vectorized form."""
     sh = cw.shards
-    base1, base2, base3 = _stage_base_stats(sh, warp, vbytes, sbytes, ebytes)
+    st1, st2, st3 = _stage_base_matrices(sh, warp, vbytes, sbytes, ebytes)
     if mode == "gs":
         stage4 = _stage4_matrix_gs(sh, warp, vbytes)
     else:
         stage4 = _stage4_matrix_cw(cw, warp, vbytes)
     return CuShaStaticBundle(
-        base1=base1,
-        base2=base2,
-        base3=base3,
+        base1=stats_from_row(st1.sum(axis=0)),
+        base2=stats_from_row(st2.sum(axis=0)),
+        base3=stats_from_row(st3.sum(axis=0)),
+        stage1=st1,
+        stage2=st2,
+        stage3=st3,
         stage4=stage4,
         dest_global=sh.dest_index.astype(np.int64),
     )
@@ -302,9 +317,13 @@ def cusha_static_bundle(
 @dataclass
 class StreamedStaticBundle:
     """Per-chunk static compute stats plus the per-shard write-back stats
-    matrix for :class:`~repro.frameworks.streamed.StreamedCuShaEngine`."""
+    matrix for :class:`~repro.frameworks.streamed.StreamedCuShaEngine`.
+    ``shard_static`` keeps the per-shard resolution of ``chunk_static``
+    (its rows sum to the chunk rows exactly) so frontier-gated iterations
+    can charge only the shards they actually process."""
 
     chunk_static: np.ndarray  # (num_chunks, len(STAT_FIELDS)) float64
+    shard_static: np.ndarray  # (S, len(STAT_FIELDS)) float64
     writeback: np.ndarray  # (S, len(STAT_FIELDS)) float64
     dest_global: np.ndarray  # dest_index as int64 (shared, read-only)
 
@@ -381,6 +400,7 @@ def streamed_static_bundle(
     ) if chunks else np.zeros((0, len(STAT_FIELDS)))
     return StreamedStaticBundle(
         chunk_static=chunk_static,
+        shard_static=shard_mat,
         writeback=_writeback_matrix(cw, warp, vbytes),
         dest_global=sh.dest_index.astype(np.int64),
     )

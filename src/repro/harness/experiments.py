@@ -45,6 +45,7 @@ __all__ = [
     "table7",
     "render_table7",
     "fig7_traces",
+    "fig7_frontier_traces",
     "render_fig7",
     "fig8_efficiencies",
     "render_fig8",
@@ -466,16 +467,67 @@ def fig7_traces(
     return out
 
 
+def fig7_frontier_traces(
+    runner: GridRunner, *, graphs: tuple[str, ...] | None = None
+) -> dict[str, dict[str, dict]]:
+    """Figure 7's work-efficiency column: the same BFS runs under
+    ``frontier="sparse"``.
+
+    Per graph and engine: ``points`` is the per-iteration
+    ``(iteration, frontier_size, active_shards)`` sequence (frontier size
+    is the iteration's updated-vertex count — what Figure 7 plots — and
+    ``active_shards`` is how many shard-sweeps the frontier actually
+    scheduled), plus the run's exact ``edges_processed`` /
+    ``shards_skipped`` counters.  Sparse values are certified
+    bit-identical to the memoized dense runs before anything is
+    reported.
+    """
+    if graphs is None:
+        graphs = suite.graph_names()
+    out: dict[str, dict[str, dict]] = {}
+    for gname in graphs:
+        graph = runner.graph(gname)
+        best = runner.best_vwc(gname, "bfs")
+        out[gname] = {}
+        for key in ("cusha-cw", "cusha-gs", best.engine):
+            dense = runner.run(gname, "bfs", key)
+            res = runner.engine(key).run(
+                graph, make_program("bfs", graph),
+                config=RunConfig(
+                    max_iterations=runner.max_iterations,
+                    allow_partial=True, frontier="sparse"))
+            assert res.values.tobytes() == dense.values.tobytes(), (
+                gname, key, "sparse BFS diverged from the dense run")
+            out[gname][key] = {
+                "points": [
+                    (t.iteration, t.updated_vertices, t.active_shards)
+                    for t in res.traces
+                ],
+                "edges_processed": res.edges_processed,
+                "shards_skipped": res.shards_skipped,
+            }
+    return out
+
+
 def render_fig7(runner: GridRunner, **kw) -> str:
     from repro.harness.plots import trace_plot
 
     parts = ["Figure 7: BFS vertices updated per iteration over time"]
+    frontier = fig7_frontier_traces(runner, **kw)
     for gname, engines in fig7_traces(runner, **kw).items():
         parts.append(f"[{GRAPH_LABELS[gname]}]")
         parts.append(trace_plot({f"  {k}": v for k, v in engines.items()}))
         for ekey, pts in engines.items():
             series = " ".join(f"({t:.3f}ms,{u})" for t, u in pts)
             parts.append(f"  {ekey:>10s}: {series}")
+        parts.append("  work-efficiency (frontier=sparse):")
+        for ekey, row in frontier[gname].items():
+            series = " ".join(
+                f"(i{i},f{f},s{s})" for i, f, s in row["points"])
+            parts.append(
+                f"  {ekey:>10s}: {series} "
+                f"[edges={row['edges_processed']} "
+                f"skipped={row['shards_skipped']}]")
     return "\n".join(parts)
 
 

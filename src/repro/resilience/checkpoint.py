@@ -2,12 +2,16 @@
 
 CuSha's iteration boundary is a natural checkpoint cut: after stage 4 has
 written back every updated shard, the whole algorithm state *is* the
-VertexValues array (``src_value`` is a pure function of it, and the
-frontier is implicit — the next sweep recomputes updates from values
-alone).  A :class:`Checkpoint` therefore snapshots ``(iteration, values)``
-plus a blake2b digest; warm-starting any engine from it via
-``RunConfig(resume_values=..., start_iteration=...)`` is bit-identical to
-having never stopped (equivalence-gated in ``tests/test_resilience.py``).
+VertexValues array (``src_value`` is a pure function of it), plus — when
+the run is frontier-gated — the last iteration's updated-vertex mask,
+from which :func:`repro.frameworks.frontier.resume_dirty` reconstructs
+the exact dirty bitmap.  A :class:`Checkpoint` therefore snapshots
+``(iteration, values, frontier)`` plus a blake2b digest over all three;
+warm-starting any engine from it via ``RunConfig(resume_values=...,
+start_iteration=..., resume_frontier=...)`` is bit-identical to having
+never stopped (equivalence-gated in ``tests/test_resilience.py``).  For
+``frontier="off"`` runs the mask is ``None`` and the cut degenerates to
+the classic values-only snapshot.
 
 Storage reuses :class:`repro.cache.RepresentationCache`: snapshots are
 ``put`` under ``("ckpt", run_id, iteration)`` keys, which buys the cache's
@@ -32,25 +36,39 @@ from repro.cache import RepresentationCache
 __all__ = ["Checkpoint", "CheckpointStore", "values_digest"]
 
 
-def values_digest(values: np.ndarray, iteration: int) -> str:
-    """blake2b over the snapshot's bytes, iteration, and value layout."""
+def values_digest(
+    values: np.ndarray, iteration: int,
+    frontier: np.ndarray | None = None,
+) -> str:
+    """blake2b over the snapshot's bytes, iteration, value layout, and
+    (when present) the frontier mask — a flipped frontier bit would
+    silently skip live shards on resume, so it is integrity-checked too.
+    """
     h = hashlib.blake2b(digest_size=16)
     h.update(np.int64(iteration).tobytes())
     h.update(str(values.dtype).encode())
     h.update(np.ascontiguousarray(values).tobytes())
+    if frontier is not None:
+        h.update(b"frontier")
+        h.update(np.ascontiguousarray(frontier).tobytes())
     return h.hexdigest()
 
 
 @dataclass(frozen=True)
 class Checkpoint:
-    """One recoverable state: VertexValues after ``iteration`` sweeps."""
+    """One recoverable state: VertexValues after ``iteration`` sweeps,
+    plus the frontier mask for frontier-gated runs (``None`` otherwise).
+    """
 
     iteration: int
     values: np.ndarray
     digest: str
+    frontier: np.ndarray | None = None
 
     def verify(self) -> bool:
-        return values_digest(self.values, self.iteration) == self.digest
+        return values_digest(
+            self.values, self.iteration, self.frontier
+        ) == self.digest
 
 
 class CheckpointStore:
@@ -80,13 +98,19 @@ class CheckpointStore:
         """Iterations ever saved (oldest first; entries may be evicted)."""
         return tuple(self._iterations)
 
-    def save(self, iteration: int, values: np.ndarray) -> Checkpoint:
-        """Snapshot ``values`` as the state after ``iteration`` sweeps."""
+    def save(
+        self, iteration: int, values: np.ndarray,
+        frontier: np.ndarray | None = None,
+    ) -> Checkpoint:
+        """Snapshot ``values`` (and the frontier mask, when the run is
+        frontier-gated) as the state after ``iteration`` sweeps."""
         snap = np.array(values, copy=True)
+        fsnap = None if frontier is None else np.array(frontier, copy=True)
         ckpt = Checkpoint(
             iteration=int(iteration),
             values=snap,
-            digest=values_digest(snap, int(iteration)),
+            digest=values_digest(snap, int(iteration), fsnap),
+            frontier=fsnap,
         )
         self._cache.put(self._key(int(iteration)), ckpt)
         if int(iteration) not in self._iterations:

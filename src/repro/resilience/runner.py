@@ -176,7 +176,11 @@ class ResilientRunner:
         The supervisor owns segmentation, so ``config.exec_path`` /
         ``resume_values`` / ``start_iteration`` are ignored: the
         degradation ladder decides the execution path per rung, and
-        checkpoints drive warm starts.
+        checkpoints drive warm starts.  ``config.frontier`` *is* honored:
+        each segment runs frontier-gated, checkpoints capture the
+        frontier mask alongside the values, and restores stitch it back
+        via ``resume_frontier`` so a supervised sparse run stays
+        bit-identical to an uninterrupted one.
         """
         _UNSET = ResilientRunner._UNSET
         loose = {
@@ -202,12 +206,14 @@ class ResilientRunner:
             allow_partial = config.allow_partial
             collect_traces = config.collect_traces
             tracer = config.tracer
+            frontier_mode = config.frontier
         else:
             faults = loose.get("faults", NULL_FAULTS)
             max_iterations = loose.get("max_iterations", 10_000)
             allow_partial = loose.get("allow_partial", False)
             collect_traces = loose.get("collect_traces", True)
             tracer = loose.get("tracer")
+            frontier_mode = "off"
         tracer = NULL_TRACER if tracer is None else tracer
         metrics = tracer.metrics
         steps = degradation_steps(self.engine, self.ladder)
@@ -221,6 +227,7 @@ class ResilientRunner:
         attempt = 0
         done = 0
         values: np.ndarray | None = None
+        fmask: np.ndarray | None = None  # frontier mask riding each segment
         unrecovered = False
 
         def record(event: RecoveryEvent) -> None:
@@ -250,6 +257,8 @@ class ResilientRunner:
                 faults=faults,
                 resume_values=values,
                 start_iteration=done,
+                frontier=frontier_mode,
+                resume_frontier=fmask if values is not None else None,
             )
             try:
                 seg = engine.run(graph, program, config=config)
@@ -259,6 +268,7 @@ class ResilientRunner:
                     "attempt": attempt,
                     "done": done,
                     "values": values,
+                    "frontier": fmask,
                 }
                 unrecovered = not self._recover(
                     fault, out, store, steps, record, state
@@ -267,6 +277,7 @@ class ResilientRunner:
                 attempt = state["attempt"]
                 done = state["done"]
                 values = state["values"]
+                fmask = state["frontier"]
                 if unrecovered:
                     break
                 continue
@@ -274,7 +285,8 @@ class ResilientRunner:
             segments.append(seg)
             done = seg.iterations
             values = seg.values
-            store.save(done, values)
+            fmask = seg.frontier_mask
+            store.save(done, values, frontier=fmask)
             out.checkpoints += 1
             record(RecoveryEvent(
                 action="checkpoint", code="", engine=engine_key,
@@ -357,6 +369,7 @@ class ResilientRunner:
             out.replayed_iterations += lost
             state["done"] = ckpt.iteration if ckpt else 0
             state["values"] = ckpt.values if ckpt else None
+            state["frontier"] = ckpt.frontier if ckpt else None
             action = {
                 "transfer": "retry",
                 "bitflip-representation": "rebuild",
@@ -406,6 +419,7 @@ class ResilientRunner:
         out.restores += 1 if (bad or ckpt) else 0
         state["done"] = ckpt.iteration if ckpt else 0
         state["values"] = ckpt.values if ckpt else None
+        state["frontier"] = ckpt.frontier if ckpt else None
         out.violations.append(Violation(
             code=code,
             message=(
@@ -452,6 +466,7 @@ class ResilientRunner:
         traces = []
         kernel_ms = h2d_ms = d2h_ms = 0.0
         cache_hits = cache_misses = 0
+        edges_processed = shards_skipped = 0
         for seg in segments:
             stats += seg.stats
             traces.extend(seg.traces)
@@ -460,6 +475,8 @@ class ResilientRunner:
             d2h_ms += seg.d2h_ms
             cache_hits += seg.cache_hits
             cache_misses += seg.cache_misses
+            edges_processed += seg.edges_processed
+            shards_skipped += seg.shards_skipped
         return RunResult(
             engine=last.engine,
             program=last.program,
@@ -478,4 +495,7 @@ class ResilientRunner:
             cache_hits=cache_hits,
             cache_misses=cache_misses,
             completed=not unrecovered,
+            edges_processed=edges_processed,
+            shards_skipped=shards_skipped,
+            frontier_mask=last.frontier_mask,
         )

@@ -146,6 +146,7 @@ def _config_key(config: RunConfig) -> tuple:
         config.collect_traces,
         config.exec_path,
         config.validate,
+        config.frontier,
     )
 
 
@@ -160,6 +161,49 @@ def batch_key(graph: DiGraph, program_name: str, engine: str,
         tuple(sorted(engine_opts.items())),
         _config_key(config),
     )
+
+
+class _ColumnFrontier:
+    """Per-column quiescence tracking for a multi-source batch.
+
+    A column that completes one *full* iteration without a single update
+    has reached its fixpoint: the traversals are monotone (min/max) and a
+    sweep that improves nothing now can never improve anything later.  Such
+    columns are **retired** — their per-edge proposals are replaced by the
+    reducer identity, which is bit-exact (a fixpoint column's real
+    proposals cannot beat its current values either) but skips the
+    proposal arithmetic for that column.
+
+    Engines drive this through :meth:`VertexProgram.begin_iteration`,
+    which only fires on frontier-gated runs; ``frontier="off"`` runs never
+    touch this state.  Retirement is sound under sparse (frontier-gated)
+    sweeps too: skipped shards are quiescent for *every* column, so "no
+    updates observed in column k" under a sparse sweep implies the same
+    for a full sweep.
+    """
+
+    __slots__ = ("retired", "iter_active", "cur_iter", "full_iter_seen")
+
+    def __init__(self, num_columns: int) -> None:
+        self.retired = np.zeros(num_columns, dtype=bool)
+        self.iter_active = np.zeros(num_columns, dtype=bool)
+        self.cur_iter: int | None = None
+        self.full_iter_seen = False
+
+    def begin_iteration(self, iteration: int) -> None:
+        if self.cur_iter is not None and iteration <= self.cur_iter:
+            # The run rewound (checkpoint replay) or a new run reused the
+            # program instance: forget everything learned about columns.
+            self.retired[:] = False
+            self.full_iter_seen = False
+        elif self.full_iter_seen:
+            self.retired |= ~self.iter_active
+        self.iter_active[:] = False
+        self.cur_iter = iteration
+        self.full_iter_seen = True
+
+    def observe(self, updated_columns: np.ndarray) -> None:
+        self.iter_active |= updated_columns
 
 
 class MultiSourceTraversal(VertexProgram):
@@ -191,9 +235,13 @@ class MultiSourceTraversal(VertexProgram):
 
         self._base = make_program(spec.program, _EDGE_DTYPE_PROBE)
         self.edge_dtype = self._base.edge_dtype
+        self._columns = _ColumnFrontier(len(self.sources))
 
     # -- setup ----------------------------------------------------------
     def initial_values(self, graph: DiGraph) -> np.ndarray:
+        # Fresh run, fresh values: any column quiescence learned by a
+        # previous run of this instance no longer applies.
+        self._columns = _ColumnFrontier(len(self.sources))
         values = np.zeros(graph.num_vertices, dtype=self.vertex_dtype)
         columns = values[self.field]
         columns[:] = self.spec.empty
@@ -229,9 +277,24 @@ class MultiSourceTraversal(VertexProgram):
             return bool(np.any(local_v[self.field] < v[self.field]))
         return bool(np.any(local_v[self.field] > v[self.field]))
 
+    # -- frontier hook (column compaction) -------------------------------
+    def begin_iteration(self, iteration: int) -> None:
+        self._columns.begin_iteration(iteration)
+
     # -- vectorized kernels ----------------------------------------------
     def messages(self, src_vals, src_static, edge_vals, dest_old):
         src = src_vals[self.field]
+        retired = self._columns.retired
+        if src.ndim == 2 and retired.any():
+            # Column compaction: retired (fixpoint) columns contribute the
+            # reducer identity without running the proposal arithmetic.
+            live = np.flatnonzero(~retired)
+            sub = np.ascontiguousarray(src[:, live])
+            out = np.full(
+                src.shape, np.uint32(self.spec.empty), dtype=src.dtype
+            )
+            out[:, live] = self.spec.proposal(sub, self._weight(edge_vals, sub))
+            return {self.field: out}, None
         msgs = {self.field: self.spec.proposal(src, self._weight(edge_vals, src))}
         return msgs, None  # guard folded into the identity-valued messages
 
@@ -240,6 +303,8 @@ class MultiSourceTraversal(VertexProgram):
             updated = local[self.field] < old[self.field]
         else:
             updated = local[self.field] > old[self.field]
+        if updated.size:
+            self._columns.observe(updated.any(axis=0))
         return local, updated.any(axis=1)
 
 
@@ -281,4 +346,7 @@ def split_batch_result(
         cache_hits=batch.cache_hits,
         cache_misses=batch.cache_misses,
         completed=batch.completed,
+        edges_processed=batch.edges_processed,
+        shards_skipped=batch.shards_skipped,
+        frontier_mask=batch.frontier_mask,
     )

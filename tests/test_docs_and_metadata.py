@@ -93,7 +93,7 @@ class TestPackageMetadata:
     def test_version_exposed(self):
         import repro
 
-        assert repro.__version__ == "1.6.0"
+        assert repro.__version__ == "1.7.0"
 
     def test_all_exports_resolve(self):
         import repro

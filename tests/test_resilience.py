@@ -89,6 +89,53 @@ class TestWarmStartResume:
             max_iterations=100, allow_partial=True,
             resume_values=frozen, start_iteration=2))
 
+    @pytest.mark.parametrize("key", ENGINES)
+    def test_segmented_frontier_run_bit_identical_to_continuous(self, key):
+        """A sparse run resumed via (values, frontier mask) must match the
+        uninterrupted sparse run in values *and* modeled work — if the
+        frontier mask were dropped on resume, the second segment would
+        restart all-dirty and edges_processed would inflate."""
+        g = _graph()
+        program = make_program("sssp", g)
+        cont = make_engine(key).run(g, program, config=RunConfig(
+            max_iterations=100, allow_partial=True, frontier="sparse"))
+        assert cont.iterations > 3, "graph too easy for a resume test"
+
+        seg1 = make_engine(key).run(g, program, config=RunConfig(
+            max_iterations=3, allow_partial=True, frontier="sparse"))
+        seg2 = make_engine(key).run(g, program, config=RunConfig(
+            max_iterations=100, allow_partial=True, frontier="sparse",
+            resume_values=seg1.values, start_iteration=seg1.iterations,
+            resume_frontier=seg1.frontier_mask))
+        assert seg2.values.tobytes() == cont.values.tobytes()
+        assert seg2.iterations == cont.iterations
+        assert seg2.converged == cont.converged
+        # Modeled-work stitching: segment counters sum to the continuous
+        # run's (all zero for engines without shard structure).
+        assert seg1.edges_processed + seg2.edges_processed \
+            == cont.edges_processed
+        assert seg1.shards_skipped + seg2.shards_skipped \
+            == cont.shards_skipped
+
+    @pytest.mark.parametrize("key", ("cusha-cw", "cusha-streamed", "vwc-8"))
+    def test_supervised_frontier_run_matches_plain(self, key):
+        """ResilientRunner threads the frontier mask through checkpoints:
+        a fault-free supervised sparse run is bit- and work-identical to a
+        plain one."""
+        g = _graph()
+        program = make_program("sssp", g)
+        plain = make_engine(key).run(g, program, config=RunConfig(
+            max_iterations=100, allow_partial=True, frontier="sparse"))
+        out = ResilientRunner(key, checkpoint_every=4).run(
+            g, program,
+            config=RunConfig(max_iterations=100, allow_partial=True,
+                             frontier="sparse"))
+        assert out.result.values.tobytes() == plain.values.tobytes()
+        assert out.result.iterations == plain.iterations
+        assert out.result.edges_processed == plain.edges_processed
+        assert out.result.shards_skipped == plain.shards_skipped
+        assert out.result.frontier_mask is not None
+
 
 # ----------------------------------------------------------------------
 # Fault plan determinism and hooks
@@ -200,6 +247,28 @@ class TestCheckpoint:
         v[0] = 7.0
         ckpt, bad = store.restore()
         assert ckpt.values[0] == 0.0 and not bad
+
+    def test_digest_covers_frontier_mask(self):
+        v = np.zeros(4)
+        f = np.array([True, False, True, False])
+        assert values_digest(v, 1, f) != values_digest(v, 1)
+        g = f.copy()
+        g[1] = True
+        assert values_digest(v, 1, f) != values_digest(v, 1, g)
+        good = Checkpoint(1, v, values_digest(v, 1, f), frontier=f)
+        assert good.verify()
+        tampered = Checkpoint(1, v, good.digest, frontier=g)
+        assert not tampered.verify()
+
+    def test_store_save_copies_frontier(self):
+        store = CheckpointStore(run_id="t")
+        v = np.zeros(4)
+        f = np.array([True, False, False, True])
+        store.save(1, v, frontier=f)
+        f[1] = True
+        ckpt, bad = store.restore()
+        assert not bad and ckpt.verify()
+        assert not ckpt.frontier[1]
 
 
 # ----------------------------------------------------------------------

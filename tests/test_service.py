@@ -397,6 +397,7 @@ class TestMultiSourceProgram:
                 expected[dest_idx[i]], msgs["level"][i],
                 out=expected[dest_idx[i]],
             )
-        ops = apply_reductions(program, local, dest_idx, msgs, None)
+        ops, changed = apply_reductions(program, local, dest_idx, msgs, None)
         assert ops == e * k
+        assert changed is None
         assert np.array_equal(local["level"], expected)
