@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench perf-smoke smoke-trace serve-smoke report lint check chaos-smoke perfgate perfgate-rebaseline ci clean
+.PHONY: test bench perf-smoke smoke-trace serve-smoke report lint check certify chaos-smoke perfgate perfgate-rebaseline ci clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/ -q
@@ -30,6 +30,13 @@ check:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro check --level full
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro check --selftest
 
+# Kernel certification gate: prove the C401-C406 algebraic certificates for
+# every bundled program and the batched multi-source traversals, and assert
+# each certifier rule fires (REFUTED) on exactly its broken fixture.
+# See the "Kernel certification" section of docs/analysis.md.
+certify:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro check --certify --selftest
+
 # Chaos smoke: the seeded deterministic fault campaign — every fault class
 # against every chaos engine, each run asserting recovery (or graceful
 # degradation) to bit-identical golden values.  See docs/resilience.md.
@@ -56,7 +63,7 @@ perfgate-rebaseline:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro perfgate --repeats 3 --rebaseline
 
 # Full local CI chain, in the order a reviewer would want failures surfaced.
-ci: lint test smoke-trace check serve-smoke chaos-smoke perfgate
+ci: lint test smoke-trace check certify serve-smoke chaos-smoke perfgate
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only

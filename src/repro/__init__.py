@@ -21,6 +21,10 @@ This package reproduces *CuSha: Vertex-Centric Graph Processing on GPUs*
   per-tenant quotas that coalesces same-graph traversal queries into
   bit-exact multi-source batches (:mod:`repro.service`, see
   ``docs/service.md``);
+- a **kernel property certifier** proving the algebraic contracts the
+  frontier, async, and batching fast paths silently assume
+  (:mod:`repro.analysis.certify`, gated by ``RunConfig(certify=...)`` —
+  see ``docs/analysis.md``);
 - a **consolidated exception hierarchy** rooted at
   :class:`repro.errors.ReproError` (:mod:`repro.errors`).
 
@@ -37,6 +41,8 @@ True
 from repro.algorithms import PROGRAM_NAMES, default_source, make_program
 from repro.cache import RepresentationCache, default_cache, graph_fingerprint
 from repro.errors import (
+    CertificationError,
+    ConfigError,
     ConvergenceError,
     EngineKeyError,
     GraphFormatError,
@@ -61,7 +67,7 @@ from repro.gpu import GTX780, I7_3930K, KernelStats
 from repro.service import JobHandle, JobRequest, JobStatus, Service, TenantQuota
 from repro.vertexcentric import VertexProgram
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 
 _UNSET = object()
@@ -79,6 +85,7 @@ def run(
     tracer=_UNSET,
     exec_path=_UNSET,
     validate=_UNSET,
+    certify=_UNSET,
     cache=None,
     faults=_UNSET,
     **engine_opts,
@@ -108,6 +115,11 @@ def run(
     ``config=``).
     ``validate`` gates the :mod:`repro.analysis` preflight (``"off"``,
     ``"structure"``, ``"full"``, or ``"perf"`` — see ``docs/analysis.md``).
+    ``certify`` gates the kernel property certifier (``"off"``, ``"warn"``,
+    or ``"enforce"`` — C4xx codes in ``docs/analysis.md``): frontier-gated
+    and async runs consult the program's certificate, refusing
+    (:class:`repro.errors.CertificationError`) under ``"enforce"`` or
+    degrading to the safe full-sweep path under ``"warn"``.
     ``faults`` arms a :class:`repro.resilience.FaultPlan` at the engine's
     fault-hook sites (``None``, the default, is the zero-overhead no-op —
     see ``docs/resilience.md``).
@@ -124,6 +136,7 @@ def run(
             ("tracer", tracer),
             ("exec_path", exec_path),
             ("validate", validate),
+            ("certify", certify),
             ("faults", faults),
         )
         if value is not _UNSET
@@ -180,6 +193,8 @@ __all__ = [
     "JobStatus",
     "TenantQuota",
     "ReproError",
+    "CertificationError",
+    "ConfigError",
     "ConvergenceError",
     "EngineKeyError",
     "GraphFormatError",

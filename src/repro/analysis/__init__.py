@@ -14,7 +14,12 @@ Three layers, each reporting typed :class:`Violation` records:
 - :mod:`repro.analysis.perf` — static performance auditor, model-vs-
   measured drift gate, and benchmark comparator (the paper's performance
   contract: sections 3.2-3.3, Tables 4-7), codes ``P3xx``, with the
-  contracted cost constants mirrored in :mod:`repro.analysis.budgets`.
+  contracted cost constants mirrored in :mod:`repro.analysis.budgets`;
+- :mod:`repro.analysis.certify` — kernel property certifier proving the
+  algebraic contracts (identity, commutativity, monotonicity, purity,
+  frontier- and async-safety) that the frontier, async, and batching fast
+  paths silently assume, codes ``C4xx``, enforced at run time through
+  ``RunConfig(certify="off"|"warn"|"enforce")``.
 
 Engine wiring lives in :mod:`repro.analysis.preflight`
 (``RunConfig(validate="off"|"structure"|"full"|"perf")``); deliberately
@@ -23,6 +28,21 @@ broken fixtures proving every rule fires are in
 check`` and ``python -m repro perfgate``.  See ``docs/analysis.md``.
 """
 
+from repro.analysis.certify import (
+    ASYNC_REQUIRED,
+    BATCH_REQUIRED,
+    CHECK_CODES,
+    FRONTIER_REQUIRED,
+    PROVED,
+    REFUTED,
+    UNKNOWN,
+    Certificate,
+    CheckResult,
+    certify_program,
+    certify_violations,
+    program_fingerprint,
+    runtime_gate,
+)
 from repro.analysis.invariants import (
     validate_csr,
     validate_cw,
@@ -47,6 +67,7 @@ from repro.analysis.preflight import (
     publish_violations,
 )
 from repro.analysis.races import (
+    frontier_discipline_check,
     order_sensitivity_check,
     race_check,
     stage_discipline_check,
@@ -54,20 +75,33 @@ from repro.analysis.races import (
 from repro.analysis.violations import CODES, ValidationError, Violation, describe
 
 __all__ = [
+    "ASYNC_REQUIRED",
+    "BATCH_REQUIRED",
+    "CHECK_CODES",
     "CODES",
+    "Certificate",
+    "CheckResult",
     "DriftReport",
+    "FRONTIER_REQUIRED",
+    "PROVED",
+    "REFUTED",
     "StagePrediction",
+    "UNKNOWN",
     "VALIDATE_LEVELS",
     "ValidationError",
     "Violation",
     "audit_cw",
+    "certify_program",
+    "certify_violations",
     "collect_violations",
     "compare_bench_reports",
     "cost_contract_check",
     "describe",
     "drift_gate",
+    "frontier_discipline_check",
     "lint_program",
     "perf_audit",
+    "program_fingerprint",
     "static_predictions",
     "order_sensitivity_check",
     "preflight",

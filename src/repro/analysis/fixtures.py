@@ -31,10 +31,12 @@ from repro.vertexcentric.program import VertexProgram
 
 __all__ = [
     "BROKEN_PROGRAMS",
+    "CERTIFY_FIXTURES",
     "CORRUPTIONS",
     "PERF_FIXTURES",
     "RESILIENCE_FIXTURES",
     "BrokenProgram",
+    "CertifyFixture",
     "Corruption",
     "PerfFixture",
     "ResilienceFixture",
@@ -606,6 +608,226 @@ RESILIENCE_FIXTURES: dict[str, ResilienceFixture] = {
     "resilience-unrecovered": ResilienceFixture(
         "F406", frozenset({"R302", "F402", "F404", "F405", "F406"}),
         _res_unrecovered,
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# Kernel-certification fixtures (C4xx / R205 / F407)
+# ----------------------------------------------------------------------
+#
+# Each broken program below violates exactly one algebraic contract the
+# certifier (:mod:`repro.analysis.certify`) proves, while staying clean on
+# the other five checks *and* on the L00x linter — the enforcement tests
+# run them with ``validate="structure"``.
+
+class LeakyGuardProgram(_LintOnlyBase):
+    """Unmasked ``messages`` synthesizes ``0`` for guarded-out edges, but
+    ``0`` is not the ``min`` identity: dropping those contributions (as a
+    frontier-gated or column-retired sweep does) changes the reduction.
+    Fires ``C401``; the scalar ``compute`` guard keeps everything else
+    proved."""
+
+    name = "fixture-leaky-guard"
+
+    def compute(self, src_v, src_static, edge, local_v):
+        if src_v["level"] >= 0:
+            local_v["level"] = min(local_v["level"], src_v["level"] + 1)
+
+    def messages(self, src_vals, src_static, edge_vals, dest_old):
+        return {
+            "level": np.where(
+                src_vals["level"] >= 0, src_vals["level"] + 1, 0
+            )
+        }, None
+
+
+class LastWriterWinsProgram(VertexProgram):
+    """Declares an ``add`` reducer but *overwrites* the accumulator, so
+    the fold is order-dependent (``C402``).  Float relaxation with a
+    positive tolerance keeps ``C406`` proved, isolating the fold check."""
+
+    name = "fixture-last-writer-wins"
+    vertex_dtype = struct_dtype(x=np.float32)
+    reduce_ops = {"x": "add"}
+    tolerance = 1e-3
+
+    def initial_values(self, graph):
+        values = np.zeros(graph.num_vertices, dtype=self.vertex_dtype)
+        values["x"] = np.arange(graph.num_vertices, dtype=np.float32)
+        return values
+
+    def init_compute(self, local_v, v):
+        local_v["x"] = 0.0
+
+    def compute(self, src_v, src_static, edge, local_v):
+        local_v["x"] = src_v["x"] * 0.5
+
+    def update_condition(self, local_v, v):
+        return abs(local_v["x"] - v["x"]) > self.tolerance
+
+    def init_local(self, current):
+        out = np.zeros_like(current)
+        return out
+
+    def messages(self, src_vals, src_static, edge_vals, dest_old):
+        return {"x": src_vals["x"] * np.float32(0.5)}, None
+
+    def apply(self, local, old):
+        return local, np.abs(local["x"] - old["x"]) > self.tolerance
+
+
+class WrongDirectionProgram(_LintOnlyBase):
+    """A ``min`` reducer whose update claims progress when the value
+    *increased* — against the lattice direction (``C403``)."""
+
+    name = "fixture-wrong-direction"
+
+    def update_condition(self, local_v, v):
+        return local_v["level"] > v["level"]
+
+    def apply(self, local, old):
+        return local, local["level"] > old["level"]
+
+
+class StatefulApplyProgram(_LintOnlyBase):
+    """``apply`` accumulates history on ``self`` without declaring it in
+    ``certify_state`` — hidden state the engines would silently replay
+    differently across schedules (``C404``)."""
+
+    name = "fixture-stateful-apply"
+
+    def __init__(self) -> None:
+        self._history: list[float] = []
+
+    def apply(self, local, old):
+        self._history.append(float(np.sum(local["level"])))
+        return local, local["level"] < old["level"]
+
+
+class SlipperyQuiescenceProgram(_LintOnlyBase):
+    """Non-strict update comparison: a vertex whose value did *not* change
+    still claims an update, so a skipped quiescent shard would have
+    produced work (``C405``).  The direction itself is still ``min``-wards,
+    so ``C403`` stays proved — strictness and direction are separate
+    contracts."""
+
+    name = "fixture-slippery-quiescence"
+
+    def update_condition(self, local_v, v):
+        return local_v["level"] <= v["level"]
+
+    def apply(self, local, old):
+        return local, local["level"] <= old["level"]
+
+
+class StaleReadProgram(_LintOnlyBase):
+    """Contributions read destination state (``dest_old`` in ``messages``,
+    the local record in ``compute``) under an exact integer reduction: an
+    asynchronous schedule sees different stale values and reaches a
+    different fixpoint (``C406``).  The accumulator field itself is still
+    a clean fold, so ``C402`` stays proved."""
+
+    name = "fixture-stale-read"
+    vertex_dtype = struct_dtype(level=np.int64, tag=np.int64)
+    reduce_ops = {"level": "min"}
+
+    def init_compute(self, local_v, v):
+        local_v["level"] = v["level"]
+        local_v["tag"] = v["tag"]
+
+    def compute(self, src_v, src_static, edge, local_v):
+        local_v["level"] = min(
+            local_v["level"], src_v["level"] + 1 + local_v["tag"]
+        )
+
+    def messages(self, src_vals, src_static, edge_vals, dest_old):
+        return {"level": src_vals["level"] + 1 + dest_old["tag"]}, None
+
+
+def _certify_codes(factory: Callable[[], VertexProgram]) -> Callable[[], list]:
+    def run() -> list:
+        from repro.analysis.certify import certify_violations
+
+        return certify_violations(factory(), cache=False)
+
+    return run
+
+
+def _certify_eager_mark() -> list:
+    """A frontier that marks dirty bits mid-iteration instead of at the
+    flush boundary: the instrumented reference iteration fires R205."""
+    from repro.analysis.races import frontier_discipline_check
+
+    return frontier_discipline_check(
+        fixture_graph(), _resilience_program(), eager_mark=True
+    )
+
+
+def _certify_degraded() -> list:
+    """A warn-mode frontier run over a C405-refuted program must degrade
+    to the full sweep and publish F407; the fixture replays the published
+    violation so the selftest counts it exactly once."""
+    from repro.analysis.certify import runtime_gate
+    from repro.analysis.violations import Violation
+    from repro.frameworks import RunConfig, make_engine
+    from repro.telemetry.tracer import Tracer
+
+    tracer = Tracer()
+    engine = make_engine("cusha-cw", cache=False)
+    config = RunConfig(
+        frontier="sparse", certify="warn", collect_traces=False
+    ).with_tracer(tracer)
+    degraded = runtime_gate(engine, SlipperyQuiescenceProgram(), config)
+    fired = tracer.metrics.counter(
+        "analysis.violations.certify-degraded"
+    ).value
+    out = []
+    if degraded.frontier == "off" and fired:
+        out.append(
+            Violation(
+                code="F407",
+                message="frontier sparse degraded to the full-sweep path",
+                subject="fixture-slippery-quiescence",
+                severity="warning",
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class CertifyFixture:
+    """One broken algebraic contract and the code it must fire."""
+
+    expect: str
+    allowed: frozenset[str]
+    run: Callable[[], list]
+
+
+CERTIFY_FIXTURES: dict[str, CertifyFixture] = {
+    "certify-leaky-guard": CertifyFixture(
+        "C401", frozenset({"C401"}), _certify_codes(LeakyGuardProgram)
+    ),
+    "certify-last-writer-wins": CertifyFixture(
+        "C402", frozenset({"C402"}), _certify_codes(LastWriterWinsProgram)
+    ),
+    "certify-wrong-direction": CertifyFixture(
+        "C403", frozenset({"C403"}), _certify_codes(WrongDirectionProgram)
+    ),
+    "certify-stateful-apply": CertifyFixture(
+        "C404", frozenset({"C404"}), _certify_codes(StatefulApplyProgram)
+    ),
+    "certify-slippery-quiescence": CertifyFixture(
+        "C405", frozenset({"C405"}), _certify_codes(SlipperyQuiescenceProgram)
+    ),
+    "certify-stale-read": CertifyFixture(
+        "C406", frozenset({"C406"}), _certify_codes(StaleReadProgram)
+    ),
+    "certify-eager-mark": CertifyFixture(
+        "R205", frozenset({"R205"}), _certify_eager_mark
+    ),
+    "certify-degraded": CertifyFixture(
+        "F407", frozenset({"F407"}), _certify_degraded
     ),
 }
 

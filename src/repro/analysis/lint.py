@@ -65,20 +65,33 @@ class _Access:
 
 
 class _AccessCollector(ast.NodeVisitor):
-    """Collect ``param["field"]`` reads/writes and nondeterminism refs."""
+    """Collect ``param["field"]`` reads/writes and nondeterminism refs.
 
-    def __init__(self) -> None:
+    When the linted program is an *instance*, ``self_obj`` lets the
+    collector resolve ``param[self.attr]`` subscripts whose field name is
+    a string instance attribute (the :class:`MultiSourceTraversal` idiom,
+    whose ``(K,)`` subarray field is picked at construction time).
+    """
+
+    def __init__(self, self_obj=None) -> None:
         self.accesses: list[_Access] = []
         self.nondet: list[tuple[str, int]] = []
+        self._self = self_obj
 
     def _subscript_field(self, node: ast.AST):
-        if (
-            isinstance(node, ast.Subscript)
-            and isinstance(node.value, ast.Name)
-            and isinstance(node.slice, ast.Constant)
-            and isinstance(node.slice.value, str)
-        ):
+        if not (isinstance(node, ast.Subscript) and isinstance(node.value, ast.Name)):
+            return None
+        if isinstance(node.slice, ast.Constant) and isinstance(node.slice.value, str):
             return node.value.id, node.slice.value, node.lineno
+        if (
+            self._self is not None
+            and isinstance(node.slice, ast.Attribute)
+            and isinstance(node.slice.value, ast.Name)
+            and node.slice.value.id == "self"
+        ):
+            field = getattr(self._self, node.slice.attr, None)
+            if isinstance(field, str):
+                return node.value.id, field, node.lineno
         return None
 
     def visit_Subscript(self, node: ast.Subscript) -> None:
@@ -144,7 +157,7 @@ def _parse(fn) -> tuple[ast.FunctionDef, str, int] | None:
     return None
 
 
-def _collect(fn) -> tuple[list[str], _AccessCollector, str, int] | None:
+def _collect(fn, self_obj=None) -> tuple[list[str], _AccessCollector, str, int] | None:
     parsed = _parse(fn)
     if parsed is None:
         return None
@@ -152,7 +165,7 @@ def _collect(fn) -> tuple[list[str], _AccessCollector, str, int] | None:
     params = [a.arg for a in node.args.args]
     if params and params[0] == "self":
         params = params[1:]
-    visitor = _AccessCollector()
+    visitor = _AccessCollector(self_obj)
     for stmt in node.body:
         visitor.visit(stmt)
     return params, visitor, filename, first_line
@@ -171,9 +184,12 @@ def _dtype_fields(dtype) -> frozenset[str] | None:
     return frozenset(names)
 
 
-def _returned_dict_keys(fn) -> frozenset[str] | None:
+def _returned_dict_keys(fn, self_obj=None) -> frozenset[str] | None:
     """String keys of the dict a ``messages`` implementation returns as the
-    first tuple element; ``None`` when not statically extractable."""
+    first tuple element; ``None`` when not statically extractable.
+
+    ``self.attr`` keys resolve through ``self_obj`` when the linted program
+    is an instance whose attribute is a field-name string."""
     parsed = _parse(fn)
     if parsed is None:
         return None
@@ -191,14 +207,22 @@ def _returned_dict_keys(fn) -> frozenset[str] | None:
             for k in value.keys:
                 if isinstance(k, ast.Constant) and isinstance(k.value, str):
                     keys.add(k.value)
+                elif (
+                    self_obj is not None
+                    and isinstance(k, ast.Attribute)
+                    and isinstance(k.value, ast.Name)
+                    and k.value.id == "self"
+                    and isinstance(getattr(self_obj, k.attr, None), str)
+                ):
+                    keys.add(getattr(self_obj, k.attr))
                 else:
                     return None  # computed key: not statically analyzable
     return frozenset(keys) if found else None
 
 
-def _local_store_fields(fn) -> frozenset[str] | None:
+def _local_store_fields(fn, self_obj=None) -> frozenset[str] | None:
     """Fields subscript-assigned anywhere inside ``fn`` (for init_local)."""
-    collected = _collect(fn)
+    collected = _collect(fn, self_obj)
     if collected is None:
         return None
     _params, visitor, _f, _l = collected
@@ -214,25 +238,31 @@ def lint_program(program) -> list[Violation]:
     cls = program if isinstance(program, type) else type(program)
     if not (isinstance(cls, type) and issubclass(cls, VertexProgram)):
         raise TypeError(f"expected a VertexProgram subclass, got {cls!r}")
+    # Instance-declared programs (MultiSourceTraversal picks its name,
+    # dtype, and reduce_ops per construction) resolve declarations — and
+    # ``self.attr`` field subscripts — through the instance.
+    inst = None if isinstance(program, type) else program
     out: list[Violation] = []
     subject = cls.__name__
 
     # ---- declarations (L007 / L002 / L003 / parts of L001) ------------
-    if _own_method(cls, "name") is None:
+    if _own_method(cls, "name") is None and (
+        inst is None or "name" not in inst.__dict__
+    ):
         out.append(Violation(
             "L007", "program does not declare a `name`", subject,
         ))
-    vertex_fields = _dtype_fields(getattr(cls, "vertex_dtype", None))
+    vertex_fields = _dtype_fields(getattr(program, "vertex_dtype", None))
     if vertex_fields is None:
         out.append(Violation(
             "L007",
             "program does not declare a structured `vertex_dtype`",
             subject,
         ))
-    static_fields = _dtype_fields(getattr(cls, "static_dtype", None))
-    edge_fields = _dtype_fields(getattr(cls, "edge_dtype", None))
+    static_fields = _dtype_fields(getattr(program, "static_dtype", None))
+    edge_fields = _dtype_fields(getattr(program, "edge_dtype", None))
 
-    reduce_ops = getattr(cls, "reduce_ops", None)
+    reduce_ops = getattr(program, "reduce_ops", None)
     if not isinstance(reduce_ops, dict) or not reduce_ops:
         out.append(Violation(
             "L007",
@@ -276,7 +306,7 @@ def lint_program(program) -> list[Violation]:
         fn = _own_method(cls, method)
         if fn is None:
             continue
-        collected = _collect(fn)
+        collected = _collect(fn, inst)
         if collected is None:
             continue
         params, visitor, filename, first_line = collected
@@ -332,7 +362,7 @@ def lint_program(program) -> list[Violation]:
         fn = _own_method(cls, method)
         if fn is None:
             continue
-        collected = _collect(fn)
+        collected = _collect(fn, inst)
         if collected is None:
             continue
         _params, visitor, filename, first_line = collected
@@ -347,7 +377,7 @@ def lint_program(program) -> list[Violation]:
     # ---- kernel-pair coverage (L004 / L001 / L008) --------------------
     messages_fn = _own_method(cls, "messages")
     if messages_fn is not None:
-        msg_fields = _returned_dict_keys(messages_fn)
+        msg_fields = _returned_dict_keys(messages_fn, inst)
         if msg_fields is not None:
             for fld in sorted(msg_fields - set(reduce_ops)):
                 if reduce_ops:
@@ -368,8 +398,8 @@ def lint_program(program) -> list[Violation]:
     init_local_fn = _own_method(cls, "init_local")
     init_compute_fn = _own_method(cls, "init_compute")
     if init_local_fn is not None and init_compute_fn is not None:
-        vec_init = _local_store_fields(init_local_fn)
-        collected = _collect(init_compute_fn)
+        vec_init = _local_store_fields(init_local_fn, inst)
+        collected = _collect(init_compute_fn, inst)
         if vec_init is not None and collected is not None:
             params, visitor, _f, _l = collected
             roles = dict(zip(params, _SCALAR_ROLES["init_compute"]))

@@ -61,6 +61,16 @@ def collect_violations(engine, graph, program, config) -> list[Violation]:
         from repro.analysis.perf import perf_audit
 
         out.extend(perf_audit(engine, graph, program, config))
+    if getattr(config, "certify", "off") != "off":
+        # Kernel certificates surface as warnings here so `repro check`
+        # and validated runs report them; *enforcement* (refusing or
+        # degrading certify-gated fast paths) lives in
+        # :func:`repro.analysis.certify.runtime_gate`.
+        from repro.analysis.certify import certify_violations
+
+        out.extend(
+            certify_violations(program, cache=getattr(engine, "cache", None))
+        )
     return out
 
 

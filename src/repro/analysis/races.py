@@ -33,7 +33,12 @@ from repro.graph.digraph import DiGraph
 from repro.graph.shards import GShards
 from repro.vertexcentric.program import VertexProgram
 
-__all__ = ["stage_discipline_check", "order_sensitivity_check", "race_check"]
+__all__ = [
+    "stage_discipline_check",
+    "order_sensitivity_check",
+    "race_check",
+    "frontier_discipline_check",
+]
 
 
 class _Tracked(dict):
@@ -98,7 +103,9 @@ class _DisciplineLog:
             old = rec.get(field)
             op = ops[field]
             try:
-                if op == "min" and value > old:
+                # np.any collapses (K,) subarray fields (the multi-source
+                # traversal blocks) as well as plain scalars.
+                if op == "min" and bool(np.any(np.asarray(value) > np.asarray(old))):
                     self._report(
                         ("R202-mono", field),
                         "R202",
@@ -106,7 +113,7 @@ class _DisciplineLog:
                         f"({old!r} -> {value!r}) despite its declared "
                         f"'min' reducer — the write bypasses the ufunc",
                     )
-                elif op == "max" and value < old:
+                elif op == "max" and bool(np.any(np.asarray(value) < np.asarray(old))):
                     self._report(
                         ("R202-mono", field),
                         "R202",
@@ -277,6 +284,128 @@ def order_sensitivity_check(
                 subject=program.name,
             ))
     return out
+
+
+def frontier_discipline_check(
+    graph: DiGraph,
+    program: VertexProgram,
+    *,
+    vertices_per_shard: int = 4,
+    max_iterations: int = 4,
+    eager_mark: bool = False,
+) -> list[Violation]:
+    """Instrumented frontier-gated reference iterations checking the
+    ``ShardFrontier`` write discipline (``R205``).
+
+    The frontier contract (see :mod:`repro.frameworks.frontier`) is that
+    dirty bits are set from the *genuinely updated* vertex indices at a
+    write-back **flush boundary** — never mid-stage, where a later shard
+    in the same sweep could observe (and clear) a mark for work that has
+    not been written back yet.  This check runs a BSP-disciplined sparse
+    sweep with an instrumented frontier that records the phase of every
+    ``mark()`` call, and cross-validates the end-of-iteration dirty bitmap
+    against :func:`~repro.frameworks.frontier.resume_dirty` rebuilt from
+    the updated-vertex mask.
+
+    ``eager_mark=True`` simulates the buggy engine the check exists to
+    catch: marking per shard at stage 3, before the write-back flush.
+    """
+    from repro.frameworks.frontier import (ShardFrontier, resume_dirty,
+                                           vertex_influence_csr)
+
+    sh = GShards(graph, vertices_per_shard)
+    n = graph.num_vertices
+    num_units = sh.num_shards
+    indptr, targets = vertex_influence_csr(
+        graph.src, graph.dst, n, vertices_per_shard, num_units
+    )
+    phase = {"value": "init"}
+    violations: list[Violation] = []
+    seen: set[tuple] = set()
+
+    def report(key: tuple, message: str) -> None:
+        if key in seen:
+            return
+        seen.add(key)
+        violations.append(Violation("R205", message, subject=program.name))
+
+    class _InstrumentedFrontier(ShardFrontier):
+        __slots__ = ()
+
+        def mark(self, updated_vertices) -> None:
+            if phase["value"] != "flush":
+                report(
+                    ("mark-phase", phase["value"]),
+                    f"{phase['value']}: ShardFrontier.mark() called outside "
+                    f"a write-back flush boundary",
+                )
+            super().mark(updated_vertices)
+
+    values = program.initial_values(graph)
+    static_all = program.static_values(graph)
+    ev = program.edge_values(graph)
+    edge_vals = None if ev is None else ev[sh.edge_positions]
+    frontier = _InstrumentedFrontier(num_units, vertices_per_shard, indptr, targets)
+    flush_pos = np.zeros(num_units, dtype=np.int64)  # BSP: one flush per sweep
+
+    for _iteration in range(max_iterations):
+        phase["value"] = "sweep"
+        active = frontier.active(0, num_units)
+        if not active.size:
+            break
+        snapshot = values.copy()
+        updated: list[int] = []
+        for i in active:
+            lo, hi = sh.vertex_range(int(i))
+            locals_ = []
+            for v in range(lo, hi):
+                rec = _record(snapshot, v)
+                local = dict(rec)
+                program.init_compute(local, rec)
+                locals_.append(local)
+            phase["value"] = "stage2-compute"
+            sl = sh.shard_slice(int(i))
+            for e in range(sl.start, sl.stop):
+                src = int(sh.src_index[e])
+                program.compute(
+                    _record(snapshot, src),
+                    None if static_all is None else _record(static_all, src),
+                    None if edge_vals is None else _record(edge_vals, e),
+                    locals_[int(sh.dest_index[e]) - lo],
+                )
+            phase["value"] = "stage3-update"
+            shard_updated = []
+            for v in range(lo, hi):
+                rec = _record(values, v)
+                if program.update_condition(locals_[v - lo], rec):
+                    _store(values, v, locals_[v - lo])
+                    shard_updated.append(v)
+            if eager_mark and shard_updated:
+                # The simulated bug: per-shard marking before the flush.
+                frontier.mark(np.asarray(shard_updated, dtype=np.int64))
+            updated.extend(shard_updated)
+            phase["value"] = "sweep"
+        frontier.clear(active)
+        phase["value"] = "flush"
+        upd = np.asarray(updated, dtype=np.int64)
+        frontier.mark(upd)
+        phase["value"] = "post"
+        mask = np.zeros(n, dtype=bool)
+        mask[upd] = True
+        expected = resume_dirty(
+            mask, vertices_per_shard, num_units, indptr, targets, flush_pos
+        )
+        if not np.array_equal(expected, frontier.dirty):
+            report(
+                ("flush-mismatch",),
+                "end-of-iteration dirty bitmap disagrees with the bitmap "
+                "rebuilt from the genuinely updated vertex mask — the "
+                "flushed unit set does not match the vertices actually "
+                "updated",
+            )
+        if not upd.size:
+            break
+    return violations
 
 
 def race_check(

@@ -33,7 +33,14 @@ Code namespaces
     Fault *recovery actions* the resilience policy engine took — retry,
     checkpoint restore, representation rebuild, degradation — plus the
     terminal ``F406`` (error) when the whole degradation ladder was
-    exhausted.
+    exhausted, and ``F407`` when a certify-gated run degraded to the safe
+    full-sweep path instead of raising.
+``C4xx``
+    Kernel certification findings from :mod:`repro.analysis.certify`: an
+    algebraic contract the frontier / async / batching fast paths rely on
+    (reduce identity, commutativity/associativity, monotonicity, apply
+    purity, frontier-safety, async-safety) could not be proved for the
+    program — the check came back ``REFUTED`` or ``UNKNOWN``.
 """
 
 from __future__ import annotations
@@ -268,6 +275,12 @@ CODES: dict[str, tuple[str, str]] = {
         "a device function mutated read-only static or edge content "
         "(StaticVertexValue / EdgeValue records are immutable)",
     ),
+    "R205": (
+        "frontier-mark-outside-flush",
+        "a ShardFrontier dirty bit was set outside a write-back flush "
+        "boundary, or the flushed unit set disagrees with the vertices "
+        "actually updated — sparse sweeps would skip live work",
+    ),
     # ---- resilience: fault detections (resilience/) -------------------
     "R301": (
         "fault-transfer",
@@ -329,6 +342,49 @@ CODES: dict[str, tuple[str, str]] = {
         "recovery-exhausted",
         "every rung of the degradation ladder failed; the run returned "
         "the last checkpointed state with completed=False",
+    ),
+    "F407": (
+        "certify-degraded",
+        "a certify-gated run (frontier sweep or service batch) lacked a "
+        "required PROVED certificate and degraded to the safe full-sweep "
+        "path instead of raising (RunConfig(certify='warn'))",
+    ),
+    # ---- kernel certifier (certify.py) --------------------------------
+    "C401": (
+        "reduce-identity",
+        "the reducer's identity element is not a true identity for the "
+        "program: an unmasked message can carry a non-identity default, "
+        "so idle edges would perturb the reduction",
+    ),
+    "C402": (
+        "reduce-commutativity",
+        "compute does not fold contributions through the declared "
+        "commutative/associative reducer (overwrite or order-dependent "
+        "update), so warp scheduling order would change results",
+    ),
+    "C403": (
+        "reduce-monotonicity",
+        "the program is not monotone w.r.t. its reducer's lattice order "
+        "(stale local copy, wrong comparison direction, or a "
+        "non-fresh add accumulator)",
+    ),
+    "C404": (
+        "apply-purity",
+        "a kernel is impure: it reads undeclared fields, references "
+        "nondeterminism, or mutates hidden state outside the declared "
+        "certify_state attributes",
+    ),
+    "C405": (
+        "frontier-safety",
+        "'value unchanged => no update' could not be proved: a quiescent "
+        "shard skipped by the sparse frontier (or a retired fixpoint "
+        "column) could still have produced an update",
+    ),
+    "C406": (
+        "async-safety",
+        "the program is not reduce-order independent: asynchronous "
+        "(immediate write-back) execution can reach a different fixpoint "
+        "than synchronous sweeps",
     ),
 }
 

@@ -187,6 +187,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="also assert every rule fires on the broken fixtures",
     )
     check.add_argument(
+        "--certify", action="store_true",
+        help="also prove the kernel certificates (C401-C406) for every "
+        "checked program and the batched multi-source traversals",
+    )
+    check.add_argument(
         "--format", default="text", choices=("text", "json"),
         help="text (default) or a machine-readable JSON report on stdout",
     )
@@ -571,6 +576,30 @@ def _cmd_check(args) -> int:
             violations += order_sensitivity_check(graph, program, iterations=2)
         tally(name, violations)
 
+    certify = None
+    if getattr(args, "certify", False):
+        from repro.analysis.certify import certify_program
+        from repro.service.batching import (MultiSourceTraversal,
+                                            TRAVERSAL_SPECS)
+
+        targets = [make_program(name, graph)
+                   for name in (args.program or PROGRAM_NAMES)]
+        if args.program is None:
+            # The service batcher runs these instance-declared programs on
+            # the same engines; certify them alongside the bundled eight.
+            targets += [MultiSourceTraversal(spec, (0, 1, 2, 3))
+                        for spec in TRAVERSAL_SPECS.values()]
+        certify = []
+        echo("certify : C401-C406 kernel certificates")
+        for program in targets:
+            cert = certify_program(program, cache=False)
+            echo(f"  {cert.program:12s} "
+                 + " ".join(f"{c.code}={c.status}" for c in cert.checks))
+            for c in cert.checks:
+                errors += c.status == "REFUTED"
+                warnings += c.status == "UNKNOWN"
+            certify.append(cert.to_dict())
+
     selftest = None
     if args.selftest:
         failed, total, codes, failures = _check_selftest(echo)
@@ -593,6 +622,8 @@ def _cmd_check(args) -> int:
             "warnings": warnings,
             "violations": record,
         }
+        if certify is not None:
+            payload["certify"] = certify
         if selftest is not None:
             payload["selftest"] = selftest
         print(json.dumps(payload, indent=2))
@@ -605,8 +636,9 @@ def _check_selftest(echo=print):
     Returns ``(failed, total, fired_codes, failures)``.
     """
     from repro.analysis import lint_program, race_check, validate_structure
-    from repro.analysis.fixtures import (BROKEN_PROGRAMS, CORRUPTIONS,
-                                         PERF_FIXTURES, RESILIENCE_FIXTURES,
+    from repro.analysis.fixtures import (BROKEN_PROGRAMS, CERTIFY_FIXTURES,
+                                         CORRUPTIONS, PERF_FIXTURES,
+                                         RESILIENCE_FIXTURES,
                                          build_corrupted, fixture_graph)
 
     g = fixture_graph()
@@ -651,8 +683,21 @@ def _check_selftest(echo=print):
             })
             echo(f"  selftest FAIL {name}: {rf.expect} fired "
                  f"{codes.count(rf.expect)} times (want exactly 1)")
+    for name, cf in CERTIFY_FIXTURES.items():
+        codes = [v.code for v in cf.run()]
+        judge(name, cf.expect, cf.allowed, set(codes))
+        if codes.count(cf.expect) != 1:
+            failed += 1
+            failures.append({
+                "fixture": name, "expected": cf.expect,
+                "fired": sorted(codes),
+                "error": f"expected exactly one {cf.expect}, "
+                         f"got {codes.count(cf.expect)}",
+            })
+            echo(f"  selftest FAIL {name}: {cf.expect} fired "
+                 f"{codes.count(cf.expect)} times (want exactly 1)")
     total = (len(BROKEN_PROGRAMS) + len(CORRUPTIONS) + len(PERF_FIXTURES)
-             + len(RESILIENCE_FIXTURES))
+             + len(RESILIENCE_FIXTURES) + len(CERTIFY_FIXTURES))
     return failed, total, fired_total, failures
 
 

@@ -19,6 +19,8 @@ semantics of e.g. ``dict``-style lookup failures — are unchanged::
     ├── EngineKeyError          (also KeyError)       unknown make_engine key
     ├── GraphFormatError        (also ValueError)     unreadable graph file
     ├── ValidationError         (also RuntimeError)   analysis preflight errors
+    ├── ConfigError             (also ValueError)     invalid RunConfig knobs
+    ├── CertificationError      (also RuntimeError)   kernel certificate refused
     ├── InjectedFault           (also RuntimeError)   simulated GPU faults
     │   ├── TransferFault
     │   ├── KernelAbortFault
@@ -47,6 +49,8 @@ __all__ = [
     "EngineKeyError",
     "GraphFormatError",
     "ValidationError",
+    "ConfigError",
+    "CertificationError",
     "InjectedFault",
     "TransferFault",
     "KernelAbortFault",
@@ -101,6 +105,47 @@ class ValidationError(ReproError, RuntimeError):
         super().__init__(
             f"{len(self.violations)} analysis violation(s):\n{lines}"
         )
+
+
+class ConfigError(ReproError, ValueError):
+    """Raised by :class:`repro.frameworks.RunConfig` at construction when a
+    knob value is out of range or two knobs are statically incompatible
+    (e.g. ``resume_frontier`` without ``frontier``, ``certify="enforce"``
+    with ``validate="off"``).
+
+    ``knob`` names the offending field (or the first field of an invalid
+    pair) so callers can point at the right argument.
+    """
+
+    def __init__(self, message: str, *, knob: str = "") -> None:
+        super().__init__(message)
+        self.knob = knob
+
+
+class CertificationError(ReproError, RuntimeError):
+    """Raised when a run *requires* kernel certificates the program does
+    not hold (``RunConfig(certify="enforce")`` with ``frontier`` sparse/auto
+    sweeps, ``sync_mode="async"``, or service batching).
+
+    Attributes
+    ----------
+    program:
+        Name of the vertex program that failed certification.
+    failed:
+        Tuple of ``(code, verdict)`` pairs — the required ``C4xx`` checks
+        that came back ``REFUTED`` or ``UNKNOWN``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        program: str = "",
+        failed: tuple = (),
+    ) -> None:
+        super().__init__(message)
+        self.program = program
+        self.failed = tuple(failed)
 
 
 # ----------------------------------------------------------------------

@@ -20,10 +20,11 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field, replace
+from typing import Callable
 
 import numpy as np
 
-from repro.errors import ConvergenceError
+from repro.errors import ConfigError, ConvergenceError
 from repro.graph.digraph import DiGraph
 from repro.gpu.stats import KernelStats
 from repro.telemetry.tracer import NULL_TRACER
@@ -92,6 +93,51 @@ class FaultHooks:
 NULL_FAULTS = FaultHooks()
 
 
+#: Declarative :class:`RunConfig` compatibility table: ``(knob, predicate,
+#: message)`` rows checked in order at construction.  A predicate returning
+#: ``True`` means the combination is invalid and construction raises
+#: :class:`~repro.errors.ConfigError` (a ``ValueError`` subclass, so legacy
+#: ``except ValueError`` callers keep working).  Keeping the rules in one
+#: table — rather than scattered ``if``/``raise`` pairs — makes the set of
+#: invalid knob combinations auditable and exhaustively testable.
+_INVALID_COMBOS: tuple[tuple[str, Callable, str], ...] = (
+    ("exec_path",
+     lambda c: c.exec_path not in ("fast", "reference"),
+     "exec_path must be 'fast' or 'reference'"),
+    ("frontier",
+     lambda c: c.frontier not in ("off", "sparse", "auto"),
+     "frontier must be 'off', 'sparse', or 'auto'"),
+    ("validate",
+     lambda c: c.validate not in ("off", "structure", "full", "perf"),
+     "validate must be 'off', 'structure', 'full', or 'perf'"),
+    ("certify",
+     lambda c: c.certify not in ("off", "warn", "enforce"),
+     "certify must be 'off', 'warn', or 'enforce'"),
+    ("start_iteration",
+     lambda c: c.start_iteration < 0,
+     "start_iteration must be >= 0"),
+    ("start_iteration",
+     lambda c: c.start_iteration >= c.max_iterations,
+     "start_iteration must be below max_iterations"),
+    ("resume_frontier",
+     lambda c: c.resume_frontier is not None and c.resume_values is None,
+     "resume_frontier requires resume_values (the frontier mask only "
+     "makes sense relative to a checkpointed state)"),
+    ("resume_frontier",
+     lambda c: c.resume_frontier is not None and c.frontier == "off",
+     "resume_frontier requires a frontier mode ('sparse' or 'auto'); a "
+     "full-sweep run has no dirty bitmap to rebuild"),
+    ("start_iteration",
+     lambda c: c.resume_values is None and bool(c.start_iteration),
+     "start_iteration requires resume_values (the checkpointed "
+     "VertexValues to warm-start from)"),
+    ("certify",
+     lambda c: c.certify == "enforce" and c.validate == "off",
+     "certify='enforce' requires validate != 'off' (the certificate "
+     "verdicts are surfaced through the analysis preflight it gates)"),
+)
+
+
 @dataclass(frozen=True)
 class IterationTrace:
     """One iteration's footprint (drives the paper's Figure 7)."""
@@ -153,6 +199,20 @@ class RunConfig:
     the last executed iteration so a segmented frontier run rebuilds the
     exact dirty set a continuous run would hold (see
     ``repro.frameworks.frontier.resume_dirty``).
+
+    ``certify`` gates the kernel property certifier
+    (:mod:`repro.analysis.certify`): ``"off"`` (the default) never
+    consults certificates; ``"warn"`` checks the program's ``C4xx``
+    certificates whenever a fast path relies on them (frontier sweeps,
+    async engines, service batching) and *degrades to the safe full-sweep
+    path* with a recorded ``F407`` event when a required check is not
+    ``PROVED``; ``"enforce"`` raises
+    :class:`~repro.errors.CertificationError` instead of degrading.
+
+    Construction validates knob values and cross-knob compatibility
+    against the :data:`_INVALID_COMBOS` table, raising
+    :class:`~repro.errors.ConfigError` (a ``ValueError``) on the first
+    violated rule.
     """
 
     max_iterations: int = 10_000
@@ -170,33 +230,12 @@ class RunConfig:
     resume_frontier: np.ndarray | None = field(
         default=None, compare=False, repr=False
     )
+    certify: str = "off"
 
     def __post_init__(self) -> None:
-        if self.exec_path not in ("fast", "reference"):
-            raise ValueError("exec_path must be 'fast' or 'reference'")
-        if self.frontier not in ("off", "sparse", "auto"):
-            raise ValueError("frontier must be 'off', 'sparse', or 'auto'")
-        if self.resume_frontier is not None and self.resume_values is None:
-            raise ValueError(
-                "resume_frontier requires resume_values (the frontier mask "
-                "only makes sense relative to a checkpointed state)"
-            )
-        if self.validate not in ("off", "structure", "full", "perf"):
-            raise ValueError(
-                "validate must be 'off', 'structure', 'full', or 'perf'"
-            )
-        if self.start_iteration < 0:
-            raise ValueError("start_iteration must be >= 0")
-        if self.start_iteration >= self.max_iterations:
-            raise ValueError(
-                "start_iteration must be below max_iterations "
-                f"({self.start_iteration} >= {self.max_iterations})"
-            )
-        if self.resume_values is None and self.start_iteration:
-            raise ValueError(
-                "start_iteration requires resume_values (the checkpointed "
-                "VertexValues to warm-start from)"
-            )
+        for knob, bad, message in _INVALID_COMBOS:
+            if bad(self):
+                raise ConfigError(message, knob=knob)
 
     def with_tracer(self, tracer) -> "RunConfig":
         return replace(self, tracer=tracer)
@@ -359,6 +398,14 @@ class Engine(ABC):
             from repro.analysis.preflight import preflight
 
             preflight(self, graph, program, config)
+        if config.certify != "off":
+            # The kernel certifier gates the fast paths that silently
+            # assume the program's algebra (frontier sweeps, async
+            # engines).  "enforce" raises CertificationError; "warn"
+            # returns a degraded (full-sweep) config with an F407 event.
+            from repro.analysis.certify import runtime_gate
+
+            config = runtime_gate(self, program, config)
         if config.faults.active:
             config.faults.representations(self, graph, program, config)
         return self._run(graph, program, config)

@@ -301,6 +301,14 @@ class Scheduler:
         config = group[0].config
         if self.tracer is not NULL_TRACER:
             config = config.with_tracer(self.tracer)
+        if config.certify != "off" and not self._certified_for_batch(
+            engine, program, config
+        ):
+            # certify="warn": drop the coalesced fast path and run each
+            # job single-source — bit-exact with the batch by construction.
+            for job in group:
+                self._run_single(job)
+            return
         batch = engine.run(lead.graph, program, config=config)
         for job, column in zip(group, columns):
             job.result = split_batch_result(batch, spec, column, len(group))
@@ -313,6 +321,41 @@ class Scheduler:
         )
         if self.tracer.enabled:
             self.tracer.metrics.counter("service.coalesced").inc(len(group))
+
+    def _certified_for_batch(self, engine, program, config) -> bool:
+        """Gate batched execution on the multi-source program's certificate.
+
+        Returns True when every :data:`BATCH_REQUIRED` check is PROVED.
+        Under ``certify="enforce"`` a missing certificate raises
+        :class:`~repro.errors.CertificationError` (the jobs fail); under
+        ``certify="warn"`` it returns False with an ``F407`` event so the
+        caller degrades to per-job single-source runs.
+        """
+        from repro.analysis.certify import BATCH_REQUIRED, certify_program
+        from repro.errors import CertificationError
+
+        cert = certify_program(program, cache=getattr(engine, "cache", None))
+        failed = []
+        for code in BATCH_REQUIRED:
+            check = cert.result(code)
+            if check is None or check.status != "PROVED":
+                failed.append((code, check.status if check else "UNKNOWN"))
+        if not failed:
+            return True
+        summary = ", ".join(f"{code}={status}" for code, status in failed)
+        if config.certify == "enforce":
+            raise CertificationError(
+                f"batched program {cert.program!r} lacks required kernel "
+                f"certificates: {summary}; set certify='warn' to fall back "
+                "to per-job single-source runs",
+                program=cert.program,
+                failed=tuple(failed),
+            )
+        self._emit(
+            "service-certify-degraded", code="F407", program=cert.program,
+            failed=summary,
+        )
+        return False
 
     # -- telemetry ------------------------------------------------------
     def _emit(self, name: str, **attrs) -> None:

@@ -46,15 +46,17 @@ __all__ = [
 ]
 
 SPAN_KINDS = ("run", "iteration", "stage", "transfer", "resilience",
-              "service")
+              "service", "analysis")
 """The typed span vocabulary.  ``run`` wraps one engine invocation,
 ``iteration`` one fixpoint iteration, ``stage`` one pipeline stage or
 phase within an iteration, ``transfer`` one host-device copy,
 ``resilience`` one supervisor transition (fault detection, retry,
 checkpoint restore, degradation) recorded by
-:class:`repro.resilience.ResilientRunner`, and ``service`` one scheduler
+:class:`repro.resilience.ResilientRunner`, ``service`` one scheduler
 event (job admission, batch execution, shed, cancellation) recorded by
-:class:`repro.service.Service`."""
+:class:`repro.service.Service`, and ``analysis`` one static-analysis
+gate (the kernel-certification lookup and its enforce/warn decision,
+recorded by :func:`repro.analysis.certify.runtime_gate`)."""
 
 
 def stats_to_dict(stats: KernelStats) -> dict:

@@ -54,6 +54,12 @@ class VertexProgram(ABC):
     #: subclasses with custom apply logic may ignore it.
     tolerance: float = 1e-3
 
+    #: instance attributes the kernels may legitimately mutate (bookkeeping
+    #: that does not feed back into vertex values, e.g. the batching layer's
+    #: column-retirement tracker).  The C404 purity certificate treats any
+    #: ``self.X`` mutation outside this allowlist as hidden state.
+    certify_state: tuple[str, ...] = ()
+
     # ------------------------------------------------------------------
     # Problem setup
     # ------------------------------------------------------------------

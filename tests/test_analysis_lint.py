@@ -25,6 +25,17 @@ class TestBundledProgramsClean:
         program = make_program(name, graph)
         assert lint_program(program) == []
 
+    def test_multi_source_traversals_are_clean(self):
+        # The batching layer's program is instance-declared (dtypes built
+        # in __init__) with (K,)-subarray vertex fields — the linter must
+        # resolve both rather than flagging false unknown-field /
+        # missing-declaration violations.
+        from repro.service import TRAVERSAL_SPECS, MultiSourceTraversal
+
+        for name, spec in sorted(TRAVERSAL_SPECS.items()):
+            program = MultiSourceTraversal(spec, (0, 1, 2))
+            assert lint_program(program) == [], name
+
 
 class TestBrokenFixturesFire:
     @pytest.mark.parametrize("name", sorted(LINT_FIXTURES))
@@ -48,7 +59,7 @@ class TestBrokenFixturesFire:
 class TestViolationRecords:
     def test_codes_registry_is_consistent(self):
         for code, (kind, _message) in CODES.items():
-            assert code[0] in "LSRPF" and code[1:].isdigit()
+            assert code[0] in "LSRPFC" and code[1:].isdigit()
             assert kind and kind == kind.lower()
         assert len(CODES) >= 20
 

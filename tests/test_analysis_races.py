@@ -5,7 +5,8 @@ import pytest
 
 from repro.algorithms import PROGRAM_NAMES, make_program
 from repro.analysis.fixtures import BROKEN_PROGRAMS, fixture_graph
-from repro.analysis.races import (order_sensitivity_check, race_check,
+from repro.analysis.races import (frontier_discipline_check,
+                                  order_sensitivity_check, race_check,
                                   stage_discipline_check)
 from repro.graph.generators import random_weights, rmat
 
@@ -85,3 +86,20 @@ class TestOrderSensitivityRegression:
         hits = order_sensitivity_check(fixture_graph(), spec.factory())
         assert {v.code for v in hits} == {"R203"}
         assert any("level" in v.message for v in hits)
+
+
+class TestFrontierDiscipline:
+    """R205: ShardFrontier dirty bits must be set at write-back flush
+    boundaries from the genuinely updated vertices — never mid-stage."""
+
+    @pytest.mark.parametrize("name", PROGRAM_NAMES)
+    def test_bundled_programs_are_clean(self, name, graph):
+        program = make_program(name, graph)
+        assert frontier_discipline_check(graph, program) == []
+
+    def test_eager_mark_fires_r205(self):
+        program = make_program("bfs", fixture_graph())
+        hits = frontier_discipline_check(
+            fixture_graph(), program, eager_mark=True
+        )
+        assert hits and {v.code for v in hits} == {"R205"}

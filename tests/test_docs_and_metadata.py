@@ -51,10 +51,14 @@ class TestDocuments:
         from repro.analysis import CODES
 
         text = (ROOT / "docs" / "analysis.md").read_text()
-        table = set(re.findall(r"^\| `([LSRPF]\d{3})` \| `([\w-]+)` \|", text,
-                               re.MULTILINE))
+        rows = re.findall(r"^\| `([LSRPFC]\d{3})` \| `([\w-]+)` \|", text,
+                          re.MULTILINE)
+        # Every registered code appears exactly once in the reference
+        # table, and every table row names a registered (code, kind).
+        codes = [code for code, _kind in rows]
+        assert sorted(codes) == sorted(set(codes)), "duplicate table rows"
         registry = {(code, kind) for code, (kind, _msg) in CODES.items()}
-        assert table == registry
+        assert set(rows) == registry
 
     def test_analysis_doc_is_cross_linked(self):
         assert "analysis.md" in (ROOT / "README.md").read_text()
@@ -93,7 +97,7 @@ class TestPackageMetadata:
     def test_version_exposed(self):
         import repro
 
-        assert repro.__version__ == "1.7.0"
+        assert repro.__version__ == "1.8.0"
 
     def test_all_exports_resolve(self):
         import repro

@@ -39,7 +39,7 @@ EXPECTED_ALL = {
     # exceptions
     "ReproError", "ConvergenceError", "EngineKeyError", "GraphFormatError",
     "ValidationError", "InjectedFault", "QuotaExceededError",
-    "JobCancelledError",
+    "JobCancelledError", "ConfigError", "CertificationError",
     "__version__",
 }
 
