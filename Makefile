@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench perf-smoke smoke-trace serve-smoke report lint check certify chaos-smoke perfgate perfgate-rebaseline ci clean
+.PHONY: test bench perf-smoke smoke-trace serve-smoke report lint check certify ranges chaos-smoke perfgate perfgate-rebaseline ci clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/ -q
@@ -37,6 +37,14 @@ check:
 certify:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro check --certify --selftest
 
+# Range certification gate: discharge the W501-W504 abstract-interpretation
+# certificates (overflow, non-finite, termination, invariant ranges) for
+# every bundled program and the batched multi-source traversals, print the
+# proven-safe narrowing plans, and assert each range rule fires (REFUTED)
+# on exactly its broken fixture.  See "Abstract domains" in docs/analysis.md.
+ranges:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro check --ranges --selftest
+
 # Chaos smoke: the seeded deterministic fault campaign — every fault class
 # against every chaos engine, each run asserting recovery (or graceful
 # degradation) to bit-identical golden values.  See docs/resilience.md.
@@ -50,9 +58,9 @@ serve-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro serve --smoke
 
 # Performance gate: cost-contract + static audit + model-vs-measured drift
-# check, then re-run the perf smoke AND the service batching benchmark and
-# diff both against their committed baselines
-# (benchmarks/baselines/perf_smoke.json, benchmarks/baselines/service.json).
+# check, then re-run the perf smoke, service batching, frontier, and
+# dtype-narrowing benchmarks and diff each against its committed baseline
+# (benchmarks/baselines/{perf_smoke,service,frontier,ranges}.json).
 # Writes the machine-readable report to benchmarks/results/PERFGATE_report.json.
 perfgate:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro perfgate --repeats 1
@@ -63,7 +71,7 @@ perfgate-rebaseline:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro perfgate --repeats 3 --rebaseline
 
 # Full local CI chain, in the order a reviewer would want failures surfaced.
-ci: lint test smoke-trace check certify serve-smoke chaos-smoke perfgate
+ci: lint test smoke-trace check certify ranges serve-smoke chaos-smoke perfgate
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -25,6 +25,10 @@ This package reproduces *CuSha: Vertex-Centric Graph Processing on GPUs*
   frontier, async, and batching fast paths silently assume
   (:mod:`repro.analysis.certify`, gated by ``RunConfig(certify=...)`` —
   see ``docs/analysis.md``);
+- an **abstract interpreter** over the certify IR discharging overflow,
+  non-finite, termination, and invariant-range certificates that unlock
+  proven-safe dtype narrowing (:mod:`repro.analysis.ranges`, gated by
+  ``RunConfig(narrow=...)`` — see ``docs/analysis.md``);
 - a **consolidated exception hierarchy** rooted at
   :class:`repro.errors.ReproError` (:mod:`repro.errors`).
 
@@ -67,7 +71,7 @@ from repro.gpu import GTX780, I7_3930K, KernelStats
 from repro.service import JobHandle, JobRequest, JobStatus, Service, TenantQuota
 from repro.vertexcentric import VertexProgram
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 
 _UNSET = object()

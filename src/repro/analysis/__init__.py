@@ -19,7 +19,11 @@ Three layers, each reporting typed :class:`Violation` records:
   algebraic contracts (identity, commutativity, monotonicity, purity,
   frontier- and async-safety) that the frontier, async, and batching fast
   paths silently assume, codes ``C4xx``, enforced at run time through
-  ``RunConfig(certify="off"|"warn"|"enforce")``.
+  ``RunConfig(certify="off"|"warn"|"enforce")``;
+- :mod:`repro.analysis.ranges` — abstract interpretation over the certify
+  IR (interval and dtype/width domains) discharging overflow, non-finite,
+  termination, and invariant-range certificates, codes ``W5xx``, consumed
+  by proven-safe dtype narrowing (``RunConfig(narrow="off"|"auto")``).
 
 Engine wiring lives in :mod:`repro.analysis.preflight`
 (``RunConfig(validate="off"|"structure"|"full"|"perf")``); deliberately
@@ -60,6 +64,15 @@ from repro.analysis.perf import (
     perf_audit,
     static_predictions,
 )
+from repro.analysis.ranges import (
+    RANGE_CHECK_CODES,
+    GraphBounds,
+    RangesCertificate,
+    analyze_ranges,
+    narrowing_plan,
+    ranges_fingerprint,
+    ranges_violations,
+)
 from repro.analysis.preflight import (
     VALIDATE_LEVELS,
     collect_violations,
@@ -83,13 +96,17 @@ __all__ = [
     "CheckResult",
     "DriftReport",
     "FRONTIER_REQUIRED",
+    "GraphBounds",
     "PROVED",
+    "RANGE_CHECK_CODES",
     "REFUTED",
+    "RangesCertificate",
     "StagePrediction",
     "UNKNOWN",
     "VALIDATE_LEVELS",
     "ValidationError",
     "Violation",
+    "analyze_ranges",
     "audit_cw",
     "certify_program",
     "certify_violations",
@@ -100,8 +117,11 @@ __all__ = [
     "drift_gate",
     "frontier_discipline_check",
     "lint_program",
+    "narrowing_plan",
     "perf_audit",
     "program_fingerprint",
+    "ranges_fingerprint",
+    "ranges_violations",
     "static_predictions",
     "order_sensitivity_check",
     "preflight",

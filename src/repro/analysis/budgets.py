@@ -35,6 +35,9 @@ __all__ = [
     "FRONTIER_TIMING_METRICS",
     "FRONTIER_EXACT_METRICS",
     "FRONTIER_MATCH_KEYS",
+    "RANGES_MIN_BYTE_REDUCTION",
+    "RANGES_EXACT_METRICS",
+    "RANGES_MATCH_KEYS",
 ]
 
 
@@ -189,6 +192,35 @@ FRONTIER_EXACT_METRICS: tuple[str, ...] = (
 #: ``BENCH_frontier.json`` for the comparison to mean anything
 #: (``P321``).
 FRONTIER_MATCH_KEYS: tuple[str, ...] = (
+    "graph",
+    "program",
+    "engine",
+    "max_iterations",
+)
+
+#: Contracted floor on the modeled DRAM byte reduction proven-safe
+#: narrowing must deliver on the bench fixture (``P326``): a
+#: ``narrow="auto"`` run's total load+store bytes must be at least this
+#: fraction below the ``narrow="off"`` run's.  Both totals are exact
+#: cost-model output, so the ratio carries no noise band.
+RANGES_MIN_BYTE_REDUCTION: float = 0.2
+
+#: ``BENCH_ranges.json`` metrics that must match the ranges baseline
+#: exactly (``P327``): all derived from deterministic cost-model output,
+#: the narrowing plan, or iteration counts.
+RANGES_EXACT_METRICS: tuple[str, ...] = (
+    "iterations",
+    "bytes_off",
+    "bytes_auto",
+    "byte_reduction",
+    "narrowed_fields",
+    "vertex_bytes_off",
+    "vertex_bytes_auto",
+)
+
+#: Keys that must match between the ranges baseline and the current
+#: ``BENCH_ranges.json`` for the comparison to mean anything (``P321``).
+RANGES_MATCH_KEYS: tuple[str, ...] = (
     "graph",
     "program",
     "engine",

@@ -34,11 +34,13 @@ __all__ = [
     "CERTIFY_FIXTURES",
     "CORRUPTIONS",
     "PERF_FIXTURES",
+    "RANGES_FIXTURES",
     "RESILIENCE_FIXTURES",
     "BrokenProgram",
     "CertifyFixture",
     "Corruption",
     "PerfFixture",
+    "RangesFixture",
     "ResilienceFixture",
     "build_corrupted",
     "fixture_graph",
@@ -170,6 +172,17 @@ class InitPairMismatchProgram(_LintOnlyBase):
         return out
 
 
+class LiteralOverflowProgram(_LintOnlyBase):
+    """Compares a ``uint16`` field against a literal above 65535 — the
+    comparison can never be affected by the literal's low bits (L009)."""
+
+    name = "fixture-literal-overflow"
+    vertex_dtype = struct_dtype(level=np.uint16)
+
+    def update_condition(self, local_v, v):
+        return local_v["level"] < v["level"] and local_v["level"] != 70000
+
+
 class OrderSensitiveProgram(_LintOnlyBase):
     """Last-writer-wins ``compute``: statically clean, but folding edges in
     a different order changes the answer (R203)."""
@@ -240,6 +253,9 @@ BROKEN_PROGRAMS: dict[str, BrokenProgram] = {
     ),
     "init-pair-mismatch": BrokenProgram(
         InitPairMismatchProgram, "L004", frozenset({"L004"})
+    ),
+    "literal-overflow": BrokenProgram(
+        LiteralOverflowProgram, "L009", frozenset({"L009"})
     ),
     "race-vertex-write": BrokenProgram(
         MutatesVertexProgram, "R201", frozenset({"R201", "R203"}),
@@ -828,6 +844,115 @@ CERTIFY_FIXTURES: dict[str, CertifyFixture] = {
     ),
     "certify-degraded": CertifyFixture(
         "F407", frozenset({"F407"}), _certify_degraded
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# Refutable range certificates (abstract interpretation, W5xx)
+# ----------------------------------------------------------------------
+
+class Uint8OverflowProgram(_LintOnlyBase):
+    """Min-traversal over a ``uint8`` level pinned at 100 whose messages
+    add 200: the evaluated op's abstract range [300, 300] lies entirely
+    outside uint8, so every executed instance wraps (W501)."""
+
+    name = "fixture-uint8-overflow"
+    vertex_dtype = struct_dtype(level=np.uint8)
+
+    def initial_values(self, graph):
+        values = np.zeros(graph.num_vertices, dtype=self.vertex_dtype)
+        values["level"] = 100
+        return values
+
+    def compute(self, src_v, src_static, edge, local_v):
+        local_v["level"] = min(local_v["level"], src_v["level"] + 200)
+
+    def messages(self, src_vals, src_static, edge_vals, dest_old):
+        return {"level": src_vals["level"] + 200}, None
+
+
+class ZeroDenominatorProgram(_LintOnlyBase):
+    """Float relaxation dividing by a vertex value whose initial hull
+    includes zero: the falsifier's sweeps store an Inf (W502)."""
+
+    name = "fixture-zero-denominator"
+    vertex_dtype = struct_dtype(x=np.float64)
+    reduce_ops = {"x": "add"}
+
+    def initial_values(self, graph):
+        values = np.zeros(graph.num_vertices, dtype=self.vertex_dtype)
+        values["x"] = np.arange(graph.num_vertices, dtype=np.float64)
+        return values
+
+    def init_compute(self, local_v, v):
+        local_v["x"] = v["x"]
+
+    def compute(self, src_v, src_static, edge, local_v):
+        local_v["x"] = local_v["x"] + 1.0 / src_v["x"]
+
+    def update_condition(self, local_v, v):
+        return local_v["x"] != v["x"]
+
+    def messages(self, src_vals, src_static, edge_vals, dest_old):
+        return {"x": 1.0 / src_vals["x"]}, None
+
+    def apply(self, local, old):
+        return local, local["x"] != old["x"]
+
+
+class NeverQuiescesProgram(_LintOnlyBase):
+    """``update_condition`` is constant-true: every sweep claims an
+    update, so no static termination bound can exist (W503)."""
+
+    name = "fixture-never-quiesces"
+
+    def update_condition(self, local_v, v):
+        return True
+
+
+class EscapedBoundsProgram(_LintOnlyBase):
+    """Declares ``value_bounds`` its own initial values escape — a
+    concrete counterexample to the invariant-range contract (W504)."""
+
+    name = "fixture-escaped-bounds"
+    value_bounds = {"level": (0.0, 10.0)}
+
+
+def _ranges_codes(factory: Callable[[], VertexProgram]) -> Callable[[], list]:
+    def run() -> list:
+        from repro.analysis.ranges import ranges_violations
+
+        return ranges_violations(factory(), fixture_graph(), cache=False)
+
+    return run
+
+
+@dataclass(frozen=True)
+class RangesFixture:
+    """One refutable range certificate and the code it must fire."""
+
+    expect: str
+    allowed: frozenset[str]
+    run: Callable[[], list]
+
+
+RANGES_FIXTURES: dict[str, RangesFixture] = {
+    "ranges-uint8-overflow": RangesFixture(
+        "W501", frozenset({"W501", "W504"}),
+        _ranges_codes(Uint8OverflowProgram),
+    ),
+    "ranges-zero-denominator": RangesFixture(
+        "W502", frozenset({"W501", "W502", "W503", "W504"}),
+        _ranges_codes(ZeroDenominatorProgram),
+    ),
+    "ranges-never-quiesces": RangesFixture(
+        "W503", frozenset({"W503"}),
+        _ranges_codes(NeverQuiescesProgram),
+    ),
+    "ranges-escaped-bounds": RangesFixture(
+        "W504", frozenset({"W504"}),
+        _ranges_codes(EscapedBoundsProgram),
     ),
 }
 

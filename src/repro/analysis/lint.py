@@ -21,7 +21,10 @@ arguments.  This linter makes it machine-checked:
   value ``v``) must never be written — ``L006``;
 - ``name`` / ``vertex_dtype`` / ``reduce_ops`` must be declared — ``L007``;
 - reducers that ``compute`` never writes are dead declarations — ``L008``
-  (warning).
+  (warning);
+- a literal constant assigned to or compared against a field must be
+  representable in that field's declared dtype (no overflow, no negative
+  literal into an unsigned field) — ``L009``.
 
 The linter works on source via :func:`inspect.getsource`; methods whose
 source is unavailable (e.g. classes defined in a REPL) are skipped rather
@@ -33,6 +36,8 @@ from __future__ import annotations
 import ast
 import inspect
 import textwrap
+
+import numpy as np
 
 from repro.analysis.violations import Violation
 from repro.vertexcentric.program import VertexProgram
@@ -52,6 +57,15 @@ _SCALAR_ROLES: dict[str, tuple[str, ...]] = {
     "update_condition": ("local", "vertex"),
 }
 _VECTOR_METHODS = ("init_local", "messages", "apply")
+
+#: every kernel L009 scans, with the role of each positional parameter —
+#: the scalar table plus the vectorized kernels' array arguments.
+_L009_ROLES: dict[str, tuple[str, ...]] = {
+    **_SCALAR_ROLES,
+    "init_local": ("vertex",),
+    "messages": ("vertex", "static", "edge", "vertex"),
+    "apply": ("vertex", "vertex"),
+}
 
 
 class _Access:
@@ -173,6 +187,97 @@ def _collect(fn, self_obj=None) -> tuple[list[str], _AccessCollector, str, int] 
 
 def _loc(filename: str, first_line: int, lineno: int) -> str:
     return f"{filename}:{first_line + lineno - 1}"
+
+
+def _literal_value(node: ast.AST):
+    """The numeric value of a literal expression, or ``None``.
+
+    Unwraps unary sign and single-argument ``np.<ctor>(...)`` calls, so
+    ``np.uint32(1)`` and ``-5`` both count as literals.
+    """
+    if isinstance(node, ast.Constant):
+        v = node.value
+        if isinstance(v, (int, float)) and not isinstance(v, bool):
+            return v
+        return None
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        v = _literal_value(node.operand)
+        if v is None:
+            return None
+        return -v if isinstance(node.op, ast.USub) else v
+    if (
+        isinstance(node, ast.Call)
+        and len(node.args) == 1
+        and not node.keywords
+        and isinstance(node.func, ast.Attribute)
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id in ("np", "numpy")
+    ):
+        return _literal_value(node.args[0])
+    return None
+
+
+def _literal_fits(value, dt: np.dtype) -> bool:
+    """Whether ``value`` is representable in field dtype ``dt``.
+
+    Only overflow and sign violations count; a fractional literal in an
+    integer field truncates but does not wrap, so it is not L009's call.
+    """
+    if dt.kind in "ui":
+        if isinstance(value, float) and not value.is_integer():
+            return True
+        info = np.iinfo(dt)
+        return info.min <= int(value) <= info.max
+    if dt.kind == "f":
+        return abs(float(value)) <= float(np.finfo(dt).max)
+    return True
+
+
+def _field_base_dtype(dtype, field: str):
+    """Base dtype of ``field`` (unwrapping subarray shapes), or ``None``."""
+    fields = getattr(dtype, "fields", None)
+    if not fields or field not in fields:
+        return None
+    ft = fields[field][0]
+    return ft.base if ft.subdtype is not None else ft
+
+
+class _LiteralFitVisitor(ast.NodeVisitor):
+    """Collects ``(param, field, literal, lineno)`` pairs for L009.
+
+    A pair is a field subscript meeting a numeric literal in an
+    assignment, augmented assignment, or comparison.
+    """
+
+    def __init__(self, self_obj=None) -> None:
+        self._sub = _AccessCollector(self_obj)._subscript_field
+        self.pairs: list[tuple[str, str, object, int]] = []
+
+    def _pair(self, target: ast.AST, value: ast.AST) -> None:
+        hit = self._sub(target)
+        if hit is None:
+            return
+        lit = _literal_value(value)
+        if lit is None:
+            return
+        param, field, lineno = hit
+        self.pairs.append((param, field, lit, lineno))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for t in node.targets:
+            self._pair(t, node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._pair(node.target, node.value)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        items = [node.left] + list(node.comparators)
+        for a, b in zip(items, items[1:]):
+            self._pair(a, b)
+            self._pair(b, a)
+        self.generic_visit(node)
 
 
 def _dtype_fields(dtype) -> frozenset[str] | None:
@@ -372,6 +477,42 @@ def lint_program(program) -> list[Violation]:
                 f"{method} references nondeterminism source {name!r}",
                 subject, _loc(filename, first_line, lineno),
                 severity="warning",
+            ))
+
+    # ---- literal/dtype fit (L009) -------------------------------------
+    role_decl = {
+        "local": getattr(program, "vertex_dtype", None),
+        "vertex": getattr(program, "vertex_dtype", None),
+        "static": getattr(program, "static_dtype", None),
+        "edge": getattr(program, "edge_dtype", None),
+    }
+    for method, roles in _L009_ROLES.items():
+        fn = _own_method(cls, method)
+        if fn is None:
+            continue
+        parsed = _parse(fn)
+        if parsed is None:
+            continue
+        node, filename, first_line = parsed
+        params = [a.arg for a in node.args.args]
+        if params and params[0] == "self":
+            params = params[1:]
+        param_role = dict(zip(params, roles))
+        checker = _LiteralFitVisitor(inst)
+        for stmt in node.body:
+            checker.visit(stmt)
+        for param, field, lit, lineno in checker.pairs:
+            role = param_role.get(param)
+            if role is None:
+                continue
+            dt = _field_base_dtype(role_decl[role], field)
+            if dt is None or _literal_fits(lit, dt):
+                continue
+            out.append(Violation(
+                "L009",
+                f"{method} uses literal {lit!r} with {param}[{field!r}] "
+                f"but it is not representable in {dt}",
+                subject, _loc(filename, first_line, lineno),
             ))
 
     # ---- kernel-pair coverage (L004 / L001 / L008) --------------------

@@ -82,6 +82,7 @@ __all__ = [
     "predict_streamed_chunks",
     "static_predictions",
     "audit_cw",
+    "narrowed_audit",
     "perf_audit",
     "drift_gate",
     "compare_bench_reports",
@@ -89,6 +90,8 @@ __all__ = [
     "compare_service_reports",
     "check_frontier_contract",
     "compare_frontier_reports",
+    "check_ranges_contract",
+    "compare_ranges_reports",
 ]
 
 
@@ -491,8 +494,10 @@ def perf_audit(
 
     Checks the cost contract (``P310``) and, for every CW / G-Shards
     representation the engine is about to execute over, the structural
-    performance contract (``P301``-``P308``).  Engines that model no GPU
-    hardware only get the cost-contract check.
+    performance contract (``P301``-``P308``).  A ``narrow != "off"``
+    config additionally re-prices the sweep at the proven narrowed
+    widths (``P309``).  Engines that model no GPU hardware only get the
+    cost-contract check.
     """
     cfg = config or RunConfig()
     out = cost_contract_check()
@@ -517,6 +522,84 @@ def perf_audit(
             threads_per_block=tpb,
             subject=subject,
         ))
+    if getattr(cfg, "narrow", "off") != "off":
+        out.extend(narrowed_audit(engine, graph, program, cfg))
+    return out
+
+
+def narrowed_audit(
+    engine, graph, program, config: RunConfig | None = None
+) -> list[Violation]:
+    """``P309``: static predictions at proven narrowed widths stay exact.
+
+    When the range certificates justify a narrowing plan, the per-shard
+    static cost matrices priced at the *narrowed* ``vertex_value_bytes``
+    must row-sum to the independent full-sweep prediction at the same
+    widths, field-for-field — the same closure property P308 holds at the
+    declared widths.  This is what lets the auditor hand the tighter byte
+    bounds to the narrowed fast path without a second pricing model.
+    """
+    from repro.analysis.ranges import analyze_ranges, narrowing_plan
+    from repro.frameworks.narrow import NarrowedProgram
+
+    out: list[Violation] = []
+    spec = getattr(engine, "spec", None)
+    if spec is None or not hasattr(spec, "warp_size"):
+        return out
+    cfg = config or RunConfig()
+    subject = f"{engine.name}/{program.name}"
+    cert = analyze_ranges(program, graph, cache=getattr(engine, "cache", None))
+    plan = narrowing_plan(cert, program)
+    if not plan:
+        return out
+    narrowed = NarrowedProgram(
+        program, plan, {f: cert.field_range(f) for f in plan}
+    )
+    vbytes = narrowed.vertex_value_bytes
+    if vbytes >= program.vertex_value_bytes:
+        out.append(Violation(
+            "P309",
+            f"narrowing plan {sorted(plan)} did not shrink the vertex "
+            f"value ({vbytes} bytes vs declared "
+            f"{program.vertex_value_bytes})",
+            subject=subject,
+        ))
+        return out
+    sbytes = narrowed.static_value_bytes
+    ebytes = narrowed.edge_value_bytes
+    warp = spec.warp_size
+    from repro.frameworks.wavebatch import cusha_static_bundle, stats_from_row
+    for rep in engine.preflight_representations(graph, program, cfg):
+        if isinstance(rep, ConcatenatedWindows):
+            cw = rep
+        elif isinstance(rep, GShards):
+            cw = ConcatenatedWindows(rep)
+        else:
+            continue
+        for mode in ("cw", "gs"):
+            bundle = cusha_static_bundle(
+                cw, mode, warp, vbytes, sbytes, ebytes)
+            preds = predict_cusha_stages(
+                cw, mode, vbytes=vbytes, sbytes=sbytes, ebytes=ebytes,
+                warp=warp)
+            for mat, key in (
+                (bundle.stage1, "stage1-fetch"),
+                (bundle.stage2, "stage2-compute"),
+                (bundle.stage3, "stage3-update"),
+                (bundle.stage4, "stage4-writeback"),
+            ):
+                summed = stats_from_row(mat.sum(axis=0))
+                bad = field_diffs(summed, preds[key].stats)
+                if bad:
+                    out.append(Violation(
+                        "P309",
+                        f"narrowed per-shard pricing for {mode}/{key} "
+                        "does not sum to the narrowed full-sweep "
+                        "prediction: "
+                        + ", ".join(f"{f}: {a} != {b}"
+                                    for f, (a, b) in sorted(bad.items())),
+                        subject=subject,
+                    ))
     return out
 
 
@@ -582,7 +665,8 @@ def _compare(
 
 
 def drift_gate(
-    engine, graph, program, *, max_iterations: int = 16, metrics=None
+    engine, graph, program, *, max_iterations: int = 16, metrics=None,
+    narrow: str = "off",
 ) -> DriftReport:
     """Layer-2 model-vs-measured check for one engine/program/graph.
 
@@ -590,10 +674,26 @@ def drift_gate(
     per-stage span counters of a real run against the independent
     predictions.  Exact counters must match bit-for-bit over however
     many iterations ran; instruction totals get the budgeted tolerance.
+
+    ``narrow="auto"`` runs the gate at the proven narrowed widths: the
+    predictions price the narrowed program and the measured run executes
+    with ``RunConfig(narrow="auto")``, so the same exact-counter contract
+    holds for the narrowed fast path.
     """
     subject = f"{engine.name}/{program.name}"
-    preds = static_predictions(engine, graph, program)
-    exports = engine.predicted_stage_stats(graph, program)
+    pred_program = program
+    if narrow != "off":
+        from repro.analysis.ranges import analyze_ranges, narrowing_plan
+        from repro.frameworks.narrow import NarrowedProgram
+
+        cert = analyze_ranges(
+            program, graph, cache=getattr(engine, "cache", None))
+        plan = narrowing_plan(cert, program)
+        if plan:
+            pred_program = NarrowedProgram(
+                program, plan, {f: cert.field_range(f) for f in plan})
+    preds = static_predictions(engine, graph, pred_program)
+    exports = engine.predicted_stage_stats(graph, pred_program)
     vios: list[Violation] = []
     fields_checked = 0
 
@@ -625,6 +725,7 @@ def drift_gate(
         collect_traces=False,
         tracer=tracer,
         exec_path="fast",
+        narrow=narrow,
     ))
     iterations = result.iterations
     measured: dict[str, KernelStats] = {}
@@ -861,6 +962,81 @@ def check_frontier_contract(report: dict) -> list[Violation]:
             f"the contract floor {skip_floor:.0%}",
             subject="frontier",
         ))
+    return out
+
+
+def check_ranges_contract(report: dict) -> list[Violation]:
+    """Check a fresh ``BENCH_ranges.json`` against the absolute contract.
+
+    ``P326`` when the ``narrow="auto"`` run's total modeled load+store
+    bytes are not at least
+    :data:`~repro.analysis.budgets.RANGES_MIN_BYTE_REDUCTION` below the
+    ``narrow="off"`` run's, when no field actually narrowed, or when the
+    bench could not certify narrowed results bit-identical to the wide
+    run.  All three are deterministic cost-model / equivalence facts, so
+    no baseline and no noise band are involved.
+    """
+    row = report.get("ranges", {})
+    out: list[Violation] = []
+    if row.get("bit_exact") is not True:
+        out.append(Violation(
+            "P326",
+            "BENCH_ranges.json does not certify narrowed results "
+            f"bit-identical to narrow='off' (bit_exact "
+            f"{row.get('bit_exact')!r})",
+            subject="ranges",
+        ))
+    if not row.get("narrowed_fields"):
+        out.append(Violation(
+            "P326",
+            "BENCH_ranges.json reports no narrowed fields; the range "
+            "certificates proved no narrowing plan on the bench fixture",
+            subject="ranges",
+        ))
+    reduction = row.get("byte_reduction")
+    floor = budgets.RANGES_MIN_BYTE_REDUCTION
+    if not isinstance(reduction, (int, float)):
+        out.append(Violation(
+            "P326",
+            "BENCH_ranges.json carries no ranges.byte_reduction; the "
+            "narrowing contract cannot be checked",
+            subject="ranges",
+        ))
+    elif reduction < floor:
+        out.append(Violation(
+            "P326",
+            f"narrow='auto' reduced modeled bytes by only "
+            f"{reduction:.1%}, below the contract floor {floor:.0%}",
+            subject="ranges",
+        ))
+    return out
+
+
+def compare_ranges_reports(baseline: dict, current: dict) -> list[Violation]:
+    """Diff a fresh ranges report against the committed baseline.
+
+    ``P321`` when the workloads are not comparable; ``P327`` when a
+    deterministic narrowing metric changed.
+    """
+    out: list[Violation] = []
+    for key in budgets.RANGES_MATCH_KEYS:
+        if baseline.get(key) != current.get(key):
+            out.append(Violation(
+                "P321",
+                f"ranges workload '{key}' differs: baseline "
+                f"{baseline.get(key)!r} vs current {current.get(key)!r}",
+                subject="ranges",
+            ))
+    b = baseline.get("ranges", {})
+    c = current.get("ranges", {})
+    for mk in budgets.RANGES_EXACT_METRICS:
+        if b.get(mk) != c.get(mk):
+            out.append(Violation(
+                "P327",
+                f"ranges: exact metric {mk} changed from {b.get(mk)!r} "
+                f"to {c.get(mk)!r}",
+                subject="ranges",
+            ))
     return out
 
 

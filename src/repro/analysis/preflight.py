@@ -71,6 +71,18 @@ def collect_violations(engine, graph, program, config) -> list[Violation]:
         out.extend(
             certify_violations(program, cache=getattr(engine, "cache", None))
         )
+    if getattr(config, "narrow", "off") != "off":
+        # Narrowing consults the range certificates; surface their
+        # verdicts here so a validated narrow="auto" run reports what the
+        # gate will rely on (UNKNOWN verdicts are warnings — the gate
+        # simply declines to narrow unproven fields).
+        from repro.analysis.ranges import ranges_violations
+
+        out.extend(
+            ranges_violations(
+                program, graph, cache=getattr(engine, "cache", None)
+            )
+        )
     return out
 
 

@@ -41,6 +41,13 @@ Code namespaces
     (reduce identity, commutativity/associativity, monotonicity, apply
     purity, frontier-safety, async-safety) could not be proved for the
     program — the check came back ``REFUTED`` or ``UNKNOWN``.
+``W5xx``
+    Value-domain findings from the abstract interpreter
+    (:mod:`repro.analysis.ranges`): overflow safety, NaN/Inf safety, a
+    static termination bound, and per-field invariant ranges — the
+    certificates that make ``RunConfig(narrow="auto")`` dtype narrowing
+    sound.  Reported when a check is ``REFUTED`` (error) or ``UNKNOWN``
+    (warning).
 """
 
 from __future__ import annotations
@@ -93,6 +100,12 @@ CODES: dict[str, tuple[str, str]] = {
         "unused-reducer",
         "reduce_ops declares a field that compute never writes (dead "
         "atomic accounting)",
+    ),
+    "L009": (
+        "literal-dtype-overflow",
+        "a kernel assigns or compares a literal constant that cannot be "
+        "represented in the declared field dtype (overflow, or a negative "
+        "literal into an unsigned field)",
     ),
     # ---- representation invariants (invariants.py) -------------------
     "S101": (
@@ -202,6 +215,12 @@ CODES: dict[str, tuple[str, str]] = {
         "the full-sweep prediction, so frontier-gated sparse sweeps "
         "would mis-price skipped shards",
     ),
+    "P309": (
+        "perf-narrowed-decomposition",
+        "the per-shard static cost matrices computed at a narrowed "
+        "vertex-value width do not row-sum exactly to the narrowed "
+        "full-sweep prediction, so narrow='auto' runs would be mispriced",
+    ),
     "P310": (
         "perf-cost-contract",
         "a frameworks.costs instruction constant diverges from the "
@@ -251,6 +270,19 @@ CODES: dict[str, tuple[str, str]] = {
         "frontier-perf-regression",
         "a BENCH_frontier.json metric regressed against the committed "
         "frontier baseline (wall-clock minimum beyond threshold, or a "
+        "deterministic metric changed)",
+    ),
+    "P326": (
+        "ranges-traffic-reduction",
+        "proven-safe dtype narrowing fell below its contracted reduction "
+        "in modeled value-traffic bytes on the traversal fixture, or the "
+        "narrowed run was not bit-exact after widening back "
+        "(RANGES_MIN_BYTE_REDUCTION)",
+    ),
+    "P327": (
+        "ranges-perf-regression",
+        "a BENCH_ranges.json metric regressed against the committed "
+        "ranges baseline (wall-clock minimum beyond threshold, or a "
         "deterministic metric changed)",
     ),
     # ---- simulated-race detector (races.py) --------------------------
@@ -385,6 +417,31 @@ CODES: dict[str, tuple[str, str]] = {
         "the program is not reduce-order independent: asynchronous "
         "(immediate write-back) execution can reach a different fixpoint "
         "than synchronous sweeps",
+    ),
+    # ---- abstract interpretation (ranges.py) --------------------------
+    "W501": (
+        "overflow-safety",
+        "an evaluated kernel op can wrap or saturate its declared field "
+        "dtype given the graph bounds (V, E, max weight), so narrowed or "
+        "even declared-width arithmetic is unsafe",
+    ),
+    "W502": (
+        "nonfinite-safety",
+        "a float kernel can produce NaN/Inf from finite inputs (a "
+        "division denominator range includes zero, or non-finite "
+        "operands reach arithmetic unguarded)",
+    ),
+    "W503": (
+        "termination-bound",
+        "no static max-iteration certificate exists: the reducer lattice "
+        "has no finite height for this program, or the observed sweep "
+        "count contradicts the claimed bound",
+    ),
+    "W504": (
+        "invariant-ranges",
+        "no per-field invariant value ranges could be proved (or the "
+        "derived/observed ranges escape the program-declared "
+        "value_bounds contract)",
     ),
 }
 

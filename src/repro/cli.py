@@ -32,7 +32,9 @@ Commands
     the service-layer throughput gate (batching contract ``P322`` plus the
     ``BENCH_service.json`` diff against its own baseline, ``P323``), and
     the frontier work-efficiency gate (sparse-sweep contract ``P324`` plus
-    the ``BENCH_frontier.json`` diff against its baseline, ``P325``).
+    the ``BENCH_frontier.json`` diff against its baseline, ``P325``), and
+    the dtype-narrowing traffic gate (byte-reduction contract ``P326``
+    plus the ``BENCH_ranges.json`` diff against its baseline, ``P327``).
     Writes a machine-readable report next to the benchmark results.
 
 ``chaos``
@@ -192,6 +194,11 @@ def build_parser() -> argparse.ArgumentParser:
         "checked program and the batched multi-source traversals",
     )
     check.add_argument(
+        "--ranges", action="store_true",
+        help="also discharge the range certificates (W501-W504) and print "
+        "the proven-safe narrowing plan for every checked program",
+    )
+    check.add_argument(
         "--format", default="text", choices=("text", "json"),
         help="text (default) or a machine-readable JSON report on stdout",
     )
@@ -240,6 +247,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     perf.add_argument("--skip-frontier", action="store_true",
                       help="skip the frontier work-efficiency gate")
+    perf.add_argument(
+        "--ranges-baseline", default="benchmarks/baselines/ranges.json",
+        help="committed narrowing-traffic baseline to diff against",
+    )
+    perf.add_argument("--skip-ranges", action="store_true",
+                      help="skip the dtype-narrowing traffic gate")
 
     serve = sub.add_parser(
         "serve",
@@ -600,6 +613,39 @@ def _cmd_check(args) -> int:
                 warnings += c.status == "UNKNOWN"
             certify.append(cert.to_dict())
 
+    ranges = None
+    if getattr(args, "ranges", False):
+        from repro.analysis.ranges import analyze_ranges, narrowing_plan
+        from repro.service.batching import (MultiSourceTraversal,
+                                            TRAVERSAL_SPECS)
+
+        targets = [make_program(name, graph)
+                   for name in (args.program or PROGRAM_NAMES)]
+        if args.program is None:
+            targets += [MultiSourceTraversal(spec, (0, 1, 2, 3))
+                        for spec in TRAVERSAL_SPECS.values()]
+        ranges = []
+        echo("ranges  : W501-W504 range certificates")
+        for program in targets:
+            cert = analyze_ranges(program, graph, cache=False)
+            plan = narrowing_plan(cert, program)
+            suffix = ""
+            if plan:
+                suffix = "  narrow " + " ".join(
+                    f"{field}->{dt}" for field, dt in sorted(plan.items())
+                )
+            echo(f"  {cert.program:12s} "
+                 + " ".join(f"{c.code}={c.status}" for c in cert.checks)
+                 + suffix)
+            for c in cert.checks:
+                errors += c.status == "REFUTED"
+                warnings += c.status == "UNKNOWN"
+            entry = cert.to_dict()
+            entry["narrowing_plan"] = {
+                field: str(dt) for field, dt in sorted(plan.items())
+            }
+            ranges.append(entry)
+
     selftest = None
     if args.selftest:
         failed, total, codes, failures = _check_selftest(echo)
@@ -624,6 +670,8 @@ def _cmd_check(args) -> int:
         }
         if certify is not None:
             payload["certify"] = certify
+        if ranges is not None:
+            payload["ranges"] = ranges
         if selftest is not None:
             payload["selftest"] = selftest
         print(json.dumps(payload, indent=2))
@@ -638,6 +686,7 @@ def _check_selftest(echo=print):
     from repro.analysis import lint_program, race_check, validate_structure
     from repro.analysis.fixtures import (BROKEN_PROGRAMS, CERTIFY_FIXTURES,
                                          CORRUPTIONS, PERF_FIXTURES,
+                                         RANGES_FIXTURES,
                                          RESILIENCE_FIXTURES,
                                          build_corrupted, fixture_graph)
 
@@ -696,8 +745,22 @@ def _check_selftest(echo=print):
             })
             echo(f"  selftest FAIL {name}: {cf.expect} fired "
                  f"{codes.count(cf.expect)} times (want exactly 1)")
+    for name, wf in RANGES_FIXTURES.items():
+        codes = [v.code for v in wf.run()]
+        judge(name, wf.expect, wf.allowed, set(codes))
+        if codes.count(wf.expect) != 1:
+            failed += 1
+            failures.append({
+                "fixture": name, "expected": wf.expect,
+                "fired": sorted(codes),
+                "error": f"expected exactly one {wf.expect}, "
+                         f"got {codes.count(wf.expect)}",
+            })
+            echo(f"  selftest FAIL {name}: {wf.expect} fired "
+                 f"{codes.count(wf.expect)} times (want exactly 1)")
     total = (len(BROKEN_PROGRAMS) + len(CORRUPTIONS) + len(PERF_FIXTURES)
-             + len(RESILIENCE_FIXTURES) + len(CERTIFY_FIXTURES))
+             + len(RESILIENCE_FIXTURES) + len(CERTIFY_FIXTURES)
+             + len(RANGES_FIXTURES))
     return failed, total, fired_total, failures
 
 
@@ -788,9 +851,11 @@ def _cmd_perfgate(args) -> int:
     import json
 
     from repro.analysis.perf import (check_frontier_contract,
+                                     check_ranges_contract,
                                      check_service_contract,
                                      compare_bench_reports,
                                      compare_frontier_reports,
+                                     compare_ranges_reports,
                                      compare_service_reports,
                                      cost_contract_check, drift_gate,
                                      perf_audit)
@@ -975,6 +1040,39 @@ def _cmd_perfgate(args) -> int:
         fbench_out.write_text(
             json.dumps(frontier_current, indent=2) + "\n", encoding="utf-8")
 
+    # Layer 6: dtype-narrowing traffic gate — the absolute byte-reduction
+    # contract (P326) plus the diff against the ranges baseline (P327).
+    # Every metric is deterministic cost-model output, so there is no
+    # timing-retry loop: any mismatch is behavioural.  Like the other
+    # live-only layers, ``--current`` skips it.
+    ranges_baseline_path = pathlib.Path(args.ranges_baseline)
+    ranges_current = None
+    ranges_compared = False
+    if not args.skip_ranges and args.current is None:
+        wbench = _load_bench_module("bench_ranges")
+        echo("ranges  : running narrowing-traffic bench")
+        ranges_current = wbench.run_bench(repeats=args.repeats, echo=echo)
+        violations += check_ranges_contract(ranges_current)
+        if args.rebaseline:
+            ranges_baseline_path.parent.mkdir(parents=True, exist_ok=True)
+            ranges_baseline_path.write_text(
+                json.dumps(ranges_current, indent=2) + "\n",
+                encoding="utf-8")
+            echo(f"rebase  : wrote {ranges_baseline_path}")
+        elif not ranges_baseline_path.exists():
+            print(f"perfgate: ranges baseline {ranges_baseline_path} "
+                  "missing (run `make perfgate-rebaseline`)",
+                  file=sys.stderr)
+            return 2
+        else:
+            wbaseline = json.loads(ranges_baseline_path.read_text())
+            violations += compare_ranges_reports(wbaseline, ranges_current)
+            ranges_compared = True
+        wbench_out = wbench.RESULTS / "BENCH_ranges.json"
+        wbench_out.parent.mkdir(parents=True, exist_ok=True)
+        wbench_out.write_text(
+            json.dumps(ranges_current, indent=2) + "\n", encoding="utf-8")
+
     errors = sum(v.severity == "error" for v in violations)
     warnings = sum(v.severity == "warning" for v in violations)
     report = {
@@ -998,6 +1096,9 @@ def _cmd_perfgate(args) -> int:
         "frontier_baseline": (
             str(frontier_baseline_path) if frontier_compared else None),
         "frontier_bench": frontier_current,
+        "ranges_baseline": (
+            str(ranges_baseline_path) if ranges_compared else None),
+        "ranges_bench": ranges_current,
         "metrics": {k: m for k, m in tracer.metrics.as_dict().items()
                     if k.startswith("analysis.perf.")},
     }

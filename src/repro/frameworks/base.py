@@ -135,6 +135,9 @@ _INVALID_COMBOS: tuple[tuple[str, Callable, str], ...] = (
      lambda c: c.certify == "enforce" and c.validate == "off",
      "certify='enforce' requires validate != 'off' (the certificate "
      "verdicts are surfaced through the analysis preflight it gates)"),
+    ("narrow",
+     lambda c: c.narrow not in ("off", "auto"),
+     "narrow must be 'off' or 'auto'"),
 )
 
 
@@ -209,6 +212,15 @@ class RunConfig:
     ``PROVED``; ``"enforce"`` raises
     :class:`~repro.errors.CertificationError` instead of degrading.
 
+    ``narrow`` gates proven-safe dtype narrowing
+    (:mod:`repro.frameworks.narrow`): ``"off"`` (the default) runs at the
+    declared widths; ``"auto"`` consults the range certificates
+    (:mod:`repro.analysis.ranges`) and, when W501/W504 prove a field
+    exact at a narrower dtype, runs with narrowed ``VertexValues`` and
+    message buffers — the cost model charges the narrowed bytes while
+    the final values are widened back, so results stay bit-exact against
+    ``narrow="off"``.  Programs with no provable plan run unchanged.
+
     Construction validates knob values and cross-knob compatibility
     against the :data:`_INVALID_COMBOS` table, raising
     :class:`~repro.errors.ConfigError` (a ``ValueError``) on the first
@@ -231,6 +243,7 @@ class RunConfig:
         default=None, compare=False, repr=False
     )
     certify: str = "off"
+    narrow: str = "off"
 
     def __post_init__(self) -> None:
         for knob, bad, message in _INVALID_COMBOS:
@@ -406,9 +419,22 @@ class Engine(ABC):
             from repro.analysis.certify import runtime_gate
 
             config = runtime_gate(self, program, config)
+        widen_back = None
+        if config.narrow != "off":
+            # Proven-safe dtype narrowing: when the range certificates
+            # justify it, run with a NarrowedProgram (narrow storage,
+            # wide computation) and widen the final values back.
+            from repro.frameworks.narrow import narrow_gate
+
+            program, config, widen_back = narrow_gate(
+                self, graph, program, config
+            )
         if config.faults.active:
             config.faults.representations(self, graph, program, config)
-        return self._run(graph, program, config)
+        result = self._run(graph, program, config)
+        if widen_back is not None:
+            result.values = widen_back(result.values)
+        return result
 
     @abstractmethod
     def _run(

@@ -127,6 +127,16 @@ class KernelStats:
     def total_transactions(self) -> int:
         return self.load_transactions + self.store_transactions
 
+    @property
+    def total_bytes_requested(self) -> int:
+        """Load + store bytes the kernels asked DRAM for.
+
+        This is the quantity proven-safe dtype narrowing shrinks (the
+        ``ranges`` perfgate layer thresholds its reduction), so it gets a
+        named accessor rather than ad-hoc sums at the call sites.
+        """
+        return self.load_bytes_requested + self.store_bytes_requested
+
     # ------------------------------------------------------------------
     # Aggregation
     # ------------------------------------------------------------------

@@ -148,6 +148,7 @@ def _config_key(config: RunConfig) -> tuple:
         config.validate,
         config.frontier,
         config.certify,
+        config.narrow,
     )
 
 

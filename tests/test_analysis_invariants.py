@@ -68,7 +68,9 @@ class TestCorruptionProperty:
     )
     def test_random_corruption_reports_expected_kind(self, name, seed, shard_pow):
         rng = np.random.default_rng(seed)
-        nv = int(rng.integers(16, 64))
+        # At least two shards: on a single-shard graph the dest-range
+        # corruption is vacuous (every vertex is in the shard's range).
+        nv = int(rng.integers(2**shard_pow + 1, 64))
         ne = int(rng.integers(4 * nv, 8 * nv))
         g = rmat(nv, ne, seed=seed)
         rep, spec = build_corrupted(name, g, vertices_per_shard=2**shard_pow)

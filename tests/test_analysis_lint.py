@@ -59,7 +59,7 @@ class TestBrokenFixturesFire:
 class TestViolationRecords:
     def test_codes_registry_is_consistent(self):
         for code, (kind, _message) in CODES.items():
-            assert code[0] in "LSRPFC" and code[1:].isdigit()
+            assert code[0] in "LSRPFCW" and code[1:].isdigit()
             assert kind and kind == kind.lower()
         assert len(CODES) >= 20
 

@@ -51,7 +51,7 @@ class TestDocuments:
         from repro.analysis import CODES
 
         text = (ROOT / "docs" / "analysis.md").read_text()
-        rows = re.findall(r"^\| `([LSRPFC]\d{3})` \| `([\w-]+)` \|", text,
+        rows = re.findall(r"^\| `([LSRPFCW]\d{3})` \| `([\w-]+)` \|", text,
                           re.MULTILINE)
         # Every registered code appears exactly once in the reference
         # table, and every table row names a registered (code, kind).
@@ -97,7 +97,7 @@ class TestPackageMetadata:
     def test_version_exposed(self):
         import repro
 
-        assert repro.__version__ == "1.8.0"
+        assert repro.__version__ == "1.9.0"
 
     def test_all_exports_resolve(self):
         import repro

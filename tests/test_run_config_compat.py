@@ -121,6 +121,7 @@ class TestTableHygiene:
         {"resume_values": VALUES, "resume_frontier": MASK},
         {"start_iteration": 1},
         {"certify": "enforce", "validate": "off"},
+        {"narrow": "bogus"},
     ]
 
     def test_one_example_per_rule(self):
