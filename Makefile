@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench perf-smoke smoke-trace serve-smoke report lint check certify ranges chaos-smoke perfgate perfgate-rebaseline ci clean
+.PHONY: test bench perf-smoke smoke-trace serve-smoke report lint check certify ranges chaos-smoke chaos-multi perfgate perfgate-rebaseline ci clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/ -q
@@ -51,6 +51,12 @@ ranges:
 chaos-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro chaos --seed 0 --campaign smoke
 
+# Multi-device chaos: kill a device at every iteration boundary of every
+# sharded engine and assert the repartition-resume path stitches a
+# bit-identical result on the surviving devices.  See docs/placement.md.
+chaos-multi:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro chaos --seed 0 --campaign multi
+
 # Service smoke: exercise the repro.service job scheduler end to end —
 # submit/poll/cancel lifecycle, same-graph batching (bit-exact vs solo
 # runs), tenant quotas, and load-shedding.  See docs/service.md.
@@ -58,9 +64,10 @@ serve-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro serve --smoke
 
 # Performance gate: cost-contract + static audit + model-vs-measured drift
-# check, then re-run the perf smoke, service batching, frontier, and
-# dtype-narrowing benchmarks and diff each against its committed baseline
-# (benchmarks/baselines/{perf_smoke,service,frontier,ranges}.json).
+# check, then re-run the perf smoke, service batching, frontier,
+# dtype-narrowing, and multi-device placement benchmarks and diff each
+# against its committed baseline
+# (benchmarks/baselines/{perf_smoke,service,frontier,ranges,placement}.json).
 # Writes the machine-readable report to benchmarks/results/PERFGATE_report.json.
 perfgate:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro perfgate --repeats 1
@@ -71,7 +78,7 @@ perfgate-rebaseline:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro perfgate --repeats 3 --rebaseline
 
 # Full local CI chain, in the order a reviewer would want failures surfaced.
-ci: lint test smoke-trace check certify ranges serve-smoke chaos-smoke perfgate
+ci: lint test smoke-trace check certify ranges serve-smoke chaos-smoke chaos-multi perfgate
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only

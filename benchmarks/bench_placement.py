@@ -1,0 +1,183 @@
+"""Multi-device sharded execution: N-device placement vs. one device.
+
+Fixed workload: SSSP over a road-network lattice on ``cusha-cw``, run
+once single-device and once under a ``devices=N`` block placement.  The
+lattice is row-major numbered, so the block partitioner keeps almost
+every edge device-local — only the device-boundary rows and the random
+highway shortcuts cross devices, which is exactly the locality regime
+where multi-GPU sharding pays off (and the regime CuSha's RoadNetCA
+fixture models).  The
+multi-device run is asserted **bit-identical** to the single-device run
+before any number is reported — placement is an accounting overlay, so
+values, iteration counts, and convergence must never move.
+
+Two families of numbers come out, mirroring the perf contract's split:
+
+- **Modeled work** (deterministic): ``exchange_bytes`` — the exact
+  bulk-synchronous value-exchange traffic priced over the run (cross-
+  device edges x value bytes, per updated shard per iteration) — plus
+  ``single_model_ms`` / ``multi_model_ms`` and their ratio
+  ``model_speedup`` (max per-device share + exchange vs. the one-device
+  time).  Perfgate fails (P328) if the run is not bit-exact, charges
+  zero exchange bytes, or the speedup drops below
+  ``PLACEMENT_MIN_MODEL_SPEEDUP``; any drift in the exact metrics
+  against the committed baseline is P329.
+- **Wall-clock minima** (noisy): ``single_wall_min_s`` /
+  ``multi_wall_min_s`` over ``--repeats``, drift-gated with the usual
+  timing threshold (P329).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_placement.py [--repeats N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+from repro.algorithms import make_program
+from repro.cache import RepresentationCache
+from repro.frameworks import RunConfig, make_engine
+from repro.graph.generators import random_weights, road_network
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+# Fixed workload: a 4000x32 road lattice (500 shards at 256
+# vertices/shard) so a 4-device block placement holds 125 shards per
+# device.  Row-major numbering makes the block cut tiny: only the three
+# device-boundary rows and the 1% highway shortcuts produce remote
+# edges, so the per-device sweep shares dominate the exchange step.
+# The lattice is deliberately large enough that one iteration's sweep
+# costs far more than the interconnect's 10us per-exchange latency
+# floor — on a graph that small, bulk-synchronous sharding genuinely
+# would not pay, and the gate should not pretend otherwise.
+ROWS = 4_000
+COLS = 32
+SHORTCUT_FRACTION = 0.01
+GRAPH_SEED = 11
+WEIGHT_SEED = 8
+PROGRAM = "sssp"
+ENGINE = "cusha-cw"
+VERTICES_PER_SHARD = 256
+DEVICES = 4
+MAX_ITERATIONS = 50
+
+
+def _model_ms(r) -> float:
+    """One run's modeled device milliseconds."""
+    return r.kernel_time_ms + r.h2d_ms + r.d2h_ms
+
+
+def run_bench(repeats: int = 3, echo=print) -> dict:
+    """Run the placement comparison and return the report dict.
+
+    ``python -m repro perfgate`` imports and calls this in-process so the
+    gate and the standalone script can never disagree on the workload.
+    """
+    graph = random_weights(
+        road_network(ROWS, COLS, shortcut_fraction=SHORTCUT_FRACTION,
+                     seed=GRAPH_SEED),
+        seed=WEIGHT_SEED)
+    program = make_program(PROGRAM, graph)
+    cache = RepresentationCache()
+
+    def engine():
+        return make_engine(ENGINE, vertices_per_shard=VERTICES_PER_SHARD,
+                           cache=cache)
+
+    def config(devices: int) -> RunConfig:
+        return RunConfig(max_iterations=MAX_ITERATIONS, allow_partial=True,
+                         devices=devices)
+
+    # Canonical runs (and cache warm-up): the deterministic metrics.
+    single = engine().run(graph, program, config=config(1))
+    multi = engine().run(graph, program, config=config(DEVICES))
+
+    bit_exact = bool(
+        single.values.tobytes() == multi.values.tobytes()
+        and single.iterations == multi.iterations
+        and single.converged == multi.converged
+    )
+    assert bit_exact, "multi-device execution diverged from single-device"
+    assert single.exchange_bytes == 0, "single-device run priced an exchange"
+
+    single_wall, multi_wall = [], []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        engine().run(graph, program, config=config(1))
+        single_wall.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        engine().run(graph, program, config=config(DEVICES))
+        multi_wall.append(time.perf_counter() - t0)
+
+    single_ms = _model_ms(single)
+    multi_ms = _model_ms(multi)
+    report = {
+        "graph": {"generator": "road_network", "rows": ROWS, "cols": COLS,
+                  "shortcut_fraction": SHORTCUT_FRACTION,
+                  "seed": GRAPH_SEED, "weight_seed": WEIGHT_SEED},
+        "program": PROGRAM,
+        "engine": ENGINE,
+        "vertices_per_shard": VERTICES_PER_SHARD,
+        "devices": DEVICES,
+        "max_iterations": MAX_ITERATIONS,
+        "repeats": repeats,
+        "placement": {
+            "bit_exact": bit_exact,
+            "iterations": multi.iterations,
+            "devices": multi.devices,
+            # Exact exchange accounting (the P328 contract).
+            "exchange_bytes": multi.exchange_bytes,
+            "exchange_ms": round(multi.exchange_ms, 4),
+            # Deterministic modeled work (multi includes the exchange).
+            "single_model_ms": round(single_ms, 4),
+            "multi_model_ms": round(multi_ms, 4),
+            "model_speedup": round(single_ms / multi_ms, 2),
+            # Wall-clock minima (the P329 drift gate); minima because
+            # shared-machine noise is one-sided.
+            "single_wall_min_s": round(min(single_wall), 4),
+            "multi_wall_min_s": round(min(multi_wall), 4),
+        },
+    }
+    row = report["placement"]
+    echo(f"placemnt model: single={row['single_model_ms']:.2f}ms "
+         f"multi={row['multi_model_ms']:.2f}ms on {DEVICES} devices "
+         f"speedup={row['model_speedup']}x "
+         f"(exchange {row['exchange_bytes']} B / "
+         f"{row['exchange_ms']:.2f} ms over {multi.iterations} iterations)")
+    echo(f"placemnt wall:  single={row['single_wall_min_s']:.3f}s "
+         f"multi={row['multi_wall_min_s']:.3f}s")
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="wall-clock samples per mode (minima reported)")
+    parser.add_argument("--out",
+                        default=str(RESULTS / "BENCH_placement.json"),
+                        help="output JSON path")
+    parser.add_argument("--rebaseline", action="store_true",
+                        help="also write the report as the committed "
+                        "baseline (benchmarks/baselines/placement.json)")
+    args = parser.parse_args(argv)
+
+    report = run_bench(repeats=args.repeats)
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+    if args.rebaseline:
+        base = pathlib.Path(__file__).parent / "baselines" / "placement.json"
+        base.parent.mkdir(parents=True, exist_ok=True)
+        base.write_text(json.dumps(report, indent=2) + "\n",
+                        encoding="utf-8")
+        print(f"wrote {base}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

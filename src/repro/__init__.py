@@ -71,7 +71,7 @@ from repro.gpu import GTX780, I7_3930K, KernelStats
 from repro.service import JobHandle, JobRequest, JobStatus, Service, TenantQuota
 from repro.vertexcentric import VertexProgram
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 
 _UNSET = object()

@@ -38,6 +38,10 @@ __all__ = [
     "RANGES_MIN_BYTE_REDUCTION",
     "RANGES_EXACT_METRICS",
     "RANGES_MATCH_KEYS",
+    "PLACEMENT_MIN_MODEL_SPEEDUP",
+    "PLACEMENT_TIMING_METRICS",
+    "PLACEMENT_EXACT_METRICS",
+    "PLACEMENT_MATCH_KEYS",
 ]
 
 
@@ -224,5 +228,46 @@ RANGES_MATCH_KEYS: tuple[str, ...] = (
     "graph",
     "program",
     "engine",
+    "max_iterations",
+)
+
+#: Contracted floor on the multi-device modeled speedup (``P328``): on
+#: the bench fixture, the N-device run's modeled iteration time (max
+#: per-device share + exchange) must be at least this many times below
+#: the single-device time.  Both sides are exact cost-model output —
+#: the floor is absolute, with no noise band; drift in the exact
+#: metrics below is gated separately (``P329``).
+PLACEMENT_MIN_MODEL_SPEEDUP: float = 1.3
+
+#: Wall-clock metrics in ``BENCH_placement.json`` the gate thresholds
+#: against the committed placement baseline (``P329``), minima over
+#: ``--repeats`` with the usual one-sided
+#: :data:`PERFGATE_TIMING_THRESHOLD` band.
+PLACEMENT_TIMING_METRICS: tuple[str, ...] = (
+    "single_wall_min_s",
+    "multi_wall_min_s",
+)
+
+#: ``BENCH_placement.json`` metrics that must match the placement
+#: baseline exactly (``P329``): exchange-byte accounting and the modeled
+#: times are deterministic cost-model output, so any change is
+#: behavioural, not noise.
+PLACEMENT_EXACT_METRICS: tuple[str, ...] = (
+    "iterations",
+    "devices",
+    "exchange_bytes",
+    "single_model_ms",
+    "multi_model_ms",
+    "model_speedup",
+)
+
+#: Keys that must match between the placement baseline and the current
+#: ``BENCH_placement.json`` for the comparison to mean anything
+#: (``P321``).
+PLACEMENT_MATCH_KEYS: tuple[str, ...] = (
+    "graph",
+    "program",
+    "engine",
+    "devices",
     "max_iterations",
 )

@@ -92,6 +92,8 @@ __all__ = [
     "compare_frontier_reports",
     "check_ranges_contract",
     "compare_ranges_reports",
+    "check_placement_contract",
+    "compare_placement_reports",
 ]
 
 
@@ -1079,5 +1081,104 @@ def compare_frontier_reports(baseline: dict, current: dict) -> list[Violation]:
                 f"frontier: {mk} regressed {rel:+.1%} "
                 f"({bv:.4f}s -> {cv:.4f}s), threshold +{thr:.0%}",
                 subject="frontier",
+            ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Multi-device placement gate (P328 / P329)
+# ----------------------------------------------------------------------
+
+def check_placement_contract(report: dict) -> list[Violation]:
+    """Check a fresh ``BENCH_placement.json`` against the absolute contract.
+
+    ``P328`` when the bench could not certify the N-device run bit-exact
+    with single-device, when the per-iteration exchange-byte accounting
+    came back zero (no cross-device edge was ever charged), or when the
+    modeled multi-device speedup falls below
+    :data:`~repro.analysis.budgets.PLACEMENT_MIN_MODEL_SPEEDUP`.  All
+    three are deterministic cost-model / equivalence facts, so no
+    baseline and no noise band are involved.
+    """
+    row = report.get("placement", {})
+    out: list[Violation] = []
+    if row.get("bit_exact") is not True:
+        out.append(Violation(
+            "P328",
+            "BENCH_placement.json does not certify the multi-device run "
+            f"bit-identical to single-device (bit_exact "
+            f"{row.get('bit_exact')!r})",
+            subject="placement",
+        ))
+    exchange = row.get("exchange_bytes")
+    if not isinstance(exchange, int) or exchange <= 0:
+        out.append(Violation(
+            "P328",
+            f"BENCH_placement.json charged {exchange!r} exchange bytes; "
+            "a multi-device run over a connected fixture must price a "
+            "nonzero bulk-synchronous value exchange",
+            subject="placement",
+        ))
+    speedup = row.get("model_speedup")
+    floor = budgets.PLACEMENT_MIN_MODEL_SPEEDUP
+    if not isinstance(speedup, (int, float)):
+        out.append(Violation(
+            "P328",
+            "BENCH_placement.json carries no placement.model_speedup; "
+            "the placement contract cannot be checked",
+            subject="placement",
+        ))
+    elif speedup < floor:
+        out.append(Violation(
+            "P328",
+            f"multi-device execution models only {speedup:.2f}x the "
+            f"single-device time (contract floor {floor:.1f}x)",
+            subject="placement",
+        ))
+    return out
+
+
+def compare_placement_reports(
+    baseline: dict, current: dict
+) -> list[Violation]:
+    """Diff a fresh placement report against the committed baseline.
+
+    ``P321`` when the workloads are not comparable; ``P329`` when a
+    deterministic metric (exchange-byte accounting, modeled times)
+    changed or a wall-clock metric regressed beyond the one-sided
+    threshold.  Improvements never fail.
+    """
+    out: list[Violation] = []
+    for key in budgets.PLACEMENT_MATCH_KEYS:
+        if baseline.get(key) != current.get(key):
+            out.append(Violation(
+                "P321",
+                f"placement workload '{key}' differs: baseline "
+                f"{baseline.get(key)!r} vs current {current.get(key)!r}",
+                subject="placement",
+            ))
+    b = baseline.get("placement", {})
+    c = current.get("placement", {})
+    for mk in budgets.PLACEMENT_EXACT_METRICS:
+        if b.get(mk) != c.get(mk):
+            out.append(Violation(
+                "P329",
+                f"placement: exact metric {mk} changed from {b.get(mk)!r} "
+                f"to {c.get(mk)!r}",
+                subject="placement",
+            ))
+    thr = budgets.PERFGATE_TIMING_THRESHOLD
+    for mk in budgets.PLACEMENT_TIMING_METRICS:
+        bv, cv = b.get(mk), c.get(mk)
+        if not isinstance(bv, (int, float)) or \
+                not isinstance(cv, (int, float)) or bv <= 0:
+            continue
+        rel = (cv - bv) / bv
+        if rel > thr:
+            out.append(Violation(
+                "P329",
+                f"placement: {mk} regressed {rel:+.1%} "
+                f"({bv:.4f}s -> {cv:.4f}s), threshold +{thr:.0%}",
+                subject="placement",
             ))
     return out

@@ -33,8 +33,10 @@ Code namespaces
     Fault *recovery actions* the resilience policy engine took — retry,
     checkpoint restore, representation rebuild, degradation — plus the
     terminal ``F406`` (error) when the whole degradation ladder was
-    exhausted, and ``F407`` when a certify-gated run degraded to the safe
-    full-sweep path instead of raising.
+    exhausted, ``F407`` when a certify-gated run degraded to the safe
+    full-sweep path instead of raising, and ``F408``/``F409`` for the
+    multi-device repartition path (shards redistributed across surviving
+    devices; collapse to single-device).
 ``C4xx``
     Kernel certification findings from :mod:`repro.analysis.certify`: an
     algebraic contract the frontier / async / batching fast paths rely on
@@ -285,6 +287,20 @@ CODES: dict[str, tuple[str, str]] = {
         "ranges baseline (wall-clock minimum beyond threshold, or a "
         "deterministic metric changed)",
     ),
+    "P328": (
+        "placement-contract",
+        "multi-device sharded execution broke its placement contract on "
+        "the benchmark fixture: exchange-byte accounting diverged from "
+        "the committed exact value, the N-device run was not bit-exact "
+        "with single-device, or the modeled speedup fell below "
+        "PLACEMENT_MIN_MODEL_SPEEDUP",
+    ),
+    "P329": (
+        "placement-perf-regression",
+        "a BENCH_placement.json metric regressed against the committed "
+        "placement baseline (wall-clock minimum beyond threshold, or a "
+        "deterministic metric changed)",
+    ),
     # ---- simulated-race detector (races.py) --------------------------
     "R201": (
         "race-vertexvalues-write",
@@ -344,6 +360,11 @@ CODES: dict[str, tuple[str, str]] = {
         "a (simulated) shared-memory allocation failure prevented the "
         "kernel launch (persistent: retrying the same config cannot help)",
     ),
+    "R307": (
+        "fault-device-loss",
+        "a (simulated) device dropped out of a multi-device run at an "
+        "iteration boundary, orphaning the shards it was assigned",
+    ),
     # ---- resilience: recovery actions (resilience/) -------------------
     "F401": (
         "recovery-retried",
@@ -380,6 +401,18 @@ CODES: dict[str, tuple[str, str]] = {
         "a certify-gated run (frontier sweep or service batch) lacked a "
         "required PROVED certificate and degraded to the safe full-sweep "
         "path instead of raising (RunConfig(certify='warn'))",
+    ),
+    "F408": (
+        "recovery-repartitioned",
+        "a lost device's shard assignment was redistributed across the "
+        "surviving devices and the run resumed from the newest valid "
+        "checkpoint with absolute iteration numbering",
+    ),
+    "F409": (
+        "placement-collapsed",
+        "device losses reduced a multi-device run to a single device; "
+        "execution continues without an exchange step (plain "
+        "single-device semantics)",
     ),
     # ---- kernel certifier (certify.py) --------------------------------
     "C401": (

@@ -34,7 +34,10 @@ Commands
     the frontier work-efficiency gate (sparse-sweep contract ``P324`` plus
     the ``BENCH_frontier.json`` diff against its baseline, ``P325``), and
     the dtype-narrowing traffic gate (byte-reduction contract ``P326``
-    plus the ``BENCH_ranges.json`` diff against its baseline, ``P327``).
+    plus the ``BENCH_ranges.json`` diff against its baseline, ``P327``),
+    and the multi-device placement gate (exchange-accounting /
+    modeled-speedup contract ``P328`` plus the ``BENCH_placement.json``
+    diff against its baseline, ``P329``).
     Writes a machine-readable report next to the benchmark results.
 
 ``chaos``
@@ -253,6 +256,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     perf.add_argument("--skip-ranges", action="store_true",
                       help="skip the dtype-narrowing traffic gate")
+    perf.add_argument(
+        "--placement-baseline",
+        default="benchmarks/baselines/placement.json",
+        help="committed multi-device placement baseline to diff against",
+    )
+    perf.add_argument("--skip-placement", action="store_true",
+                      help="skip the multi-device placement gate")
 
     serve = sub.add_parser(
         "serve",
@@ -283,8 +293,9 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seed", type=int, default=0,
                        help="campaign seed (graph, fault sites, everything)")
     chaos.add_argument("--campaign", default="smoke",
-                       choices=("smoke", "full"),
-                       help="smoke (CI gate) or full (extra seeds)")
+                       choices=("smoke", "full", "multi"),
+                       help="smoke (CI gate), full (extra seeds), or multi "
+                       "(device loss at every iteration boundary)")
     chaos.add_argument("--engine", action="append", default=None,
                        help="restrict the sweep to this engine (repeatable; "
                        "default: all chaos engines)")
@@ -847,14 +858,23 @@ def _merge_frontier(a: dict, b: dict, fold) -> dict:
                           budgets.FRONTIER_TIMING_METRICS)
 
 
+def _merge_placement(a: dict, b: dict, fold) -> dict:
+    from repro.analysis import budgets
+
+    return _merge_section(a, b, fold, "placement",
+                          budgets.PLACEMENT_TIMING_METRICS)
+
+
 def _cmd_perfgate(args) -> int:
     import json
 
     from repro.analysis.perf import (check_frontier_contract,
+                                     check_placement_contract,
                                      check_ranges_contract,
                                      check_service_contract,
                                      compare_bench_reports,
                                      compare_frontier_reports,
+                                     compare_placement_reports,
                                      compare_ranges_reports,
                                      compare_service_reports,
                                      cost_contract_check, drift_gate,
@@ -1073,6 +1093,62 @@ def _cmd_perfgate(args) -> int:
         wbench_out.write_text(
             json.dumps(ranges_current, indent=2) + "\n", encoding="utf-8")
 
+    # Layer 7: multi-device placement gate — the absolute exchange /
+    # bit-exactness / modeled-speedup contract (P328) plus the diff
+    # against the placement baseline (P329).  Like the other live-only
+    # layers, ``--current`` skips it.
+    placement_baseline_path = pathlib.Path(args.placement_baseline)
+    placement_current = None
+    placement_compared = False
+    if not args.skip_placement and args.current is None:
+        from repro.analysis import budgets
+
+        pbench = _load_bench_module("bench_placement")
+        echo(f"placemnt: running multi-device bench "
+             f"({args.repeats} repeat(s))")
+        placement_current = pbench.run_bench(repeats=args.repeats, echo=echo)
+        violations += check_placement_contract(placement_current)
+        if args.rebaseline:
+            echo("rebase  : re-measuring placement bench for a "
+                 "reproducible baseline")
+            again = pbench.run_bench(repeats=args.repeats, echo=echo)
+            placement_current = _merge_placement(
+                placement_current, again, max)
+            placement_baseline_path.parent.mkdir(
+                parents=True, exist_ok=True)
+            placement_baseline_path.write_text(
+                json.dumps(placement_current, indent=2) + "\n",
+                encoding="utf-8")
+            echo(f"rebase  : wrote {placement_baseline_path}")
+        elif not placement_baseline_path.exists():
+            print(f"perfgate: placement baseline {placement_baseline_path} "
+                  "missing (run `make perfgate-rebaseline`)",
+                  file=sys.stderr)
+            return 2
+        else:
+            pbaseline = json.loads(placement_baseline_path.read_text())
+            placement_v = compare_placement_reports(
+                pbaseline, placement_current)
+            attempt = 0
+            while attempt < 2 and placement_v and _timing_only(
+                    placement_v, "P329", budgets.PLACEMENT_TIMING_METRICS):
+                attempt += 1
+                echo("placemnt: timing regression — re-measuring to rule "
+                     "out machine noise")
+                again = pbench.run_bench(
+                    repeats=args.repeats * (attempt + 1), echo=echo)
+                placement_current = _merge_placement(
+                    placement_current, again, min)
+                placement_v = compare_placement_reports(
+                    pbaseline, placement_current)
+            violations += placement_v
+            placement_compared = True
+        pbench_out = pbench.RESULTS / "BENCH_placement.json"
+        pbench_out.parent.mkdir(parents=True, exist_ok=True)
+        pbench_out.write_text(
+            json.dumps(placement_current, indent=2) + "\n",
+            encoding="utf-8")
+
     errors = sum(v.severity == "error" for v in violations)
     warnings = sum(v.severity == "warning" for v in violations)
     report = {
@@ -1099,6 +1175,9 @@ def _cmd_perfgate(args) -> int:
         "ranges_baseline": (
             str(ranges_baseline_path) if ranges_compared else None),
         "ranges_bench": ranges_current,
+        "placement_baseline": (
+            str(placement_baseline_path) if placement_compared else None),
+        "placement_bench": placement_current,
         "metrics": {k: m for k, m in tracer.metrics.as_dict().items()
                     if k.startswith("analysis.perf.")},
     }

@@ -26,9 +26,12 @@ semantics of e.g. ``dict``-style lookup failures — are unchanged::
     │   ├── KernelAbortFault
     │   ├── MemoryCorruptionFault
     │   ├── RepresentationCorruptionFault
-    │   └── SharedMemOOMFault
+    │   ├── SharedMemOOMFault
+    │   └── DeviceLostFault
     ├── QuotaExceededError                            service admission refused
-    └── JobCancelledError                             service job was cancelled
+    ├── JobCancelledError                             service job was cancelled
+    ├── DeadlineExceededError                         pending job missed deadline
+    └── DrainTimeoutError                             worker leaked past drain
 
 CLI exit codes
 --------------
@@ -57,8 +60,11 @@ __all__ = [
     "MemoryCorruptionFault",
     "RepresentationCorruptionFault",
     "SharedMemOOMFault",
+    "DeviceLostFault",
     "QuotaExceededError",
     "JobCancelledError",
+    "DeadlineExceededError",
+    "DrainTimeoutError",
 ]
 
 
@@ -213,6 +219,29 @@ class SharedMemOOMFault(InjectedFault):
     """Shared-memory allocation failure at launch (persistent)."""
 
 
+class DeviceLostFault(InjectedFault):
+    """A device dropped out of a multi-device run at an iteration boundary.
+
+    Unlike the transient fault classes, recovery is structural: the
+    supervisor repartitions the dead device's shards across the survivors
+    and resumes from the newest valid checkpoint.
+
+    Attributes
+    ----------
+    device:
+        Index of the lost device in the placement that was executing.
+    placement:
+        The :class:`repro.placement.Placement` in force when the device
+        died — the supervisor derives the survivor placement from it.
+    """
+
+    def __init__(self, message: str, *, device: int = 0, placement=None,
+                 **kwargs) -> None:
+        super().__init__(message, **kwargs)
+        self.device = device
+        self.placement = placement
+
+
 # ----------------------------------------------------------------------
 # Service layer (repro.service)
 # ----------------------------------------------------------------------
@@ -236,3 +265,33 @@ class JobCancelledError(ReproError):
     def __init__(self, message: str, *, job_id: str = "") -> None:
         super().__init__(message)
         self.job_id = job_id
+
+
+class DeadlineExceededError(ReproError):
+    """A pending job's server-side deadline expired before dispatch.
+
+    Distinct from the *client-side* ``JobHandle.result(timeout=...)``,
+    which only stops waiting: this error means the scheduler itself
+    cancelled the job (quota refunded, ``service-deadline`` event emitted)
+    because ``JobRequest.deadline_ms`` elapsed while it sat in the queue.
+    """
+
+    def __init__(
+        self, message: str, *, job_id: str = "", deadline_ms: float = 0.0
+    ) -> None:
+        super().__init__(message)
+        self.job_id = job_id
+        self.deadline_ms = deadline_ms
+
+
+class DrainTimeoutError(ReproError):
+    """``Scheduler.close()`` could not join every worker before its timeout.
+
+    ``leaked`` names the threads still alive — the process keeps running
+    with those workers wedged, so callers must treat the scheduler as
+    unclean rather than assume a silent, successful drain.
+    """
+
+    def __init__(self, message: str, *, leaked: tuple = ()) -> None:
+        super().__init__(message)
+        self.leaked = tuple(leaked)

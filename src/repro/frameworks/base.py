@@ -70,6 +70,10 @@ class FaultHooks:
     - :meth:`representations` — once per run from :meth:`Engine.run`,
       before :meth:`Engine._run` (bit-flips in the device copy of a
       shard/CW/CSR representation).
+    - :meth:`device` — at the top of each iteration, immediately after
+      :meth:`kernel`, only when the run is multi-device (simulated device
+      loss at an iteration boundary; ``placement`` is the live
+      :class:`repro.placement.Placement`).
     """
 
     active: bool = False
@@ -88,6 +92,11 @@ class FaultHooks:
 
     def representations(self, engine, graph, program, config) -> None:
         """Hook over the representations a run is about to execute."""
+
+    def device(
+        self, engine: str, iteration: int, exec_path: str, placement
+    ) -> None:
+        """Hook at the top of iteration ``iteration`` on multi-device runs."""
 
 
 NULL_FAULTS = FaultHooks()
@@ -138,6 +147,17 @@ _INVALID_COMBOS: tuple[tuple[str, Callable, str], ...] = (
     ("narrow",
      lambda c: c.narrow not in ("off", "auto"),
      "narrow must be 'off' or 'auto'"),
+    ("devices",
+     lambda c: c.devices < 1,
+     "devices must be >= 1"),
+    ("placement",
+     lambda c: c.placement is not None and c.devices < 2,
+     "placement requires devices >= 2 (a single-device run has no "
+     "unit->device assignment to honor)"),
+    ("placement",
+     lambda c: c.placement is not None
+     and getattr(c.placement, "num_devices", None) != c.devices,
+     "placement.num_devices must equal devices"),
 )
 
 
@@ -221,6 +241,19 @@ class RunConfig:
     the final values are widened back, so results stay bit-exact against
     ``narrow="off"``.  Programs with no provable plan run unchanged.
 
+    ``devices`` / ``placement`` select multi-device execution: with
+    ``devices=N`` (N > 1) the sharded engines split each iteration's
+    modeled kernel time across N simulated devices and charge a
+    bulk-synchronous value-exchange step between iterations, surfacing
+    per-device spans and ``placement.*`` metrics (see
+    :mod:`repro.placement`).  Vertex values, iteration counts, and traces'
+    update counts are bit-exact against ``devices=1`` — only the modeled
+    times and exchange accounting change.  ``placement`` optionally pins
+    an explicit :class:`repro.placement.Placement` (its ``num_devices``
+    must equal ``devices``); by default a deterministic block partition of
+    the engine's shards/chunks is used.  Engines without shard structure
+    (``scalar``, ``mtcpu``) ignore both knobs.
+
     Construction validates knob values and cross-knob compatibility
     against the :data:`_INVALID_COMBOS` table, raising
     :class:`~repro.errors.ConfigError` (a ``ValueError``) on the first
@@ -244,6 +277,8 @@ class RunConfig:
     )
     certify: str = "off"
     narrow: str = "off"
+    devices: int = 1
+    placement: object = None
 
     def __post_init__(self) -> None:
         for knob, bad, message in _INVALID_COMBOS:
@@ -321,6 +356,17 @@ class RunResult:
     ``frontier="off"``).  This is the checkpoint payload that lets a
     segmented frontier run resume bit-identically — see
     ``RunConfig.resume_frontier``."""
+    devices: int = 1
+    """Simulated devices the run executed on (``RunConfig.devices``; a
+    repartitioned recovery reports the maximum the stitched run saw)."""
+    exchange_bytes: int = 0
+    """Total bytes the bulk-synchronous value-exchange steps moved across
+    the interconnect.  ``0`` on single-device runs; surfaced as the
+    ``placement.exchange_bytes`` metric."""
+    exchange_ms: float = 0.0
+    """Modeled milliseconds of the exchange steps (already included in
+    :attr:`kernel_time_ms`, which holds the multi-device iteration times);
+    surfaced as ``placement.exchange_ms``."""
 
     @property
     def total_ms(self) -> float:

@@ -68,6 +68,7 @@ from repro.gpu.stats import (KernelStats, LOAD_GRANULARITY_BYTES,
                              STORE_GRANULARITY_BYTES)
 from repro.gpu.sharedmem import conflict_replays
 from repro.gpu.warp import slots_for_contiguous, slots_for_segments
+from repro.placement import multi_device_run
 from repro.telemetry.metrics import publish_kernel_stats
 from repro.vertexcentric.program import VertexProgram, apply_reductions
 
@@ -315,6 +316,14 @@ class CuShaEngine(Engine):
         sh = cw.shards
         S = sh.num_shards
         n = graph.num_vertices
+        mdr = multi_device_run(
+            config, S,
+            weights=np.diff(sh.shard_offsets),
+            src_unit=graph.src // N,
+            dst_unit=graph.dst // N,
+            value_bytes=vbytes,
+            pcie=self.pcie,
+        )
 
         # ----- device arrays -------------------------------------------------
         vertex_values = config.initial_values(graph, program)
@@ -412,6 +421,10 @@ class CuShaEngine(Engine):
         for iteration in range(config.start_iteration + 1, max_iterations + 1):
             if faults.active:
                 faults.kernel(self.name, iteration, config.exec_path)
+                if mdr is not None:
+                    faults.device(
+                        self.name, iteration, config.exec_path, mdr.placement
+                    )
             iter_start_ms = h2d_ms + kernel_ms
             with tracer.span(
                 f"iter-{iteration}", "iteration", model_start_ms=iter_start_ms
@@ -461,6 +474,8 @@ class CuShaEngine(Engine):
                             continue
                         frontier.clear(act)
                         processed_shards += act.size
+                        if mdr is not None:
+                            mdr.note_processed(act)
                         sparse = act.size < b - a
                         if not sparse:
                             s1_row += st1m[a:b].sum(axis=0)
@@ -571,6 +586,8 @@ class CuShaEngine(Engine):
                         )
                     if wave_shards.size:
                         updated_shard_count += wave_shards.size
+                        if mdr is not None:
+                            mdr.note_updated(wave_shards)
                         st4_row += st4_mat[wave_shards].sum(axis=0)
                         # Wave-boundary write-back, batched over the wave's
                         # updated shards (mapper slots are disjoint).
@@ -603,6 +620,17 @@ class CuShaEngine(Engine):
                     s2_total += s2_row
                     s3_total += s3_row
                 t_ms = self.cost_model.time_ms(iter_stats, occupancy=occ)
+                if mdr is not None:
+                    t_ms = mdr.iteration_time(t_ms)
+                    if trace_on and mdr.last_exchange_bytes:
+                        tracer.emit(
+                            "exchange", "transfer",
+                            model_start_ms=iter_start_ms + t_ms
+                            - mdr.last_exchange_ms,
+                            model_ms=mdr.last_exchange_ms,
+                            bytes=mdr.last_exchange_bytes,
+                            iteration=iteration,
+                        )
                 kernel_ms += t_ms
                 total_stats += iter_stats
                 iterations = iteration
@@ -675,6 +703,8 @@ class CuShaEngine(Engine):
             m.gauge("cusha.vertices_per_shard").set(N)
             m.gauge("cusha.wave_size").set(wave_size)
             m.gauge("cusha.waves_per_iteration").set(-(-S // wave_size))
+            if mdr is not None:
+                mdr.publish(tracer, engine=self.name)
             if frontier_on:
                 m.counter("frontier.edges_processed").inc(
                     frontier.edges_processed
@@ -722,6 +752,9 @@ class CuShaEngine(Engine):
             edges_processed=0 if frontier is None else frontier.edges_processed,
             shards_skipped=0 if frontier is None else frontier.shards_skipped,
             frontier_mask=None if last_mask is None else last_mask.copy(),
+            devices=config.devices,
+            exchange_bytes=0 if mdr is None else mdr.exchange_bytes,
+            exchange_ms=0.0 if mdr is None else mdr.exchange_ms,
         )
 
     # ------------------------------------------------------------------
@@ -740,6 +773,14 @@ class CuShaEngine(Engine):
         sbytes = program.static_value_bytes
         ebytes = program.edge_value_bytes
         warp = self.spec.warp_size
+        mdr = multi_device_run(
+            config, S,
+            weights=np.diff(sh.shard_offsets),
+            src_unit=graph.src // N,
+            dst_unit=graph.dst // N,
+            value_bytes=vbytes,
+            pcie=self.pcie,
+        )
 
         # ----- device arrays -------------------------------------------------
         vertex_values = config.initial_values(graph, program)
@@ -913,6 +954,10 @@ class CuShaEngine(Engine):
         for iteration in range(config.start_iteration + 1, max_iterations + 1):
             if faults.active:
                 faults.kernel(self.name, iteration, config.exec_path)
+                if mdr is not None:
+                    faults.device(
+                        self.name, iteration, config.exec_path, mdr.placement
+                    )
             iter_start_ms = h2d_ms + kernel_ms
             with tracer.span(
                 f"iter-{iteration}", "iteration", model_start_ms=iter_start_ms
@@ -957,6 +1002,7 @@ class CuShaEngine(Engine):
                     st4_iter = KernelStats()
                 updated_total = 0
                 updated_shards: list[int] = []
+                mdr_processed: list[int] = []
                 pending_writeback: list[int] = []
                 wave_upd: list[np.ndarray] = []
                 for i in range(S):
@@ -964,6 +1010,8 @@ class CuShaEngine(Engine):
                     if skip:
                         frontier.shards_skipped += 1
                     else:
+                        if push and mdr is not None:
+                            mdr_processed.append(i)
                         if frontier_on:
                             frontier.dirty[i] = False
                             frontier.edges_processed += int(
@@ -1029,6 +1077,14 @@ class CuShaEngine(Engine):
                             # with write-back visibility.
                             frontier.mark(np.concatenate(wave_upd))
                             wave_upd.clear()
+                if mdr is not None:
+                    if push:
+                        mdr.note_processed(
+                            np.asarray(mdr_processed, dtype=np.int64)
+                        )
+                    mdr.note_updated(
+                        np.asarray(updated_shards, dtype=np.int64)
+                    )
                 for i in updated_shards:
                     iter_stats += stage4[i]
                     stage4_total += stage4[i]
@@ -1039,6 +1095,17 @@ class CuShaEngine(Engine):
                     stage2_run += s2_it
                     stage3_run += s3_it
                 t_ms = self.cost_model.time_ms(iter_stats, occupancy=occ)
+                if mdr is not None:
+                    t_ms = mdr.iteration_time(t_ms)
+                    if trace_on and mdr.last_exchange_bytes:
+                        tracer.emit(
+                            "exchange", "transfer",
+                            model_start_ms=iter_start_ms + t_ms
+                            - mdr.last_exchange_ms,
+                            model_ms=mdr.last_exchange_ms,
+                            bytes=mdr.last_exchange_bytes,
+                            iteration=iteration,
+                        )
                 kernel_ms += t_ms
                 total_stats += iter_stats
                 iterations = iteration
@@ -1114,6 +1181,8 @@ class CuShaEngine(Engine):
             m.gauge("cusha.vertices_per_shard").set(N)
             m.gauge("cusha.wave_size").set(wave_size)
             m.gauge("cusha.waves_per_iteration").set(-(-S // wave_size))
+            if mdr is not None:
+                mdr.publish(tracer, engine=self.name)
             if frontier_on:
                 m.counter("frontier.edges_processed").inc(
                     frontier.edges_processed
@@ -1159,4 +1228,7 @@ class CuShaEngine(Engine):
             edges_processed=0 if frontier is None else frontier.edges_processed,
             shards_skipped=0 if frontier is None else frontier.shards_skipped,
             frontier_mask=None if last_mask is None else last_mask.copy(),
+            devices=config.devices,
+            exchange_bytes=0 if mdr is None else mdr.exchange_bytes,
+            exchange_ms=0.0 if mdr is None else mdr.exchange_ms,
         )

@@ -58,6 +58,7 @@ from repro.gpu.stats import LOAD_GRANULARITY_BYTES, STORE_GRANULARITY_BYTES
 from repro.gpu.engine import KernelCostModel
 from repro.frameworks import costs
 from repro.gpu.warp import slots_for_contiguous
+from repro.placement import multi_device_run
 from repro.telemetry.metrics import publish_kernel_stats
 
 __all__ = ["StreamedCuShaEngine"]
@@ -249,6 +250,14 @@ class StreamedCuShaEngine(Engine):
         sh = cw.shards
         S = sh.num_shards
         C = len(chunks)
+        mdr = multi_device_run(
+            config, S,
+            weights=np.diff(sh.shard_offsets),
+            src_unit=graph.src // N,
+            dst_unit=graph.dst // N,
+            value_bytes=vbytes,
+            pcie=self.pcie,
+        )
 
         # Host-side state (the "disk" copy); device residency is modeled.
         vertex_values = config.initial_values(graph, program)
@@ -327,6 +336,10 @@ class StreamedCuShaEngine(Engine):
         for iteration in range(config.start_iteration + 1, max_iterations + 1):
             if faults.active:
                 faults.kernel(self.name, iteration, config.exec_path)
+                if mdr is not None:
+                    faults.device(
+                        self.name, iteration, config.exec_path, mdr.placement
+                    )
             iter_start_ms = h2d_fixed_ms + kernel_ms
             with tracer.span(
                 f"iter-{iteration}", "iteration", model_start_ms=iter_start_ms
@@ -353,6 +366,8 @@ class StreamedCuShaEngine(Engine):
                     frontier.shards_skipped += S - act.size
                     frontier.clear(act)
                     active_shard_count = int(act.size)
+                    if mdr is not None:
+                        mdr.note_processed(act)
                     frontier.edges_processed += int(
                         shard_entry_sizes[act].sum()
                     )
@@ -446,6 +461,8 @@ class StreamedCuShaEngine(Engine):
                     upd_shards = np.flatnonzero(shard_counts)
                 else:
                     upd_shards = np.empty(0, dtype=np.int64)
+                if mdr is not None:
+                    mdr.note_updated(upd_shards)
 
                 if push:
                     # Only the active shards stream in, and chunks with no
@@ -531,6 +548,17 @@ class StreamedCuShaEngine(Engine):
                     pipelined += max(comp, incoming)
                 serial = sum(compute_times) + sum(chunk_tt)
                 t_ms = pipelined + wb_ms
+                if mdr is not None:
+                    t_ms = mdr.iteration_time(t_ms)
+                    if trace_on and mdr.last_exchange_bytes:
+                        tracer.emit(
+                            "exchange", "transfer",
+                            model_start_ms=iter_start_ms + t_ms
+                            - mdr.last_exchange_ms,
+                            model_ms=mdr.last_exchange_ms,
+                            bytes=mdr.last_exchange_bytes,
+                            iteration=iteration,
+                        )
                 kernel_ms += t_ms
                 unoverlapped_ms += serial + wb_ms
                 total_stats += iter_stats
@@ -585,6 +613,8 @@ class StreamedCuShaEngine(Engine):
             m.counter("streamed.overlap_saved_ms").inc(
                 max(0.0, unoverlapped_ms - kernel_ms)
             )
+            if mdr is not None:
+                mdr.publish(tracer, engine=self.name)
             if frontier_on:
                 m.counter("frontier.edges_processed").inc(
                     frontier.edges_processed
@@ -616,6 +646,9 @@ class StreamedCuShaEngine(Engine):
             edges_processed=0 if frontier is None else frontier.edges_processed,
             shards_skipped=0 if frontier is None else frontier.shards_skipped,
             frontier_mask=None if last_mask is None else last_mask.copy(),
+            devices=config.devices,
+            exchange_bytes=0 if mdr is None else mdr.exchange_bytes,
+            exchange_ms=0.0 if mdr is None else mdr.exchange_ms,
         )
         # Extra reporting: how much the overlap saved.
         result.unoverlapped_ms = unoverlapped_ms  # type: ignore[attr-defined]
@@ -650,6 +683,14 @@ class StreamedCuShaEngine(Engine):
         n = graph.num_vertices
         shard_entry_sizes = np.diff(sh.shard_offsets)
         total_entries = int(sh.shard_offsets[-1])
+        mdr = multi_device_run(
+            config, S,
+            weights=shard_entry_sizes,
+            src_unit=graph.src // N,
+            dst_unit=graph.dst // N,
+            value_bytes=vbytes,
+            pcie=self.pcie,
+        )
 
         # ----- frontier state ------------------------------------------------
         frontier_on = config.frontier != "off"
@@ -768,6 +809,10 @@ class StreamedCuShaEngine(Engine):
         for iteration in range(config.start_iteration + 1, max_iterations + 1):
             if faults.active:
                 faults.kernel(self.name, iteration, config.exec_path)
+                if mdr is not None:
+                    faults.device(
+                        self.name, iteration, config.exec_path, mdr.placement
+                    )
             iter_start_ms = h2d_fixed_ms + kernel_ms
             with tracer.span(
                 f"iter-{iteration}", "iteration", model_start_ms=iter_start_ms
@@ -796,6 +841,11 @@ class StreamedCuShaEngine(Engine):
                 chunk_tt: list[float] = []
                 launches = 0
                 iter_stats = KernelStats()
+                if mdr is not None and push:
+                    # Marks only flush at the iteration boundary (flush_pos
+                    # == 0), so the dirty set is exactly the shards the
+                    # chunk loop is about to process.
+                    mdr.note_processed(np.flatnonzero(frontier.dirty))
                 for k, c in enumerate(chunks):
                     if push:
                         act_bits = frontier.dirty[c[0]:c[1]]
@@ -837,6 +887,10 @@ class StreamedCuShaEngine(Engine):
                             bytes=cb, iteration=iteration, chunk=k,
                         )
                 iter_stats.kernel_launches = launches
+                if mdr is not None:
+                    mdr.note_updated(
+                        np.asarray(updated_shards_all, dtype=np.int64)
+                    )
                 # Write-back (CW) is applied once per iteration after all
                 # chunks ran: cross-chunk staging semantics (BSP across chunks).
                 wb_stats = KernelStats()
@@ -870,6 +924,17 @@ class StreamedCuShaEngine(Engine):
                     pipelined += max(comp, incoming)
                 serial = sum(compute_times) + sum(chunk_tt)
                 t_ms = pipelined + wb_ms
+                if mdr is not None:
+                    t_ms = mdr.iteration_time(t_ms)
+                    if trace_on and mdr.last_exchange_bytes:
+                        tracer.emit(
+                            "exchange", "transfer",
+                            model_start_ms=iter_start_ms + t_ms
+                            - mdr.last_exchange_ms,
+                            model_ms=mdr.last_exchange_ms,
+                            bytes=mdr.last_exchange_bytes,
+                            iteration=iteration,
+                        )
                 kernel_ms += t_ms
                 unoverlapped_ms += serial + wb_ms
                 total_stats += iter_stats
@@ -924,6 +989,8 @@ class StreamedCuShaEngine(Engine):
             m.counter("streamed.overlap_saved_ms").inc(
                 max(0.0, unoverlapped_ms - kernel_ms)
             )
+            if mdr is not None:
+                mdr.publish(tracer, engine=self.name)
             if frontier_on:
                 m.counter("frontier.edges_processed").inc(
                     frontier.edges_processed
@@ -953,6 +1020,9 @@ class StreamedCuShaEngine(Engine):
             edges_processed=0 if frontier is None else frontier.edges_processed,
             shards_skipped=0 if frontier is None else frontier.shards_skipped,
             frontier_mask=None if last_mask is None else last_mask.copy(),
+            devices=config.devices,
+            exchange_bytes=0 if mdr is None else mdr.exchange_bytes,
+            exchange_ms=0.0 if mdr is None else mdr.exchange_ms,
         )
         # Extra reporting: how much the overlap saved.
         result.unoverlapped_ms = unoverlapped_ms  # type: ignore[attr-defined]

@@ -35,6 +35,7 @@ from repro.gpu.pcie import transfer_ms
 from repro.gpu.spec import GTX780, GPUSpec, PCIeSpec
 from repro.gpu.stats import KernelStats, LOAD_GRANULARITY_BYTES
 from repro.gpu.warp import reduction_slots
+from repro.placement import multi_device_run
 from repro.telemetry.metrics import publish_kernel_stats
 from repro.vertexcentric.program import VertexProgram
 
@@ -363,6 +364,17 @@ class VWCEngine(Engine):
         # (flush_pos == chunk index).
         chunk_size = self.chunk_vertices
         num_chunks = -(-n // chunk_size)
+        chunk_bounds = np.minimum(
+            np.arange(num_chunks + 1, dtype=np.int64) * chunk_size, n
+        )
+        mdr = multi_device_run(
+            config, num_chunks,
+            weights=np.diff(problem.csr.in_edge_idxs[chunk_bounds]),
+            src_unit=graph.src // chunk_size,
+            dst_unit=graph.dst // chunk_size,
+            value_bytes=vbytes,
+            pcie=self.pcie,
+        )
         frontier_on = config.frontier != "off"
         frontier = None
         last_mask = None
@@ -437,6 +449,10 @@ class VWCEngine(Engine):
         for iteration in range(config.start_iteration + 1, max_iterations + 1):
             if faults.active:
                 faults.kernel(self.name, iteration, config.exec_path)
+                if mdr is not None:
+                    faults.device(
+                        self.name, iteration, config.exec_path, mdr.placement
+                    )
             iter_start_ms = h2d_ms + kernel_ms
             with tracer.span(
                 f"iter-{iteration}", "iteration", model_start_ms=iter_start_ms
@@ -464,6 +480,7 @@ class VWCEngine(Engine):
                     # to the next iteration.
                     iter_phases = {name: KernelStats() for name in phases}
                     updated_parts: list[np.ndarray] = []
+                    mdr_processed: list[int] = []
                     for c in range(num_chunks):
                         if not frontier.dirty[c]:
                             frontier.shards_skipped += 1
@@ -471,6 +488,8 @@ class VWCEngine(Engine):
                         frontier.dirty[c] = False
                         frontier.edges_processed += int(chunk_edge_counts[c])
                         active_chunk_count += 1
+                        if mdr is not None:
+                            mdr_processed.append(c)
                         a = c * chunk_size
                         idx, _ops = run_chunk(
                             problem, a, min(a + chunk_size, n)
@@ -489,6 +508,10 @@ class VWCEngine(Engine):
                     for pstats in iter_phases.values():
                         iter_stats += pstats
                     iter_stats.kernel_launches = 1 if active_chunk_count else 0
+                    if mdr is not None:
+                        mdr.note_processed(
+                            np.asarray(mdr_processed, dtype=np.int64)
+                        )
                 else:
                     updated_idx, _ops = iterate_chunks(
                         problem,
@@ -513,6 +536,8 @@ class VWCEngine(Engine):
                 if frontier_on:
                     for pname, pstats in iter_phases.items():
                         phase_totals[pname] += pstats
+                if mdr is not None and updated_idx.size:
+                    mdr.note_updated(np.unique(updated_idx // chunk_size))
                 if trace_on:
                     stores_iter = KernelStats()
                 if updated_idx.size:
@@ -531,6 +556,17 @@ class VWCEngine(Engine):
                     if trace_on:
                         stores_iter.add_store(store_tc)
                 t_ms = self.cost_model.time_ms(iter_stats, occupancy=1.0)
+                if mdr is not None:
+                    t_ms = mdr.iteration_time(t_ms)
+                    if trace_on and mdr.last_exchange_bytes:
+                        tracer.emit(
+                            "exchange", "transfer",
+                            model_start_ms=iter_start_ms + t_ms
+                            - mdr.last_exchange_ms,
+                            model_ms=mdr.last_exchange_ms,
+                            bytes=mdr.last_exchange_bytes,
+                            iteration=iteration,
+                        )
                 kernel_ms += t_ms
                 total_stats += iter_stats
                 iterations = iteration
@@ -598,6 +634,8 @@ class VWCEngine(Engine):
             )
             m.gauge("vwc.virtual_warp_size").set(self.virtual_warp_size)
             m.gauge("vwc.chunk_vertices").set(self.chunk_vertices)
+            if mdr is not None:
+                mdr.publish(tracer, engine=self.name)
             if frontier_on:
                 m.counter("frontier.edges_processed").inc(
                     frontier.edges_processed
@@ -650,4 +688,7 @@ class VWCEngine(Engine):
             edges_processed=0 if frontier is None else frontier.edges_processed,
             shards_skipped=0 if frontier is None else frontier.shards_skipped,
             frontier_mask=None if last_mask is None else last_mask.copy(),
+            devices=config.devices,
+            exchange_bytes=0 if mdr is None else mdr.exchange_bytes,
+            exchange_ms=0.0 if mdr is None else mdr.exchange_ms,
         )

@@ -5,8 +5,8 @@ Layout:
 
 - :mod:`repro.resilience.faults` — seed-driven :class:`FaultPlan` firing
   simulated GPU faults (PCIe transfer errors, kernel aborts, bit-flips,
-  shared-memory OOM) at the :class:`~repro.frameworks.base.FaultHooks`
-  sites engines expose.
+  shared-memory OOM, multi-device losses) at the
+  :class:`~repro.frameworks.base.FaultHooks` sites engines expose.
 - :mod:`repro.resilience.checkpoint` — digest-validated VertexValues
   snapshots (:class:`CheckpointStore`) backed by the representation cache.
 - :mod:`repro.resilience.policy` — :class:`RetryPolicy` (deterministic
@@ -21,12 +21,14 @@ See ``docs/resilience.md`` for the fault model and the code tables.
 """
 
 from repro.resilience.chaos import (CAMPAIGNS, CHAOS_ENGINES, ChaosReport,
-                                    ChaosRun, build_plan, run_campaign)
+                                    ChaosRun, build_plan, run_campaign,
+                                    run_multi_device_campaign)
 from repro.resilience.checkpoint import (Checkpoint, CheckpointStore,
                                          values_digest)
 from repro.resilience.faults import (CUSHA_STAGES, FAULT_CLASSES, NULL_FAULTS,
-                                     FaultPlan, FaultSpec, InjectedFault,
-                                     KernelAbortFault, MemoryCorruptionFault,
+                                     DeviceLostFault, FaultPlan, FaultSpec,
+                                     InjectedFault, KernelAbortFault,
+                                     MemoryCorruptionFault,
                                      RepresentationCorruptionFault,
                                      SharedMemOOMFault, TransferFault)
 from repro.resilience.policy import (DEFAULT_ENGINE_LADDER, RetryPolicy,
@@ -43,6 +45,7 @@ __all__ = [
     "ChaosReport",
     "ChaosRun",
     "DEFAULT_ENGINE_LADDER",
+    "DeviceLostFault",
     "FAULT_CLASSES",
     "FaultPlan",
     "FaultSpec",
@@ -60,5 +63,6 @@ __all__ = [
     "build_plan",
     "degradation_steps",
     "run_campaign",
+    "run_multi_device_campaign",
     "values_digest",
 ]

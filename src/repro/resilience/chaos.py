@@ -41,6 +41,7 @@ __all__ = [
     "ChaosReport",
     "build_plan",
     "run_campaign",
+    "run_multi_device_campaign",
 ]
 
 #: Engines a campaign sweeps (every GPU-class engine with both a launch
@@ -56,10 +57,15 @@ CHAOS_ENGINES: tuple[str, ...] = (
 #: Campaign name -> extra seeds swept on top of the base seed.  ``smoke``
 #: is the CI gate (engines x fault classes, one seed); ``full`` re-runs
 #: the sweep under three derived seeds, moving every seed-pinned fault
-#: site (iteration, stage, flipped bit position).
+#: site (iteration, stage, flipped bit position).  ``multi`` is the
+#: multi-device campaign: a device loss injected at *every* iteration
+#: boundary of every engine's golden run (see
+#: :func:`run_multi_device_campaign`; its single entry is the device-index
+#: offset, not a seed sweep).
 CAMPAIGNS: dict[str, tuple[int, ...]] = {
     "smoke": (0,),
     "full": (0, 1, 2),
+    "multi": (0,),
 }
 
 _GRAPH_VERTICES = 256
@@ -173,6 +179,10 @@ def run_campaign(
             f"unknown campaign {campaign!r}; expected one of "
             f"{tuple(CAMPAIGNS)}"
         )
+    if campaign == "multi":
+        return run_multi_device_campaign(
+            seed=seed, engines=engines, checkpoint_every=checkpoint_every
+        )
     engines = CHAOS_ENGINES if engines is None else tuple(engines)
     unknown = [e for e in engines if e not in CHAOS_ENGINES]
     if unknown:
@@ -206,13 +216,18 @@ def run_campaign(
                 runner = ResilientRunner(
                     key, checkpoint_every=checkpoint_every
                 )
+                # device-loss needs a multi-device topology to have a
+                # device to lose; every other class runs single-device.
                 outcome = runner.run(
                     graph,
                     program,
-                    faults=plan,
-                    max_iterations=_MAX_ITERATIONS,
-                    allow_partial=True,
-                    collect_traces=False,
+                    config=RunConfig(
+                        max_iterations=_MAX_ITERATIONS,
+                        allow_partial=True,
+                        collect_traces=False,
+                        faults=plan,
+                        devices=2 if fault == "device-loss" else 1,
+                    ),
                 )
                 report.runs.append(ChaosRun(
                     engine=key,
@@ -239,4 +254,97 @@ def run_campaign(
                         v.code for v in outcome.violations
                     })),
                 ))
+    return report
+
+
+def run_multi_device_campaign(
+    *,
+    seed: int = 0,
+    engines: tuple[str, ...] | None = None,
+    checkpoint_every: int = 4,
+    devices: int = 2,
+) -> ChaosReport:
+    """The ``multi`` campaign: device loss at every iteration boundary.
+
+    For every chaos engine, a fault-free single-device golden run fixes
+    the iteration count; then one supervised multi-device run per
+    iteration ``1..iterations`` injects a ``device-loss`` pinned to that
+    boundary (the dead device index walks ``seed + iteration``, so both
+    devices of the default 2-device topology get killed across a
+    campaign).  Each run must repartition onto the survivors, restore the
+    newest valid checkpoint, and finish **bit-identical** to the golden
+    values — recovered-or-degraded must be 100%.
+    """
+    if devices < 2:
+        raise ValueError("multi-device campaign needs devices >= 2")
+    engines = CHAOS_ENGINES if engines is None else tuple(engines)
+    unknown = [e for e in engines if e not in CHAOS_ENGINES]
+    if unknown:
+        raise ValueError(
+            f"unknown chaos engine(s) {unknown}; expected a subset of "
+            f"{CHAOS_ENGINES}"
+        )
+    graph = _campaign_graph(seed)
+    program = make_program(_PROGRAM, graph)
+    report = ChaosReport(
+        campaign="multi",
+        seed=seed,
+        program=_PROGRAM,
+        graph=f"rmat-{_GRAPH_VERTICES}x{_GRAPH_EDGES}(seed={seed})",
+    )
+    for key in engines:
+        golden = make_engine(key).run(
+            graph,
+            program,
+            config=RunConfig(
+                max_iterations=_MAX_ITERATIONS, allow_partial=True
+            ),
+        )
+        for boundary in range(1, golden.iterations + 1):
+            plan = FaultPlan(
+                [FaultSpec(
+                    kind="device-loss",
+                    engine=key,
+                    iteration=boundary,
+                    device=seed + boundary,
+                )],
+                seed=seed,
+            )
+            runner = ResilientRunner(key, checkpoint_every=checkpoint_every)
+            outcome = runner.run(
+                graph,
+                program,
+                config=RunConfig(
+                    max_iterations=_MAX_ITERATIONS,
+                    allow_partial=True,
+                    collect_traces=False,
+                    faults=plan,
+                    devices=devices,
+                ),
+            )
+            report.runs.append(ChaosRun(
+                engine=key,
+                fault=f"device-loss@{boundary}",
+                seed=seed,
+                fired=plan.injected,
+                plan_consumed=not plan.unfired(),
+                recovered=outcome.recovered,
+                degraded=outcome.degraded,
+                completed=outcome.completed,
+                converged=outcome.converged,
+                golden_match=bool(np.array_equal(
+                    outcome.values, golden.values
+                )),
+                iterations=outcome.iterations,
+                retries=outcome.retries,
+                restores=outcome.restores,
+                degradations=outcome.degradations,
+                checkpoints=outcome.checkpoints,
+                backoff_ms=outcome.backoff_total_ms,
+                engine_final=outcome.engine_final,
+                exec_path_final=outcome.exec_path_final,
+                codes=tuple(sorted({
+                    v.code for v in outcome.violations
+                })),
+            ))
     return report

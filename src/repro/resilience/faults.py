@@ -30,6 +30,12 @@ Fault classes (:data:`FAULT_CLASSES`):
     A shared-memory allocation failure at kernel launch.  Persistent by
     construction: the same launch configuration can never succeed, so the
     policy engine degrades instead of retrying.
+``device-loss``
+    A device dropping out of a multi-device run at an iteration boundary
+    (hook fires only when ``RunConfig.devices > 1``).  Recovery is
+    structural: the supervisor repartitions the dead device's shards
+    across the survivors and resumes from the newest valid checkpoint —
+    see :class:`repro.resilience.ResilientRunner`.
 
 Determinism: all randomness is derived once, in ``__init__``, from
 ``seed`` and the spec's position — never from wall clock or global RNG
@@ -56,6 +62,7 @@ __all__ = [
     "MemoryCorruptionFault",
     "RepresentationCorruptionFault",
     "SharedMemOOMFault",
+    "DeviceLostFault",
     "CUSHA_STAGES",
 ]
 
@@ -65,6 +72,7 @@ FAULT_CLASSES: tuple[str, ...] = (
     "bitflip-values",
     "bitflip-representation",
     "sharedmem-oom",
+    "device-loss",
 )
 
 CUSHA_STAGES: tuple[str, ...] = (
@@ -87,8 +95,8 @@ _REP_TARGETS: dict[str, str] = {
 # The fault exception types live in the consolidated exception module
 # (repro.errors); these re-exports keep the import path this subsystem has
 # always published.
-from repro.errors import (InjectedFault, KernelAbortFault,  # noqa: E402
-                          MemoryCorruptionFault,
+from repro.errors import (DeviceLostFault, InjectedFault,  # noqa: E402
+                          KernelAbortFault, MemoryCorruptionFault,
                           RepresentationCorruptionFault, SharedMemOOMFault,
                           TransferFault)
 
@@ -105,7 +113,9 @@ class FaultSpec:
     attribute name for ``bitflip-representation``.  ``iteration`` pins
     iteration-scoped faults (0 = derive deterministically from the plan
     seed).  ``count`` is how many times the spec fires; ``None`` means
-    persistent (every time its site is reached).
+    persistent (every time its site is reached).  ``device`` selects the
+    device a ``device-loss`` spec kills (reduced modulo the live
+    placement's device count, so any integer is valid).
     """
 
     kind: str
@@ -116,6 +126,7 @@ class FaultSpec:
     count: int | None = 1
     bit: int = 30
     index: int = 0
+    device: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_CLASSES:
@@ -155,7 +166,7 @@ class FaultPlan(FaultHooks):
         for i, spec in enumerate(specs):
             spec = copy.copy(spec)
             if spec.iteration == 0 and spec.kind in (
-                "kernel-abort", "bitflip-values"
+                "kernel-abort", "bitflip-values", "device-loss"
             ):
                 # Deterministic site derivation: position + seed, no RNG.
                 spec.iteration = 1 + (self.seed + i) % 3
@@ -242,6 +253,26 @@ class FaultPlan(FaultHooks):
             f"at iteration {iteration}",
             kind="kernel-abort", engine=engine, site=spec.site,
             iteration=iteration, iterations_completed=iteration - 1,
+        )
+
+    def device(
+        self, engine: str, iteration: int, exec_path: str, placement
+    ) -> None:
+        i = self._match(
+            "device-loss", engine, iteration=iteration, exec_path=exec_path
+        )
+        if i is None:
+            return
+        spec = self.specs[i]
+        dead = spec.device % placement.num_devices
+        self._consume(i, engine, f"device-{dead}", iteration)
+        raise DeviceLostFault(
+            f"injected device loss: device {dead} of "
+            f"{placement.num_devices} dropped out of {engine} "
+            f"at iteration {iteration}",
+            kind="device-loss", engine=engine, site=f"device-{dead}",
+            iteration=iteration, iterations_completed=iteration - 1,
+            device=dead, placement=placement,
         )
 
     def values(self, engine: str, iteration: int, values: np.ndarray) -> None:

@@ -19,9 +19,21 @@ kernel-abort         R302       F402 restore last good checkpoint, replay
 bitflip-values       R303       F402 restore last good checkpoint, replay
 bitflip-rep          R304       F403 rebuild representation, re-transfer, retry
 sharedmem-oom        R306       degrade immediately (retrying cannot help)
+device-loss          R307       F408 repartition shards across survivors,
+                                restore newest valid checkpoint, resume
+                                (F409 when the run collapses to one device)
 retries exhausted    —          F404 fast→reference, then F405 engine fallback
 ladder exhausted     F406       partial result, ``completed=False``
 ===================  =========  =================================================
+
+Device loss is *structural*, not transient: retrying on the same
+topology would just lose the same device again, so repartition does not
+consume retry attempts.  The dead device's shard assignment is spread
+across the survivors (:meth:`repro.placement.Placement.without_device`),
+values are restored from the newest digest-valid checkpoint, and the
+segment resumes with absolute iteration numbering — placement is a pure
+accounting overlay, so the recovered run stitches bit-identical to an
+uninterrupted one.
 
 Checkpoint restores themselves validate digests (R305 on mismatch, falling
 back to older snapshots or a cold restart).  Every transition is recorded
@@ -42,7 +54,8 @@ from repro.frameworks.base import (ConvergenceError, NULL_FAULTS, RunConfig,
 from repro.frameworks.registry import make_engine
 from repro.gpu.stats import KernelStats
 from repro.resilience.checkpoint import CheckpointStore
-from repro.resilience.faults import InjectedFault, SharedMemOOMFault
+from repro.resilience.faults import (DeviceLostFault, InjectedFault,
+                                     SharedMemOOMFault)
 from repro.resilience.policy import RetryPolicy, degradation_steps
 from repro.telemetry.tracer import NULL_TRACER
 
@@ -57,6 +70,7 @@ _FAULT_CODES: dict[str, tuple[str, str]] = {
     "bitflip-values": ("R303", "F402"),
     "bitflip-representation": ("R304", "F403"),
     "sharedmem-oom": ("R306", ""),
+    "device-loss": ("R307", "F408"),
 }
 
 
@@ -90,6 +104,7 @@ class ResilientResult:
     restores: int = 0
     retries: int = 0
     degradations: int = 0
+    repartitions: int = 0
     faults_injected: int = 0
     backoff_total_ms: float = 0.0
     replayed_iterations: int = 0
@@ -207,6 +222,8 @@ class ResilientRunner:
             collect_traces = config.collect_traces
             tracer = config.tracer
             frontier_mode = config.frontier
+            devices = config.devices
+            placement = config.placement
         else:
             faults = loose.get("faults", NULL_FAULTS)
             max_iterations = loose.get("max_iterations", 10_000)
@@ -214,6 +231,8 @@ class ResilientRunner:
             collect_traces = loose.get("collect_traces", True)
             tracer = loose.get("tracer")
             frontier_mode = "off"
+            devices = 1
+            placement = None
         tracer = NULL_TRACER if tracer is None else tracer
         metrics = tracer.metrics
         steps = degradation_steps(self.engine, self.ladder)
@@ -259,6 +278,8 @@ class ResilientRunner:
                 start_iteration=done,
                 frontier=frontier_mode,
                 resume_frontier=fmask if values is not None else None,
+                devices=devices,
+                placement=placement,
             )
             try:
                 seg = engine.run(graph, program, config=config)
@@ -269,6 +290,8 @@ class ResilientRunner:
                     "done": done,
                     "values": values,
                     "frontier": fmask,
+                    "devices": devices,
+                    "placement": placement,
                 }
                 unrecovered = not self._recover(
                     fault, out, store, steps, record, state
@@ -278,6 +301,8 @@ class ResilientRunner:
                 done = state["done"]
                 values = state["values"]
                 fmask = state["frontier"]
+                devices = state["devices"]
+                placement = state["placement"]
                 if unrecovered:
                     break
                 continue
@@ -348,6 +373,10 @@ class ResilientRunner:
         if fault.kind == "bitflip-representation":
             out.violations.extend(
                 getattr(fault, "violations", ())
+            )
+        if isinstance(fault, DeviceLostFault):
+            return self._repartition(
+                fault, out, store, engine_key, exec_path, record, state
             )
         persistent = isinstance(fault, SharedMemOOMFault)
         if not persistent and state["attempt"] < self.retry.max_retries:
@@ -438,6 +467,81 @@ class ResilientRunner:
         return True
 
     # ------------------------------------------------------------------
+    def _repartition(
+        self, fault, out, store, engine_key, exec_path, record, state
+    ) -> bool:
+        """Device-loss recovery: reassign the dead device's shards.
+
+        Structural, so it never consumes retry attempts: the dead
+        device's units are spread round-robin across the survivors, the
+        run restores the newest digest-valid checkpoint, and the next
+        segment resumes on the shrunk topology with absolute iteration
+        numbering.  When only one device survives, placement collapses
+        to a plain single-device run (F409).
+        """
+        survivors = state["devices"] - 1
+        live = fault.placement
+        dead = fault.device % live.num_devices
+        if survivors >= 2:
+            state["placement"] = live.without_device(dead)
+        else:
+            state["placement"] = None
+        state["devices"] = survivors
+        ckpt, bad = store.restore()
+        out.violations.extend(bad)
+        for v in bad:
+            record(RecoveryEvent(
+                action="detect", code="R305", engine=engine_key,
+                exec_path=exec_path, fault="checkpoint",
+                iteration=fault.iteration, detail=v.message,
+            ))
+        out.restores += 1
+        lost = max(0, fault.iterations_completed
+                   - (ckpt.iteration if ckpt else 0))
+        out.replayed_iterations += lost
+        state["done"] = ckpt.iteration if ckpt else 0
+        state["values"] = ckpt.values if ckpt else None
+        state["frontier"] = ckpt.frontier if ckpt else None
+        out.repartitions += 1
+        reassigned = len(live.units_on(dead))
+        out.violations.append(Violation(
+            code="F408",
+            message=(
+                f"repartitioned after device-loss on {engine_key}: "
+                f"device {dead} dropped, {reassigned} unit(s) reassigned "
+                f"across {survivors} survivor(s), resuming from "
+                f"iteration {state['done']}"
+            ),
+            subject=engine_key,
+            severity="warning",
+        ))
+        record(RecoveryEvent(
+            action="repartition", code="F408", engine=engine_key,
+            exec_path=exec_path, fault="device-loss",
+            iteration=state["done"],
+            detail=(
+                f"device {dead} lost; {reassigned} unit(s) -> "
+                f"{survivors} survivor(s)"
+            ),
+        ))
+        if survivors == 1:
+            out.violations.append(Violation(
+                code="F409",
+                message=(
+                    f"multi-device run collapsed to a single device on "
+                    f"{engine_key}; continuing without an exchange step"
+                ),
+                subject=engine_key,
+                severity="warning",
+            ))
+            record(RecoveryEvent(
+                action="collapse", code="F409", engine=engine_key,
+                exec_path=exec_path, fault="device-loss",
+                iteration=state["done"],
+            ))
+        return True
+
+    # ------------------------------------------------------------------
     def _stitch(
         self, segments, graph, program, done, values, unrecovered
     ) -> RunResult:
@@ -467,6 +571,9 @@ class ResilientRunner:
         kernel_ms = h2d_ms = d2h_ms = 0.0
         cache_hits = cache_misses = 0
         edges_processed = shards_skipped = 0
+        exchange_bytes = 0
+        exchange_ms = 0.0
+        devices = 1
         for seg in segments:
             stats += seg.stats
             traces.extend(seg.traces)
@@ -477,6 +584,9 @@ class ResilientRunner:
             cache_misses += seg.cache_misses
             edges_processed += seg.edges_processed
             shards_skipped += seg.shards_skipped
+            exchange_bytes += seg.exchange_bytes
+            exchange_ms += seg.exchange_ms
+            devices = max(devices, seg.devices)
         return RunResult(
             engine=last.engine,
             program=last.program,
@@ -498,4 +608,7 @@ class ResilientRunner:
             edges_processed=edges_processed,
             shards_skipped=shards_skipped,
             frontier_mask=last.frontier_mask,
+            devices=devices,
+            exchange_bytes=exchange_bytes,
+            exchange_ms=exchange_ms,
         )

@@ -57,6 +57,15 @@ class JobRequest:
     :meth:`~repro.resilience.ResilientRunner.run` accept; ``None`` means
     the defaults.  ``engine_opts`` go to
     :func:`~repro.frameworks.make_engine` (e.g. ``shard_size``).
+
+    ``deadline_ms`` is a **server-side** deadline in wall-clock
+    milliseconds from submission: a job still pending when it expires is
+    cancelled by the scheduler with
+    :class:`~repro.errors.DeadlineExceededError` (its quota cost
+    refunded).  This is distinct from the *client-side*
+    ``JobHandle.result(timeout=...)``, which only stops the caller's
+    wait — the job itself keeps its queue slot.  The deadline is part of
+    the coalescing key, so a batch never outlives its tightest member.
     """
 
     graph: DiGraph
@@ -66,6 +75,11 @@ class JobRequest:
     tenant: str = "default"
     config: RunConfig | None = None
     engine_opts: dict = field(default_factory=dict)
+    deadline_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.deadline_ms is not None and self.deadline_ms < 0:
+            raise ValueError("deadline_ms must be >= 0 (None = no deadline)")
 
 
 class JobHandle:
@@ -143,6 +157,12 @@ class Service:
     shed_rung:
         How far down the degradation ladder load-shed jobs start
         (1 = first different engine).
+    devices:
+        Simulated device count of the service's topology.  Jobs are
+        placed on a home device round-robin (``service-run`` events carry
+        it); a job whose config runs multi-device and loses a device
+        fails over onto the :class:`~repro.resilience.ResilientRunner`
+        repartition path instead of failing the request.
     """
 
     def __init__(
@@ -156,6 +176,7 @@ class Service:
         max_batch: int = 32,
         shed_rung: int = 1,
         shed_ladder=None,
+        devices: int = 1,
     ) -> None:
         self.cache = cache if cache is not None else RepresentationCache()
         self.ledger = QuotaLedger(quotas, default=default_quota)
@@ -163,6 +184,7 @@ class Service:
         self._scheduler = Scheduler(
             self.ledger, workers=workers, max_batch=max_batch,
             tracer=tracer, shed_rung=shed_rung, shed_ladder=shed_ladder,
+            devices=devices,
         )
         self._jobs: dict[str, JobHandle] = {}
         self._jobs_lock = threading.Lock()
@@ -187,7 +209,7 @@ class Service:
             graph=request.graph, program=request.program,
             source=request.source, engine=request.engine,
             tenant=request.tenant, config=request.config,
-            engine_opts=engine_opts,
+            engine_opts=engine_opts, deadline_ms=request.deadline_ms,
         )
         from repro.frameworks.registry import make_engine
 

@@ -149,6 +149,8 @@ def _config_key(config: RunConfig) -> tuple:
         config.frontier,
         config.certify,
         config.narrow,
+        config.devices,
+        config.placement,
     )
 
 
@@ -356,4 +358,7 @@ def split_batch_result(
         edges_processed=batch.edges_processed,
         shards_skipped=batch.shards_skipped,
         frontier_mask=batch.frontier_mask,
+        devices=batch.devices,
+        exchange_bytes=batch.exchange_bytes,
+        exchange_ms=batch.exchange_ms * share,
     )

@@ -23,9 +23,11 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 
 from repro.algorithms import make_program
-from repro.errors import JobCancelledError
+from repro.errors import (DeadlineExceededError, DrainTimeoutError,
+                          JobCancelledError)
 from repro.frameworks.base import RunConfig
 from repro.frameworks.registry import make_engine
 from repro.service.batching import (
@@ -64,9 +66,19 @@ class Job:
         self.done = threading.Event()
         config = request.config if request.config is not None else RunConfig()
         self.config = config
-        # Coalescible: a traversal program, cold-started, with no per-job
-        # tracer (a batched run is shared; spans must not leak across
-        # jobs) and no armed fault plan (fault sites are per-run).
+        # Server-side deadline: absolute monotonic instant past which a
+        # still-pending job is cancelled at dispatch time.
+        deadline_ms = getattr(request, "deadline_ms", None)
+        self.deadline_at = (
+            None if deadline_ms is None
+            else time.monotonic() + deadline_ms / 1000.0
+        )
+        # Coalescible: a traversal program, cold-started, single-device
+        # (a multi-device overlay prices exchange per run, which an even
+        # split could not attribute), with no per-job tracer (a batched
+        # run is shared; spans must not leak across jobs) and no armed
+        # fault plan (fault sites are per-run).  The deadline joins the
+        # key so a batch never outlives its tightest member.
         self.key = None
         if (
             batchable(request.program)
@@ -74,11 +86,12 @@ class Job:
             and config.resume_values is None
             and config.tracer is NULL_TRACER
             and not config.faults.active
+            and config.devices == 1
         ):
             self.key = batch_key(
                 request.graph, request.program, request.engine,
                 request.engine_opts, config,
-            )
+            ) + (deadline_ms,)
 
 
 class Scheduler:
@@ -87,16 +100,22 @@ class Scheduler:
     def __init__(
         self, ledger, *, workers: int = 2, max_batch: int = 32,
         tracer=None, shed_rung: int = 1, shed_ladder=None,
+        devices: int = 1, join_timeout: float = 30.0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if devices < 1:
+            raise ValueError("devices must be >= 1")
         self.ledger = ledger
         self.max_batch = max_batch
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.shed_rung = shed_rung
         self.shed_ladder = shed_ladder
+        self.devices = devices
+        self.join_timeout = join_timeout
+        self._home_rr = itertools.count()
         self._cond = threading.Condition()
         self._queue: list[Job] = []
         self._inflight = 0
@@ -156,20 +175,87 @@ class Scheduler:
             )
 
     def close(self) -> None:
-        """Drain, then stop the workers.  Idempotent."""
+        """Drain, then stop the workers.  Idempotent.
+
+        A worker that fails to exit within ``join_timeout`` seconds is a
+        leak, not a silent success: the scheduler emits a
+        ``service-drain-timeout`` event (and bumps the matching metric)
+        naming every leaked thread and raises
+        :class:`~repro.errors.DrainTimeoutError` so the caller knows the
+        process still carries live non-daemon work.
+        """
         self.drain()
         with self._cond:
             self._stopped = True
             self._cond.notify_all()
         for t in self._threads:
-            t.join(timeout=30)
+            t.join(timeout=self.join_timeout)
+        leaked = tuple(t.name for t in self._threads if t.is_alive())
+        if leaked:
+            self._emit(
+                "service-drain-timeout",
+                leaked=",".join(leaked),
+                timeout_s=self.join_timeout,
+            )
+            if self.tracer.enabled:
+                self.tracer.metrics.counter(
+                    "service.drain.leaked"
+                ).inc(len(leaked))
+            raise DrainTimeoutError(
+                f"{len(leaked)} worker thread(s) still alive "
+                f"{self.join_timeout:g}s after close: {', '.join(leaked)}",
+                leaked=leaked,
+            )
 
     def queue_depth(self) -> int:
         with self._cond:
             return len(self._queue)
 
     # -- batch formation (under the lock) -------------------------------
+    def _purge_expired(self) -> None:
+        """Cancel queued jobs whose server-side deadline has passed.
+
+        Runs under the queue lock at every dispatch attempt (workers also
+        time their waits against the earliest pending deadline, so an
+        expiry wakes one up promptly even on an idle queue).
+        """
+        now = time.monotonic()
+        expired = [
+            j for j in self._queue
+            if j.deadline_at is not None and now >= j.deadline_at
+        ]
+        if not expired:
+            return
+        for job in expired:
+            self._queue.remove(job)
+            job.status = CANCELLED
+            job.error = DeadlineExceededError(
+                f"{job.id} exceeded its {job.request.deadline_ms:g} ms "
+                "server-side deadline while pending",
+                job_id=job.id,
+                deadline_ms=job.request.deadline_ms,
+            )
+            self.ledger.cancel(job.request.tenant, job.cost)
+            self._emit(
+                "service-deadline", job_id=job.id,
+                tenant=job.request.tenant,
+                deadline_ms=job.request.deadline_ms,
+            )
+            job.done.set()
+        # The queue may have emptied: wake drain()/close() waiters.
+        self._cond.notify_all()
+
+    def _next_deadline_wait(self) -> float | None:
+        """Seconds until the earliest queued deadline (None = no deadline)."""
+        deadlines = [
+            j.deadline_at for j in self._queue if j.deadline_at is not None
+        ]
+        if not deadlines:
+            return None
+        return max(0.0, min(deadlines) - time.monotonic())
+
     def _take_group(self) -> list[Job] | None:
+        self._purge_expired()
         starts: dict[str, int] = {}
 
         def eligible(job: Job) -> bool:
@@ -226,7 +312,7 @@ class Scheduler:
                         group = self._take_group()
                         if group is not None:
                             break
-                    self._cond.wait()
+                    self._cond.wait(self._next_deadline_wait())
             try:
                 self._execute(group)
             finally:
@@ -251,6 +337,7 @@ class Scheduler:
 
     def _run_single(self, job: Job) -> None:
         req = job.request
+        home = next(self._home_rr) % self.devices
         prog_kwargs = {} if req.source is None else {"source": req.source}
         program = make_program(req.program, req.graph, **prog_kwargs)
         if job.shed:
@@ -272,14 +359,32 @@ class Scheduler:
                 engine=req.engine, shed_to=target, program=req.program,
             )
         else:
+            from repro.resilience.faults import DeviceLostFault
+
             engine = make_engine(req.engine, **req.engine_opts)
-            job.result = engine.run(req.graph, program, config=job.config)
+            try:
+                job.result = engine.run(req.graph, program, config=job.config)
+            except DeviceLostFault as fault:
+                # Failover: a lost device fails the *device*, not the
+                # tenant's request — rerun under the supervisor, which
+                # repartitions onto the survivors and resumes from the
+                # newest valid checkpoint (bit-identical values).
+                from repro.resilience.runner import ResilientRunner
+
+                self._emit(
+                    "service-failover", job_id=job.id, tenant=req.tenant,
+                    engine=req.engine, device=fault.device,
+                    iteration=fault.iteration,
+                )
+                runner = ResilientRunner(req.engine, **req.engine_opts)
+                out = runner.run(req.graph, program, config=job.config)
+                job.result = out.result
         job.batched_with = 1
         job.status = DONE
         self._emit(
             "service-run", job_id=job.id, tenant=req.tenant,
             engine=req.engine, program=req.program, jobs=1,
-            shed=job.shed,
+            shed=job.shed, device=home, devices=job.config.devices,
         )
 
     def _run_batched(self, group: list[Job]) -> None:

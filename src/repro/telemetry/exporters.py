@@ -11,7 +11,8 @@ JSONL schema (one record per line)::
 
     {"schema": "repro-trace", "version": 1, ...}        # first line: header
     {"span_id": int, "parent_id": int|null, "name": str,
-     "kind": "run"|"iteration"|"stage"|"transfer"|"resilience"|"service",
+     "kind": "run"|"iteration"|"stage"|"transfer"|"resilience"|"service"
+             |"analysis"|"device",
      "wall_ms": float, "model_start_ms": float, "model_ms": float,
      "attrs": {...}, "stats": {...}|null}                # span lines
 """

@@ -46,17 +46,20 @@ __all__ = [
 ]
 
 SPAN_KINDS = ("run", "iteration", "stage", "transfer", "resilience",
-              "service", "analysis")
+              "service", "analysis", "device")
 """The typed span vocabulary.  ``run`` wraps one engine invocation,
 ``iteration`` one fixpoint iteration, ``stage`` one pipeline stage or
-phase within an iteration, ``transfer`` one host-device copy,
+phase within an iteration, ``transfer`` one host-device copy (including
+the per-iteration multi-device ``exchange`` step),
 ``resilience`` one supervisor transition (fault detection, retry,
 checkpoint restore, degradation) recorded by
 :class:`repro.resilience.ResilientRunner`, ``service`` one scheduler
 event (job admission, batch execution, shed, cancellation) recorded by
-:class:`repro.service.Service`, and ``analysis`` one static-analysis
+:class:`repro.service.Service`, ``analysis`` one static-analysis
 gate (the kernel-certification lookup and its enforce/warn decision,
-recorded by :func:`repro.analysis.certify.runtime_gate`)."""
+recorded by :func:`repro.analysis.certify.runtime_gate`), and
+``device`` one modeled device's per-run busy summary under a
+multi-device placement (see :mod:`repro.placement`)."""
 
 
 def stats_to_dict(stats: KernelStats) -> dict:

@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 import repro
 from repro.analysis.invariants import validate_structure
@@ -340,3 +341,35 @@ class TestCheckpointPressure:
         ckpt, bad = store.restore()
         assert ckpt is not None and ckpt.iteration == 1   # fell back
         assert [v.code for v in bad] == ["R305"]
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_restore_lands_on_newest_valid_among_tampered(self, tampered):
+        """K tampered snapshots interleaved with valid ones: restore must
+        land on the newest *valid* checkpoint, flagging R305 for exactly
+        the tampered ones that are newer than it."""
+        from repro.resilience import Checkpoint, CheckpointStore
+
+        store = CheckpointStore(run_id="t")
+        for i, is_bad in enumerate(tampered, start=1):
+            if is_bad:
+                good = store.save(i, np.full(4, float(i)))
+                fake = Checkpoint(
+                    iteration=i, values=np.full(4, -1.0), digest=good.digest
+                )
+                store._cache.put(store._key(i), fake)
+            else:
+                store.save(i, np.full(4, float(i)))
+
+        ckpt, bad = store.restore()
+        valid = [i for i, is_bad in enumerate(tampered, start=1)
+                 if not is_bad]
+        if valid:
+            assert ckpt is not None and ckpt.iteration == valid[-1]
+            assert ckpt.values[0] == float(valid[-1])
+            newer_tampered = [i for i, is_bad in enumerate(tampered, start=1)
+                              if is_bad and i > valid[-1]]
+            assert [v.code for v in bad] == ["R305"] * len(newer_tampered)
+        else:                       # nothing valid left: cold restart
+            assert ckpt is None
+            assert [v.code for v in bad] == ["R305"] * len(tampered)

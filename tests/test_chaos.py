@@ -71,7 +71,8 @@ class TestRunCampaign:
         detection = {"transfer": "R301", "kernel-abort": "R302",
                      "bitflip-values": "R303",
                      "bitflip-representation": "R304",
-                     "sharedmem-oom": "R306"}
+                     "sharedmem-oom": "R306",
+                     "device-loss": "R307"}
         for run in smoke_report.runs:
             assert detection[run.fault] in run.codes, (run.engine, run.fault)
 

@@ -16,7 +16,8 @@ class TestDocuments:
         ["README.md", "DESIGN.md", "EXPERIMENTS.md",
          "docs/modeling.md", "docs/programming_guide.md",
          "docs/tutorial.md", "docs/api.md", "docs/performance.md",
-         "docs/telemetry.md", "docs/analysis.md", "docs/resilience.md"],
+         "docs/telemetry.md", "docs/analysis.md", "docs/resilience.md",
+         "docs/placement.md"],
     )
     def test_document_exists_and_nonempty(self, name):
         path = ROOT / name
@@ -69,6 +70,12 @@ class TestDocuments:
         assert "resilience.md" in (ROOT / "docs" / "telemetry.md").read_text()
         assert "resilience.md" in (ROOT / "docs" / "analysis.md").read_text()
 
+    def test_placement_doc_is_cross_linked(self):
+        assert "placement.md" in (ROOT / "README.md").read_text()
+        assert "placement.md" in (ROOT / "docs" / "resilience.md").read_text()
+        assert "placement.md" in (ROOT / "docs" / "service.md").read_text()
+        assert "placement.md" in (ROOT / "docs" / "analysis.md").read_text()
+
     def test_readme_examples_exist(self):
         text = (ROOT / "README.md").read_text()
         for name in re.findall(r"`(\w+\.py)`", text):
@@ -97,7 +104,7 @@ class TestPackageMetadata:
     def test_version_exposed(self):
         import repro
 
-        assert repro.__version__ == "1.9.0"
+        assert repro.__version__ == "1.10.0"
 
     def test_all_exports_resolve(self):
         import repro

@@ -17,6 +17,7 @@ import pytest
 from repro.errors import ConfigError
 from repro.frameworks import RunConfig
 from repro.frameworks.base import _INVALID_COMBOS
+from repro.placement import Placement
 
 EXEC_PATHS = ("fast", "reference")
 FRONTIERS = ("off", "sparse", "auto")
@@ -25,6 +26,7 @@ CERTIFIES = ("off", "warn", "enforce")
 
 VALUES = np.zeros(4, dtype=np.int64)
 MASK = np.zeros(4, dtype=bool)
+_PLACEMENT = Placement.block(4, 2)
 
 
 def expect_invalid(exec_path, frontier, validate, certify) -> bool:
@@ -122,6 +124,9 @@ class TestTableHygiene:
         {"start_iteration": 1},
         {"certify": "enforce", "validate": "off"},
         {"narrow": "bogus"},
+        {"devices": 0},
+        {"devices": 1, "placement": _PLACEMENT},
+        {"devices": 3, "placement": _PLACEMENT},
     ]
 
     def test_one_example_per_rule(self):

@@ -7,6 +7,9 @@ coalesced multi-source run must produce, per column, exactly the values
 each query would have computed alone.  See ``docs/service.md``.
 """
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -20,6 +23,7 @@ from repro.service import (
     JobRequest,
     JobStatus,
     MultiSourceTraversal,
+    QuotaLedger,
     Service,
     TenantQuota,
     batch_key,
@@ -401,3 +405,147 @@ class TestMultiSourceProgram:
         assert ops == e * k
         assert changed is None
         assert np.array_equal(local["level"], expected)
+
+
+class TestDeadlines:
+    """Server-side JobRequest(deadline_ms=...): expired pending jobs are
+    cancelled at dispatch, never started."""
+
+    def test_negative_deadline_rejected(self, graph):
+        with pytest.raises(ValueError, match="deadline_ms"):
+            JobRequest(graph, "bfs", source=0, deadline_ms=-1.0)
+
+    def test_expired_pending_job_is_cancelled(self, graph):
+        from repro.errors import DeadlineExceededError
+
+        tracer = Tracer()
+        with Service(workers=1, tracer=tracer) as svc:
+            svc.pause()
+            handle = svc.submit(
+                JobRequest(graph, "bfs", source=0, deadline_ms=20.0))
+            time.sleep(0.06)                 # let the deadline lapse
+            svc.resume()
+            with pytest.raises(DeadlineExceededError) as info:
+                handle.result(timeout=60)
+            assert handle.poll() == JobStatus.CANCELLED
+        assert info.value.job_id == handle.job_id
+        assert info.value.deadline_ms == 20.0
+        assert any(s.name == "service-deadline" for s in tracer.spans)
+
+    def test_deadline_distinct_from_client_timeout(self, graph):
+        # A client-side result(timeout=) expiry leaves the job running;
+        # the job still completes and a later result() returns it.
+        with Service(workers=1) as svc:
+            svc.pause()
+            handle = svc.submit(JobRequest(graph, "bfs", source=0))
+            with pytest.raises(TimeoutError):
+                handle.result(timeout=0.01)
+            svc.resume()
+            result = handle.result(timeout=60)
+        assert result.converged
+
+    def test_generous_deadline_runs_normally(self, graph):
+        with Service(workers=1) as svc:
+            handle = svc.submit(
+                JobRequest(graph, "sssp", source=0, deadline_ms=60_000.0))
+            result = handle.result(timeout=60)
+        assert np.array_equal(result.values,
+                              golden(graph, "sssp", 0).values)
+
+    def test_deadline_is_part_of_the_batch_key(self, graph, sources):
+        # Same deadline coalesces; a different deadline never joins the
+        # batch — a batch must not outlive its tightest member.
+        with Service(workers=1) as svc:
+            svc.pause()
+            same = [svc.submit(JobRequest(graph, "bfs", source=s,
+                                          deadline_ms=60_000.0))
+                    for s in sources[:3]]
+            other = svc.submit(JobRequest(graph, "bfs", source=sources[3],
+                                          deadline_ms=30_000.0))
+            svc.resume()
+            for h in same:
+                h.result(timeout=60)
+            other.result(timeout=60)
+        assert [h.batched_with for h in same] == [3, 3, 3]
+        assert other.batched_with == 1
+
+
+class TestDrainTimeout:
+    def test_leaked_worker_raises_drain_timeout(self):
+        from repro.errors import DrainTimeoutError
+        from repro.service.scheduler import Scheduler
+
+        tracer = Tracer()
+        sched = Scheduler(QuotaLedger(), workers=1, tracer=tracer,
+                          join_timeout=0.05)
+        # A worker that never exits: stand in a thread blocked on an
+        # event the drain cannot see.
+        release = threading.Event()
+        stuck = threading.Thread(target=release.wait,
+                                 name="repro-service-stuck", daemon=True)
+        stuck.start()
+        sched._threads.append(stuck)
+        try:
+            with pytest.raises(DrainTimeoutError) as info:
+                sched.close()
+        finally:
+            release.set()
+        assert info.value.leaked == ("repro-service-stuck",)
+        assert any(s.name == "service-drain-timeout" and
+                   "repro-service-stuck" in s.attrs["leaked"]
+                   for s in tracer.spans)
+        counter = tracer.metrics.counter("service.drain.leaked")
+        assert counter.value == 1
+
+    def test_clean_close_raises_nothing(self):
+        from repro.service.scheduler import Scheduler
+
+        sched = Scheduler(QuotaLedger(), workers=2, join_timeout=5.0)
+        sched.close()        # no error, idempotent
+        sched.close()
+
+
+class TestMultiDeviceService:
+    def test_jobs_spread_round_robin_over_home_devices(self, graph):
+        tracer = Tracer()
+        with Service(workers=1, devices=2, tracer=tracer) as svc:
+            svc.run_batch([JobRequest(graph, "pr"),
+                           JobRequest(graph, "cc")])
+        runs = [s for s in tracer.spans if s.name == "service-run"]
+        assert {s.attrs["device"] for s in runs} == {0, 1}
+
+    def test_multi_device_jobs_never_coalesce(self, graph):
+        config = RunConfig(devices=2)
+        with Service(workers=1, devices=2) as svc:
+            svc.pause()
+            handles = [svc.submit(JobRequest(graph, "sssp", source=s,
+                                             config=config))
+                       for s in (0, 1)]
+            svc.resume()
+            results = [h.result(timeout=60) for h in handles]
+        assert [h.batched_with for h in handles] == [1, 1]
+        for s, r in zip((0, 1), results):
+            ref = golden(graph, "sssp", s)
+            assert np.array_equal(r.values, ref.values)
+            assert r.devices == 2 and r.exchange_bytes > 0
+
+    def test_device_loss_fails_over_bit_exactly(self, graph):
+        from repro.resilience import FaultPlan, FaultSpec
+
+        plan = FaultPlan(
+            [FaultSpec(kind="device-loss", engine="cusha-cw",
+                       iteration=2, device=1)],
+            seed=0)
+        tracer = Tracer()
+        config = RunConfig(devices=2, faults=plan, collect_traces=False)
+        with Service(workers=1, devices=2, tracer=tracer) as svc:
+            handle = svc.submit(
+                JobRequest(graph, "sssp", source=0, config=config))
+            result = handle.result(timeout=120)
+        assert handle.poll() == JobStatus.DONE
+        ref = golden(graph, "sssp", 0)
+        assert np.array_equal(result.values, ref.values)
+        failovers = [s for s in tracer.spans
+                     if s.name == "service-failover"]
+        assert len(failovers) == 1
+        assert failovers[0].attrs["device"] in (0, 1)
